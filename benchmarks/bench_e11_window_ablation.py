@@ -1,0 +1,37 @@
+"""E11 bench (Fig 9): REWL window machinery — decomposition and exchange."""
+
+import numpy as np
+
+from repro.lattice import random_configuration
+from repro.parallel import REWLConfig, REWLDriver, make_windows
+from repro.proposals import SwapProposal
+from repro.sampling import EnergyGrid
+
+
+def bench_make_windows(benchmark):
+    grid = EnergyGrid.uniform(0.0, 1.0, 2_000)
+
+    windows = benchmark(make_windows, grid, 16, 0.6)
+    assert len(windows) == 16
+    assert windows[-1].hi_bin == 1_999
+
+
+def bench_exchange_phase(benchmark, hea, hea_counts):
+    """The exchange+sync phases alone (communication-side cost of Fig 9)."""
+    grid = EnergyGrid.uniform(-14.0, 4.0, 24)
+    driver = REWLDriver(
+        hea, lambda: SwapProposal(), grid,
+        random_configuration(hea.n_sites, hea_counts, rng=0),
+        REWLConfig(n_windows=3, walkers_per_window=2, overlap=0.6,
+                   exchange_interval=200, seed=1),
+    )
+    driver._advance_phase()  # give walkers real states first
+
+    def exchange_and_sync():
+        driver.rounds += 1
+        driver._exchange_phase()
+        driver._sync_phase()
+        return int(driver.exchange_attempts.sum())
+
+    attempts = benchmark(exchange_and_sync)
+    assert attempts >= 1

@@ -1,0 +1,36 @@
+"""E12 bench (Table 1): substrate construction costs for the workload table.
+
+Lattice/neighbor-table construction is the setup cost of every workload row;
+benchmarked at a production-like size.
+"""
+
+import numpy as np
+
+from repro.dos.thermo import log_multinomial
+from repro.lattice import bcc, equiatomic_counts
+
+
+def bench_bcc_neighbor_tables(benchmark):
+    """Two-shell neighbor tables for a 16,000-site BCC cell."""
+
+    def build():
+        lat = bcc(20)  # 16,000 sites; fresh lattice each round (no cache)
+        return lat.neighbor_shells(2)
+
+    shells = benchmark(build)
+    assert shells[0].coordination == 8
+    assert shells[1].coordination == 6
+
+
+def bench_state_count_column(benchmark):
+    """The combinatorics column of Table 1 across all sizes."""
+
+    def compute():
+        return [
+            log_multinomial(equiatomic_counts(2 * length**3, 4))
+            for length in (3, 4, 6, 8, 12, 16)
+        ]
+
+    values = benchmark(compute)
+    assert values[-1] > 10_000  # the paper's e^10,000 scale
+    assert all(np.isfinite(values))

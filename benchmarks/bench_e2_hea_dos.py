@@ -1,0 +1,51 @@
+"""E2 bench (Fig 2): the REWL round on the HEA workload.
+
+Benchmarks one advance/exchange/sync round of the parallel driver — the
+unit of work the scaling model prices — plus the DoS stitcher.
+"""
+
+import numpy as np
+
+from repro.dos import stitch_windows
+from repro.lattice import random_configuration
+from repro.parallel import REWLConfig, REWLDriver, make_windows
+from repro.proposals import SwapProposal
+from repro.sampling import EnergyGrid
+
+
+def bench_rewl_round(benchmark, hea, hea_counts):
+    """One bulk-synchronous REWL round (2 windows x 2 walkers, HEA N=54)."""
+    grid = EnergyGrid.uniform(-14.0, 4.0, 24)
+    driver = REWLDriver(
+        hea, lambda: SwapProposal(), grid,
+        random_configuration(hea.n_sites, hea_counts, rng=0),
+        REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
+                   exchange_interval=500, seed=0),
+    )
+
+    def one_round():
+        driver._advance_phase()
+        driver.rounds += 1
+        driver._exchange_phase()
+        driver._sync_phase()
+        return driver.rounds
+
+    rounds = benchmark(one_round)
+    assert rounds >= 1
+
+
+def bench_stitching(benchmark):
+    """Stitch 8 synthetic window pieces over 400 bins (Fig 2 assembly)."""
+    rng = np.random.default_rng(0)
+    grid = EnergyGrid.uniform(0.0, 1.0, 400)
+    x = grid.centers
+    truth = 2_000.0 * x * (1 - x)
+    windows = make_windows(grid, 8, overlap=0.5)
+    pieces = [
+        truth[w.lo_bin : w.hi_bin + 1] + rng.uniform(-50, 50) for w in windows
+    ]
+    visited = [np.ones(w.n_bins, dtype=bool) for w in windows]
+
+    stitched = benchmark(stitch_windows, grid, windows, pieces, visited)
+    rel = stitched.ln_g - stitched.ln_g[0]
+    assert np.abs(rel - (truth - truth[0])).max() < 1e-6

@@ -1,0 +1,35 @@
+"""E3 bench (Fig 3): thermodynamics evaluation from a density of states.
+
+The post-processing sweep that turns one ln g into C(T) at every
+temperature — benchmarked at paper-like resolution (10^3 bins x 10^2 T).
+"""
+
+import numpy as np
+
+from repro.analysis import transition_temperature
+from repro.dos import thermodynamics
+
+
+def _synthetic_dos(n_bins=1_000):
+    e = np.linspace(-1.0, 1.0, n_bins)
+    ln_g = 5_000.0 * (1.0 - e**2)  # wide parabolic DoS like the HEA's
+    return e, ln_g
+
+
+def bench_thermodynamics_sweep(benchmark):
+    energies, ln_g = _synthetic_dos()
+    temps = np.linspace(0.05, 3.0, 120)
+
+    tab = benchmark(thermodynamics, energies, ln_g, temps)
+    assert np.all(np.isfinite(tab.specific_heat))
+    assert np.all(tab.specific_heat >= 0)
+
+
+def bench_transition_detection(benchmark):
+    energies, ln_g = _synthetic_dos()
+    temps = np.linspace(0.05, 3.0, 400)
+    tab = thermodynamics(energies, ln_g, temps)
+
+    tc, c_max = benchmark(transition_temperature, temps, tab.specific_heat)
+    assert temps[0] <= tc <= temps[-1]
+    assert c_max > 0

@@ -1,0 +1,32 @@
+"""E4 bench (Fig 4): Warren-Cowley SRO computation and reweighting."""
+
+import numpy as np
+
+from repro.analysis import warren_cowley
+from repro.dos import reweight_observable
+from repro.lattice import bcc, equiatomic_counts, random_configuration
+
+
+def bench_warren_cowley_large(benchmark):
+    """SRO matrix on a 2,000-site BCC cell (per-measurement cost in Fig 4)."""
+    lat = bcc(10)
+    cfg = random_configuration(lat.n_sites, equiatomic_counts(lat.n_sites, 4), rng=0)
+    lat.neighbor_shells(1)  # build tables outside the timed region
+
+    alpha = benchmark(warren_cowley, lat, cfg, 4)
+    assert alpha.shape == (4, 4)
+    assert np.nanmax(np.abs(alpha)) < 0.2  # random alloy stays near zero
+
+
+def bench_reweight_sro_curve(benchmark):
+    """Reweighting microcanonical SRO(E) to 100 temperatures."""
+    n_bins = 500
+    energies = np.linspace(-1.0, 1.0, n_bins)
+    ln_g = 3_000.0 * (1.0 - energies**2)
+    micro = -0.5 * np.exp(-((energies + 0.8) ** 2) / 0.05)  # ordered at low E
+    temps = np.linspace(0.05, 2.0, 100)
+
+    curve = benchmark(reweight_observable, energies, ln_g, micro, temps)
+    assert curve.shape == (100,)
+    # Ordering must fade with temperature.
+    assert curve[0] < curve[-1] <= 0.0 + 1e-12

@@ -1,0 +1,46 @@
+"""E5 bench (Fig 5/Table 2): proposal kernel costs.
+
+The per-proposal costs that set the local-vs-DL trade-off: swap ΔE
+evaluation, VAE global proposal (decode + IWAE marginals), MADE global
+proposal (exact densities).
+"""
+
+import numpy as np
+
+from repro.nn import MADE, CategoricalVAE, MADEConfig, VAEConfig
+from repro.proposals import MADEProposal, SwapProposal, VAEProposal
+
+
+def bench_swap_proposal(benchmark, hea, hea_config):
+    prop = SwapProposal()
+    rng = np.random.default_rng(0)
+    energy = hea.energy(hea_config)
+
+    move = benchmark(prop.propose, hea_config, hea, rng, energy)
+    assert move is not None
+
+
+def bench_vae_proposal(benchmark, hea, hea_config):
+    model = CategoricalVAE(
+        VAEConfig(hea.n_sites, 4, latent_dim=8, hidden=(64, 32)), rng=0
+    )
+    prop = VAEProposal(model, n_marginal_samples=16, composition="repair")
+    rng = np.random.default_rng(1)
+    energy = hea.energy(hea_config)
+
+    def propose():
+        prop.invalidate_cache()  # price the un-cached (worst) case
+        return prop.propose(hea_config, hea, rng, current_energy=energy)
+
+    move = benchmark(propose)
+    assert move is not None and move.n_sites_changed == hea.n_sites
+
+
+def bench_made_proposal(benchmark, hea, hea_config):
+    model = MADE(MADEConfig(hea.n_sites, 4, hidden=(128,)), rng=0)
+    prop = MADEProposal(model, composition="repair", max_reject_tries=8)
+    rng = np.random.default_rng(2)
+    energy = hea.energy(hea_config)
+
+    move = benchmark(prop.propose, hea_config, hea, rng, energy)
+    assert move is not None

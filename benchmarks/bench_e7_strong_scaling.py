@@ -1,0 +1,25 @@
+"""E7 bench (Fig 7): strong-scaling curve generation (machine model).
+
+Also re-asserts the curve shape the figure shows: monotone speedup with a
+rolloff, both machines.
+"""
+
+from repro.machine import WorkloadSpec, crusher_mi250x, strong_scaling, summit_v100
+
+GPU_COUNTS = [6, 12, 24, 48, 96, 192, 384, 768, 1536, 3000]
+
+
+def bench_strong_scaling_v100(benchmark):
+    points = benchmark(
+        strong_scaling, summit_v100(), WorkloadSpec(), 3000, GPU_COUNTS
+    )
+    times = [p.round_time for p in points]
+    assert all(a > b for a, b in zip(times, times[1:]))
+    assert points[-1].efficiency > 0.5
+
+
+def bench_strong_scaling_mi250x(benchmark):
+    points = benchmark(
+        strong_scaling, crusher_mi250x(), WorkloadSpec(), 3000, GPU_COUNTS
+    )
+    assert points[-1].speedup > 100

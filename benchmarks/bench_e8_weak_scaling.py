@@ -1,0 +1,20 @@
+"""E8 bench (Fig 8): weak-scaling curve generation (machine model)."""
+
+from repro.machine import WorkloadSpec, crusher_mi250x, summit_v100, weak_scaling
+
+GPU_COUNTS = [6, 12, 24, 48, 96, 192, 384, 768, 1536, 3000]
+
+
+def bench_weak_scaling_both_machines(benchmark):
+    def sweep():
+        return [
+            weak_scaling(machine, WorkloadSpec(), GPU_COUNTS)
+            for machine in (summit_v100(), crusher_mi250x())
+        ]
+
+    curves = benchmark(sweep)
+    for points in curves:
+        effs = [p.efficiency for p in points]
+        assert effs[0] == 1.0
+        assert all(a >= b for a, b in zip(effs, effs[1:]))
+        assert effs[-1] > 0.85

@@ -1,0 +1,53 @@
+"""E9 bench (Table 3): the calibration kernels behind the throughput table.
+
+These host-side measurements are the inputs the machine model prices; the
+benchmark records them so throughput regressions are caught.
+"""
+
+import numpy as np
+
+from repro.proposals import SwapProposal
+from repro.sampling import MetropolisSampler
+
+
+def bench_delta_energy_swap(benchmark, hea, hea_config):
+    """O(z) incremental ΔE — the single hottest kernel in the system."""
+    rng = np.random.default_rng(0)
+    ii = rng.integers(0, hea.n_sites, 1_000)
+    jj = rng.integers(0, hea.n_sites, 1_000)
+    k = [0]
+
+    def one():
+        k[0] = (k[0] + 1) % 1_000
+        return hea.delta_energy_swap(hea_config, int(ii[k[0]]), int(jj[k[0]]))
+
+    benchmark(one)
+
+
+def bench_delta_energy_swap_batch(benchmark, hea, hea_config):
+    """Vectorized batch ΔE (the GPU-like evaluation path)."""
+    rng = np.random.default_rng(1)
+    ii = rng.integers(0, hea.n_sites, 4_096)
+    jj = rng.integers(0, hea.n_sites, 4_096)
+
+    out = benchmark(hea.delta_energy_swap_batch, hea_config, ii, jj)
+    assert out.shape == (4_096,)
+
+
+def bench_metropolis_steps(benchmark, hea, hea_config):
+    """End-to-end Metropolis step throughput (Table 3 calibration row)."""
+    sampler = MetropolisSampler(hea, SwapProposal(), 5.0, hea_config, rng=2)
+
+    def block():
+        sampler.run(1_000)
+        return sampler.total_steps
+
+    assert benchmark(block) >= 1_000
+
+
+def bench_energy_batch(benchmark, hea, hea_config):
+    """Batched full-energy evaluation (DL-proposal re-scoring path)."""
+    configs = np.stack([hea_config] * 64)
+
+    out = benchmark(hea.energy_batch, configs)
+    assert out.shape == (64,)

@@ -1,0 +1,87 @@
+"""Benchmarks for the extension subsystems (DESIGN.md §4b).
+
+Not tied to a single paper figure; these keep the extension kernels —
+Wolff clusters, WHAM iteration, conditional-MADE proposals, checkpointing —
+under performance regression watch alongside the E1-E12 benches.
+"""
+
+import numpy as np
+
+from repro.dos import exact_ising_dos_bruteforce, wham
+from repro.hamiltonians import IsingHamiltonian
+from repro.lattice import square_lattice
+from repro.nn import ConditionalMADE, ConditionalMADEConfig
+from repro.proposals import ConditionalMADEProposal
+from repro.sampling import WolffSampler
+
+
+def bench_wolff_clusters_near_tc(benchmark):
+    """Cluster flips at the critical point (the baseline's best regime)."""
+    ham = IsingHamiltonian(square_lattice(16))
+    sampler = WolffSampler(ham, 1.0 / 2.27, np.zeros(256, dtype=np.int8), rng=0)
+    sampler.run(50)  # settle cluster sizes
+
+    def flip_block():
+        sampler.run(20)
+        return sampler.n_clusters
+
+    assert benchmark(flip_block) >= 20
+
+
+def bench_wham_iteration(benchmark):
+    """Full WHAM solve on exact 4x4 Ising histograms at 6 temperatures."""
+    levels, degens = exact_ising_dos_bruteforce(4)
+    rng = np.random.default_rng(0)
+    betas = np.linspace(0.1, 0.6, 6)
+    ln_g = np.log(degens.astype(np.float64))
+    hists = []
+    for beta in betas:
+        w = ln_g - beta * levels
+        w -= w.max()
+        p = np.exp(w)
+        hists.append(rng.multinomial(100_000, p / p.sum()))
+    hists = np.asarray(hists)
+
+    result = benchmark(wham, levels, hists, betas)
+    assert result.converged
+
+
+def bench_cmade_proposal(benchmark):
+    """Conditional global proposal (sequential decode + 2 exact densities)."""
+    ham = IsingHamiltonian(square_lattice(4))
+    model = ConditionalMADE(
+        ConditionalMADEConfig(n_sites=16, n_species=2, cond_dim=1, hidden=(64,)),
+        rng=0,
+    )
+    prop = ConditionalMADEProposal(
+        model, lambda cfg, e: np.array([0.3]), composition="free"
+    )
+    rng = np.random.default_rng(1)
+    cfg = rng.integers(0, 2, 16).astype(np.int8)
+    energy = ham.energy(cfg)
+
+    move = benchmark(prop.propose, cfg, ham, rng, energy)
+    assert move is not None
+
+
+def bench_checkpoint_round_trip(benchmark, tmp_path_factory):
+    """Save + restore a running REWL driver (job-resubmission path)."""
+    from repro.parallel import REWLConfig, REWLDriver, load_checkpoint, save_checkpoint
+    from repro.proposals import FlipProposal
+    from repro.sampling import EnergyGrid
+
+    ham = IsingHamiltonian(square_lattice(4))
+    grid = EnergyGrid.from_levels(ham.energy_levels())
+    driver = REWLDriver(
+        ham, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
+        REWLConfig(n_windows=2, walkers_per_window=2, exchange_interval=200, seed=0),
+    )
+    driver.run(max_rounds=2)
+    path = tmp_path_factory.mktemp("ckpt") / "rewl.ckpt"
+
+    def round_trip():
+        save_checkpoint(driver, path)
+        load_checkpoint(driver, path)
+        return driver.rounds
+
+    assert benchmark(round_trip) == 2

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_eNN_*.py`` file regenerates (a small-scale instance of) one
+paper table/figure kernel; the full-fidelity harness is
+``python -m repro.experiments.run_all``.  Benchmarks are sized so the whole
+directory finishes in a few minutes under ``--benchmark-only``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hamiltonians import IsingHamiltonian, NbMoTaWHamiltonian
+from repro.lattice import bcc, equiatomic_counts, random_configuration, square_lattice
+
+
+@pytest.fixture(scope="session")
+def ising_4x4():
+    return IsingHamiltonian(square_lattice(4))
+
+
+@pytest.fixture(scope="session")
+def hea():
+    return NbMoTaWHamiltonian(bcc(3))
+
+
+@pytest.fixture(scope="session")
+def hea_counts(hea):
+    return equiatomic_counts(hea.n_sites, 4)
+
+
+@pytest.fixture()
+def hea_config(hea, hea_counts):
+    return random_configuration(hea.n_sites, hea_counts, rng=0)

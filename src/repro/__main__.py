@@ -1,0 +1,75 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``   regenerate paper tables/figures (wraps run_all; same flags)
+``report``        rebuild EXPERIMENTS.md from saved results
+``info``          print version, subsystem inventory, and environment checks
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+import repro
+
+_USAGE = """usage: python -m repro <command> [options]
+
+commands:
+  experiments [--full] [--only E1,E7] [--seed N]   regenerate tables/figures
+  report                                           rebuild EXPERIMENTS.md
+  info                                             version + inventory
+"""
+
+
+def _info() -> int:
+    import scipy
+
+    print(f"repro (DeepThermo reproduction) {repro.__version__}")
+    print(f"numpy {np.__version__}, scipy {scipy.__version__}")
+    subsystems = [
+        ("lattice", "repro.lattice"),
+        ("hamiltonians", "repro.hamiltonians"),
+        ("nn", "repro.nn"),
+        ("proposals", "repro.proposals"),
+        ("sampling", "repro.sampling"),
+        ("parallel", "repro.parallel"),
+        ("dos", "repro.dos"),
+        ("analysis", "repro.analysis"),
+        ("training", "repro.training"),
+        ("machine", "repro.machine"),
+        ("experiments", "repro.experiments"),
+    ]
+    import importlib
+
+    for name, module_path in subsystems:
+        module = importlib.import_module(module_path)
+        exported = len(getattr(module, "__all__", []))
+        print(f"  {name:<14} {exported:>3} public symbols")
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE)
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "experiments":
+        from repro.experiments.run_all import main as run_all_main
+
+        return run_all_main(rest)
+    if command == "report":
+        from repro.experiments.report import main as report_main
+
+        return report_main(rest)
+    if command == "info":
+        return _info()
+    print(f"unknown command {command!r}\n\n{_USAGE}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Observables and diagnostics (S8).
+
+- :mod:`repro.analysis.sro` — Warren–Cowley short-range order parameters
+  (the HEA ordering observable of experiment E4),
+- :mod:`repro.analysis.transition` — specific-heat-peak transition
+  detection with quadratic refinement (E3),
+- :mod:`repro.analysis.autocorr` — integrated autocorrelation time and
+  effective sample size (E5 proposal-quality metric),
+- :mod:`repro.analysis.flatness` — histogram flatness and energy round-trip
+  (tunneling) counting (E6 time-to-solution metric).
+"""
+
+from repro.analysis.sro import warren_cowley, pair_counts, sro_matrix_table
+from repro.analysis.transition import (
+    transition_temperature,
+    peak_full_width_half_max,
+)
+from repro.analysis.autocorr import (
+    autocorrelation_function,
+    integrated_autocorrelation_time,
+    effective_sample_size,
+)
+from repro.analysis.flatness import histogram_flatness, count_round_trips
+
+__all__ = [
+    "warren_cowley",
+    "pair_counts",
+    "sro_matrix_table",
+    "transition_temperature",
+    "peak_full_width_half_max",
+    "autocorrelation_function",
+    "integrated_autocorrelation_time",
+    "effective_sample_size",
+    "histogram_flatness",
+    "count_round_trips",
+]

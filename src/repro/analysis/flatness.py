@@ -1,0 +1,61 @@
+"""Flat-histogram diagnostics.
+
+- :func:`histogram_flatness` — the min/mean flatness statistic Wang-Landau
+  thresholds on,
+- :func:`count_round_trips` — energy-space tunneling: one round trip is a
+  walk from the low edge of the range to the high edge and back.  Round-trip
+  (tunneling) time is the standard cost metric for flat-histogram samplers
+  and the E6 figure's y-axis: global DL proposals cut it dramatically
+  because a single accepted move can cross the whole energy range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["histogram_flatness", "count_round_trips"]
+
+
+def histogram_flatness(histogram, mask=None) -> float:
+    """min/mean of the histogram over ``mask`` (0 when any bin is empty)."""
+    h = np.asarray(histogram, dtype=np.float64)
+    if mask is not None:
+        h = h[np.asarray(mask, dtype=bool)]
+    if h.size == 0:
+        return 0.0
+    if np.any(h <= 0):
+        return 0.0
+    return float(h.min() / h.mean())
+
+
+def count_round_trips(bin_trace, n_bins: int, edge_fraction: float = 0.1) -> int:
+    """Number of completed low→high→low round trips in a bin-index trace.
+
+    Parameters
+    ----------
+    bin_trace : sequence of int
+        Visited bin index per step (e.g. recorded during a WL run).
+    n_bins : int
+        Total number of bins in the range.
+    edge_fraction : float
+        Bins within this fraction of either end count as "at the edge".
+    """
+    trace = np.asarray(bin_trace, dtype=np.int64)
+    if trace.size == 0:
+        return 0
+    if not 0.0 < edge_fraction < 0.5:
+        raise ValueError(f"edge_fraction must be in (0, 0.5), got {edge_fraction}")
+    lo_edge = max(0, int(np.ceil(edge_fraction * n_bins)) - 1)
+    hi_edge = n_bins - 1 - lo_edge
+    trips = 0
+    # State machine: wait for low edge, then high edge, then low edge again.
+    state = 0  # 0: seeking low, 1: seeking high, 2: seeking low to finish
+    for b in trace:
+        if state == 0 and b <= lo_edge:
+            state = 1
+        elif state == 1 and b >= hi_edge:
+            state = 2
+        elif state == 2 and b <= lo_edge:
+            trips += 1
+            state = 1
+    return trips

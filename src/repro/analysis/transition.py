@@ -1,0 +1,65 @@
+"""Phase-transition detection from specific-heat curves.
+
+The order–disorder transition temperature is estimated as the specific-heat
+peak, refined by fitting a parabola through the three points around the
+discrete maximum (removes the temperature-grid quantization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["transition_temperature", "peak_full_width_half_max"]
+
+
+def transition_temperature(temperatures, specific_heat) -> tuple[float, float]:
+    """(T_c, C_max) with quadratic peak refinement.
+
+    Falls back to the raw argmax when the peak touches a grid boundary.
+    """
+    t = np.asarray(temperatures, dtype=np.float64)
+    c = np.asarray(specific_heat, dtype=np.float64)
+    if t.shape != c.shape or t.ndim != 1 or t.size < 3:
+        raise ValueError("need matching 1-D arrays with at least 3 points")
+    k = int(np.argmax(c))
+    if k == 0 or k == t.size - 1:
+        return float(t[k]), float(c[k])
+    # Parabola through (t[k-1..k+1], c[k-1..k+1]); vertex in closed form.
+    t0, t1, t2 = t[k - 1 : k + 2]
+    c0, c1, c2 = c[k - 1 : k + 2]
+    denom = (t0 - t1) * (t0 - t2) * (t1 - t2)
+    a = (t2 * (c1 - c0) + t1 * (c0 - c2) + t0 * (c2 - c1)) / denom
+    b = (t2**2 * (c0 - c1) + t1**2 * (c2 - c0) + t0**2 * (c1 - c2)) / denom
+    if a >= 0:  # degenerate/flat: keep the grid point
+        return float(t1), float(c1)
+    tc = -b / (2.0 * a)
+    cc = c1 + a * (tc - t1) ** 2 + (2 * a * t1 + b) * (tc - t1)
+    # Vertex value directly: c(tc) = c_vertex; recompute robustly.
+    cc = a * tc**2 + b * tc + (c1 - a * t1**2 - b * t1)
+    return float(tc), float(cc)
+
+
+def peak_full_width_half_max(temperatures, specific_heat) -> float:
+    """FWHM of the specific-heat peak (transition sharpness; finite-size
+    scaling narrows it — the E3 size sweep reports this)."""
+    t = np.asarray(temperatures, dtype=np.float64)
+    c = np.asarray(specific_heat, dtype=np.float64)
+    k = int(np.argmax(c))
+    half = c[k] / 2.0
+
+    def cross(idx_range) -> float | None:
+        prev = None
+        for i in idx_range:
+            if prev is not None:
+                lo, hi = (prev, i) if t[i] > t[prev] else (i, prev)
+                if (c[lo] - half) * (c[hi] - half) <= 0 and c[lo] != c[hi]:
+                    frac = (half - c[lo]) / (c[hi] - c[lo])
+                    return float(t[lo] + frac * (t[hi] - t[lo]))
+            prev = i
+        return None
+
+    left = cross(range(k, -1, -1))
+    right = cross(range(k, t.size))
+    if left is None or right is None:
+        return float("nan")
+    return right - left

@@ -1,0 +1,47 @@
+"""Density-of-states post-processing (S7).
+
+Everything here operates on ``ln g(E)`` — the paper's DoS spans ~e^10,000,
+so nothing is ever exponentiated without a log-sum-exp shift.
+
+- :mod:`repro.dos.stitching` — join per-window REWL pieces into one global
+  ln g by matching the overlap regions,
+- :mod:`repro.dos.thermo` — partition function, internal energy, specific
+  heat, free energy, entropy, and canonical reweighting of microcanonical
+  observables, all from ``(E, ln g)``,
+- :mod:`repro.dos.exact_ising` — exact finite-lattice 2D Ising references
+  (brute-force DoS for tiny systems; Kaufman's closed-form partition
+  function for arbitrary sizes) used by validation experiment E1.
+"""
+
+from repro.dos.stitching import StitchedDoS, stitch_windows, join_pair
+from repro.dos.thermo import (
+    thermodynamics,
+    normalize_ln_g,
+    reweight_observable,
+    ThermoTable,
+)
+from repro.dos.wham import WhamResult, wham
+from repro.dos.exact_ising import (
+    exact_ising_dos_bruteforce,
+    kaufman_log_partition,
+    exact_ising_internal_energy,
+    exact_ising_specific_heat,
+    onsager_critical_temperature,
+)
+
+__all__ = [
+    "StitchedDoS",
+    "stitch_windows",
+    "join_pair",
+    "thermodynamics",
+    "normalize_ln_g",
+    "reweight_observable",
+    "ThermoTable",
+    "WhamResult",
+    "wham",
+    "exact_ising_dos_bruteforce",
+    "kaufman_log_partition",
+    "exact_ising_internal_energy",
+    "exact_ising_specific_heat",
+    "onsager_critical_temperature",
+]

@@ -1,0 +1,164 @@
+"""Stitch per-window ln g pieces into a global density of states.
+
+Each REWL window produces ``ln g`` up to an arbitrary additive constant.
+Adjacent windows share overlap bins; the stitcher aligns window k+1 to the
+already-stitched left part by the mean offset over the commonly visited
+overlap bins, then blends the overlap with a linear ramp (left weight 1→0)
+so the join is smooth even when the two estimates disagree slightly.
+
+The alignment residual (RMS disagreement over the overlap after shifting)
+is reported per joint — it is the stitching quality metric printed by
+experiment E2 and checked in the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.windows import WindowSpec
+from repro.sampling.binning import EnergyGrid
+
+__all__ = ["StitchedDoS", "stitch_windows", "join_pair"]
+
+
+@dataclass
+class StitchedDoS:
+    """Global relative ln g over the global grid.
+
+    ``ln_g`` is −inf at unvisited bins and shifted so the minimum visited
+    value is 0; apply :func:`repro.dos.thermo.normalize_ln_g` for absolute
+    normalization.
+    """
+
+    grid: EnergyGrid
+    ln_g: np.ndarray
+    visited: np.ndarray
+    joint_residuals: np.ndarray
+
+    @property
+    def span(self) -> float:
+        """max − min of ln g over visited bins (the paper's ~e^10,000 claim
+        is about this span at their system size)."""
+        vals = self.ln_g[self.visited]
+        return float(vals.max() - vals.min()) if vals.size else 0.0
+
+    def energies(self) -> np.ndarray:
+        """Centers of the visited bins."""
+        return self.grid.centers[self.visited]
+
+    def values(self) -> np.ndarray:
+        """ln g at the visited bins."""
+        return self.ln_g[self.visited]
+
+
+def join_pair(
+    left: np.ndarray,
+    left_visited: np.ndarray,
+    right: np.ndarray,
+    right_visited: np.ndarray,
+    lo: int,
+    hi: int,
+) -> tuple[float, float]:
+    """Alignment shift and residual for two global-indexed pieces.
+
+    Parameters
+    ----------
+    left, right : ndarray over global bins (−inf / arbitrary where unvisited)
+    left_visited, right_visited : bool masks over global bins
+    lo, hi : inclusive global-bin overlap range
+
+    Returns
+    -------
+    (shift, residual)
+        ``right + shift`` best matches ``left`` over the common overlap
+        bins; ``residual`` is the post-shift RMS mismatch.
+
+    Raises
+    ------
+    ValueError
+        When no overlap bin was visited by both pieces (the windows never
+        connected — increase overlap or sampling).
+    """
+    common = np.zeros_like(left_visited)
+    common[lo : hi + 1] = True
+    common &= left_visited & right_visited
+    if not common.any():
+        raise ValueError(
+            f"no commonly visited bins in overlap [{lo}, {hi}]; "
+            "windows are not connected"
+        )
+    diff = left[common] - right[common]
+    shift = float(diff.mean())
+    residual = float(np.sqrt(np.mean((diff - shift) ** 2)))
+    return shift, residual
+
+
+def stitch_windows(
+    global_grid: EnergyGrid,
+    windows: list[WindowSpec],
+    pieces: list[np.ndarray],
+    visited: list[np.ndarray],
+) -> StitchedDoS:
+    """Assemble window pieces into a global ln g (see module docstring)."""
+    if not (len(windows) == len(pieces) == len(visited)):
+        raise ValueError(
+            f"length mismatch: {len(windows)} windows, {len(pieces)} pieces, "
+            f"{len(visited)} visited masks"
+        )
+    n_bins = global_grid.n_bins
+    out = np.full(n_bins, -np.inf)
+    out_visited = np.zeros(n_bins, dtype=bool)
+    residuals = []
+
+    # Expand each window piece onto global bins.
+    def expand(k: int) -> tuple[np.ndarray, np.ndarray]:
+        spec = windows[k]
+        if pieces[k].shape != (spec.n_bins,) or visited[k].shape != (spec.n_bins,):
+            raise ValueError(
+                f"window {k}: piece/visited shape must be ({spec.n_bins},)"
+            )
+        g = np.full(n_bins, -np.inf)
+        v = np.zeros(n_bins, dtype=bool)
+        g[spec.lo_bin : spec.hi_bin + 1] = pieces[k]
+        v[spec.lo_bin : spec.hi_bin + 1] = visited[k]
+        g[~v] = -np.inf
+        return g, v
+
+    g0, v0 = expand(0)
+    out[v0] = g0[v0]
+    out_visited |= v0
+
+    for k in range(1, len(windows)):
+        gk, vk = expand(k)
+        ov = windows[k - 1].overlap_bins(windows[k])
+        if ov is None:  # make_windows guarantees overlap; guard anyway
+            raise ValueError(f"windows {k - 1} and {k} do not overlap")
+        shift, residual = join_pair(out, out_visited, gk, vk, ov[0], ov[1])
+        residuals.append(residual)
+        gk = gk + shift
+        lo, hi = ov
+        # Linear ramp across the overlap: weight of the left part 1 → 0.
+        for b in range(n_bins):
+            if not vk[b]:
+                continue
+            if out_visited[b] and lo <= b <= hi and hi > lo:
+                w_left = (hi - b) / (hi - lo)
+                out[b] = w_left * out[b] + (1.0 - w_left) * gk[b]
+            elif out_visited[b] and not (lo <= b <= hi):
+                # Visited by both outside the nominal overlap (can happen
+                # when windows share more bins than the nominal range).
+                out[b] = 0.5 * (out[b] + gk[b])
+            else:
+                out[b] = gk[b]
+        out_visited |= vk
+
+    if out_visited.any():
+        out[out_visited] -= out[out_visited].min()
+    return StitchedDoS(
+        grid=global_grid,
+        ln_g=out,
+        visited=out_visited,
+        joint_residuals=np.asarray(residuals),
+    )

@@ -1,0 +1,174 @@
+"""Thermodynamics from the density of states.
+
+Given ``(E_k, ln g_k)`` every canonical quantity follows from log-domain
+sums (this is the whole point of evaluating the DoS directly — one run
+yields *all* temperatures)::
+
+    ln Z(β)  = logsumexp_k [ ln g_k − β E_k ]
+    p_k(β)   = exp(ln g_k − β E_k − ln Z)
+    U(β)     = Σ p_k E_k
+    C(β)     = β² (Σ p_k E_k² − U²) / k_B·T² · ...   (see code for units)
+    F(β)     = −ln Z / β
+    S(β)     = (U − F)/T
+
+Relative vs absolute: Wang-Landau produces ln g up to a constant.  U and C
+are invariant under that constant; F and S shift by ``k_B·T·c`` and
+``k_B·c``.  :func:`normalize_ln_g` pins the constant using the known total
+state count (``Σ g = n_species^N`` or a multinomial for fixed composition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.util.numerics import logsumexp
+
+__all__ = ["ThermoTable", "thermodynamics", "normalize_ln_g", "reweight_observable",
+           "log_total_states", "log_multinomial"]
+
+
+@dataclass
+class ThermoTable:
+    """Canonical quantities on a temperature grid (one row per T)."""
+
+    temperatures: np.ndarray
+    log_z: np.ndarray
+    internal_energy: np.ndarray
+    specific_heat: np.ndarray  # per the full system; divide by N for per-site
+    free_energy: np.ndarray
+    entropy: np.ndarray
+    kb: float
+
+    def per_site(self, n_sites: int) -> "ThermoTable":
+        """Intensive version (divides extensive columns by ``n_sites``)."""
+        return ThermoTable(
+            temperatures=self.temperatures,
+            log_z=self.log_z / n_sites,
+            internal_energy=self.internal_energy / n_sites,
+            specific_heat=self.specific_heat / n_sites,
+            free_energy=self.free_energy / n_sites,
+            entropy=self.entropy / n_sites,
+            kb=self.kb,
+        )
+
+    @property
+    def peak_temperature(self) -> float:
+        """Temperature of the specific-heat maximum (transition estimate)."""
+        return float(self.temperatures[int(np.argmax(self.specific_heat))])
+
+
+def _clean(energies, ln_g):
+    energies = np.asarray(energies, dtype=np.float64)
+    ln_g = np.asarray(ln_g, dtype=np.float64)
+    if energies.shape != ln_g.shape or energies.ndim != 1:
+        raise ValueError(
+            f"energies and ln_g must be matching 1-D arrays, got "
+            f"{energies.shape} vs {ln_g.shape}"
+        )
+    keep = np.isfinite(ln_g)
+    if not keep.any():
+        raise ValueError("ln_g has no finite entries")
+    return energies[keep], ln_g[keep]
+
+
+def thermodynamics(energies, ln_g, temperatures, kb: float = 1.0) -> ThermoTable:
+    """Canonical thermodynamics over a temperature grid.
+
+    Parameters
+    ----------
+    energies, ln_g : array_like
+        Density of states (−inf entries are dropped).
+    temperatures : array_like
+        Strictly positive temperatures (same units as 1/(kb·β)).
+    kb : float
+        Boltzmann constant (1 for reduced units; ``KB_EV_PER_K`` for eV/K).
+    """
+    energies, ln_g = _clean(energies, ln_g)
+    temperatures = np.atleast_1d(np.asarray(temperatures, dtype=np.float64))
+    if np.any(temperatures <= 0):
+        raise ValueError("temperatures must be strictly positive")
+    n_t = temperatures.shape[0]
+    log_z = np.empty(n_t)
+    u = np.empty(n_t)
+    c = np.empty(n_t)
+    # Shift energies by E_min for conditioning; ln Z is shifted back below.
+    e0 = energies.min()
+    e_shift = energies - e0
+    for k, t in enumerate(temperatures):
+        beta = 1.0 / (kb * t)
+        w = ln_g - beta * e_shift
+        lz = logsumexp(w)
+        p = np.exp(w - lz)
+        mean_e = float(np.dot(p, e_shift))
+        mean_e2 = float(np.dot(p, e_shift**2))
+        log_z[k] = lz - beta * e0
+        u[k] = mean_e + e0
+        c[k] = (mean_e2 - mean_e**2) / (kb * t**2)
+    free = -kb * temperatures * log_z
+    entropy = (u - free) / temperatures
+    return ThermoTable(
+        temperatures=temperatures,
+        log_z=log_z,
+        internal_energy=u,
+        specific_heat=c,
+        free_energy=free,
+        entropy=entropy,
+        kb=kb,
+    )
+
+
+def log_total_states(n_sites: int, n_species: int) -> float:
+    """ln of the unconstrained state count ``n_species^n_sites``."""
+    return n_sites * float(np.log(n_species))
+
+
+def log_multinomial(counts) -> float:
+    """ln of the fixed-composition state count ``N! / Π n_s!``."""
+    counts = np.asarray(counts, dtype=np.float64)
+    return float(gammaln(counts.sum() + 1.0) - gammaln(counts + 1.0).sum())
+
+
+def normalize_ln_g(ln_g, log_total: float) -> np.ndarray:
+    """Shift ``ln_g`` so that ``logsumexp(ln_g) = log_total``.
+
+    ``log_total`` is :func:`log_total_states` for unconstrained models or
+    :func:`log_multinomial` for canonical (fixed-composition) sampling.
+    −inf entries stay −inf.
+    """
+    ln_g = np.asarray(ln_g, dtype=np.float64)
+    finite = np.isfinite(ln_g)
+    if not finite.any():
+        raise ValueError("ln_g has no finite entries")
+    shift = log_total - logsumexp(ln_g[finite])
+    out = ln_g.copy()
+    out[finite] += shift
+    return out
+
+
+def reweight_observable(energies, ln_g, micro_means, temperatures, kb: float = 1.0) -> np.ndarray:
+    """Canonical average ⟨O⟩(T) from microcanonical bin means ⟨O⟩(E).
+
+    ``micro_means`` may contain NaN at unvisited bins; those bins are
+    excluded (consistently from numerator and denominator).
+    """
+    energies = np.asarray(energies, dtype=np.float64)
+    ln_g = np.asarray(ln_g, dtype=np.float64)
+    micro = np.asarray(micro_means, dtype=np.float64)
+    if not (energies.shape == ln_g.shape == micro.shape):
+        raise ValueError("energies, ln_g and micro_means must share a shape")
+    keep = np.isfinite(ln_g) & np.isfinite(micro)
+    if not keep.any():
+        raise ValueError("no bins with both finite ln_g and finite observable")
+    energies, ln_g, micro = energies[keep], ln_g[keep], micro[keep]
+    temperatures = np.atleast_1d(np.asarray(temperatures, dtype=np.float64))
+    out = np.empty(temperatures.shape[0])
+    e0 = energies.min()
+    for k, t in enumerate(temperatures):
+        beta = 1.0 / (kb * t)
+        w = ln_g - beta * (energies - e0)
+        lz = logsumexp(w)
+        out[k] = float(np.dot(np.exp(w - lz), micro))
+    return out

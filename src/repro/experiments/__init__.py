@@ -1,0 +1,30 @@
+"""Experiment harness (S11): one runner per paper table/figure.
+
+Each module exposes ``run(quick=True, seed=0) -> ExperimentResult``; the
+result carries the printed tables (the same rows/series the paper reports),
+the raw data, and a paper-claim vs measured summary line that EXPERIMENTS.md
+collects.  ``python -m repro.experiments.run_all`` regenerates everything
+into ``results/``.
+
+Experiment IDs (see DESIGN.md §3 for the full index):
+
+====  ========================================================
+E1    Wang-Landau validation vs exact Ising (Fig 1)
+E2    HEA density of states over an astronomical range (Fig 2)
+E3    Specific heat / order-disorder transition (Fig 3)
+E4    Warren-Cowley short-range order vs T (Fig 4)
+E5    Proposal quality: acceptance + decorrelation (Fig 5/Tab 2)
+E6    Time-to-solution: DL-accelerated Wang-Landau (Fig 6)
+E7    Strong scaling to 3,000 GPUs, V100 + MI250X (Fig 7)
+E8    Weak scaling (Fig 8)
+E9    Per-device throughput table (Tab 3)
+E10   Training-cost / estimator ablation (Tab 4)
+E11   REWL window-count ablation (Fig 9)
+E12   Workload characterization table (Tab 1)
+E13   Extension: WHAM cross-validation of the DoS
+====  ========================================================
+"""
+
+from repro.experiments.common import ExperimentResult, EXPERIMENTS
+
+__all__ = ["ExperimentResult", "EXPERIMENTS"]

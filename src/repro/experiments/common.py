@@ -1,0 +1,189 @@
+"""Shared infrastructure for the experiment runners."""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.hamiltonians import NbMoTaWHamiltonian
+from repro.lattice import bcc, equiatomic_counts, random_configuration
+from repro.proposals import SwapProposal
+from repro.sampling import EnergyGrid
+from repro.util.rng import as_generator
+
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "results_dir",
+    "estimate_energy_range",
+    "hea_system",
+    "default_hea_grid",
+]
+
+#: Registry of experiment ids -> module paths (populated by run_all).
+EXPERIMENTS = {
+    "E1": "repro.experiments.e01_wl_validation",
+    "E2": "repro.experiments.e02_hea_dos",
+    "E3": "repro.experiments.e03_specific_heat",
+    "E4": "repro.experiments.e04_sro",
+    "E5": "repro.experiments.e05_acceptance",
+    "E6": "repro.experiments.e06_time_to_flat",
+    "E7": "repro.experiments.e07_strong_scaling",
+    "E8": "repro.experiments.e08_weak_scaling",
+    "E9": "repro.experiments.e09_throughput",
+    "E10": "repro.experiments.e10_training_ablation",
+    "E11": "repro.experiments.e11_window_ablation",
+    "E12": "repro.experiments.e12_systems_table",
+    # Extension experiments (DESIGN.md §4b) — not paper figures.
+    "E13": "repro.experiments.e13_wham_cross_validation",
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produces.
+
+    Attributes
+    ----------
+    experiment_id : str
+        E1..E12.
+    title : str
+    paper_claim : str
+        What the paper's figure/table shows (the *shape* we must match).
+    measured : str
+        One-line summary of what this run measured.
+    tables : dict[str, str]
+        Rendered text tables/series (printed by run_all).
+    data : dict
+        Raw numbers (JSON-serializable) for downstream use.
+    elapsed_s : float
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    measured: str
+    tables: dict[str, str] = field(default_factory=dict)
+    data: dict = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    def print(self) -> None:
+        header = f"=== {self.experiment_id}: {self.title} ({self.elapsed_s:.1f}s) ==="
+        print(header)
+        for name in sorted(self.tables):
+            print(self.tables[name])
+            print()
+        print(f"paper claim : {self.paper_claim}")
+        print(f"measured    : {self.measured}")
+        print("=" * len(header))
+
+    def save(self, directory: Path | None = None) -> Path:
+        directory = results_dir() if directory is None else Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.experiment_id.lower()}.json"
+        payload = {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "measured": self.measured,
+            "tables": self.tables,
+            "data": _jsonify(self.data),
+            "elapsed_s": self.elapsed_s,
+        }
+        path.write_text(json.dumps(payload, indent=2))
+        return path
+
+
+def _jsonify(obj):
+    if isinstance(obj, dict):
+        return {str(k): _jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonify(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    return obj
+
+
+def results_dir() -> Path:
+    """``results/`` next to the repository root (created on demand)."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            return parent / "results"
+    return Path.cwd() / "results"
+
+
+class timed:
+    """Context manager stamping ``elapsed_s`` onto an ExperimentResult."""
+
+    def __init__(self):
+        self.start = time.perf_counter()
+
+    def stamp(self, result: ExperimentResult) -> ExperimentResult:
+        result.elapsed_s = time.perf_counter() - self.start
+        return result
+
+
+# ------------------------------------------------------------- HEA helpers
+
+
+def hea_system(length: int = 3, n_shells: int = 2):
+    """The standard HEA workload: NbMoTaW on a BCC L³ cell, equiatomic."""
+    ham = NbMoTaWHamiltonian(bcc(length), n_shells=n_shells)
+    counts = equiatomic_counts(ham.n_sites, 4)
+    return ham, counts
+
+
+def anneal_extreme(ham, config, rng, minimize: bool = True, sweeps: int = 400) -> float:
+    """Estimate an extreme energy by simulated annealing with swaps."""
+    rng = as_generator(rng)
+    sign = 1.0 if minimize else -1.0
+    cfg = np.array(config, copy=True)
+    energy = ham.energy(cfg)
+    prop = SwapProposal()
+    n = ham.n_sites
+    betas = np.geomspace(0.5, 200.0, sweeps)
+    for beta in betas:
+        for _ in range(n):
+            move = prop.propose(cfg, ham, rng, current_energy=energy)
+            if move is None:
+                continue
+            if sign * move.delta_energy <= 0 or rng.random() < np.exp(
+                -beta * sign * move.delta_energy
+            ):
+                move.apply(cfg)
+                energy += move.delta_energy
+    return float(energy)
+
+
+def estimate_energy_range(ham, counts, rng=0, margin: float = 0.02) -> tuple[float, float]:
+    """Annealed estimate of the reachable energy range at fixed composition.
+
+    Returns ``(e_lo, e_hi)`` *shrunk inward* by ``margin`` of the span: the
+    annealed extremes are exponentially rare states, and a flat-histogram
+    grid that insists on them spends almost all its time hunting the tails.
+    Trimming the outermost percents is standard practice (the paper's DoS
+    figures likewise cover a chosen window, not the literal ground state).
+    Rigorous matrix bounds (:meth:`Hamiltonian.energy_bounds`) are far too
+    loose for window construction.
+    """
+    rng = as_generator(rng)
+    cfg = random_configuration(ham.n_sites, counts, rng=rng)
+    e_lo = anneal_extreme(ham, cfg, rng, minimize=True)
+    e_hi = anneal_extreme(ham, cfg, rng, minimize=False)
+    span = e_hi - e_lo
+    if span <= 0:
+        raise RuntimeError("degenerate energy range estimate")
+    return e_lo + margin * span, e_hi - margin * span
+
+
+def default_hea_grid(ham, counts, n_bins: int = 60, rng=0) -> EnergyGrid:
+    """Uniform grid over the annealed energy range."""
+    e_lo, e_hi = estimate_energy_range(ham, counts, rng=rng)
+    return EnergyGrid.uniform(e_lo, e_hi, n_bins)

@@ -1,0 +1,185 @@
+"""E2 (Fig 2): direct density of states of an HEA over an astronomical range.
+
+The abstract's headline: "For the first time, we directly evaluate a density
+of states expanding over a range of ~e^10,000 for a real material."  The
+range is a combinatorial property — the total state count at N sites and 4
+species is 4^N (multinomial at fixed composition), so ln g spans O(N·ln 4).
+We run the full REWL machinery on the NbMoTaW EPI model at laptop scale,
+measure the stitched ln g span, verify it tracks the multinomial total, and
+print the extrapolation to the paper's system size (N ≈ 7,200 sites already
+gives e^10,000).
+
+The stitched DoS produced here is cached and reused by E3 (specific heat)
+and E4 (short-range order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dos import normalize_ln_g
+from repro.dos.thermo import log_multinomial
+from repro.experiments.common import (
+    ExperimentResult,
+    default_hea_grid,
+    hea_system,
+    results_dir,
+    timed,
+)
+from repro.lattice import random_configuration
+from repro.parallel import REWLConfig, REWLDriver
+from repro.proposals import SwapProposal
+from repro.sampling import EnergyGrid
+from repro.util.tables import format_series, format_table
+
+__all__ = ["run", "HeaDos", "load_or_run_hea_dos"]
+
+
+@dataclass
+class HeaDos:
+    """Cached HEA density of states on its full (bin-aligned) grid.
+
+    ``ln_g`` is absolutely normalized (Σg = multinomial) over visited bins
+    and −inf elsewhere.
+    """
+
+    grid: EnergyGrid
+    ln_g: np.ndarray
+    visited: np.ndarray
+    span: float
+    steps: int
+    rounds: int
+    residual: float
+    n_sites: int
+    converged: bool
+
+    @property
+    def energies(self) -> np.ndarray:
+        """Centers of the visited bins."""
+        return self.grid.centers[self.visited]
+
+    @property
+    def values(self) -> np.ndarray:
+        """ln g at the visited bins."""
+        return self.ln_g[self.visited]
+
+
+def _cache_path(length: int, seed: int):
+    return results_dir() / "cache" / f"hea_dos_L{length}_seed{seed}.npz"
+
+
+def load_or_run_hea_dos(length: int = 3, seed: int = 0, quick: bool = True) -> HeaDos:
+    """REWL DoS of the NbMoTaW system, cached on disk."""
+    path = _cache_path(length, seed)
+    if path.exists():
+        with np.load(path, allow_pickle=False) as f:
+            grid = EnergyGrid.uniform(float(f["e_lo"]), float(f["e_hi"]), int(f["n_bins"]))
+            return HeaDos(
+                grid=grid, ln_g=f["ln_g"], visited=f["visited"].astype(bool),
+                span=float(f["span"]), steps=int(f["steps"]), rounds=int(f["rounds"]),
+                residual=float(f["residual"]), n_sites=int(f["n_sites"]),
+                converged=bool(f["converged"]),
+            )
+    ham, counts = hea_system(length)
+    grid = default_hea_grid(ham, counts, n_bins=32 if quick else 96, rng=seed)
+    cfg = REWLConfig(
+        n_windows=2 if quick else 6,
+        walkers_per_window=1 if quick else 2,
+        overlap=0.6,
+        exchange_interval=2_000,
+        ln_f_final=1e-3 if quick else 1e-6,
+        flatness=0.7 if quick else 0.8,
+        seed=seed,
+    )
+    driver = REWLDriver(
+        ham, lambda: SwapProposal(), grid,
+        random_configuration(ham.n_sites, counts, rng=seed), cfg,
+    )
+    res = driver.run(max_rounds=4_000)
+    stitched = res.stitched()
+    ln_g = normalize_ln_g(stitched.ln_g, log_multinomial(counts))
+    dos = HeaDos(
+        grid=grid,
+        ln_g=ln_g,
+        visited=stitched.visited,
+        span=stitched.span,
+        steps=res.total_steps,
+        rounds=res.rounds,
+        residual=float(np.max(stitched.joint_residuals)) if len(stitched.joint_residuals) else 0.0,
+        n_sites=ham.n_sites,
+        converged=res.converged,
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(
+        path, e_lo=grid.e_min, e_hi=grid.e_max, n_bins=grid.n_bins,
+        ln_g=dos.ln_g, visited=dos.visited, span=dos.span, steps=dos.steps,
+        rounds=dos.rounds, residual=dos.residual, n_sites=dos.n_sites,
+        converged=dos.converged,
+    )
+    return dos
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    clock = timed()
+    # L=2 would alias second-shell images through the periodic boundary
+    # (the lattice layer rejects it), so L=3 (54 sites) is the smallest cell.
+    lengths = [3] if quick else [3, 4]
+    series_rows = []
+    spans = []
+    for length in lengths:
+        dos = load_or_run_hea_dos(length, seed=seed, quick=quick)
+        _ham, counts = hea_system(length)
+        total = log_multinomial(counts)
+        spans.append((dos.n_sites, dos.span, total))
+        series_rows.append(
+            [length, dos.n_sites, dos.span, total, dos.span / total,
+             dos.steps, dos.residual]
+        )
+
+    per_site = [s / n for n, s, _ in spans]
+    n_for_paper = 10_000 / np.log(4.0)
+    main = load_or_run_hea_dos(lengths[-1], seed=seed, quick=quick)
+
+    result = ExperimentResult(
+        experiment_id="E2",
+        title="HEA density of states over an astronomical range",
+        paper_claim=(
+            "direct DoS evaluation over ~e^10,000 for a real material "
+            "(NbMoTaW-class HEA); span grows with system size as N·ln 4"
+        ),
+        measured=(
+            f"stitched REWL DoS at N={spans[-1][0]} spans ln g = {spans[-1][1]:.1f} "
+            f"({100 * spans[-1][1] / spans[-1][2]:.0f}% of the multinomial total "
+            f"{spans[-1][2]:.1f}); span/site ≈ {per_site[-1]:.2f} -> e^10,000 "
+            f"reached at N ≈ {n_for_paper:.0f} sites (a 16^3 BCC cell has 8,192)"
+        ),
+        tables={
+            "spans": format_table(
+                ["L", "N sites", "ln g span", "ln(total states)", "coverage",
+                 "MC steps", "stitch residual"],
+                series_rows,
+                title="Fig 2a: DoS span vs system size (NbMoTaW REWL)",
+            ),
+            "dos": format_series(
+                f"Fig 2b: ln g(E), NbMoTaW L={lengths[-1]} (N={main.n_sites})",
+                np.round(main.energies, 4), np.round(main.values, 2),
+                xlabel="E [eV]", ylabel="ln g",
+            ),
+        },
+        data={
+            "lengths": lengths,
+            "spans": spans,
+            "per_site_span": per_site,
+            "n_sites_for_e10000": n_for_paper,
+            "energies": main.energies,
+            "ln_g": main.values,
+            "converged": main.converged,
+        },
+    )
+    return clock.stamp(result)
+
+
+if __name__ == "__main__":
+    run().print()

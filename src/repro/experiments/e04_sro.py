@@ -1,0 +1,150 @@
+"""E4 (Fig 4): Warren-Cowley short-range order vs temperature.
+
+The materials-science observable behind "phase transition behaviors of high
+entropy alloys": chemical short-range order.  Two routes, cross-checked:
+
+1. *Reweighting route* (the DoS payoff): a multicanonical production run
+   with the converged REWL ln g accumulates microcanonical SRO(E) for each
+   species pair; canonical SRO(T) then follows for every temperature at
+   once by reweighting.
+2. *Direct route*: independent canonical Metropolis runs at a few spot
+   temperatures.
+
+Shape expectations: α(Mo-Ta) on shell 1 is strongly negative (B2 ordering)
+and |α| decays toward 0 as T grows; near-neutral pairs (Nb-Ta, Mo-W) stay
+close to 0; the two routes agree within statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import warren_cowley
+from repro.dos import reweight_observable
+from repro.experiments.common import ExperimentResult, default_hea_grid, hea_system, timed
+from repro.experiments.e02_hea_dos import load_or_run_hea_dos
+from repro.hamiltonians import KB_EV_PER_K
+from repro.lattice import NBMOTAW, random_configuration
+from repro.proposals import SwapProposal
+from repro.sampling import EnergyGrid, MetropolisSampler, MulticanonicalSampler, drive_into_range
+from repro.util.rng import RngFactory
+from repro.util.tables import format_table
+
+__all__ = ["run"]
+
+PAIRS = [("Mo", "Ta"), ("Ta", "W"), ("Nb", "Mo"), ("Nb", "Ta"), ("Mo", "W")]
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    clock = timed()
+    length = 3
+    ham, counts = hea_system(length)
+    lat = ham.lattice
+    rngs = RngFactory(seed)
+
+    # ---- route 1: multicanonical accumulation + reweighting ------------
+    dos = load_or_run_hea_dos(length, seed=seed, quick=quick)
+    grid = dos.grid
+    # Unvisited bins get the minimum visited weight so the flat walk never
+    # sees -inf (they are, in practice, unreachable anyway).
+    ln_g = dos.ln_g.copy()
+    ln_g[~dos.visited] = ln_g[dos.visited].min()
+    observables = {}
+    for a, b in PAIRS:
+        ia, ib = NBMOTAW.index(a), NBMOTAW.index(b)
+        observables[f"{a}-{b}"] = (
+            lambda cfg, e, ia=ia, ib=ib: warren_cowley(lat, cfg, 4, shell=0)[ia, ib]
+        )
+    start = drive_into_range(
+        ham, SwapProposal(), grid,
+        random_configuration(ham.n_sites, counts, rng=rngs.make("sro-init")),
+        rng=rngs.make("sro-drive"),
+    )
+    muca = MulticanonicalSampler(
+        ham, SwapProposal(), grid, ln_g, start,
+        rng=rngs.make("sro-muca"), observables=observables,
+    )
+    muca.run(150_000 if quick else 1_200_000, measure_every=5)
+    muca_res = muca.result()
+
+    # The synthetic EPI magnitudes put the order-disorder transition near
+    # 3,000 K (E3), so the grid spans well past it to show the SRO decay.
+    temps = np.array([300.0, 1000.0, 2000.0, 3500.0, 6000.0, 10000.0])
+    lng_for_reweight = np.where(dos.visited, dos.ln_g, -np.inf)
+    sro_reweighted = {}
+    for name in observables:
+        sro_reweighted[name] = reweight_observable(
+            grid.centers, lng_for_reweight, muca_res.observable_means[name],
+            temps, kb=KB_EV_PER_K,
+        )
+
+    # ---- route 2: direct Metropolis spot checks -------------------------
+    spot_temps = [1000.0, 6000.0]
+    direct = {name: {} for name in observables}
+    for t in spot_temps:
+        beta = 1.0 / (KB_EV_PER_K * t)
+        sampler = MetropolisSampler(
+            ham, SwapProposal(), beta,
+            random_configuration(ham.n_sites, counts, rng=rngs.make("sro-direct", int(t))),
+            rng=rngs.make("sro-chain", int(t)),
+        )
+        sampler.run((40 if quick else 200) * ham.n_sites)
+        acc = {name: [] for name in observables}
+
+        def measure(s, _k):
+            alpha = warren_cowley(lat, s.config, 4, shell=0)
+            for (a, b) in PAIRS:
+                acc[f"{a}-{b}"].append(alpha[NBMOTAW.index(a), NBMOTAW.index(b)])
+
+        sampler.run((150 if quick else 800) * ham.n_sites,
+                    callback=measure, callback_every=2 * ham.n_sites)
+        for name in observables:
+            direct[name][t] = float(np.mean(acc[name]))
+
+    rows = []
+    for name in observables:
+        row = [name] + [sro_reweighted[name][k] for k in range(len(temps))]
+        rows.append(row)
+    direct_rows = [
+        [name] + [direct[name][t] for t in spot_temps] for name in observables
+    ]
+
+    mo_ta = sro_reweighted["Mo-Ta"]
+    check_cross = abs(direct["Mo-Ta"][1000.0] - float(mo_ta[1]))
+
+    result = ExperimentResult(
+        experiment_id="E4",
+        title="Warren-Cowley short-range order vs temperature (NbMoTaW)",
+        paper_claim=(
+            "strong Mo-Ta (B2-type) short-range order growing as T decreases; "
+            "weak pairs near zero; one DoS run yields SRO at all temperatures"
+        ),
+        measured=(
+            f"alpha(Mo-Ta) = {mo_ta[0]:+.3f} at 300 K -> {mo_ta[-1]:+.3f} at "
+            f"{temps[-1]:.0f} K (reweighted); direct-vs-reweighted gap at "
+            f"1000 K = {check_cross:.3f}"
+        ),
+        tables={
+            "reweighted": format_table(
+                ["pair"] + [f"{t:.0f}K" for t in temps], rows,
+                title="Fig 4a: shell-1 Warren-Cowley SRO vs T (DoS reweighting)",
+                floatfmt="+.3f",
+            ),
+            "direct": format_table(
+                ["pair"] + [f"{t:.0f}K" for t in spot_temps], direct_rows,
+                title="Fig 4b: direct canonical Metropolis cross-check",
+                floatfmt="+.3f",
+            ),
+        },
+        data={
+            "temperatures": temps,
+            "sro_reweighted": {k: v for k, v in sro_reweighted.items()},
+            "sro_direct": direct,
+            "cross_check_gap": check_cross,
+        },
+    )
+    return clock.stamp(result)
+
+
+if __name__ == "__main__":
+    run().print()

@@ -1,0 +1,61 @@
+"""E8 (Fig 8): weak scaling — windows grow with the machine.
+
+One REWL walker per GPU; adding GPUs adds energy windows/walkers (more DoS
+resolution or replicas), so ideal weak scaling keeps the round time flat.
+Same machine-model substitution as E7.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, timed
+from repro.experiments.e07_strong_scaling import GPU_COUNTS
+from repro.machine import WorkloadSpec, crusher_mi250x, summit_v100, weak_scaling
+from repro.util.tables import format_table
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    clock = timed()
+    workload = WorkloadSpec()
+    rows = []
+    data = {}
+    for machine in [summit_v100(), crusher_mi250x()]:
+        points = weak_scaling(machine, workload, GPU_COUNTS)
+        data[machine.name] = [
+            {"gpus": p.n_gpus, "time": p.round_time, "efficiency": p.efficiency,
+             "total_steps_per_s": p.steps_per_second_total} for p in points
+        ]
+        for p in points:
+            rows.append([machine.device.name, p.n_gpus, p.round_time,
+                         p.efficiency, p.steps_per_second_total])
+
+    v_eff = data["Summit (V100)"][-1]["efficiency"]
+    c_eff = data["Crusher (MI250X)"][-1]["efficiency"]
+
+    result = ExperimentResult(
+        experiment_id="E8",
+        title="Weak scaling to 3,000 GPUs (performance model)",
+        paper_claim=(
+            "near-ideal weak scaling: per-round time stays flat as windows "
+            "grow with the machine; aggregate throughput grows ~linearly"
+        ),
+        measured=(
+            f"modeled weak-scaling efficiency at 3,000 GPUs: {v_eff:.2f} "
+            f"(V100), {c_eff:.2f} (MI250X); aggregate steps/s grows "
+            f"{data['Crusher (MI250X)'][-1]['total_steps_per_s'] / data['Crusher (MI250X)'][0]['total_steps_per_s']:.0f}x "
+            f"over a {GPU_COUNTS[-1] // GPU_COUNTS[0]}x GPU range (MI250X)"
+        ),
+        tables={
+            "weak": format_table(
+                ["device", "GPUs", "round time [s]", "efficiency", "total steps/s"],
+                rows, title="Fig 8: weak scaling, one walker per GPU",
+            ),
+        },
+        data=data,
+    )
+    return clock.stamp(result)
+
+
+if __name__ == "__main__":
+    run().print()

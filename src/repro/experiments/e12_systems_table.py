@@ -1,0 +1,77 @@
+"""E12 (Table 1): workload characterization — the "astronomical
+configuration space" numbers.
+
+The paper motivates DeepThermo with the size of the HEA configuration
+space.  This table reproduces that characterization for a range of BCC
+supercells: sites, total configurations (4^N), fixed-composition
+configurations (multinomial), the ln g span the DoS must cover, and the
+energy-grid sizing our REWL runs would use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dos.thermo import log_multinomial, log_total_states
+from repro.experiments.common import ExperimentResult, timed
+from repro.hamiltonians import NbMoTaWHamiltonian
+from repro.lattice import bcc, equiatomic_counts
+from repro.util.tables import format_table
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    clock = timed()
+    lengths = [3, 4, 6, 8, 12, 16]
+    rows = []
+    data = {}
+    for length in lengths:
+        lat = bcc(length)
+        n = lat.n_sites
+        counts = equiatomic_counts(n, 4)
+        ln_total = log_total_states(n, 4)
+        ln_multi = log_multinomial(counts)
+        # Bond counts from geometry (z1=8, z2=6) without building tables
+        # for the huge cells.
+        n_bonds = n * (8 + 6) // 2
+        rows.append([
+            length, n, f"e^{ln_total:,.0f}", f"e^{ln_multi:,.0f}",
+            n_bonds, ln_total >= 10_000,
+        ])
+        data[str(length)] = {
+            "n_sites": n,
+            "ln_total_states": ln_total,
+            "ln_multinomial": ln_multi,
+            "n_bonds_2shell": n_bonds,
+        }
+
+    n16 = data["16"]["n_sites"]
+    span16 = data["16"]["ln_total_states"]
+
+    result = ExperimentResult(
+        experiment_id="E12",
+        title="Workload characterization: HEA configuration spaces",
+        paper_claim=(
+            "HEAs have an astronomical configuration space; the evaluated "
+            "density of states spans ~e^10,000 at production scale"
+        ),
+        measured=(
+            f"a 16^3 BCC cell has N={n16} sites and 4^N = e^{span16:,.0f} "
+            f"configurations — the e^10,000 scale appears at N >= "
+            f"{int(np.ceil(10_000 / np.log(4)))} sites"
+        ),
+        tables={
+            "systems": format_table(
+                ["L", "N sites", "total configs", "equiatomic configs",
+                 "bonds (2 shells)", ">= e^10,000"],
+                rows, title="Table 1: NbMoTaW workload sizes (BCC L^3 cells)",
+            ),
+        },
+        data=data,
+    )
+    return clock.stamp(result)
+
+
+if __name__ == "__main__":
+    run().print()

@@ -1,0 +1,84 @@
+"""Regenerate every paper table/figure: ``python -m repro.experiments.run_all``.
+
+Options
+-------
+--full        run at full (slow) fidelity instead of quick mode
+--only E3,E7  run a subset of experiment ids
+--seed N      root seed (default 0)
+
+Each experiment prints its tables and writes ``results/<id>.json``; a
+summary manifest lands in ``results/summary.json`` and the paper-vs-measured
+lines are exactly what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+import traceback
+
+from repro.experiments.common import EXPERIMENTS, results_dir
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.run_all",
+        description="Regenerate every DeepThermo table and figure.",
+    )
+    parser.add_argument("--full", action="store_true", help="full fidelity (slow)")
+    parser.add_argument("--only", type=str, default="",
+                        help="comma-separated experiment ids (e.g. E1,E7)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    wanted = [e.strip().upper() for e in args.only.split(",") if e.strip()] or list(EXPERIMENTS)
+    unknown = [e for e in wanted if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}; known: {list(EXPERIMENTS)}")
+
+    # Merge into any existing summary so partial (--only) runs refresh their
+    # entries without dropping the others.
+    summary_path = results_dir() / "summary.json"
+    summary = {}
+    if summary_path.exists():
+        try:
+            summary = json.loads(summary_path.read_text())
+        except json.JSONDecodeError:
+            summary = {}
+    failures = []
+    for exp_id in wanted:
+        module = importlib.import_module(EXPERIMENTS[exp_id])
+        print(f"\n>>> running {exp_id} ({EXPERIMENTS[exp_id]}) "
+              f"[{'full' if args.full else 'quick'}]")
+        try:
+            result = module.run(quick=not args.full, seed=args.seed)
+        except Exception:  # noqa: BLE001 - report and continue
+            traceback.print_exc()
+            failures.append(exp_id)
+            continue
+        result.print()
+        path = result.save()
+        summary[exp_id] = {
+            "title": result.title,
+            "paper_claim": result.paper_claim,
+            "measured": result.measured,
+            "elapsed_s": result.elapsed_s,
+            "file": str(path),
+        }
+
+    summary_path.parent.mkdir(parents=True, exist_ok=True)
+    ordered = {k: summary[k] for k in EXPERIMENTS if k in summary}
+    summary_path.write_text(json.dumps(ordered, indent=2))
+    print(f"\nwrote {summary_path} ({len(ordered)} experiments, {len(failures)} failures)")
+    if failures:
+        print(f"FAILED: {failures}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

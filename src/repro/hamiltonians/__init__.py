@@ -1,0 +1,46 @@
+"""Energy models (S2).
+
+All models expose the :class:`~repro.hamiltonians.base.Hamiltonian`
+interface: total energy, O(z) incremental energy changes for swaps and
+single-site mutations, batched energies for deep-learning proposals, and
+rigorous energy bounds for Wang-Landau binning.
+
+- :class:`PairHamiltonian` — generic per-shell pair-interaction model; the
+  workhorse every concrete model builds on.
+- :class:`IsingHamiltonian` — 2D/3D Ising (exactly checkable; validation).
+- :class:`PottsHamiltonian` — q-state Potts.
+- :class:`EPIHamiltonian` / :class:`NbMoTaWHamiltonian` — effective
+  pair-interaction model of the paper's NbMoTaW-class refractory HEA.
+"""
+
+from repro.hamiltonians.base import Hamiltonian
+from repro.hamiltonians.pair import PairHamiltonian
+from repro.hamiltonians.ising import IsingHamiltonian
+from repro.hamiltonians.potts import PottsHamiltonian
+from repro.hamiltonians.epi import (
+    EPIHamiltonian,
+    NbMoTaWHamiltonian,
+    NBMOTAW_EPI_SHELL1,
+    NBMOTAW_EPI_SHELL2,
+    KB_EV_PER_K,
+)
+from repro.hamiltonians.enumeration import (
+    enumerate_energies,
+    enumerate_density_of_states,
+    fixed_composition_configs,
+)
+
+__all__ = [
+    "Hamiltonian",
+    "PairHamiltonian",
+    "IsingHamiltonian",
+    "PottsHamiltonian",
+    "EPIHamiltonian",
+    "NbMoTaWHamiltonian",
+    "NBMOTAW_EPI_SHELL1",
+    "NBMOTAW_EPI_SHELL2",
+    "KB_EV_PER_K",
+    "enumerate_energies",
+    "enumerate_density_of_states",
+    "fixed_composition_configs",
+]

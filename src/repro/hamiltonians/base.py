@@ -1,0 +1,108 @@
+"""Abstract Hamiltonian interface.
+
+Samplers and proposals are written against this interface only, so every
+model (Ising validation, Potts, HEA effective pair interactions) plugs into
+every sampler unchanged.  The contract that matters most for correctness is
+the *incremental-energy consistency* invariant, property-tested in
+``tests/test_hamiltonians.py``::
+
+    energy(after_move) == energy(before) + delta_energy_<move>(before, ...)
+
+to floating-point roundoff, for every move type.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Hamiltonian"]
+
+
+class Hamiltonian(abc.ABC):
+    """Energy model over fixed-lattice multi-species configurations.
+
+    Concrete classes must set :attr:`n_sites` and :attr:`n_species` and
+    implement :meth:`energy`, :meth:`delta_energy_swap`, and
+    :meth:`delta_energy_flip`.  Batched/utility methods have generic (slower)
+    default implementations that subclasses may override.
+    """
+
+    #: Number of lattice sites the model is defined over.
+    n_sites: int
+    #: Number of chemical species / spin states.
+    n_species: int
+
+    # ------------------------------------------------------------- required
+
+    @abc.abstractmethod
+    def energy(self, config: np.ndarray) -> float:
+        """Total energy of ``config`` (shape ``(n_sites,)``, int species)."""
+
+    @abc.abstractmethod
+    def delta_energy_swap(self, config: np.ndarray, i: int, j: int) -> float:
+        """Energy change of swapping the species at sites ``i`` and ``j``.
+
+        Must cost O(z), not O(N).  Swapping equal species returns exactly 0.
+        """
+
+    @abc.abstractmethod
+    def delta_energy_flip(self, config: np.ndarray, site: int, new_species: int) -> float:
+        """Energy change of setting ``config[site] = new_species``.
+
+        Must cost O(z).  Flipping to the current species returns exactly 0.
+        Note: flips change composition; canonical (fixed-composition) samplers
+        use swaps only.
+        """
+
+    # -------------------------------------------------------------- batched
+
+    def energy_batch(self, configs: np.ndarray) -> np.ndarray:
+        """Energies of a batch of configurations, shape ``(B, n_sites) -> (B,)``.
+
+        Default: loop over :meth:`energy`; pair models override with a fully
+        vectorized version (deep-learning proposals evaluate whole batches).
+        """
+        configs = np.atleast_2d(configs)
+        return np.array([self.energy(c) for c in configs], dtype=np.float64)
+
+    def delta_energy_swap_batch(self, config: np.ndarray, ii, jj) -> np.ndarray:
+        """ΔE for many *independent alternative* swaps on the same config.
+
+        The swaps are hypothetical alternatives (e.g. multiple-try MC), not a
+        sequence: each ΔE is relative to the same starting ``config``.
+        """
+        ii = np.asarray(ii)
+        jj = np.asarray(jj)
+        return np.array(
+            [self.delta_energy_swap(config, int(i), int(j)) for i, j in zip(ii, jj)],
+            dtype=np.float64,
+        )
+
+    # ------------------------------------------------------------- metadata
+
+    def energy_bounds(self) -> tuple[float, float]:
+        """Rigorous (possibly loose) bounds ``(E_lo, E_hi)`` on the spectrum.
+
+        Used to size Wang-Landau histograms and REWL energy windows.  The
+        default raises; pair models provide matrix-derived bounds.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide energy bounds; "
+            "pass an explicit energy range to the sampler"
+        )
+
+    def validate_config(self, config: np.ndarray) -> np.ndarray:
+        """Shape/range-check a configuration (returns it unchanged)."""
+        config = np.asarray(config)
+        if config.shape != (self.n_sites,):
+            raise ValueError(
+                f"configuration must have shape ({self.n_sites},), got {config.shape}"
+            )
+        if config.size and (int(config.min()) < 0 or int(config.max()) >= self.n_species):
+            raise ValueError(f"species indices must lie in [0, {self.n_species})")
+        return config
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_sites={self.n_sites}, n_species={self.n_species})"

@@ -1,0 +1,128 @@
+"""Exhaustive enumeration for tiny systems.
+
+Brute-force ground truth: every sampler correctness test ultimately reduces
+to "does the sampled/estimated distribution match exact enumeration on a
+system small enough to enumerate?".  Works for ``n_species ** n_sites`` up to
+~10⁷ states (chunked, vectorized through ``energy_batch``).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.hamiltonians.base import Hamiltonian
+
+__all__ = [
+    "enumerate_energies",
+    "enumerate_density_of_states",
+    "fixed_composition_configs",
+]
+
+_MAX_STATES = 20_000_000
+
+
+def _all_configs(n_sites: int, n_species: int) -> np.ndarray:
+    """All n_species^n_sites configurations, shape (S, n_sites), int8."""
+    n_states = n_species**n_sites
+    if n_states > _MAX_STATES:
+        raise ValueError(
+            f"{n_species}^{n_sites} = {n_states} states is too many to enumerate"
+        )
+    # Mixed-radix counting, vectorized.
+    states = np.arange(n_states, dtype=np.int64)
+    out = np.empty((n_states, n_sites), dtype=np.int8)
+    for k in range(n_sites - 1, -1, -1):
+        out[:, k] = states % n_species
+        states //= n_species
+    return out
+
+
+def fixed_composition_configs(counts) -> np.ndarray:
+    """All distinct configurations with exactly the given composition.
+
+    Generates each arrangement exactly once by choosing site subsets per
+    species (nested ``itertools.combinations``), so the cost is the
+    multinomial coefficient itself — never the factorial of the site count.
+
+    Parameters
+    ----------
+    counts : sequence of int
+        Atoms per species; the number of configurations is the multinomial
+        coefficient, which must stay below ~10⁷.
+
+    Returns
+    -------
+    numpy.ndarray, shape (n_configs, n_sites), dtype int8
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if np.any(counts < 0):
+        raise ValueError(f"species counts must be non-negative, got {counts}")
+    n_sites = int(counts.sum())
+    if n_sites == 0:
+        raise ValueError("composition must contain at least one site")
+    from scipy.special import gammaln
+
+    log_n = float(gammaln(n_sites + 1) - gammaln(counts + 1.0).sum())
+    if log_n > np.log(_MAX_STATES):
+        raise ValueError(
+            f"~e^{log_n:.0f} fixed-composition configurations is too many to enumerate"
+        )
+
+    rows: list[np.ndarray] = []
+    template = np.empty(n_sites, dtype=np.int8)
+
+    def place(species: int, free_positions: tuple[int, ...]) -> None:
+        if species == len(counts) - 1:
+            cfg = template.copy()
+            cfg[list(free_positions)] = species
+            rows.append(cfg)
+            return
+        for chosen in itertools.combinations(free_positions, int(counts[species])):
+            template[list(chosen)] = species
+            remaining = tuple(p for p in free_positions if p not in set(chosen))
+            place(species + 1, remaining)
+
+    place(0, tuple(range(n_sites)))
+    return np.array(rows, dtype=np.int8)
+
+
+def enumerate_energies(ham: Hamiltonian, counts=None, chunk: int = 65536) -> np.ndarray:
+    """Energies of *all* configurations (optionally at fixed composition).
+
+    Parameters
+    ----------
+    ham : Hamiltonian
+    counts : sequence of int, optional
+        If given, restrict to configurations with exactly this composition
+        (the canonical HEA state space); otherwise enumerate everything
+        (the Ising/Potts state space).
+    chunk : int
+        Batch size for the vectorized energy evaluation.
+    """
+    if counts is not None:
+        configs = fixed_composition_configs(counts)
+    else:
+        configs = _all_configs(ham.n_sites, ham.n_species)
+    energies = np.empty(configs.shape[0], dtype=np.float64)
+    for start in range(0, configs.shape[0], chunk):
+        stop = min(start + chunk, configs.shape[0])
+        energies[start:stop] = ham.energy_batch(configs[start:stop])
+    return energies
+
+
+def enumerate_density_of_states(
+    ham: Hamiltonian, counts=None, decimals: int = 9
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact density of states by enumeration.
+
+    Returns
+    -------
+    (energies, degeneracies)
+        Sorted distinct energy levels (rounded to ``decimals``) and the exact
+        integer count of configurations at each level.
+    """
+    energies = np.round(enumerate_energies(ham, counts=counts), decimals)
+    levels, counts_per_level = np.unique(energies, return_counts=True)
+    return levels, counts_per_level

@@ -1,0 +1,60 @@
+"""Lattice substrate (S1).
+
+Periodic crystal lattices with multi-atom bases, exact neighbor-shell tables,
+and multi-species configuration handling.  The DeepThermo workloads live on a
+BCC lattice (NbMoTaW-class refractory high entropy alloys); the 2D square
+lattice backs the exactly solvable Ising validation experiments.
+
+Public API
+----------
+:class:`Lattice`
+    A periodic lattice: primitive vectors × integer supercell × basis.
+:func:`square_lattice`, :func:`simple_cubic`, :func:`bcc`, :func:`fcc`
+    Standard builders.
+:class:`NeighborShell`
+    One coordination shell: distance, per-site neighbor table, unique pairs.
+:class:`SpeciesSet`
+    Named species (e.g. Nb/Mo/Ta/W) with index mapping.
+:func:`random_configuration`, :func:`one_hot`, :func:`from_one_hot`, ...
+    Configuration helpers (fixed-composition sampling, encodings).
+"""
+
+from repro.lattice.structures import (
+    Lattice,
+    NeighborShell,
+    square_lattice,
+    simple_cubic,
+    bcc,
+    fcc,
+)
+from repro.lattice.configuration import (
+    SpeciesSet,
+    NBMOTAW,
+    random_configuration,
+    composition_counts,
+    composition_fractions,
+    one_hot,
+    from_one_hot,
+    validate_configuration,
+    swap_sites,
+    equiatomic_counts,
+)
+
+__all__ = [
+    "Lattice",
+    "NeighborShell",
+    "square_lattice",
+    "simple_cubic",
+    "bcc",
+    "fcc",
+    "SpeciesSet",
+    "NBMOTAW",
+    "random_configuration",
+    "composition_counts",
+    "composition_fractions",
+    "one_hot",
+    "from_one_hot",
+    "validate_configuration",
+    "swap_sites",
+    "equiatomic_counts",
+]

@@ -1,0 +1,159 @@
+"""Multi-species configuration handling.
+
+A *configuration* is a 1-D ``int8`` numpy array of species indices over the
+lattice sites.  High-entropy-alloy sampling is canonical in composition: the
+number of atoms of each species is fixed, so valid MC moves are swaps (and
+DL proposals must project back onto the composition manifold — see
+:mod:`repro.proposals.dl_vae`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import as_generator
+from repro.util.validation import check_integer
+
+__all__ = [
+    "SpeciesSet",
+    "NBMOTAW",
+    "random_configuration",
+    "composition_counts",
+    "composition_fractions",
+    "one_hot",
+    "from_one_hot",
+    "validate_configuration",
+    "swap_sites",
+    "equiatomic_counts",
+]
+
+CONFIG_DTYPE = np.int8
+
+
+@dataclass(frozen=True)
+class SpeciesSet:
+    """Named chemical species with stable index mapping.
+
+    >>> NBMOTAW.index("Ta")
+    2
+    >>> NBMOTAW.names[0]
+    'Nb'
+    """
+
+    names: tuple[str, ...]
+
+    def __post_init__(self):
+        if len(set(self.names)) != len(self.names):
+            raise ValueError(f"duplicate species names: {self.names}")
+        if not self.names:
+            raise ValueError("SpeciesSet requires at least one species")
+
+    @property
+    def n_species(self) -> int:
+        return len(self.names)
+
+    def index(self, name: str) -> int:
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown species {name!r}; known: {self.names}") from None
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __iter__(self):
+        return iter(self.names)
+
+
+#: The quaternary refractory HEA the paper evaluates.
+NBMOTAW = SpeciesSet(("Nb", "Mo", "Ta", "W"))
+
+
+def equiatomic_counts(n_sites: int, n_species: int) -> np.ndarray:
+    """Species counts for an (as close as possible) equiatomic alloy.
+
+    The remainder ``n_sites mod n_species`` is distributed one atom at a time
+    to the lowest-index species, so counts are deterministic.
+    """
+    n_sites = check_integer("n_sites", n_sites, minimum=1)
+    n_species = check_integer("n_species", n_species, minimum=1)
+    base = n_sites // n_species
+    counts = np.full(n_species, base, dtype=np.int64)
+    counts[: n_sites % n_species] += 1
+    return counts
+
+
+def random_configuration(n_sites: int, counts, rng=None) -> np.ndarray:
+    """Uniform random configuration with exactly the given composition.
+
+    Parameters
+    ----------
+    n_sites : int
+        Number of lattice sites.
+    counts : sequence of int
+        Atoms per species; must sum to ``n_sites``.
+    rng : seed or Generator, optional
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.min() < 0:
+        raise ValueError(f"species counts must be non-negative, got {counts}")
+    if counts.sum() != n_sites:
+        raise ValueError(f"counts sum to {counts.sum()}, expected n_sites={n_sites}")
+    if len(counts) > np.iinfo(CONFIG_DTYPE).max:
+        raise ValueError(f"too many species for {CONFIG_DTYPE}: {len(counts)}")
+    rng = as_generator(rng)
+    config = np.repeat(np.arange(len(counts), dtype=CONFIG_DTYPE), counts)
+    rng.shuffle(config)
+    return config
+
+
+def composition_counts(config: np.ndarray, n_species: int) -> np.ndarray:
+    """Count atoms per species (length ``n_species``)."""
+    return np.bincount(np.asarray(config, dtype=np.int64), minlength=n_species)
+
+
+def composition_fractions(config: np.ndarray, n_species: int) -> np.ndarray:
+    """Fraction of sites per species."""
+    counts = composition_counts(config, n_species)
+    return counts / counts.sum()
+
+
+def one_hot(config: np.ndarray, n_species: int) -> np.ndarray:
+    """One-hot encode, shape (n_sites, n_species), dtype float64.
+
+    This is the input representation for the deep-learning proposals.
+    """
+    config = np.asarray(config, dtype=np.int64)
+    if config.size and (config.min() < 0 or config.max() >= n_species):
+        raise ValueError(
+            f"species indices out of range [0, {n_species}): "
+            f"[{config.min()}, {config.max()}]"
+        )
+    out = np.zeros((config.shape[0], n_species), dtype=np.float64)
+    out[np.arange(config.shape[0]), config] = 1.0
+    return out
+
+
+def from_one_hot(encoded: np.ndarray) -> np.ndarray:
+    """Invert :func:`one_hot` (argmax over the species axis)."""
+    encoded = np.asarray(encoded)
+    if encoded.ndim != 2:
+        raise ValueError(f"expected (n_sites, n_species), got shape {encoded.shape}")
+    return np.argmax(encoded, axis=1).astype(CONFIG_DTYPE)
+
+
+def validate_configuration(config: np.ndarray, n_sites: int, n_species: int) -> np.ndarray:
+    """Check dtype/shape/range; returns the array (possibly cast to int8)."""
+    config = np.asarray(config)
+    if config.shape != (n_sites,):
+        raise ValueError(f"configuration must have shape ({n_sites},), got {config.shape}")
+    if config.size and (config.min() < 0 or config.max() >= n_species):
+        raise ValueError(f"species indices must lie in [0, {n_species})")
+    return config.astype(CONFIG_DTYPE, copy=False)
+
+
+def swap_sites(config: np.ndarray, i: int, j: int) -> None:
+    """Swap the species at sites ``i`` and ``j`` in place."""
+    config[i], config[j] = config[j], config[i]

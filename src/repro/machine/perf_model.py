@@ -1,0 +1,157 @@
+"""Per-round cost model of the REWL + deep-proposal workload.
+
+One REWL *round* per walker is ``steps_per_round`` MC steps followed by one
+exchange/merge synchronization (exactly the structure of
+:class:`repro.parallel.rewl.REWLDriver`).  The model prices:
+
+compute (per walker, on one GPU)
+    - local steps: a gather over ~2·z neighbors plus the acceptance
+      arithmetic → ``flops_per_local_step`` (dominated by memory traffic;
+      the machine's ``mc_efficiency`` reflects that),
+    - DL steps: one decoder forward per proposal plus ``2·S`` encoder+
+      decoder passes for the marginal estimates, batched → priced at dense
+      ``nn_efficiency``,
+
+communication (per round)
+    - replica exchange with the neighbor window: one config message
+      (``n_sites`` bytes one-hot-compressed to int8) each way,
+    - within-window ln g merge: allreduce of ``n_bins`` float64 over the
+      ``walkers_per_window`` team,
+    - flatness/ln f sync: scalar allreduce over the team.
+
+Op counts are *measured*, not guessed: the flop formulas below are
+validated against instrumented counts from the actual Python kernels in
+``tests/test_machine.py`` (same formulas, same parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.specs import MachineSpec
+from repro.util.validation import check_in_range, check_integer, check_positive
+
+__all__ = ["WorkloadSpec", "RoundCostModel"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of the sampled system and the proposal mixture.
+
+    Defaults correspond to the paper-scale HEA workload: a 16³ BCC cell
+    (8192 sites, 4 species), two EPI shells (z = 8 + 6), a VAE with two
+    hidden layers, 10% global DL moves with 32 marginal samples.
+    """
+
+    n_sites: int = 8192
+    n_species: int = 4
+    coordination: int = 14  # z₁ + z₂ on BCC
+    n_bins: int = 1000  # global energy bins
+    walkers_per_window: int = 2
+    steps_per_round: int = 10_000
+    dl_fraction: float = 0.1
+    latent_dim: int = 64
+    hidden: tuple[int, ...] = (1024, 512)
+    marginal_samples: int = 32
+    #: Coefficient of variation of per-walker round times (acceptance noise,
+    #: DL-draw count variance); prices the BSP straggler effect
+    #: E[max of g walkers] ≈ mean·(1 + cv·sqrt(2 ln g)).
+    imbalance_cv: float = 0.03
+
+    def __post_init__(self):
+        check_integer("n_sites", self.n_sites, minimum=1)
+        check_integer("n_species", self.n_species, minimum=2)
+        check_integer("coordination", self.coordination, minimum=1)
+        check_in_range("dl_fraction", self.dl_fraction, 0.0, 1.0)
+        check_integer("marginal_samples", self.marginal_samples, minimum=1)
+
+    # ------------------------------------------------------------ op counts
+
+    @property
+    def input_dim(self) -> int:
+        return self.n_sites * self.n_species
+
+    @property
+    def flops_per_local_step(self) -> float:
+        """Gather 2·z neighbor species, two table lookups and adds per
+        neighbor (the ΔE closed form), plus ~20 ops of acceptance logic."""
+        return 4.0 * 2.0 * self.coordination + 20.0
+
+    @property
+    def flops_nn_forward(self) -> float:
+        """One encoder *or* decoder pass: 2·Σ(fan_in·fan_out) MACs."""
+        dims = [self.input_dim, *self.hidden, 2 * self.latent_dim]
+        enc = sum(2.0 * a * b for a, b in zip(dims[:-1], dims[1:]))
+        ddims = [self.latent_dim, *reversed(self.hidden), self.input_dim]
+        dec = sum(2.0 * a * b for a, b in zip(ddims[:-1], ddims[1:]))
+        return 0.5 * (enc + dec)  # average of the two pass shapes
+
+    @property
+    def flops_per_dl_step(self) -> float:
+        """Decode once to propose + 2·S (enc+dec) passes for both marginals."""
+        return self.flops_nn_forward * (1.0 + 4.0 * self.marginal_samples)
+
+    @property
+    def config_bytes(self) -> float:
+        """One configuration on the wire (int8 per site + header)."""
+        return float(self.n_sites + 64)
+
+
+class RoundCostModel:
+    """Price one REWL round of this workload on a machine."""
+
+    def __init__(self, machine: MachineSpec, workload: WorkloadSpec):
+        self.machine = machine
+        self.workload = workload
+
+    # ------------------------------------------------------------- compute
+
+    def local_step_time(self) -> float:
+        """Seconds per local MC step on one device.
+
+        Priced as max(flop time, dependent-step latency floor): a single
+        Markov chain is serial, so the latency floor dominates in practice.
+        """
+        peak = self.machine.device.fp32_tflops * 1e12
+        flop_time = self.workload.flops_per_local_step / (peak * self.machine.mc_efficiency)
+        return max(flop_time, self.machine.device.step_latency_ns * 1e-9)
+
+    def dl_step_time(self) -> float:
+        """Seconds per DL global proposal on one device."""
+        peak = self.machine.device.fp32_tflops * 1e12
+        return self.workload.flops_per_dl_step / (peak * self.machine.nn_efficiency)
+
+    def compute_time(self, walkers_on_gpu: int = 1) -> float:
+        """Sampling time of one round for ``walkers_on_gpu`` co-resident
+        walkers (they serialize on the device)."""
+        check_positive("walkers_on_gpu", walkers_on_gpu)
+        w = self.workload
+        per_step = (1.0 - w.dl_fraction) * self.local_step_time() + w.dl_fraction * self.dl_step_time()
+        return walkers_on_gpu * w.steps_per_round * per_step
+
+    # --------------------------------------------------------------- comms
+
+    def exchange_time(self) -> float:
+        """Inter-window configuration swap (sendrecv with one neighbor)."""
+        return 2.0 * self.machine.ptp_time(self.workload.config_bytes)
+
+    def merge_time(self) -> float:
+        """Within-window ln g allreduce + scalar flatness sync."""
+        w = self.workload
+        lng = self.machine.allreduce_time(8.0 * w.n_bins, w.walkers_per_window)
+        flat = self.machine.allreduce_time(8.0, w.walkers_per_window)
+        return lng + flat
+
+    def comm_time(self) -> float:
+        return self.exchange_time() + self.merge_time()
+
+    # --------------------------------------------------------------- round
+
+    def round_time(self, walkers_on_gpu: int = 1) -> float:
+        """Wall time of one bulk-synchronous round."""
+        return self.compute_time(walkers_on_gpu) + self.comm_time()
+
+    def steps_per_second(self, walkers_on_gpu: int = 1) -> float:
+        """Per-GPU MC throughput including synchronization overhead."""
+        total_steps = walkers_on_gpu * self.workload.steps_per_round
+        return total_steps / self.round_time(walkers_on_gpu)

@@ -1,0 +1,123 @@
+"""Strong/weak scaling sweeps over the performance model (E7-E9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.machine.perf_model import RoundCostModel, WorkloadSpec
+from repro.machine.specs import MachineSpec
+
+__all__ = ["ScalingPoint", "strong_scaling", "weak_scaling", "throughput_table"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (GPU count, time) point of a scaling curve."""
+
+    n_gpus: int
+    round_time: float
+    speedup: float
+    efficiency: float
+    steps_per_second_total: float
+
+
+def strong_scaling(machine: MachineSpec, workload: WorkloadSpec,
+                   total_walkers: int, gpu_counts) -> list[ScalingPoint]:
+    """Fixed problem (``total_walkers`` window-walkers), growing GPU count.
+
+    With fewer GPUs than walkers, walkers share devices and serialize; with
+    one walker per GPU the curve hits its compute floor and further GPUs
+    would idle (points beyond ``total_walkers`` are clamped there, plus the
+    growing synchronization cost — the classic strong-scaling rolloff).
+    """
+    model = RoundCostModel(machine, workload)
+    points: list[ScalingPoint] = []
+    base_time = None
+    for g in sorted(set(int(x) for x in gpu_counts)):
+        if g < 1:
+            raise ValueError(f"gpu count must be >= 1, got {g}")
+        walkers_per_gpu = max(1, int(np.ceil(total_walkers / g)))
+        t = model.compute_time(walkers_per_gpu) * _straggler_factor(workload, g) + _sync_cost(
+            machine, workload, g
+        )
+        if base_time is None:
+            base_time = t * 1.0
+            base_gpus = g
+        speedup = base_time / t * 1.0
+        points.append(
+            ScalingPoint(
+                n_gpus=g,
+                round_time=t,
+                speedup=speedup,
+                efficiency=speedup / (g / base_gpus),
+                steps_per_second_total=total_walkers * workload.steps_per_round / t,
+            )
+        )
+    return points
+
+
+def weak_scaling(machine: MachineSpec, workload: WorkloadSpec, gpu_counts) -> list[ScalingPoint]:
+    """One walker per GPU, window count growing with the machine.
+
+    Ideal weak scaling keeps the round time flat; the deviation comes from
+    synchronization costs that grow (slowly) with the number of windows.
+    """
+    model = RoundCostModel(machine, workload)
+    points: list[ScalingPoint] = []
+    base_time = None
+    for g in sorted(set(int(x) for x in gpu_counts)):
+        if g < 1:
+            raise ValueError(f"gpu count must be >= 1, got {g}")
+        t = model.compute_time(1) * _straggler_factor(workload, g) + _sync_cost(
+            machine, workload, g
+        )
+        if base_time is None:
+            base_time = t
+        efficiency = base_time / t
+        points.append(
+            ScalingPoint(
+                n_gpus=g,
+                round_time=t,
+                speedup=efficiency * g,
+                efficiency=efficiency,
+                steps_per_second_total=g * workload.steps_per_round / t,
+            )
+        )
+    return points
+
+
+def _sync_cost(machine: MachineSpec, workload: WorkloadSpec, n_gpus: int) -> float:
+    """Per-round synchronization: neighbor exchange + team merge + a global
+    convergence check whose latency grows like log₂(GPUs)."""
+    model = RoundCostModel(machine, workload)
+    global_check = machine.allreduce_time(8.0, max(n_gpus, 1))
+    return model.comm_time() + global_check
+
+
+def _straggler_factor(workload: WorkloadSpec, n_gpus: int) -> float:
+    """BSP straggler multiplier E[max of g] ≈ 1 + cv·√(2 ln g)."""
+    if n_gpus <= 1:
+        return 1.0
+    return 1.0 + workload.imbalance_cv * float(np.sqrt(2.0 * np.log(n_gpus)))
+
+
+def throughput_table(machines: list[MachineSpec], workload: WorkloadSpec) -> list[dict]:
+    """Per-device steps/s for local-only vs DL-mixed sampling (table E9)."""
+    rows = []
+    for machine in machines:
+        local_only = replace(workload, dl_fraction=0.0)
+        m_local = RoundCostModel(machine, local_only)
+        m_mixed = RoundCostModel(machine, workload)
+        rows.append(
+            {
+                "machine": machine.name,
+                "device": machine.device.name,
+                "local_steps_per_s": m_local.steps_per_second(),
+                "mixed_steps_per_s": m_mixed.steps_per_second(),
+                "dl_step_ms": m_mixed.dl_step_time() * 1e3,
+                "local_step_us": m_local.local_step_time() * 1e6,
+            }
+        )
+    return rows

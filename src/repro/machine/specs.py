@@ -1,0 +1,111 @@
+"""Published hardware specifications for the paper's two machines.
+
+Numbers are vendor/facility-published peaks; the performance model applies
+workload-dependent efficiency factors on top (see
+:mod:`repro.machine.perf_model`), so only the *ratios* between machines and
+between compute and communication matter for the reproduced curve shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "InterconnectSpec", "MachineSpec", "summit_v100", "crusher_mi250x"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One GPU (for MI250X: one GCD, the scheduling unit the paper counts).
+
+    Attributes
+    ----------
+    name : str
+    fp32_tflops : float
+        Peak single-precision throughput.
+    mem_bw_gbs : float
+        Peak HBM bandwidth (GB/s).
+    step_latency_ns : float
+        Latency floor of one *dependent* MC step: a Markov chain is a
+        serial dependency, so a single walker advances at cache/memory
+        round-trip latency, not at peak throughput.  This floor — not the
+        flop count — is what prices local moves on a GPU.
+    """
+
+    name: str
+    fp32_tflops: float
+    mem_bw_gbs: float
+    step_latency_ns: float = 80.0
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Inter-node network model (per endpoint).
+
+    Attributes
+    ----------
+    latency_us : float
+        Small-message one-way latency (MPI level).
+    bandwidth_gbs : float
+        Per-endpoint injection bandwidth (GB/s).
+    """
+
+    name: str
+    latency_us: float
+    bandwidth_gbs: float
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A GPU supercomputer as the performance model sees it."""
+
+    name: str
+    device: DeviceSpec
+    gpus_per_node: int
+    network: InterconnectSpec
+    #: Fraction of device peak achieved by the scattered-gather MC kernel
+    #: (latency/bandwidth bound, irregular access).
+    mc_efficiency: float
+    #: Fraction of device peak achieved by batched dense NN inference.
+    nn_efficiency: float
+
+    def ptp_time(self, message_bytes: float) -> float:
+        """Point-to-point message time (seconds), latency + bandwidth."""
+        return self.network.latency_us * 1e-6 + message_bytes / (
+            self.network.bandwidth_gbs * 1e9
+        )
+
+    def allreduce_time(self, message_bytes: float, n_ranks: int) -> float:
+        """Ring-allreduce cost model: 2(P−1)/P bandwidth + log₂P latency."""
+        if n_ranks <= 1:
+            return 0.0
+        import math
+
+        lat = math.ceil(math.log2(n_ranks)) * self.network.latency_us * 1e-6
+        bw = 2.0 * (n_ranks - 1) / n_ranks * message_bytes / (
+            self.network.bandwidth_gbs * 1e9
+        )
+        return lat + bw
+
+
+def summit_v100() -> MachineSpec:
+    """Summit-class: IBM AC922 nodes, 6×V100, dual-rail EDR InfiniBand."""
+    return MachineSpec(
+        name="Summit (V100)",
+        device=DeviceSpec(name="V100", fp32_tflops=15.7, mem_bw_gbs=900.0, step_latency_ns=80.0),
+        gpus_per_node=6,
+        network=InterconnectSpec(name="EDR-IB", latency_us=1.5, bandwidth_gbs=23.0),
+        mc_efficiency=0.012,
+        nn_efficiency=0.30,
+    )
+
+
+def crusher_mi250x() -> MachineSpec:
+    """Crusher/Frontier-class: 4×MI250X (8 GCDs) per node, Slingshot-11."""
+    return MachineSpec(
+        name="Crusher (MI250X)",
+        device=DeviceSpec(name="MI250X-GCD", fp32_tflops=23.9, mem_bw_gbs=1635.0, step_latency_ns=60.0),
+        gpus_per_node=8,
+        network=InterconnectSpec(name="Slingshot-11", latency_us=2.0, bandwidth_gbs=25.0),
+        mc_efficiency=0.012,
+        nn_efficiency=0.28,
+    )

@@ -1,0 +1,36 @@
+"""Weight initializers.
+
+All initializers take an explicit :class:`numpy.random.Generator` so model
+construction is reproducible under the repository-wide seeding discipline
+(:class:`repro.util.RngFactory`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "normal_init", "zeros_init"]
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform: U(−a, a) with a = sqrt(6/(fan_in + fan_out)).
+
+    The default for tanh/sigmoid stacks (the VAE encoder/decoder).
+    """
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He normal: N(0, 2/fan_in) — the default for ReLU stacks (MADE)."""
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))
+
+
+def normal_init(rng: np.random.Generator, fan_in: int, fan_out: int, std: float = 0.01) -> np.ndarray:
+    """Plain N(0, std²) initialization."""
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def zeros_init(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """All-zeros (used for output layers that should start uniform)."""
+    return np.zeros((fan_in, fan_out))

@@ -1,0 +1,8 @@
+"""Generative models used as MC proposal distributions."""
+
+from repro.nn.models.vae import CategoricalVAE, VAEConfig
+from repro.nn.models.made import MADE, MADEConfig
+from repro.nn.models.cmade import ConditionalMADE, ConditionalMADEConfig
+
+__all__ = ["CategoricalVAE", "VAEConfig", "MADE", "MADEConfig",
+           "ConditionalMADE", "ConditionalMADEConfig"]

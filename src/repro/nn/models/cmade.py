@@ -1,0 +1,199 @@
+"""Conditional MADE: one proposal model for every temperature / energy window.
+
+DeepThermo's production setting runs *many* walkers at different
+temperatures (parallel tempering) or in different energy windows (REWL).
+Training one model per walker is wasteful; the standard solution is a
+*conditional* autoregressive model ``q(x | c)`` where the conditioning
+vector ``c`` encodes the walker's temperature or energy window.  The
+conditioning inputs receive autoregressive degree 0, so every hidden unit
+may see them while the site-to-site masks stay exactly autoregressive —
+likelihoods remain exact per conditioning value.
+
+The matching proposal lives in :class:`repro.proposals.dl_cmade.ConditionalMADEProposal`,
+including the subtle state-dependent-conditioning correction (when ``c``
+depends on the *current* configuration, the reverse move is conditioned on
+the proposed one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.initializers import he_normal, zeros_init
+from repro.nn.layers import Dense, ReLU, Sequential
+from repro.nn.losses import categorical_cross_entropy_from_logits
+from repro.nn.optim import clip_gradients
+from repro.util.numerics import log_softmax, softmax
+from repro.util.rng import as_generator
+
+__all__ = ["ConditionalMADEConfig", "ConditionalMADE"]
+
+
+@dataclass(frozen=True)
+class ConditionalMADEConfig:
+    """Architecture hyperparameters for :class:`ConditionalMADE`."""
+
+    n_sites: int
+    n_species: int
+    cond_dim: int
+    hidden: tuple[int, ...] = (256,)
+
+    def __post_init__(self):
+        if self.n_sites < 1 or self.n_species < 2:
+            raise ValueError(
+                f"need n_sites >= 1 and n_species >= 2, got {self.n_sites}, {self.n_species}"
+            )
+        if self.cond_dim < 1:
+            raise ValueError(f"cond_dim must be >= 1, got {self.cond_dim}")
+        if not self.hidden:
+            raise ValueError("at least one hidden layer is required")
+
+    @property
+    def x_dim(self) -> int:
+        return self.n_sites * self.n_species
+
+    @property
+    def input_dim(self) -> int:
+        return self.x_dim + self.cond_dim
+
+
+def _build_masks(config: ConditionalMADEConfig) -> list[np.ndarray]:
+    """MADE masks with degree-0 conditioning inputs (visible everywhere)."""
+    n, s = config.n_sites, config.n_species
+    in_deg = np.concatenate([
+        np.repeat(np.arange(1, n + 1), s),
+        np.zeros(config.cond_dim, dtype=np.int64),  # conditioning: degree 0
+    ])
+    hidden_degs = []
+    max_hidden_deg = max(n - 1, 1)
+    for width in config.hidden:
+        hidden_degs.append(1 + np.arange(width) % max_hidden_deg)
+    out_deg = np.repeat(np.arange(1, n + 1), s)
+
+    masks = []
+    prev = in_deg
+    for deg in hidden_degs:
+        masks.append((deg[None, :] >= prev[:, None]).astype(np.float64))
+        prev = deg
+    masks.append((out_deg[None, :] > prev[:, None]).astype(np.float64))
+    return masks
+
+
+class ConditionalMADE:
+    """Exact-likelihood autoregressive model ``q(x | c)``.
+
+    Parameters
+    ----------
+    config : ConditionalMADEConfig
+    rng : seed or Generator
+
+    All batched methods take a conditioning array of shape
+    ``(B, cond_dim)`` (or ``(cond_dim,)``, broadcast over the batch).
+    """
+
+    def __init__(self, config: ConditionalMADEConfig, rng=None):
+        self.config = config
+        rng = as_generator(rng)
+        masks = _build_masks(config)
+        dims = [config.input_dim] + list(config.hidden) + [config.x_dim]
+        layers: list = []
+        for k, mask in enumerate(masks):
+            is_last = k == len(masks) - 1
+            init = zeros_init if is_last else he_normal
+            layers.append(
+                Dense(dims[k], dims[k + 1], rng, init=init, mask=mask, name=f"cmade{k}")
+            )
+            if not is_last:
+                layers.append(ReLU())
+        self.net = Sequential(*layers)
+
+    def parameters(self):
+        return self.net.parameters()
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -------------------------------------------------------------- helpers
+
+    def _check_x(self, x_onehot: np.ndarray) -> np.ndarray:
+        x = np.asarray(x_onehot, dtype=np.float64)
+        c = self.config
+        if x.ndim == 2 and x.shape == (c.n_sites, c.n_species):
+            x = x[None]
+        if x.ndim != 3 or x.shape[1:] != (c.n_sites, c.n_species):
+            raise ValueError(
+                f"expected one-hot input of shape (B, {c.n_sites}, {c.n_species}), "
+                f"got {np.asarray(x_onehot).shape}"
+            )
+        return x
+
+    def _check_cond(self, cond: np.ndarray, batch: int) -> np.ndarray:
+        cond = np.asarray(cond, dtype=np.float64)
+        if cond.ndim == 1:
+            cond = np.broadcast_to(cond, (batch, self.config.cond_dim))
+        if cond.shape != (batch, self.config.cond_dim):
+            raise ValueError(
+                f"conditioning must have shape ({batch}, {self.config.cond_dim}), "
+                f"got {cond.shape}"
+            )
+        return cond
+
+    # -------------------------------------------------------------- forward
+
+    def logits(self, x_onehot: np.ndarray, cond) -> np.ndarray:
+        """Conditional logits, shape (B, n_sites, n_species)."""
+        x = self._check_x(x_onehot)
+        cond = self._check_cond(cond, x.shape[0])
+        flat = np.concatenate([x.reshape(x.shape[0], -1), cond], axis=1)
+        return self.net.forward(flat).reshape(x.shape)
+
+    def log_prob(self, x_onehot: np.ndarray, cond) -> np.ndarray:
+        """Exact ``log q(x | c)`` per batch row."""
+        x = self._check_x(x_onehot)
+        logp = log_softmax(self.logits(x, cond), axis=-1)
+        return (logp * x).sum(axis=(1, 2))
+
+    # ------------------------------------------------------------- training
+
+    def train_step(self, x_onehot: np.ndarray, cond, optimizer,
+                   max_grad_norm: float = 10.0) -> dict:
+        """One conditional maximum-likelihood step; returns metrics."""
+        x = self._check_x(x_onehot)
+        cond = self._check_cond(cond, x.shape[0])
+        self.zero_grad()
+        flat = np.concatenate([x.reshape(x.shape[0], -1), cond], axis=1)
+        logits = self.net.forward(flat).reshape(x.shape)
+        loss, dlogits = categorical_cross_entropy_from_logits(logits, x)
+        self.net.backward(dlogits.reshape(x.shape[0], -1))
+        grad_norm = clip_gradients(self.parameters(), max_grad_norm)
+        optimizer.step()
+        return {"loss": loss, "grad_norm": grad_norm}
+
+    # ------------------------------------------------------------- sampling
+
+    def sample(self, n: int, cond, rng, return_log_prob: bool = False):
+        """Draw ``n`` exact samples conditioned on ``cond``."""
+        rng = as_generator(rng)
+        c = self.config
+        cond = self._check_cond(cond, n)
+        x = np.zeros((n, c.n_sites, c.n_species), dtype=np.float64)
+        configs = np.zeros((n, c.n_sites), dtype=np.int8)
+        total_logp = np.zeros(n, dtype=np.float64)
+        for i in range(c.n_sites):
+            site_logits = self.logits(x, cond)[:, i]
+            probs = softmax(site_logits, axis=-1)
+            cdf = np.cumsum(probs, axis=-1)
+            u = rng.random((n, 1))
+            picks = (u > cdf).sum(axis=-1)
+            np.clip(picks, 0, c.n_species - 1, out=picks)
+            configs[:, i] = picks
+            x[np.arange(n), i, picks] = 1.0
+            if return_log_prob:
+                logp = log_softmax(site_logits, axis=-1)
+                total_logp += logp[np.arange(n), picks]
+        if return_log_prob:
+            return configs, total_logp
+        return configs

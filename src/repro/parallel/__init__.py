@@ -1,0 +1,58 @@
+"""Parallel MC framework (S6).
+
+The paper runs replica-exchange Wang-Landau (REWL) across thousands of GPUs
+with MPI.  Here the same algorithm runs at laptop scale over two layers:
+
+- :mod:`repro.parallel.comm` — an MPI-like communicator (mpi4py-shaped API:
+  ``send/recv/sendrecv``, ``barrier``, ``bcast``, ``gather``, ``allgather``,
+  ``allreduce``) with a serial single-rank backend and a threaded SPMD
+  backend.  The distributed parallel-tempering rank program
+  (:mod:`repro.parallel.tempering`) is written against it and asserted
+  bit-identical to the serial reference.
+- :mod:`repro.parallel.executors` — bulk-synchronous walker executors
+  (serial / thread / process).  Walker state travels with the task, so the
+  serial and multiprocess REWL runs are bit-identical by construction.
+
+On top sits the REWL driver:
+
+- :func:`make_windows` — overlapping energy-window decomposition,
+- :class:`REWLDriver` — windows × walkers, synchronized Wang-Landau
+  iterations, inter-window configuration exchanges, within-window ln g
+  merging; returns per-window pieces ready for DoS stitching
+  (:mod:`repro.dos`).
+"""
+
+from repro.parallel.comm import (
+    Communicator,
+    SerialCommunicator,
+    ThreadCommunicator,
+    run_spmd,
+)
+from repro.parallel.executors import (
+    SerialExecutor,
+    ThreadExecutor,
+    ProcessExecutor,
+)
+from repro.parallel.windows import WindowSpec, make_windows
+from repro.parallel.rewl import REWLDriver, REWLConfig, REWLResult, WalkerSnapshot
+from repro.parallel.tempering import distributed_parallel_tempering
+from repro.parallel.checkpoint import save_checkpoint, load_checkpoint
+
+__all__ = [
+    "Communicator",
+    "SerialCommunicator",
+    "ThreadCommunicator",
+    "run_spmd",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "WindowSpec",
+    "make_windows",
+    "REWLDriver",
+    "REWLConfig",
+    "REWLResult",
+    "WalkerSnapshot",
+    "distributed_parallel_tempering",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,81 @@
+"""Checkpoint/restore for long REWL runs.
+
+Production flat-histogram runs are days long; the paper's framework (like
+any HPC application) must survive job-time limits.  A checkpoint captures
+every piece of driver state that evolves — walkers (configurations, ln g,
+histograms, RNG streams), window convergence flags, exchange statistics, and
+the driver's own RNG — so a restored run continues *bit-identically* (tested
+in ``tests/test_checkpoint.py``).
+
+The proposal factory and executor are deliberately not serialized (factories
+are often closures over live models); the caller reconstructs the driver
+with the same arguments and then restores into it.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from repro.parallel.rewl import REWLDriver
+
+__all__ = ["save_checkpoint", "load_checkpoint", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_VERSION = 1
+
+
+def save_checkpoint(driver: REWLDriver, path) -> Path:
+    """Write the driver's evolving state to ``path`` (pickle format)."""
+    path = Path(path)
+    state = {
+        "version": CHECKPOINT_VERSION,
+        "n_windows": len(driver.windows),
+        "walkers_per_window": len(driver.walkers[0]),
+        "n_sites": driver.hamiltonian.n_sites,
+        "grid_n_bins": driver.grid.n_bins,
+        "walkers": driver.walkers,
+        "window_converged": list(driver.window_converged),
+        "exchange_attempts": driver.exchange_attempts,
+        "exchange_accepts": driver.exchange_accepts,
+        "rounds": driver.rounds,
+        "exchange_rng": driver._exchange_rng,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("wb") as f:
+        pickle.dump(state, f, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_checkpoint(driver: REWLDriver, path) -> REWLDriver:
+    """Restore state saved by :func:`save_checkpoint` into ``driver``.
+
+    The driver must have been constructed with a *compatible* setup (same
+    window/walker counts, grid size, and system size); mismatches raise
+    ``ValueError`` before any state is touched.
+    """
+    path = Path(path)
+    with path.open("rb") as f:
+        state = pickle.load(f)
+    if state.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint version {state.get('version')} != {CHECKPOINT_VERSION}"
+        )
+    checks = [
+        ("n_windows", len(driver.windows)),
+        ("walkers_per_window", len(driver.walkers[0])),
+        ("n_sites", driver.hamiltonian.n_sites),
+        ("grid_n_bins", driver.grid.n_bins),
+    ]
+    for key, current in checks:
+        if state[key] != current:
+            raise ValueError(
+                f"checkpoint mismatch: {key} is {state[key]} in the file but "
+                f"{current} in the driver"
+            )
+    driver.walkers = state["walkers"]
+    driver.window_converged = list(state["window_converged"])
+    driver.exchange_attempts = state["exchange_attempts"]
+    driver.exchange_accepts = state["exchange_accepts"]
+    driver.rounds = state["rounds"]
+    driver._exchange_rng = state["exchange_rng"]
+    return driver

@@ -1,0 +1,276 @@
+"""MPI-like communicator substrate.
+
+API shape follows mpi4py's lowercase (pickle-object) methods — the idiom the
+HPC Python ecosystem standardizes on — restricted to what the samplers need:
+point-to-point ``send/recv/sendrecv`` and the collectives ``barrier``,
+``bcast``, ``gather``, ``allgather``, ``reduce``, ``allreduce``,
+``scatter``.
+
+Backends:
+
+- :class:`SerialCommunicator` — a size-1 world; every collective is an
+  identity.  Lets rank programs run unmodified in a single process.
+- :class:`ThreadCommunicator` — an N-rank world inside one process, built on
+  per-pair queues and a shared barrier.  :func:`run_spmd` launches one
+  thread per rank running the same function (SPMD), propagating the first
+  exception.
+
+The threaded backend is a *correctness* substrate, not a speed one (the
+GIL serializes pure-Python sections); the REWL speed path uses the process
+executors in :mod:`repro.parallel.executors`.  What the communicator buys is
+the ability to express rank programs — like distributed parallel tempering —
+exactly as they would be written for mpi4py.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable
+
+__all__ = ["Communicator", "SerialCommunicator", "ThreadCommunicator", "run_spmd"]
+
+_DEFAULT_TIMEOUT = 60.0  # deadlock guard for the threaded backend
+
+
+def _sum(a, b):
+    return a + b
+
+
+_REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": _sum,
+    "max": max,
+    "min": min,
+}
+
+
+class Communicator:
+    """Abstract communicator (see module docstring for semantics)."""
+
+    rank: int
+    size: int
+
+    # -- point to point ----------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        raise NotImplementedError
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        raise NotImplementedError
+
+    def sendrecv(self, obj: Any, partner: int, tag: int = 0) -> Any:
+        """Exchange objects with ``partner`` (deadlock-free pairwise swap)."""
+        raise NotImplementedError
+
+    # -- collectives --------------------------------------------------------
+
+    def barrier(self) -> None:
+        raise NotImplementedError
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        raise NotImplementedError
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        raise NotImplementedError
+
+    def allgather(self, obj: Any) -> list[Any]:
+        raise NotImplementedError
+
+    def scatter(self, objs: list[Any] | None, root: int = 0) -> Any:
+        raise NotImplementedError
+
+    def reduce(self, obj: Any, op: str = "sum", root: int = 0) -> Any | None:
+        raise NotImplementedError
+
+    def allreduce(self, obj: Any, op: str = "sum") -> Any:
+        raise NotImplementedError
+
+
+class SerialCommunicator(Communicator):
+    """The trivial single-rank world."""
+
+    rank = 0
+    size = 1
+
+    def send(self, obj, dest, tag=0):
+        raise RuntimeError("send in a size-1 world has no valid destination")
+
+    def recv(self, source, tag=0):
+        raise RuntimeError("recv in a size-1 world has no valid source")
+
+    def sendrecv(self, obj, partner, tag=0):
+        raise RuntimeError("sendrecv in a size-1 world has no valid partner")
+
+    def barrier(self):
+        return None
+
+    def bcast(self, obj, root=0):
+        return obj
+
+    def gather(self, obj, root=0):
+        return [obj]
+
+    def allgather(self, obj):
+        return [obj]
+
+    def scatter(self, objs, root=0):
+        if objs is None or len(objs) != 1:
+            raise ValueError("scatter in a size-1 world needs exactly one object")
+        return objs[0]
+
+    def reduce(self, obj, op="sum", root=0):
+        if op not in _REDUCE_OPS:
+            raise ValueError(f"unknown reduce op {op!r}")
+        return obj
+
+    def allreduce(self, obj, op="sum"):
+        if op not in _REDUCE_OPS:
+            raise ValueError(f"unknown reduce op {op!r}")
+        return obj
+
+
+class _World:
+    """Shared state for a ThreadCommunicator world."""
+
+    def __init__(self, size: int, timeout: float):
+        self.size = size
+        self.timeout = timeout
+        self.barrier = threading.Barrier(size)
+        # One queue per (source, dest, tag-ish) — tags are matched by
+        # embedding them in the message, which is enough for our traffic.
+        self.queues: dict[tuple[int, int], queue.Queue] = {
+            (src, dst): queue.Queue() for src in range(size) for dst in range(size)
+        }
+        self.bcast_box: list[Any] = [None]
+        self.gather_box: list[Any] = [None] * size
+
+
+class ThreadCommunicator(Communicator):
+    """One rank of a threaded SPMD world (created by :func:`run_spmd`)."""
+
+    def __init__(self, world: _World, rank: int):
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+
+    def _check_peer(self, peer: int, what: str) -> None:
+        if not 0 <= peer < self.size:
+            raise ValueError(f"{what} rank {peer} out of range [0, {self.size})")
+        if peer == self.rank:
+            raise ValueError(f"{what} to self (rank {peer}) is not allowed")
+
+    # -- point to point ----------------------------------------------------
+
+    def send(self, obj, dest, tag=0):
+        self._check_peer(dest, "send")
+        self._world.queues[(self.rank, dest)].put((tag, obj))
+
+    def recv(self, source, tag=0):
+        self._check_peer(source, "recv")
+        got_tag, obj = self._world.queues[(source, self.rank)].get(
+            timeout=self._world.timeout
+        )
+        if got_tag != tag:
+            raise RuntimeError(
+                f"rank {self.rank}: tag mismatch from {source}: "
+                f"expected {tag}, got {got_tag}"
+            )
+        return obj
+
+    def sendrecv(self, obj, partner, tag=0):
+        self._check_peer(partner, "sendrecv")
+        self.send(obj, partner, tag)
+        return self.recv(partner, tag)
+
+    # -- collectives --------------------------------------------------------
+
+    def barrier(self):
+        self._world.barrier.wait(timeout=self._world.timeout)
+
+    def bcast(self, obj, root=0):
+        if self.rank == root:
+            self._world.bcast_box[0] = obj
+        self.barrier()
+        out = self._world.bcast_box[0]
+        self.barrier()
+        return out
+
+    def gather(self, obj, root=0):
+        self._world.gather_box[self.rank] = obj
+        self.barrier()
+        out = list(self._world.gather_box) if self.rank == root else None
+        self.barrier()
+        return out
+
+    def allgather(self, obj):
+        self._world.gather_box[self.rank] = obj
+        self.barrier()
+        out = list(self._world.gather_box)
+        self.barrier()
+        return out
+
+    def scatter(self, objs, root=0):
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError(f"scatter needs exactly {self.size} objects at root")
+            self._world.gather_box[:] = objs
+        self.barrier()
+        out = self._world.gather_box[self.rank]
+        self.barrier()
+        return out
+
+    def reduce(self, obj, op="sum", root=0):
+        if op not in _REDUCE_OPS:
+            raise ValueError(f"unknown reduce op {op!r}")
+        gathered = self.gather(obj, root=root)
+        if self.rank != root:
+            return None
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = _REDUCE_OPS[op](acc, item)
+        return acc
+
+    def allreduce(self, obj, op="sum"):
+        if op not in _REDUCE_OPS:
+            raise ValueError(f"unknown reduce op {op!r}")
+        gathered = self.allgather(obj)
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = _REDUCE_OPS[op](acc, item)
+        return acc
+
+
+def run_spmd(fn: Callable[[Communicator], Any], n_ranks: int,
+             timeout: float = _DEFAULT_TIMEOUT) -> list[Any]:
+    """Run ``fn(comm)`` on ``n_ranks`` threads; return per-rank results.
+
+    The first exception raised by any rank is re-raised in the caller (other
+    ranks are abandoned — acceptable for a test/teaching substrate).
+    """
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    if n_ranks == 1:
+        return [fn(SerialCommunicator())]
+    world = _World(n_ranks, timeout)
+    results: list[Any] = [None] * n_ranks
+    errors: list[tuple[int, BaseException]] = []
+
+    def target(rank: int) -> None:
+        try:
+            results[rank] = fn(ThreadCommunicator(world, rank))
+        except BaseException as exc:  # noqa: BLE001 - propagated below
+            errors.append((rank, exc))
+            world.barrier.abort()
+
+    threads = [threading.Thread(target=target, args=(r,), daemon=True) for r in range(n_ranks)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout * 4)
+    if errors:
+        rank, exc = errors[0]
+        raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+    alive = [t for t in threads if t.is_alive()]
+    if alive:
+        raise RuntimeError(f"{len(alive)} ranks did not finish (deadlock?)")
+    return results

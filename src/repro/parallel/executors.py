@@ -1,0 +1,87 @@
+"""Bulk-synchronous walker executors.
+
+The REWL driver alternates *advance* phases (every walker runs a block of
+Wang-Landau steps, embarrassingly parallel) with *exchange/merge* phases
+(centralized, cheap).  Executors parallelize the advance phase:
+
+- :class:`SerialExecutor` — plain loop (reference; deterministic),
+- :class:`ThreadExecutor` — thread pool (low overhead; limited by the GIL
+  for pure-numpy walkers but useful for walkers that release it),
+- :class:`ProcessExecutor` — process pool; walker state is pickled to the
+  worker and back, so results are bit-identical to the serial executor
+  (each walker's RNG travels with it).
+
+The task function must be a module-level picklable callable
+``fn(walker, *args) -> walker``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+__all__ = ["SerialExecutor", "ThreadExecutor", "ProcessExecutor"]
+
+
+class SerialExecutor:
+    """Run tasks in a plain loop in the calling process."""
+
+    def map(self, fn, walkers, *args) -> list:
+        return [fn(w, *args) for w in walkers]
+
+    def close(self) -> None:
+        return None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class ThreadExecutor:
+    """Thread-pool executor (shared memory; GIL-bound for pure Python)."""
+
+    def __init__(self, n_workers: int = 4):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self._pool = ThreadPoolExecutor(max_workers=n_workers)
+
+    def map(self, fn, walkers, *args) -> list:
+        futures = [self._pool.submit(fn, w, *args) for w in walkers]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class ProcessExecutor:
+    """Process-pool executor; walker state is shipped by pickling.
+
+    Uses the ``spawn`` start method for fork-safety with numpy threads.
+    """
+
+    def __init__(self, n_workers: int = 2):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        ctx = mp.get_context("spawn")
+        self._pool = ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx)
+
+    def map(self, fn, walkers, *args) -> list:
+        futures = [self._pool.submit(fn, w, *args) for w in walkers]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

@@ -1,0 +1,309 @@
+"""Replica-exchange Wang–Landau (REWL) driver.
+
+The parallel backbone of DeepThermo: the global energy range is cut into
+overlapping windows (:mod:`repro.parallel.windows`), each window is sampled
+by a team of independent Wang-Landau walkers, and the driver alternates
+
+1. **advance** — every unconverged walker runs ``exchange_interval`` WL
+   steps (parallelized by the executor; walker RNG state travels with the
+   walker, so serial and multiprocess runs are bit-identical),
+2. **exchange** — walkers in adjacent windows swap configurations with the
+   exact REWL acceptance rule
+   ``ln u < [ln g_A(E_A) − ln g_A(E_B)] + [ln g_B(E_B) − ln g_B(E_A)]``,
+   possible only when both energies lie in both windows (the overlap),
+3. **synchronize** — when *all* walkers of a window are flat, their ln g
+   estimates are merged (bin-wise mean over walkers that visited the bin),
+   histograms reset, and the window's modification factor advances jointly
+   (Vogel, Li, Wüst & Landau 2013).
+
+A window is converged when its ``ln f`` reaches ``ln_f_final``; converged
+windows stop advancing and exchanging.  The per-window ln g pieces are
+stitched into a global density of states by :mod:`repro.dos.stitching`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hamiltonians.base import Hamiltonian
+from repro.parallel.executors import SerialExecutor
+from repro.parallel.windows import WindowSpec, make_windows
+from repro.sampling.binning import EnergyGrid
+from repro.sampling.wang_landau import WangLandauSampler, drive_into_range
+from repro.util.rng import RngFactory
+from repro.util.validation import check_integer, check_probability
+
+__all__ = ["REWLConfig", "REWLDriver", "REWLResult", "WalkerSnapshot"]
+
+
+def _advance_walker(walker: WangLandauSampler, n_steps: int) -> WangLandauSampler:
+    """Module-level task so process executors can pickle it."""
+    for _ in range(n_steps):
+        walker.step()
+    return walker
+
+
+@dataclass(frozen=True)
+class REWLConfig:
+    """Tuning knobs for :class:`REWLDriver`."""
+
+    n_windows: int = 4
+    walkers_per_window: int = 2
+    overlap: float = 0.5
+    exchange_interval: int = 2_000
+    ln_f_init: float = 1.0
+    ln_f_final: float = 1e-6
+    flatness: float = 0.8
+    check_interval: int | None = None  # per-walker WL flatness cadence
+    seed: int = 0
+    max_rounds: int = 100_000
+    drive_max_steps: int = 2_000_000
+
+    def __post_init__(self):
+        check_integer("n_windows", self.n_windows, minimum=1)
+        check_integer("walkers_per_window", self.walkers_per_window, minimum=1)
+        check_integer("exchange_interval", self.exchange_interval, minimum=1)
+        check_probability("flatness", self.flatness)
+
+
+@dataclass
+class WalkerSnapshot:
+    """Post-run view of one walker (diagnostics)."""
+
+    window: int
+    walker: int
+    n_steps: int
+    acceptance_rate: float
+    final_energy: float
+
+
+@dataclass
+class REWLResult:
+    """Merged per-window densities of states plus run statistics."""
+
+    global_grid: EnergyGrid
+    windows: list[WindowSpec]
+    window_ln_g: list[np.ndarray]
+    window_visited: list[np.ndarray]
+    window_iterations: list[int]
+    converged: bool
+    rounds: int
+    total_steps: int
+    exchange_attempts: np.ndarray
+    exchange_accepts: np.ndarray
+    walkers: list[WalkerSnapshot] = field(default_factory=list)
+
+    @property
+    def exchange_rates(self) -> np.ndarray:
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(
+                self.exchange_attempts > 0,
+                self.exchange_accepts / np.maximum(self.exchange_attempts, 1),
+                np.nan,
+            )
+
+    def stitched(self):
+        """Global ln g stitched over windows (see :mod:`repro.dos`)."""
+        from repro.dos.stitching import stitch_windows
+
+        return stitch_windows(
+            self.global_grid, self.windows, self.window_ln_g, self.window_visited
+        )
+
+
+class REWLDriver:
+    """Windows × walkers replica-exchange Wang-Landau.
+
+    Parameters
+    ----------
+    hamiltonian : Hamiltonian
+    proposal_factory : callable
+        ``proposal_factory() -> Proposal``; called once per walker so
+        stateful proposals (DL caches) are never shared.
+    grid : EnergyGrid
+        The global energy grid.
+    initial_config : numpy.ndarray
+        A valid configuration; each walker gets an independently shuffled
+        copy driven into its window.
+    config : REWLConfig
+    executor : executor, optional
+        Advance-phase executor (default serial).
+    """
+
+    def __init__(self, hamiltonian: Hamiltonian, proposal_factory, grid: EnergyGrid,
+                 initial_config: np.ndarray, config: REWLConfig | None = None,
+                 executor=None):
+        self.hamiltonian = hamiltonian
+        self.grid = grid
+        self.cfg = config or REWLConfig()
+        self.executor = executor or SerialExecutor()
+        self.windows = make_windows(grid, self.cfg.n_windows, self.cfg.overlap)
+        self._rngs = RngFactory(self.cfg.seed)
+        self._exchange_rng = self._rngs.make("rewl-exchange")
+
+        initial_config = hamiltonian.validate_config(np.asarray(initial_config))
+        self.walkers: list[list[WangLandauSampler]] = []
+        for w, spec in enumerate(self.windows):
+            team = []
+            for k in range(self.cfg.walkers_per_window):
+                rng = self._rngs.make("rewl-walker", w * 10_000 + k)
+                cfg0 = initial_config.copy()
+                rng.shuffle(cfg0)
+                driven = drive_into_range(
+                    hamiltonian, proposal_factory(), spec.grid, cfg0,
+                    rng=self._rngs.make("rewl-drive", w * 10_000 + k),
+                    max_steps=self.cfg.drive_max_steps,
+                )
+                team.append(
+                    WangLandauSampler(
+                        hamiltonian, proposal_factory(), spec.grid, driven,
+                        rng=rng, ln_f_init=self.cfg.ln_f_init,
+                        ln_f_final=self.cfg.ln_f_final, flatness=self.cfg.flatness,
+                        check_interval=self.cfg.check_interval,
+                    )
+                )
+            self.walkers.append(team)
+        self.window_converged = [False] * len(self.windows)
+        self.exchange_attempts = np.zeros(max(len(self.windows) - 1, 1), dtype=np.int64)
+        self.exchange_accepts = np.zeros_like(self.exchange_attempts)
+        self.rounds = 0
+
+    # ------------------------------------------------------------- phases
+
+    def _advance_phase(self) -> None:
+        tasks: list[tuple[int, int]] = [
+            (w, k)
+            for w, team in enumerate(self.walkers)
+            for k in range(len(team))
+            if not self.window_converged[w]
+        ]
+        moved = self.executor.map(
+            _advance_walker,
+            [self.walkers[w][k] for w, k in tasks],
+            self.cfg.exchange_interval,
+        )
+        for (w, k), walker in zip(tasks, moved):
+            self.walkers[w][k] = walker
+
+    def _exchange_phase(self) -> None:
+        start = self.rounds % 2
+        for left in range(start, len(self.windows) - 1, 2):
+            right = left + 1
+            if self.window_converged[left] or self.window_converged[right]:
+                continue
+            a = self.walkers[left][
+                int(self._exchange_rng.integers(len(self.walkers[left])))
+            ]
+            b = self.walkers[right][
+                int(self._exchange_rng.integers(len(self.walkers[right])))
+            ]
+            self.exchange_attempts[left] += 1
+            bin_a_in_b = b.grid.index(a.energy)
+            bin_b_in_a = a.grid.index(b.energy)
+            if bin_a_in_b < 0 or bin_b_in_a < 0:
+                continue  # not both in the overlap
+            log_alpha = (
+                a.ln_g[a.current_bin]
+                - a.ln_g[bin_b_in_a]
+                + b.ln_g[b.current_bin]
+                - b.ln_g[bin_a_in_b]
+            )
+            if log_alpha >= 0.0 or np.log(self._exchange_rng.random()) < log_alpha:
+                a.config, b.config = b.config, a.config
+                a.energy, b.energy = b.energy, a.energy
+                a.current_bin = bin_b_in_a
+                b.current_bin = bin_a_in_b
+                self.exchange_accepts[left] += 1
+
+    def _sync_phase(self) -> None:
+        for w, team in enumerate(self.walkers):
+            if self.window_converged[w]:
+                continue
+            if not all(walker.is_flat() for walker in team):
+                continue
+            merged, union = self._merge_window(team)
+            for walker in team:
+                walker.ln_g[...] = merged
+                walker.visited[...] = union
+                walker.advance_modification_factor()
+            if team[0].ln_f <= self.cfg.ln_f_final:
+                self.window_converged[w] = True
+
+    @staticmethod
+    def _merge_window(team: list[WangLandauSampler]) -> tuple[np.ndarray, np.ndarray]:
+        """Bin-wise mean of ln g over the walkers that visited each bin.
+
+        Pure function of the team state (callers decide whether to write the
+        merge back — ``result()`` must *not* mutate walkers, or checkpoints
+        taken after a run would diverge from uninterrupted runs).
+        """
+        n_bins = team[0].ln_g.shape[0]
+        acc = np.zeros(n_bins)
+        cnt = np.zeros(n_bins)
+        for walker in team:
+            mask = walker.visited
+            ln_g = walker.ln_g.copy()
+            if mask.any():
+                ln_g -= ln_g[mask].min()
+            acc[mask] += ln_g[mask]
+            cnt[mask] += 1
+        union = cnt > 0
+        merged = np.zeros(n_bins)
+        merged[union] = acc[union] / cnt[union]
+        return merged, union
+
+    # ----------------------------------------------------------------- run
+
+    def run(self, max_rounds: int | None = None) -> REWLResult:
+        """Iterate advance/exchange/sync until every window converges."""
+        limit = self.cfg.max_rounds if max_rounds is None else max_rounds
+        while not all(self.window_converged) and self.rounds < limit:
+            self._advance_phase()
+            self.rounds += 1
+            self._exchange_phase()
+            self._sync_phase()
+        return self.result()
+
+    def result(self) -> REWLResult:
+        window_ln_g = []
+        window_visited = []
+        window_iterations = []
+        snapshots = []
+        for w, team in enumerate(self.walkers):
+            # Merge for reporting only — walker state is left untouched so a
+            # checkpoint taken after result() still resumes bit-identically.
+            merged, union = self._merge_window(team)
+            ln_g = merged.copy()
+            if union.any():
+                ln_g -= ln_g[union].min()
+            ln_g[~union] = 0.0
+            window_ln_g.append(ln_g)
+            window_visited.append(union)
+            window_iterations.append(team[0].n_iterations)
+            for k, walker in enumerate(team):
+                snapshots.append(
+                    WalkerSnapshot(
+                        window=w,
+                        walker=k,
+                        n_steps=walker.n_steps,
+                        acceptance_rate=(
+                            walker.n_accepted / walker.n_steps if walker.n_steps else 0.0
+                        ),
+                        final_energy=walker.energy,
+                    )
+                )
+        return REWLResult(
+            global_grid=self.grid,
+            windows=self.windows,
+            window_ln_g=window_ln_g,
+            window_visited=window_visited,
+            window_iterations=window_iterations,
+            converged=all(self.window_converged),
+            rounds=self.rounds,
+            total_steps=sum(s.n_steps for s in snapshots),
+            exchange_attempts=self.exchange_attempts.copy(),
+            exchange_accepts=self.exchange_accepts.copy(),
+            walkers=snapshots,
+        )

@@ -1,0 +1,105 @@
+"""Distributed parallel tempering — a rank program on the communicator.
+
+One replica per rank; exchanges between adjacent ranks use ``sendrecv``
+exactly as an mpi4py program would.  The exchange decision must be
+*symmetric*: both partners draw the same uniform variate, which is arranged
+by deriving the per-pair RNG stream from (round, lower rank) — no extra
+message needed.
+
+``tests/test_parallel_comm.py`` asserts this program is trace-identical to
+the serial :class:`repro.sampling.tempering.ParallelTempering` reference
+when fed the same seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hamiltonians.base import Hamiltonian
+from repro.parallel.comm import Communicator, run_spmd
+from repro.sampling.metropolis import MetropolisSampler
+from repro.util.rng import RngFactory
+
+__all__ = ["distributed_parallel_tempering"]
+
+
+def distributed_parallel_tempering(
+    hamiltonian: Hamiltonian,
+    proposal_factory,
+    betas,
+    configs,
+    n_rounds: int,
+    steps_per_round: int,
+    seed: int = 0,
+):
+    """Run replica-exchange Metropolis with one thread-rank per β.
+
+    Parameters mirror :class:`repro.sampling.tempering.ParallelTempering`;
+    the return value is a dict with per-rank energy traces (shape
+    ``(n_rounds, n_replicas)``), exchange statistics, and acceptance rates,
+    matching the serial ``TemperingResult`` fields.
+    """
+    betas = np.asarray(betas, dtype=np.float64)
+    configs = np.asarray(configs)
+    n = len(betas)
+    if configs.shape != (n, hamiltonian.n_sites):
+        raise ValueError(
+            f"configs must have shape ({n}, {hamiltonian.n_sites}), got {configs.shape}"
+        )
+
+    def rank_program(comm: Communicator):
+        rank = comm.rank
+        factory = RngFactory(seed)
+        chain = MetropolisSampler(
+            hamiltonian,
+            proposal_factory(rank),
+            float(betas[rank]),
+            configs[rank],
+            rng=factory.make("pt-chain", rank),
+        )
+        trace = []
+        attempts = 0
+        accepts = 0
+        for round_k in range(n_rounds):
+            chain.run(steps_per_round)
+            start = round_k % 2
+            # Pair (left, left+1) for left = start, start+2, ...
+            if (rank - start) % 2 == 0 and rank + 1 < comm.size:
+                partner, is_left = rank + 1, True
+            elif (rank - start) % 2 == 1 and rank - 1 >= 0:
+                partner, is_left = rank - 1, False
+            else:
+                partner, is_left = -1, False
+            if partner >= 0:
+                other_energy = comm.sendrecv(chain.energy, partner, tag=round_k)
+                low = min(rank, partner)
+                pair_rng = factory.make("pt-pair", round_k * 1_000_003 + low)
+                u = pair_rng.random()
+                if is_left:
+                    log_alpha = (chain.beta - betas[partner]) * (chain.energy - other_energy)
+                    attempts += 1
+                else:
+                    log_alpha = (betas[partner] - chain.beta) * (other_energy - chain.energy)
+                if log_alpha >= 0.0 or np.log(u) < log_alpha:
+                    other_config = comm.sendrecv(chain.config, partner, tag=round_k)
+                    chain.config = np.array(other_config, copy=True)
+                    chain.energy = other_energy
+                    if is_left:
+                        accepts += 1
+            trace.append(chain.energy)
+            comm.barrier()
+        return {
+            "trace": np.asarray(trace),
+            "attempts": attempts,
+            "accepts": accepts,
+            "acceptance_rate": chain.acceptance_rate,
+        }
+
+    per_rank = run_spmd(rank_program, n)
+    return {
+        "betas": betas,
+        "energies": np.stack([r["trace"] for r in per_rank], axis=1),
+        "exchange_attempts": np.array([per_rank[k]["attempts"] for k in range(n - 1)]),
+        "exchange_accepts": np.array([per_rank[k]["accepts"] for k in range(n - 1)]),
+        "acceptance_rates": np.array([r["acceptance_rate"] for r in per_rank]),
+    }

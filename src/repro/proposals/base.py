@@ -1,0 +1,93 @@
+"""Proposal interface and the Move value object.
+
+A proposal inspects the current configuration and returns a :class:`Move`:
+the set of sites to change, their new species, the energy change, and the
+log proposal-density ratio.  Samplers decide acceptance and call
+:meth:`Move.apply` — proposals never mutate the configuration themselves.
+
+Contracts (property-tested in ``tests/test_proposals.py``):
+
+- ``delta_energy`` equals ``H(x') − H(x)`` to roundoff,
+- ``log_q_ratio = log q(x|x') − log q(x'|x)`` (0 for symmetric kernels),
+- composition-preserving proposals never change species counts,
+- proposals may return ``None`` to signal "no valid move produced" (e.g. a
+  rejection-mode DL proposal that failed to hit the composition manifold);
+  samplers count this as a rejected step, which keeps the kernel reversible
+  (the failure probability is configuration-independent).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hamiltonians.base import Hamiltonian
+
+__all__ = ["Move", "Proposal"]
+
+
+@dataclass
+class Move:
+    """A proposed transition ``x → x'``.
+
+    Attributes
+    ----------
+    sites : numpy.ndarray
+        Indices of sites whose species change.
+    new_values : numpy.ndarray
+        New species at those sites (same length as ``sites``).
+    delta_energy : float
+        ``H(x') − H(x)``.
+    log_q_ratio : float
+        ``log q(x|x') − log q(x'|x)`` — added to the MH log acceptance.
+    """
+
+    sites: np.ndarray
+    new_values: np.ndarray
+    delta_energy: float
+    log_q_ratio: float = 0.0
+
+    def apply(self, config: np.ndarray) -> None:
+        """Write the move into ``config`` in place."""
+        config[self.sites] = self.new_values
+
+    @property
+    def n_sites_changed(self) -> int:
+        return int(len(self.sites))
+
+
+class Proposal(abc.ABC):
+    """Transition-kernel factory.
+
+    Attributes
+    ----------
+    preserves_composition : bool
+        True when every move keeps species counts fixed (required for
+        canonical/HEA sampling).
+    is_global : bool
+        True for whole-configuration updates (used by diagnostics and the
+        machine performance model, which costs global moves differently).
+    """
+
+    preserves_composition: bool = True
+    is_global: bool = False
+    name: str = "proposal"
+
+    @abc.abstractmethod
+    def propose(
+        self,
+        config: np.ndarray,
+        hamiltonian: Hamiltonian,
+        rng: np.random.Generator,
+        current_energy: float | None = None,
+    ) -> Move | None:
+        """Produce a move from ``config`` (or ``None`` — see module docs).
+
+        ``current_energy`` lets global proposals compute ``delta_energy``
+        without re-evaluating ``H(x)``; samplers always pass it.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,171 @@
+"""Local (symmetric) proposals.
+
+These are the classical kernels the paper's DL proposals are measured
+against: they satisfy ``q(x'|x) = q(x|x')`` by construction, so their
+``log_q_ratio`` is exactly 0.
+
+Symmetry arguments (why ``log_q_ratio = 0``):
+
+- :class:`SwapProposal` with ``require_distinct=True`` draws uniformly from
+  the set of unlike-species site pairs; a swap permutes the *multiset* of
+  species, so the number of unlike pairs — hence the selection probability —
+  is identical before and after the move.
+- :class:`NeighborSwapProposal` draws uniformly from a fixed bond list.
+- :class:`FlipProposal` draws a site uniformly and a *different* species
+  uniformly; the reverse flip has the same probability.
+- :class:`MultiSwapProposal` draws an ordered sequence of k swaps, each
+  uniform; the reversed sequence undoes the move with equal probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hamiltonians.base import Hamiltonian
+from repro.proposals.base import Move, Proposal
+from repro.util.validation import check_integer
+
+__all__ = ["SwapProposal", "NeighborSwapProposal", "FlipProposal", "MultiSwapProposal"]
+
+_MAX_DISTINCT_TRIES = 256
+
+
+class SwapProposal(Proposal):
+    """Exchange the species of two random sites (canonical move).
+
+    Parameters
+    ----------
+    require_distinct : bool
+        Resample until the two sites carry different species (avoids
+        wasting steps on identity moves).  With extremely lopsided
+        compositions the resampling loop is bounded and falls back to the
+        possibly-identity pair.
+    """
+
+    preserves_composition = True
+    is_global = False
+
+    def __init__(self, require_distinct: bool = True):
+        self.require_distinct = bool(require_distinct)
+        self.name = "swap"
+
+    def propose(self, config, hamiltonian: Hamiltonian, rng, current_energy=None):
+        n = hamiltonian.n_sites
+        i = j = 0
+        for _ in range(_MAX_DISTINCT_TRIES):
+            i, j = int(rng.integers(n)), int(rng.integers(n))
+            if i == j:
+                continue
+            if not self.require_distinct or config[i] != config[j]:
+                break
+        delta = hamiltonian.delta_energy_swap(config, i, j)
+        return Move(
+            sites=np.array([i, j]),
+            new_values=np.array([config[j], config[i]], dtype=config.dtype),
+            delta_energy=delta,
+            log_q_ratio=0.0,
+        )
+
+
+class NeighborSwapProposal(Proposal):
+    """Kawasaki dynamics: swap a random nearest-neighbor pair.
+
+    Physically the local diffusion move for alloys; much slower mixing than
+    :class:`SwapProposal`, included as the conservative baseline.
+    """
+
+    preserves_composition = True
+    is_global = False
+
+    def __init__(self, shell: int = 0):
+        self.shell = check_integer("shell", shell, minimum=0)
+        self.name = f"nbr-swap(shell={shell})"
+        self._pairs_cache: tuple[int, np.ndarray] | None = None
+
+    def _pairs(self, hamiltonian) -> np.ndarray:
+        key = id(hamiltonian)
+        if self._pairs_cache is None or self._pairs_cache[0] != key:
+            shells = hamiltonian.lattice.neighbor_shells(self.shell + 1)
+            self._pairs_cache = (key, shells[self.shell].pairs())
+        return self._pairs_cache[1]
+
+    def propose(self, config, hamiltonian: Hamiltonian, rng, current_energy=None):
+        pairs = self._pairs(hamiltonian)
+        i, j = pairs[int(rng.integers(pairs.shape[0]))]
+        delta = hamiltonian.delta_energy_swap(config, int(i), int(j))
+        return Move(
+            sites=np.array([i, j]),
+            new_values=np.array([config[j], config[i]], dtype=config.dtype),
+            delta_energy=delta,
+            log_q_ratio=0.0,
+        )
+
+
+class FlipProposal(Proposal):
+    """Mutate one random site to a uniformly chosen *different* species.
+
+    Changes composition — the Ising/Potts (grand-canonical) move.  Canonical
+    HEA samplers must not use it; samplers assert on the
+    ``preserves_composition`` flag.
+    """
+
+    preserves_composition = False
+    is_global = False
+
+    def __init__(self):
+        self.name = "flip"
+
+    def propose(self, config, hamiltonian: Hamiltonian, rng, current_energy=None):
+        site = int(rng.integers(hamiltonian.n_sites))
+        old = int(config[site])
+        shift = 1 + int(rng.integers(hamiltonian.n_species - 1))
+        new = (old + shift) % hamiltonian.n_species
+        delta = hamiltonian.delta_energy_flip(config, site, new)
+        return Move(
+            sites=np.array([site]),
+            new_values=np.array([new], dtype=config.dtype),
+            delta_energy=delta,
+            log_q_ratio=0.0,
+        )
+
+
+class MultiSwapProposal(Proposal):
+    """k simultaneous swaps — a tunable-range interpolation between local
+    and global updates (used in the E5/E6 proposal-quality ablations).
+
+    The energy change is computed by applying the swaps sequentially with
+    incremental updates on a scratch copy, so arbitrary overlaps between the
+    k pairs are handled exactly.
+    """
+
+    preserves_composition = True
+    is_global = False
+
+    def __init__(self, k: int = 4, require_distinct: bool = True):
+        self.k = check_integer("k", k, minimum=1)
+        self.require_distinct = bool(require_distinct)
+        self.name = f"multi-swap(k={k})"
+
+    def propose(self, config, hamiltonian: Hamiltonian, rng, current_energy=None):
+        n = hamiltonian.n_sites
+        scratch = config.copy()
+        delta = 0.0
+        touched: list[int] = []
+        for _ in range(self.k):
+            i = j = 0
+            for _try in range(_MAX_DISTINCT_TRIES):
+                i, j = int(rng.integers(n)), int(rng.integers(n))
+                if i == j:
+                    continue
+                if not self.require_distinct or scratch[i] != scratch[j]:
+                    break
+            delta += hamiltonian.delta_energy_swap(scratch, i, j)
+            scratch[i], scratch[j] = scratch[j], scratch[i]
+            touched += [i, j]
+        sites = np.unique(np.array(touched, dtype=np.int64))
+        return Move(
+            sites=sites,
+            new_values=scratch[sites],
+            delta_energy=delta,
+            log_q_ratio=0.0,
+        )

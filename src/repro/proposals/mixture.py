@@ -1,0 +1,55 @@
+"""Random-scan mixture of proposals.
+
+DeepThermo's practical sampler mixes cheap local refinement with expensive
+learned global jumps (e.g. 90% swaps / 10% VAE moves).  A random-scan
+mixture of kernels that each satisfy detailed balance w.r.t. the target is
+itself reversible, so the per-component acceptance rule (each component's
+own ``log_q_ratio``) is exact — no cross-component density evaluation is
+needed.  This requires the component choice to be made *independently of the
+current state*, which is what :meth:`propose` does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hamiltonians.base import Hamiltonian
+from repro.proposals.base import Move, Proposal
+
+__all__ = ["MixtureProposal"]
+
+
+class MixtureProposal(Proposal):
+    """Pick a component proposal with fixed probabilities each step.
+
+    Parameters
+    ----------
+    components : sequence of (Proposal, weight)
+        Weights are normalized internally; all must be positive.
+    """
+
+    def __init__(self, components):
+        components = list(components)
+        if not components:
+            raise ValueError("MixtureProposal requires at least one component")
+        self.proposals = [p for p, _w in components]
+        weights = np.array([float(w) for _p, w in components])
+        if np.any(weights <= 0):
+            raise ValueError(f"all mixture weights must be positive, got {weights}")
+        self.weights = weights / weights.sum()
+        self.preserves_composition = all(p.preserves_composition for p in self.proposals)
+        self.is_global = any(p.is_global for p in self.proposals)
+        self.name = "mix[" + ",".join(
+            f"{p.name}:{w:.2f}" for p, w in zip(self.proposals, self.weights)
+        ) + "]"
+        self.counts = np.zeros(len(self.proposals), dtype=np.int64)
+
+    def propose(self, config, hamiltonian: Hamiltonian, rng, current_energy=None) -> Move | None:
+        k = int(rng.choice(len(self.proposals), p=self.weights))
+        self.counts[k] += 1
+        return self.proposals[k].propose(config, hamiltonian, rng, current_energy=current_energy)
+
+    def component_fractions(self) -> np.ndarray:
+        """Empirical fraction of steps each component served so far."""
+        total = self.counts.sum()
+        return self.counts / total if total else np.zeros_like(self.weights)

@@ -1,0 +1,44 @@
+"""Monte Carlo samplers (S5).
+
+All samplers consume any :class:`~repro.hamiltonians.base.Hamiltonian` and
+any :class:`~repro.proposals.base.Proposal`; acceptance rules include the
+proposal's ``log_q_ratio`` term so learned (asymmetric) proposals remain
+exact.
+
+- :class:`MetropolisSampler` — canonical sampling at fixed β,
+- :class:`WangLandauSampler` — flat-histogram estimation of ln g(E)
+  (standard halving and 1/t modification-factor schedules),
+- :class:`MulticanonicalSampler` — production run with fixed 1/g(E) weights
+  (microcanonical observable accumulation),
+- :class:`ParallelTempering` — serial reference replica-exchange Metropolis
+  (the distributed version lives in :mod:`repro.parallel`),
+- :class:`EnergyGrid` — uniform or level-based energy binning,
+- :func:`drive_into_range` — steers a configuration into an energy window
+  (REWL walker initialization).
+"""
+
+from repro.sampling.binning import EnergyGrid
+from repro.sampling.metropolis import MetropolisSampler, RunStats
+from repro.sampling.wang_landau import (
+    WangLandauSampler,
+    WangLandauResult,
+    drive_into_range,
+)
+from repro.sampling.multicanonical import MulticanonicalSampler, MulticanonicalResult
+from repro.sampling.tempering import ParallelTempering, TemperingResult
+from repro.sampling.wolff import WolffSampler, WolffStats
+
+__all__ = [
+    "EnergyGrid",
+    "MetropolisSampler",
+    "RunStats",
+    "WangLandauSampler",
+    "WangLandauResult",
+    "drive_into_range",
+    "MulticanonicalSampler",
+    "MulticanonicalResult",
+    "ParallelTempering",
+    "TemperingResult",
+    "WolffSampler",
+    "WolffStats",
+]

@@ -1,0 +1,142 @@
+"""Energy binning for flat-histogram sampling.
+
+Two modes:
+
+- **uniform** — ``n_bins`` equal-width bins over ``[e_min, e_max]``; the
+  right edge is inclusive so the ground state is never dropped;
+- **levels** — one bin per known discrete energy level (exact for small
+  Ising/Potts systems, where levels are spaced by the coupling).
+
+Both expose the same interface: :meth:`index` maps an energy to a bin (−1
+when outside), :attr:`centers` are the representative energies used by the
+thermodynamics post-processing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_integer
+
+__all__ = ["EnergyGrid"]
+
+
+class EnergyGrid:
+    """Energy → bin mapping.
+
+    Use :meth:`uniform` or :meth:`from_levels` instead of the constructor.
+    """
+
+    def __init__(self, edges: np.ndarray | None, levels: np.ndarray | None, tol: float):
+        self._edges = edges
+        self._levels = levels
+        self._tol = tol
+        if (edges is None) == (levels is None):
+            raise ValueError("exactly one of edges/levels must be provided")
+
+    # ------------------------------------------------------------- builders
+
+    @classmethod
+    def uniform(cls, e_min: float, e_max: float, n_bins: int) -> "EnergyGrid":
+        """Equal-width bins covering ``[e_min, e_max]``."""
+        n_bins = check_integer("n_bins", n_bins, minimum=1)
+        if not e_max > e_min:
+            raise ValueError(f"need e_max > e_min, got [{e_min}, {e_max}]")
+        return cls(np.linspace(e_min, e_max, n_bins + 1), None, 0.0)
+
+    @classmethod
+    def from_levels(cls, levels, tol: float = 1e-6) -> "EnergyGrid":
+        """One bin per discrete energy level (must be sorted-unique-able)."""
+        levels = np.unique(np.asarray(levels, dtype=np.float64))
+        if levels.size == 0:
+            raise ValueError("levels must be non-empty")
+        if levels.size > 1 and np.min(np.diff(levels)) <= 2 * tol:
+            raise ValueError("levels closer than 2*tol cannot be distinguished")
+        return cls(None, levels, float(tol))
+
+    # ------------------------------------------------------------ interface
+
+    @property
+    def is_levels(self) -> bool:
+        return self._levels is not None
+
+    @property
+    def n_bins(self) -> int:
+        return len(self._levels) if self.is_levels else len(self._edges) - 1
+
+    @property
+    def e_min(self) -> float:
+        return float(self._levels[0] if self.is_levels else self._edges[0])
+
+    @property
+    def e_max(self) -> float:
+        return float(self._levels[-1] if self.is_levels else self._edges[-1])
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Representative energy per bin."""
+        if self.is_levels:
+            return self._levels.copy()
+        return 0.5 * (self._edges[:-1] + self._edges[1:])
+
+    @property
+    def widths(self) -> np.ndarray:
+        """Bin widths (levels mode reports the level spacing's lower bound)."""
+        if self.is_levels:
+            if len(self._levels) == 1:
+                return np.array([0.0])
+            return np.diff(self._levels, append=self._levels[-1] + (self._levels[-1] - self._levels[-2]))
+        return np.diff(self._edges)
+
+    def index(self, energy: float) -> int:
+        """Bin index of ``energy``; −1 when outside the grid."""
+        if self.is_levels:
+            k = int(np.searchsorted(self._levels, energy))
+            for cand in (k - 1, k):
+                if 0 <= cand < len(self._levels) and abs(self._levels[cand] - energy) <= self._tol:
+                    return cand
+            return -1
+        if energy < self._edges[0] or energy > self._edges[-1]:
+            return -1
+        k = int(np.searchsorted(self._edges, energy, side="right")) - 1
+        return min(k, self.n_bins - 1)  # right edge inclusive
+
+    def index_array(self, energies: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`index`."""
+        energies = np.asarray(energies, dtype=np.float64)
+        if self.is_levels:
+            k = np.searchsorted(self._levels, energies)
+            out = np.full(energies.shape, -1, dtype=np.int64)
+            for cand_off in (-1, 0):
+                cand = np.clip(k + cand_off, 0, len(self._levels) - 1)
+                hit = np.abs(self._levels[cand] - energies) <= self._tol
+                out = np.where((out == -1) & hit, cand, out)
+            return out
+        out = np.searchsorted(self._edges, energies, side="right") - 1
+        out = np.minimum(out, self.n_bins - 1)
+        outside = (energies < self._edges[0]) | (energies > self._edges[-1])
+        return np.where(outside, -1, out).astype(np.int64)
+
+    def contains(self, energy: float) -> bool:
+        return self.index(energy) >= 0
+
+    def subgrid(self, lo_bin: int, hi_bin: int) -> "EnergyGrid":
+        """Contiguous sub-range of bins ``[lo_bin, hi_bin]`` as a new grid.
+
+        This is how REWL energy windows are cut from the global grid, so
+        window bin centers always align with global bin centers.
+        """
+        if not 0 <= lo_bin <= hi_bin < self.n_bins:
+            raise ValueError(
+                f"invalid bin range [{lo_bin}, {hi_bin}] for {self.n_bins} bins"
+            )
+        if self.is_levels:
+            return EnergyGrid(None, self._levels[lo_bin : hi_bin + 1].copy(), self._tol)
+        return EnergyGrid(self._edges[lo_bin : hi_bin + 2].copy(), None, 0.0)
+
+    def __repr__(self) -> str:
+        kind = "levels" if self.is_levels else "uniform"
+        return (
+            f"EnergyGrid({kind}, n_bins={self.n_bins}, "
+            f"range=[{self.e_min:.6g}, {self.e_max:.6g}])"
+        )

@@ -1,0 +1,136 @@
+"""Multicanonical production sampling.
+
+After Wang–Landau has converged, ``ln g`` is frozen and a production run
+samples with weights ``w(E) ∝ 1/g(E)`` — a flat random walk in energy.  Two
+things come out of it:
+
+- a refined density of states: ``ln g_refined = ln g + ln H_prod`` (the
+  production histogram corrects residual WL error), and
+- *microcanonical* observable averages ``<O>(E)``: any observable recorded
+  per energy bin can then be reweighted to arbitrary temperature through
+  the density of states (this is how experiment E4 gets Warren–Cowley
+  parameters as functions of T from a single run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hamiltonians.base import Hamiltonian
+from repro.proposals.base import Proposal
+from repro.sampling.binning import EnergyGrid
+from repro.util.rng import BufferedDraws, as_generator
+
+__all__ = ["MulticanonicalSampler", "MulticanonicalResult"]
+
+
+@dataclass
+class MulticanonicalResult:
+    """Production-run output.
+
+    ``observable_means[name][k]`` is the microcanonical average of the
+    observable in energy bin ``k`` (NaN where the bin was never visited).
+    """
+
+    grid: EnergyGrid
+    ln_g: np.ndarray
+    histogram: np.ndarray
+    observable_means: dict[str, np.ndarray]
+    n_steps: int
+    acceptance_rate: float
+
+    def refined_ln_g(self) -> np.ndarray:
+        """WL estimate corrected by the production histogram."""
+        out = np.full(self.grid.n_bins, -np.inf)
+        mask = self.histogram > 0
+        out[mask] = self.ln_g[mask] + np.log(self.histogram[mask])
+        if np.any(mask):
+            out[mask] -= out[mask].min()
+        return out
+
+
+class MulticanonicalSampler:
+    """Fixed-weight flat-energy-walk sampler.
+
+    Parameters
+    ----------
+    hamiltonian, proposal, grid, config, rng
+        As for :class:`~repro.sampling.wang_landau.WangLandauSampler`.
+    ln_g : numpy.ndarray
+        Converged Wang–Landau estimate over ``grid`` (not modified).
+    observables : dict[str, callable], optional
+        ``name -> f(config, energy)`` scalar observables accumulated per
+        energy bin.
+    """
+
+    def __init__(self, hamiltonian: Hamiltonian, proposal: Proposal, grid: EnergyGrid,
+                 ln_g: np.ndarray, config: np.ndarray, rng=None, observables=None):
+        ln_g = np.asarray(ln_g, dtype=np.float64)
+        if ln_g.shape != (grid.n_bins,):
+            raise ValueError(f"ln_g must have shape ({grid.n_bins},), got {ln_g.shape}")
+        self.hamiltonian = hamiltonian
+        self.proposal = proposal
+        self.grid = grid
+        self.ln_g = ln_g
+        self.rng = BufferedDraws(as_generator(rng))
+        self.config = hamiltonian.validate_config(np.array(config, copy=True))
+        self.energy = float(hamiltonian.energy(self.config))
+        self.current_bin = grid.index(self.energy)
+        if self.current_bin < 0:
+            raise ValueError(
+                f"initial energy {self.energy:.6g} outside the grid; "
+                "use drive_into_range"
+            )
+        self.observables = dict(observables or {})
+        self.histogram = np.zeros(grid.n_bins, dtype=np.int64)
+        self._obs_sums = {name: np.zeros(grid.n_bins) for name in self.observables}
+        self.n_steps = 0
+        self.n_accepted = 0
+
+    def step(self, measure: bool = True) -> bool:
+        """One multicanonical step (optionally recording observables)."""
+        self.n_steps += 1
+        move = self.proposal.propose(
+            self.config, self.hamiltonian, self.rng, current_energy=self.energy
+        )
+        if move is not None:
+            new_energy = self.energy + move.delta_energy
+            new_bin = self.grid.index(new_energy)
+            if new_bin >= 0:
+                log_alpha = (
+                    self.ln_g[self.current_bin] - self.ln_g[new_bin] + move.log_q_ratio
+                )
+                if log_alpha >= 0.0 or np.log(self.rng.random()) < log_alpha:
+                    move.apply(self.config)
+                    self.energy = new_energy
+                    self.current_bin = new_bin
+                    self.n_accepted += 1
+        if measure:
+            self.histogram[self.current_bin] += 1
+            for name, fn in self.observables.items():
+                self._obs_sums[name][self.current_bin] += float(fn(self.config, self.energy))
+        return move is not None
+
+    def run(self, n_steps: int, measure_every: int = 1) -> MulticanonicalResult:
+        """Run ``n_steps`` steps, measuring every ``measure_every`` steps."""
+        for k in range(n_steps):
+            self.step(measure=((k + 1) % measure_every == 0))
+        return self.result()
+
+    def result(self) -> MulticanonicalResult:
+        means: dict[str, np.ndarray] = {}
+        with np.errstate(invalid="ignore", divide="ignore"):
+            for name, sums in self._obs_sums.items():
+                means[name] = np.where(
+                    self.histogram > 0, sums / np.maximum(self.histogram, 1), np.nan
+                )
+        return MulticanonicalResult(
+            grid=self.grid,
+            ln_g=self.ln_g.copy(),
+            histogram=self.histogram.copy(),
+            observable_means=means,
+            n_steps=self.n_steps,
+            acceptance_rate=self.n_accepted / self.n_steps if self.n_steps else 0.0,
+        )

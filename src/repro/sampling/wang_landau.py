@@ -1,0 +1,255 @@
+"""Wang–Landau flat-histogram sampling.
+
+Estimates ``ln g(E)`` over an :class:`~repro.sampling.binning.EnergyGrid` by
+biasing acceptance with the running estimate::
+
+    ln u < ln g(E) − ln g(E') + log_q_ratio
+
+and incrementing ``ln g`` at the visited bin by the modification factor
+``ln f``.  When the visit histogram is flat (min ≥ flatness·mean over the
+reachable bins), ``ln f`` is halved and the histogram reset; the run
+converges when ``ln f ≤ ln_f_final``.  The ``"one_over_t"`` schedule caps
+``ln f`` at ``n_bins/steps`` once halving would undershoot it, which removes
+the saturation error of plain halving (Belardinelli & Pereyra 2007).
+
+Moves landing outside the grid are rejected (standard windowed WL), and the
+*current* bin is updated on every step whether or not the move is accepted —
+both details are required for convergence to the true density of states.
+
+Reachability: bins never visited (gaps in a discrete spectrum, or windows
+overlapping forbidden energies) are excluded from the flatness test once the
+run has seen at least one flat check; a bin discovered later simply joins
+the reachable set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hamiltonians.base import Hamiltonian
+from repro.proposals.base import Proposal
+from repro.sampling.binning import EnergyGrid
+from repro.util.rng import BufferedDraws, as_generator
+
+__all__ = ["WangLandauSampler", "WangLandauResult", "drive_into_range"]
+
+
+def drive_into_range(hamiltonian: Hamiltonian, proposal: Proposal, grid: EnergyGrid,
+                     config: np.ndarray, rng=None, max_steps: int = 1_000_000) -> np.ndarray:
+    """Steer ``config`` until its energy lies inside ``grid``.
+
+    Greedy drift: accept any move that does not increase the distance to the
+    window (ties accepted, so the walk keeps diffusing on plateaus).  Used to
+    initialize REWL walkers whose window excludes the typical energy of a
+    random configuration.
+
+    Returns the steered configuration (a copy); raises ``RuntimeError`` when
+    the window cannot be reached within ``max_steps``.
+    """
+    rng = as_generator(rng)
+    config = np.array(config, copy=True)
+    energy = float(hamiltonian.energy(config))
+
+    def distance(e: float) -> float:
+        if e < grid.e_min:
+            return grid.e_min - e
+        if e > grid.e_max:
+            return e - grid.e_max
+        return 0.0
+
+    for _ in range(max_steps):
+        if grid.contains(energy):
+            return config
+        move = proposal.propose(config, hamiltonian, rng, current_energy=energy)
+        if move is None:
+            continue
+        if distance(energy + move.delta_energy) <= distance(energy):
+            move.apply(config)
+            energy += move.delta_energy
+    raise RuntimeError(
+        f"could not reach energy window [{grid.e_min}, {grid.e_max}] in "
+        f"{max_steps} steps (last energy {energy:.6g})"
+    )
+
+
+@dataclass
+class WangLandauResult:
+    """Outcome of a Wang–Landau run.
+
+    ``ln_g`` is *relative* (shifted so its minimum over visited bins is 0);
+    absolute normalization — e.g. pinning the total state count to
+    ``n_species^n_sites`` — is applied by :mod:`repro.dos`.
+    """
+
+    grid: EnergyGrid
+    ln_g: np.ndarray
+    histogram: np.ndarray
+    visited: np.ndarray
+    converged: bool
+    n_steps: int
+    n_iterations: int
+    final_ln_f: float
+    acceptance_rate: float
+    iteration_steps: list[int] = field(default_factory=list)
+
+    def masked_ln_g(self) -> np.ndarray:
+        """ln g with unvisited bins set to −inf."""
+        out = np.where(self.visited, self.ln_g, -np.inf)
+        if np.any(self.visited):
+            out = out - out[self.visited].min()
+        return out
+
+
+class WangLandauSampler:
+    """Single-walker Wang–Landau sampler.
+
+    Parameters
+    ----------
+    hamiltonian : Hamiltonian
+    proposal : Proposal
+    grid : EnergyGrid
+        Energy window (global range, or one REWL window).
+    config : numpy.ndarray
+        Initial configuration; its energy must lie inside ``grid`` (use
+        :func:`drive_into_range` first otherwise).
+    rng : seed or Generator
+    ln_f_init, ln_f_final : float
+        Initial and terminal modification factors.
+    flatness : float
+        Histogram flatness threshold (min/mean over reachable bins).
+    check_interval : int
+        Steps between flatness checks (default: 100·n_bins, floored at 1000).
+    schedule : {"halving", "one_over_t"}
+    """
+
+    def __init__(self, hamiltonian: Hamiltonian, proposal: Proposal, grid: EnergyGrid,
+                 config: np.ndarray, rng=None, ln_f_init: float = 1.0,
+                 ln_f_final: float = 1e-6, flatness: float = 0.8,
+                 check_interval: int | None = None, schedule: str = "halving"):
+        if schedule not in ("halving", "one_over_t"):
+            raise ValueError(f"unknown schedule {schedule!r}")
+        if not 0.0 < flatness < 1.0:
+            raise ValueError(f"flatness must be in (0, 1), got {flatness}")
+        if not 0.0 < ln_f_final < ln_f_init:
+            raise ValueError(
+                f"need 0 < ln_f_final < ln_f_init, got {ln_f_final}, {ln_f_init}"
+            )
+        self.hamiltonian = hamiltonian
+        self.proposal = proposal
+        self.grid = grid
+        self.rng = BufferedDraws(as_generator(rng))
+        self.config = hamiltonian.validate_config(np.array(config, copy=True))
+        self.energy = float(hamiltonian.energy(self.config))
+        self.current_bin = grid.index(self.energy)
+        if self.current_bin < 0:
+            raise ValueError(
+                f"initial energy {self.energy:.6g} lies outside the grid "
+                f"[{grid.e_min:.6g}, {grid.e_max:.6g}]; use drive_into_range"
+            )
+        self.ln_f = float(ln_f_init)
+        self.ln_f_final = float(ln_f_final)
+        self.flatness = float(flatness)
+        self.schedule = schedule
+        self.check_interval = (
+            max(1000, 100 * grid.n_bins) if check_interval is None else int(check_interval)
+        )
+
+        n = grid.n_bins
+        self.ln_g = np.zeros(n)
+        self.histogram = np.zeros(n, dtype=np.int64)
+        self.visited = np.zeros(n, dtype=bool)
+        self.n_steps = 0
+        self.n_accepted = 0
+        self.n_iterations = 0
+        self.iteration_steps: list[int] = []
+        self._steps_this_iteration = 0
+
+    # ----------------------------------------------------------------- step
+
+    def step(self) -> bool:
+        """One WL step; returns True when the move was accepted."""
+        self.n_steps += 1
+        self._steps_this_iteration += 1
+        move = self.proposal.propose(
+            self.config, self.hamiltonian, self.rng, current_energy=self.energy
+        )
+        accepted = False
+        if move is not None:
+            new_energy = self.energy + move.delta_energy
+            new_bin = self.grid.index(new_energy)
+            if new_bin >= 0:
+                log_alpha = (
+                    self.ln_g[self.current_bin] - self.ln_g[new_bin] + move.log_q_ratio
+                )
+                if log_alpha >= 0.0 or np.log(self.rng.random()) < log_alpha:
+                    move.apply(self.config)
+                    self.energy = new_energy
+                    self.current_bin = new_bin
+                    accepted = True
+                    self.n_accepted += 1
+        # Update the (possibly unchanged) current bin — mandatory for WL.
+        self.ln_g[self.current_bin] += self.ln_f
+        self.histogram[self.current_bin] += 1
+        self.visited[self.current_bin] = True
+        return accepted
+
+    # ----------------------------------------------------------- iteration
+
+    def is_flat(self) -> bool:
+        """Histogram flatness over the reachable-bin set."""
+        mask = self.visited
+        if not np.any(mask):
+            return False
+        h = self.histogram[mask]
+        if np.any(h == 0):
+            return False
+        return float(h.min()) >= self.flatness * float(h.mean())
+
+    def advance_modification_factor(self) -> None:
+        """Halve ln f (respecting the 1/t floor) and reset the histogram."""
+        self.n_iterations += 1
+        self.iteration_steps.append(self._steps_this_iteration)
+        self._steps_this_iteration = 0
+        new_ln_f = self.ln_f / 2.0
+        if self.schedule == "one_over_t":
+            sweeps = max(1.0, self.n_steps / max(1, self.hamiltonian.n_sites))
+            new_ln_f = max(new_ln_f, 1.0 / sweeps)
+            if new_ln_f >= self.ln_f:  # floor reached: 1/t decays on its own
+                new_ln_f = 1.0 / sweeps
+        self.ln_f = new_ln_f
+        self.histogram[:] = 0
+
+    def run(self, max_steps: int = 50_000_000) -> WangLandauResult:
+        """Iterate until ``ln f ≤ ln_f_final`` or ``max_steps`` is exhausted."""
+        while self.n_steps < max_steps and self.ln_f > self.ln_f_final:
+            budget = min(self.check_interval, max_steps - self.n_steps)
+            for _ in range(budget):
+                self.step()
+            if self.is_flat():
+                self.advance_modification_factor()
+            elif self.schedule == "one_over_t" and self.ln_f <= 1.0 / max(
+                1.0, self.n_steps / max(1, self.hamiltonian.n_sites)
+            ):
+                # In the 1/t regime ln f decays with time, not with flatness.
+                sweeps = max(1.0, self.n_steps / max(1, self.hamiltonian.n_sites))
+                self.ln_f = 1.0 / sweeps
+        return self.result()
+
+    def result(self) -> WangLandauResult:
+        ln_g = self.ln_g.copy()
+        if np.any(self.visited):
+            ln_g -= ln_g[self.visited].min()
+        return WangLandauResult(
+            grid=self.grid,
+            ln_g=ln_g,
+            histogram=self.histogram.copy(),
+            visited=self.visited.copy(),
+            converged=self.ln_f <= self.ln_f_final,
+            n_steps=self.n_steps,
+            n_iterations=self.n_iterations,
+            final_ln_f=self.ln_f,
+            acceptance_rate=self.n_accepted / self.n_steps if self.n_steps else 0.0,
+            iteration_steps=list(self.iteration_steps),
+        )

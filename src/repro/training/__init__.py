@@ -1,0 +1,26 @@
+"""Online training of learned proposals (S9).
+
+DeepThermo trains its proposal model *on the fly*: walkers harvest visited
+configurations into a replay buffer, the model is (re)trained periodically,
+and refreshed weights drive subsequent global proposals.
+
+- :class:`ReplayBuffer` — fixed-capacity ring buffer of configurations,
+- :class:`ProposalTrainer` — model + optimizer + buffer with epoch-level
+  training and loss history,
+- :func:`pretrain_from_chain` — harvest from a Metropolis chain then train
+  (the paper's warm-up phase),
+- :class:`OnlineLoop` — alternating sample/train rounds with acceptance
+  tracking (the full DeepThermo loop, used by experiments E5/E6/E10).
+"""
+
+from repro.training.buffer import ReplayBuffer
+from repro.training.trainer import ProposalTrainer
+from repro.training.pipeline import pretrain_from_chain, OnlineLoop, OnlineLoopResult
+
+__all__ = [
+    "ReplayBuffer",
+    "ProposalTrainer",
+    "pretrain_from_chain",
+    "OnlineLoop",
+    "OnlineLoopResult",
+]

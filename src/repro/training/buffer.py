@@ -1,0 +1,67 @@
+"""Replay buffer of Monte Carlo configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lattice.configuration import one_hot
+from repro.util.rng import as_generator
+from repro.util.validation import check_integer
+
+__all__ = ["ReplayBuffer"]
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer of int8 configurations.
+
+    Oldest entries are overwritten once full — the training distribution
+    tracks the walker's recent history, which is what makes the proposal
+    adapt as sampling explores new energy regions.
+    """
+
+    def __init__(self, capacity: int, n_sites: int, n_species: int):
+        self.capacity = check_integer("capacity", capacity, minimum=1)
+        self.n_sites = check_integer("n_sites", n_sites, minimum=1)
+        self.n_species = check_integer("n_species", n_species, minimum=2)
+        self._data = np.zeros((capacity, n_sites), dtype=np.int8)
+        self._next = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_full(self) -> bool:
+        return self._count == self.capacity
+
+    def add(self, config: np.ndarray) -> None:
+        """Append one configuration (copied)."""
+        config = np.asarray(config)
+        if config.shape != (self.n_sites,):
+            raise ValueError(
+                f"configuration must have shape ({self.n_sites},), got {config.shape}"
+            )
+        self._data[self._next] = config
+        self._next = (self._next + 1) % self.capacity
+        self._count = min(self._count + 1, self.capacity)
+
+    def add_batch(self, configs: np.ndarray) -> None:
+        for row in np.atleast_2d(configs):
+            self.add(row)
+
+    def sample(self, batch_size: int, rng=None) -> np.ndarray:
+        """Uniform sample with replacement, shape (batch, n_sites) int8."""
+        if self._count == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        rng = as_generator(rng)
+        idx = rng.integers(0, self._count, size=batch_size)
+        return self._data[idx].copy()
+
+    def sample_one_hot(self, batch_size: int, rng=None) -> np.ndarray:
+        """Uniform sample, one-hot encoded (B, n_sites, n_species)."""
+        batch = self.sample(batch_size, rng)
+        return np.stack([one_hot(row, self.n_species) for row in batch])
+
+    def contents(self) -> np.ndarray:
+        """All stored configurations (oldest-first not guaranteed)."""
+        return self._data[: self._count].copy()

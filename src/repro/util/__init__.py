@@ -1,0 +1,65 @@
+"""Shared low-level utilities for the DeepThermo reproduction.
+
+This package deliberately has no dependencies on the rest of :mod:`repro`;
+every other subpackage may depend on it.  It provides
+
+- :mod:`repro.util.rng` — reproducible, spawnable random-number streams
+  (one independent stream per MC walker / parallel rank),
+- :mod:`repro.util.numerics` — numerically stable log-domain primitives used
+  throughout density-of-states post-processing,
+- :mod:`repro.util.timers` — lightweight wall-clock instrumentation used by
+  the benchmark harness and the machine performance model calibration,
+- :mod:`repro.util.tables` — plain-text table rendering for experiment
+  reports (the "same rows the paper prints" requirement),
+- :mod:`repro.util.validation` — argument checking helpers shared by public
+  API entry points.
+"""
+
+from repro.util.numerics import (
+    logsumexp,
+    logmeanexp,
+    log_add_exp,
+    log_sub_exp,
+    log1pexp,
+    softmax,
+    log_softmax,
+    stable_sigmoid,
+    weighted_logsumexp,
+)
+from repro.util.rng import RngFactory, as_generator, spawn_generators
+from repro.util.timers import Timer, TimerRegistry
+from repro.util.tables import format_table, format_series
+from repro.util.plots import ascii_plot, sparkline
+from repro.util.validation import (
+    check_positive,
+    check_probability,
+    check_in_range,
+    check_integer,
+    check_array_shape,
+)
+
+__all__ = [
+    "logsumexp",
+    "logmeanexp",
+    "log_add_exp",
+    "log_sub_exp",
+    "log1pexp",
+    "softmax",
+    "log_softmax",
+    "stable_sigmoid",
+    "weighted_logsumexp",
+    "RngFactory",
+    "as_generator",
+    "spawn_generators",
+    "Timer",
+    "TimerRegistry",
+    "format_table",
+    "format_series",
+    "ascii_plot",
+    "sparkline",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+    "check_integer",
+    "check_array_shape",
+]

@@ -1,0 +1,88 @@
+"""Plain-text plotting for terminal-only environments.
+
+The experiment harness prints figures as rows; these helpers add a compact
+visual: an ASCII line plot for series (specific-heat peaks, scaling curves)
+and sparklines for inline traces.  No plotting library is available in the
+target environment, so "figures" ship as text.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_plot", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values) -> str:
+    """One-line unicode sparkline of a numeric series."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return ""
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return " " * values.size
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    chars = []
+    for v in values:
+        if not np.isfinite(v):
+            chars.append(" ")
+            continue
+        frac = 0.5 if span == 0 else (v - lo) / span
+        chars.append(_SPARK_LEVELS[min(int(frac * len(_SPARK_LEVELS)), len(_SPARK_LEVELS) - 1)])
+    return "".join(chars)
+
+
+def ascii_plot(xs, ys, width: int = 64, height: int = 16,
+               xlabel: str = "x", ylabel: str = "y", title: str = "") -> str:
+    """Render (xs, ys) as an ASCII scatter/line plot.
+
+    Multiple series: pass ``ys`` as a dict name -> values; each series gets
+    its own marker character.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    series = ys if isinstance(ys, dict) else {"": np.asarray(ys, dtype=np.float64)}
+    markers = "*o+x#@%&"
+    all_y = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    finite = all_y[np.isfinite(all_y)]
+    if xs.size < 2 or finite.size == 0:
+        raise ValueError("ascii_plot needs >= 2 x points and finite y values")
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(finite.min()), float(finite.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for s_idx, (name, yvals) in enumerate(series.items()):
+        yvals = np.asarray(yvals, dtype=np.float64)
+        if yvals.shape != xs.shape:
+            raise ValueError(
+                f"series {name!r} has {yvals.shape}, x has {xs.shape}"
+            )
+        mark = markers[s_idx % len(markers)]
+        for x, y in zip(xs, yvals):
+            if not np.isfinite(y):
+                continue
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = height - 1 - int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            canvas[row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>12.4g} ┤" + "".join(canvas[0]))
+    for row in canvas[1:-1]:
+        lines.append(" " * 12 + " │" + "".join(row))
+    lines.append(f"{y_lo:>12.4g} ┤" + "".join(canvas[-1]))
+    lines.append(" " * 12 + " └" + "─" * width)
+    lines.append(" " * 14 + f"{x_lo:<.4g}".ljust(width - 8) + f"{x_hi:>.4g}")
+    lines.append(" " * 14 + f"{xlabel} →   ({ylabel} ↑)")
+    if isinstance(ys, dict) and len(series) > 1:
+        legend = "  ".join(
+            f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+        )
+        lines.append(" " * 14 + legend)
+    return "\n".join(lines)

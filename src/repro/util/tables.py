@@ -1,0 +1,67 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment harness prints "the same rows/series the paper reports";
+these helpers keep the formatting uniform across all twelve experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value, fmt: str | None) -> str:
+    if value is None:
+        return "-"
+    if fmt is not None and isinstance(value, (int, float)) and not isinstance(value, bool):
+        return format(value, fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    floatfmt: str = ".4g",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Parameters
+    ----------
+    headers : sequence of str
+        Column names.
+    rows : iterable of sequences
+        Each row must have ``len(headers)`` entries; numbers are formatted
+        with ``floatfmt``, ``None`` renders as ``-``.
+    title : str, optional
+        A title line placed above the table.
+    floatfmt : str
+        Format spec applied to int/float cells.
+    """
+    str_rows = [[_cell(v, floatfmt) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence, xlabel="x", ylabel="y") -> str:
+    """Render an (x, y) series as the two-column table a figure would plot."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name!r}: len(xs)={len(xs)} != len(ys)={len(ys)}")
+    return format_table([xlabel, ylabel], list(zip(xs, ys)), title=f"series: {name}")

@@ -1,0 +1,64 @@
+"""Argument-checking helpers used at public API boundaries.
+
+Fail fast with messages that name the offending argument; internal hot paths
+skip these checks (they validate once at construction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+    "check_integer",
+    "check_array_shape",
+]
+
+
+def check_positive(name: str, value, strict: bool = True):
+    """Require ``value > 0`` (or ``>= 0`` when ``strict=False``)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value):
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value, lo, hi, inclusive: bool = True):
+    """Require ``lo <= value <= hi`` (or strict inequalities)."""
+    ok = lo <= value <= hi if inclusive else lo < value < hi
+    if not ok:
+        brackets = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must be in {brackets[0]}{lo}, {hi}{brackets[1]}, got {value!r}"
+        )
+    return value
+
+
+def check_integer(name: str, value, minimum=None):
+    """Require an integer (bools rejected), optionally with a lower bound."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return int(value)
+
+
+def check_array_shape(name: str, array, shape):
+    """Require ``array.shape == shape`` (``None`` entries are wildcards)."""
+    array = np.asarray(array)
+    if len(array.shape) != len(shape) or any(
+        expected is not None and actual != expected
+        for actual, expected in zip(array.shape, shape)
+    ):
+        raise ValueError(f"{name} must have shape {shape}, got {array.shape}")
+    return array

@@ -1,0 +1,197 @@
+"""Tests for SRO, transition detection, autocorrelation, and flatness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    autocorrelation_function,
+    count_round_trips,
+    effective_sample_size,
+    histogram_flatness,
+    integrated_autocorrelation_time,
+    pair_counts,
+    peak_full_width_half_max,
+    sro_matrix_table,
+    transition_temperature,
+    warren_cowley,
+)
+from repro.lattice import NBMOTAW, bcc, equiatomic_counts, random_configuration, square_lattice
+
+
+class TestWarrenCowley:
+    def test_random_alloy_near_zero(self):
+        """SRO of a large random configuration is ~0 for every pair."""
+        lat = bcc(6)
+        rng = np.random.default_rng(0)
+        alphas = []
+        for seed in range(12):
+            cfg = random_configuration(lat.n_sites, equiatomic_counts(lat.n_sites, 4), rng=seed)
+            alphas.append(warren_cowley(lat, cfg, 4))
+        mean_alpha = np.mean(alphas, axis=0)
+        # Statistical tolerance: per-config α fluctuates ~1/√(N·z·c) ≈ 0.06;
+        # averaging 12 seeds brings the expected spread well under 0.05.
+        assert np.abs(mean_alpha).max() < 0.05
+
+    def test_b2_order_signs(self):
+        """Perfect B2 (A on one sublattice, B on the other): α_AB = −1 on
+        shell 1 (all neighbors unlike) and α_AA = +1."""
+        lat = bcc(4)
+        grid = lat.site_grid()
+        cfg = grid[:, 3].astype(np.int8)  # species = basis slot
+        alpha = warren_cowley(lat, cfg, 2, shell=0)
+        assert alpha[0, 1] == pytest.approx(-1.0)
+        assert alpha[0, 0] == pytest.approx(1.0)
+
+    def test_b2_second_shell_like_neighbors(self):
+        lat = bcc(4)
+        cfg = lat.site_grid()[:, 3].astype(np.int8)
+        alpha = warren_cowley(lat, cfg, 2, shell=1)
+        # Second shell connects same sublattice: all like pairs.
+        assert alpha[0, 0] == pytest.approx(-1.0)
+        assert alpha[0, 1] == pytest.approx(1.0)
+
+    def test_sum_rule(self):
+        """Σ_j c_j (1 − α_ij) = 1 exactly for every i."""
+        lat = bcc(3)
+        cfg = random_configuration(lat.n_sites, equiatomic_counts(lat.n_sites, 4), rng=1)
+        conc = np.bincount(cfg.astype(np.int64), minlength=4) / lat.n_sites
+        alpha = warren_cowley(lat, cfg, 4)
+        for i in range(4):
+            total = np.nansum(conc * (1.0 - alpha[i]))
+            assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_pair_counts_symmetric_and_total(self):
+        lat = square_lattice(4)
+        cfg = random_configuration(16, [8, 8], rng=2)
+        table = lat.neighbor_shells(1)[0].table
+        counts = pair_counts(cfg, table, 2)
+        assert np.array_equal(counts, counts.T)
+        assert counts.sum() == 16 * 4  # all directed pairs
+
+    def test_absent_species_nan(self):
+        lat = square_lattice(4)
+        cfg = np.zeros(16, dtype=np.int8)
+        alpha = warren_cowley(lat, cfg, 2)
+        assert np.isnan(alpha[1, 0])
+        assert alpha[0, 0] == pytest.approx(0.0)
+
+    def test_table_rendering(self):
+        alpha = np.zeros((4, 4))
+        out = sro_matrix_table(alpha, NBMOTAW.names)
+        assert "Nb" in out and "+0.0000" in out
+
+    def test_table_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            sro_matrix_table(np.zeros((2, 2)), NBMOTAW.names)
+
+
+class TestTransition:
+    def test_parabola_vertex_recovered(self):
+        t = np.linspace(1.0, 3.0, 21)
+        c = 5.0 - (t - 2.13) ** 2
+        tc, cmax = transition_temperature(t, c)
+        assert tc == pytest.approx(2.13, abs=1e-6)
+        assert cmax == pytest.approx(5.0, abs=1e-6)
+
+    def test_boundary_peak_fallback(self):
+        t = np.array([1.0, 2.0, 3.0])
+        c = np.array([3.0, 2.0, 1.0])
+        tc, cmax = transition_temperature(t, c)
+        assert tc == 1.0 and cmax == 3.0
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            transition_temperature([1.0, 2.0], [1.0, 2.0])
+
+    def test_fwhm_gaussian(self):
+        t = np.linspace(-5, 5, 400)
+        sigma = 0.7
+        c = np.exp(-(t**2) / (2 * sigma**2))
+        fwhm = peak_full_width_half_max(t, c)
+        assert fwhm == pytest.approx(2.3548 * sigma, rel=0.02)
+
+    def test_fwhm_nan_when_no_crossing(self):
+        t = np.linspace(0, 1, 10)
+        c = np.ones(10)
+        assert np.isnan(peak_full_width_half_max(t, c))
+
+
+class TestAutocorrelation:
+    def test_white_noise_tau_half(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=20_000)
+        tau = integrated_autocorrelation_time(x)
+        assert tau == pytest.approx(0.5, abs=0.1)
+
+    def test_ar1_known_tau(self):
+        """AR(1) with coefficient ρ has τ_int = 1/2 + ρ/(1−ρ)... exactly
+        τ_int = (1+ρ)/(2(1−ρ))."""
+        rho = 0.8
+        rng = np.random.default_rng(1)
+        n = 200_000
+        x = np.empty(n)
+        x[0] = 0.0
+        noise = rng.normal(size=n)
+        for k in range(1, n):
+            x[k] = rho * x[k - 1] + noise[k]
+        tau = integrated_autocorrelation_time(x)
+        expected = (1 + rho) / (2 * (1 - rho))
+        assert tau == pytest.approx(expected, rel=0.15)
+
+    def test_rho_zero_lag_is_one(self):
+        x = np.random.default_rng(2).normal(size=500)
+        rho = autocorrelation_function(x, max_lag=10)
+        assert rho[0] == pytest.approx(1.0)
+
+    def test_ess_white_noise(self):
+        x = np.random.default_rng(3).normal(size=10_000)
+        assert effective_sample_size(x) == pytest.approx(10_000, rel=0.2)
+
+    def test_short_series_raises(self):
+        with pytest.raises(ValueError):
+            autocorrelation_function([1.0])
+
+    def test_constant_series_handled(self):
+        rho = autocorrelation_function(np.ones(100))
+        assert rho[0] == pytest.approx(1.0)
+        assert np.allclose(rho[1:], 0.0)
+
+
+class TestFlatness:
+    def test_perfectly_flat(self):
+        assert histogram_flatness(np.full(10, 7)) == pytest.approx(1.0)
+
+    def test_empty_bin_gives_zero(self):
+        assert histogram_flatness(np.array([5, 0, 5])) == 0.0
+
+    def test_mask_restricts(self):
+        h = np.array([10, 0, 10])
+        mask = np.array([True, False, True])
+        assert histogram_flatness(h, mask) == pytest.approx(1.0)
+
+    def test_empty_after_mask(self):
+        assert histogram_flatness(np.array([1.0]), np.array([False])) == 0.0
+
+
+class TestRoundTrips:
+    def test_simple_round_trip(self):
+        trace = [0, 5, 9, 5, 0, 5, 9, 0]
+        assert count_round_trips(trace, n_bins=10) == 2
+
+    def test_no_trip_without_reaching_high(self):
+        assert count_round_trips([0, 3, 0, 3, 0], n_bins=10) == 0
+
+    def test_empty_trace(self):
+        assert count_round_trips([], n_bins=10) == 0
+
+    def test_edge_fraction_validation(self):
+        with pytest.raises(ValueError):
+            count_round_trips([0, 1], n_bins=10, edge_fraction=0.6)
+
+    @given(st.lists(st.integers(0, 19), min_size=0, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_never_negative_and_bounded(self, trace):
+        trips = count_round_trips(trace, n_bins=20)
+        assert 0 <= trips <= len(trace) // 2 + 1

@@ -1,0 +1,75 @@
+"""Checkpoint/restore round-trip tests for the REWL driver."""
+
+import numpy as np
+import pytest
+
+from repro.hamiltonians import IsingHamiltonian
+from repro.lattice import square_lattice
+from repro.parallel import REWLConfig, REWLDriver, load_checkpoint, save_checkpoint
+from repro.proposals import FlipProposal
+from repro.sampling import EnergyGrid
+
+
+def make_driver(seed=3, n_windows=2, walkers=2):
+    ham = IsingHamiltonian(square_lattice(4))
+    grid = EnergyGrid.from_levels(ham.energy_levels())
+    return REWLDriver(
+        ham, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
+        REWLConfig(n_windows=n_windows, walkers_per_window=walkers,
+                   exchange_interval=300, ln_f_final=1e-6, seed=seed),
+    )
+
+
+class TestCheckpointRoundTrip:
+    def test_resume_is_bit_identical(self, tmp_path):
+        """run(A+B rounds) == run(A) -> checkpoint -> restore -> run(B)."""
+        straight = make_driver()
+        straight.run(max_rounds=6)
+        ref = straight.result()
+
+        first = make_driver()
+        first.run(max_rounds=3)
+        ckpt = save_checkpoint(first, tmp_path / "rewl.ckpt")
+
+        resumed = make_driver()  # fresh driver, same constructor args
+        load_checkpoint(resumed, ckpt)
+        resumed.run(max_rounds=6)  # continues from round 3 to 6
+        res = resumed.result()
+
+        assert res.rounds == ref.rounds
+        for a, b in zip(ref.window_ln_g, res.window_ln_g):
+            assert np.array_equal(a, b)
+        assert np.array_equal(ref.exchange_accepts, res.exchange_accepts)
+
+    def test_counters_restored(self, tmp_path):
+        driver = make_driver()
+        driver.run(max_rounds=2)
+        ckpt = save_checkpoint(driver, tmp_path / "c.ckpt")
+        fresh = make_driver()
+        load_checkpoint(fresh, ckpt)
+        assert fresh.rounds == 2
+        assert fresh.exchange_attempts.sum() == driver.exchange_attempts.sum()
+
+
+class TestCheckpointValidation:
+    def test_window_count_mismatch(self, tmp_path):
+        driver = make_driver()
+        ckpt = save_checkpoint(driver, tmp_path / "c.ckpt")
+        other = make_driver(n_windows=3)
+        with pytest.raises(ValueError, match="n_windows"):
+            load_checkpoint(other, ckpt)
+
+    def test_walker_count_mismatch(self, tmp_path):
+        driver = make_driver()
+        ckpt = save_checkpoint(driver, tmp_path / "c.ckpt")
+        other = make_driver(walkers=1)
+        with pytest.raises(ValueError, match="walkers_per_window"):
+            load_checkpoint(other, ckpt)
+
+    def test_version_guard(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(pickle.dumps({"version": 999}))
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(make_driver(), path)

@@ -1,0 +1,50 @@
+"""Tests for the CLI entry point and the EXPERIMENTS.md report generator."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.experiments.common import EXPERIMENTS
+from repro.experiments.report import render
+
+
+class TestCli:
+    def test_help(self, capsys):
+        assert cli_main([]) == 0
+        assert "experiments" in capsys.readouterr().out
+
+    def test_info(self, capsys):
+        assert cli_main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "sampling" in out
+
+    def test_unknown_command(self, capsys):
+        assert cli_main(["frobnicate"]) == 2
+        assert "unknown command" in capsys.readouterr().err
+
+    def test_experiments_rejects_unknown_id(self):
+        with pytest.raises(SystemExit):
+            cli_main(["experiments", "--only", "E99"])
+
+
+class TestReportRender:
+    def test_render_with_entries(self, tmp_path):
+        summary = {
+            "E1": {
+                "title": "t1", "paper_claim": "c1", "measured": "m1",
+                "elapsed_s": 1.0,
+            }
+        }
+        detail = {"tables": {"a": "row1 | row2"}}
+        (tmp_path / "e1.json").write_text(json.dumps(detail))
+        out = render(summary, tmp_path)
+        assert "## E1: t1" in out
+        assert "c1" in out and "m1" in out
+        assert "row1 | row2" in out
+
+    def test_render_marks_pending(self, tmp_path):
+        out = render({}, tmp_path)
+        for exp_id in EXPERIMENTS:
+            assert f"## {exp_id}" in out
+        assert "Pending" in out

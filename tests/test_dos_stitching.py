@@ -1,0 +1,118 @@
+"""Tests for DoS window stitching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dos import join_pair, stitch_windows
+from repro.parallel import make_windows
+from repro.sampling import EnergyGrid
+
+
+def synthetic_pieces(n_bins, n_windows, overlap, shifts=None, noise=0.0, seed=0):
+    """Cut a smooth ln g into window pieces with arbitrary offsets."""
+    rng = np.random.default_rng(seed)
+    grid = EnergyGrid.uniform(0.0, 1.0, n_bins)
+    x = grid.centers
+    truth = 500.0 * x * (1.0 - x) * 4.0  # parabola, like a real DoS
+    windows = make_windows(grid, n_windows, overlap)
+    pieces, visited = [], []
+    for k, w in enumerate(windows):
+        piece = truth[w.lo_bin : w.hi_bin + 1].copy()
+        piece += shifts[k] if shifts is not None else rng.uniform(-100, 100)
+        if noise:
+            piece += rng.normal(0, noise, piece.shape)
+        pieces.append(piece)
+        visited.append(np.ones(w.n_bins, dtype=bool))
+    return grid, windows, pieces, visited, truth
+
+
+class TestJoinPair:
+    def test_shift_recovered(self):
+        left = np.array([0.0, 1.0, 2.0, 3.0])
+        right = np.array([0.0, 0.0, -3.0, -2.0])
+        lv = np.array([True, True, True, True])
+        rv = np.array([False, False, True, True])
+        shift, residual = join_pair(left, lv, right, rv, 2, 3)
+        assert shift == pytest.approx(5.0)
+        assert residual == pytest.approx(0.0)
+
+    def test_no_common_bins_raises(self):
+        left = np.zeros(4)
+        right = np.zeros(4)
+        lv = np.array([True, True, False, False])
+        rv = np.array([False, False, True, True])
+        with pytest.raises(ValueError):
+            join_pair(left, lv, right, rv, 1, 2)
+
+    def test_residual_measures_disagreement(self):
+        left = np.array([0.0, 1.0])
+        right = np.array([0.0, 2.0])
+        v = np.array([True, True])
+        _, residual = join_pair(left, v, right, v, 0, 1)
+        assert residual > 0.4
+
+
+class TestStitchWindows:
+    @given(
+        n_windows=st.integers(2, 6),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_recovers_truth_up_to_constant(self, n_windows, seed):
+        grid, windows, pieces, visited, truth = synthetic_pieces(
+            120, n_windows, 0.5, seed=seed
+        )
+        stitched = stitch_windows(grid, windows, pieces, visited)
+        assert stitched.visited.all()
+        rel_est = stitched.ln_g - stitched.ln_g[0]
+        rel_truth = truth - truth[0]
+        assert np.abs(rel_est - rel_truth).max() < 1e-9
+
+    def test_noise_gives_small_residuals(self):
+        grid, windows, pieces, visited, truth = synthetic_pieces(
+            100, 4, 0.5, noise=0.05, seed=3
+        )
+        stitched = stitch_windows(grid, windows, pieces, visited)
+        assert np.all(stitched.joint_residuals < 0.2)
+        rel_est = stitched.ln_g - stitched.ln_g[0]
+        rel_truth = truth - truth[0]
+        assert np.abs(rel_est - rel_truth).max() < 0.5
+
+    def test_span_property(self):
+        grid, windows, pieces, visited, truth = synthetic_pieces(80, 3, 0.5, seed=1)
+        stitched = stitch_windows(grid, windows, pieces, visited)
+        assert stitched.span == pytest.approx(truth.max() - truth.min(), abs=1e-6)
+
+    def test_min_is_zero(self):
+        grid, windows, pieces, visited, _ = synthetic_pieces(80, 3, 0.5, seed=2)
+        stitched = stitch_windows(grid, windows, pieces, visited)
+        assert stitched.values().min() == pytest.approx(0.0)
+
+    def test_unvisited_bins_stay_minus_inf(self):
+        grid, windows, pieces, visited, _ = synthetic_pieces(60, 2, 0.5, seed=4)
+        visited[0][0] = False  # ground-state bin never reached
+        stitched = stitch_windows(grid, windows, pieces, visited)
+        assert stitched.ln_g[0] == -np.inf
+        assert not stitched.visited[0]
+
+    def test_length_mismatch_raises(self):
+        grid, windows, pieces, visited, _ = synthetic_pieces(60, 2, 0.5)
+        with pytest.raises(ValueError):
+            stitch_windows(grid, windows, pieces[:1], visited)
+
+    def test_piece_shape_mismatch_raises(self):
+        grid, windows, pieces, visited, _ = synthetic_pieces(60, 2, 0.5)
+        pieces[0] = pieces[0][:-1]
+        with pytest.raises(ValueError):
+            stitch_windows(grid, windows, pieces, visited)
+
+    def test_disconnected_windows_raise(self):
+        grid, windows, pieces, visited, _ = synthetic_pieces(60, 2, 0.5)
+        # Kill every overlap bin of the right window.
+        lo, hi = windows[0].overlap_bins(windows[1])
+        for b in range(lo, hi + 1):
+            visited[1][b - windows[1].lo_bin] = False
+        with pytest.raises(ValueError):
+            stitch_windows(grid, windows, pieces, visited)

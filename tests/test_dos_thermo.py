@@ -1,0 +1,182 @@
+"""Tests for thermodynamics-from-DoS and exact Ising references."""
+
+import numpy as np
+import pytest
+
+from repro.dos import (
+    exact_ising_dos_bruteforce,
+    exact_ising_internal_energy,
+    exact_ising_specific_heat,
+    kaufman_log_partition,
+    normalize_ln_g,
+    onsager_critical_temperature,
+    reweight_observable,
+    thermodynamics,
+)
+from repro.dos.thermo import log_multinomial, log_total_states
+from repro.util import logsumexp
+
+
+@pytest.fixture(scope="module")
+def ising_dos():
+    return exact_ising_dos_bruteforce(4)
+
+
+class TestThermodynamics:
+    def test_two_level_system(self):
+        """Analytic check: DoS {g0=1 at E=0, g1=2 at E=1}."""
+        energies = np.array([0.0, 1.0])
+        ln_g = np.log(np.array([1.0, 2.0]))
+        t = 1.0
+        tab = thermodynamics(energies, ln_g, [t])
+        z = 1.0 + 2.0 * np.exp(-1.0)
+        assert tab.log_z[0] == pytest.approx(np.log(z))
+        u = 2.0 * np.exp(-1.0) / z
+        assert tab.internal_energy[0] == pytest.approx(u)
+        c = (2.0 * np.exp(-1.0) / z) - u**2
+        assert tab.specific_heat[0] == pytest.approx(c)
+        assert tab.free_energy[0] == pytest.approx(-np.log(z))
+        assert tab.entropy[0] == pytest.approx(u + np.log(z))
+
+    def test_matches_kaufman_across_temperatures(self, ising_dos):
+        levels, degens = ising_dos
+        temps = np.linspace(1.0, 5.0, 9)
+        tab = thermodynamics(levels, np.log(degens), temps)
+        for t, lz, u in zip(temps, tab.log_z, tab.internal_energy):
+            assert lz == pytest.approx(kaufman_log_partition(4, 4, 1.0 / t), abs=1e-9)
+            assert u == pytest.approx(exact_ising_internal_energy(4, 4, t), abs=1e-4)
+
+    def test_specific_heat_matches_kaufman(self, ising_dos):
+        levels, degens = ising_dos
+        tab = thermodynamics(levels, np.log(degens), [2.0, 2.5, 3.0])
+        for t, c in zip(tab.temperatures, tab.specific_heat):
+            assert c == pytest.approx(exact_ising_specific_heat(4, 4, t), abs=1e-3)
+
+    def test_shift_invariance_of_u_and_c(self, ising_dos):
+        levels, degens = ising_dos
+        tab1 = thermodynamics(levels, np.log(degens), [2.0])
+        tab2 = thermodynamics(levels, np.log(degens) + 123.4, [2.0])
+        assert tab1.internal_energy[0] == pytest.approx(tab2.internal_energy[0])
+        assert tab1.specific_heat[0] == pytest.approx(tab2.specific_heat[0])
+
+    def test_minus_inf_bins_dropped(self):
+        energies = np.array([0.0, 1.0, 2.0])
+        ln_g = np.array([0.0, -np.inf, 0.0])
+        tab = thermodynamics(energies, ln_g, [1.0])
+        z = 1.0 + np.exp(-2.0)
+        assert tab.log_z[0] == pytest.approx(np.log(z))
+
+    def test_kb_units(self, ising_dos):
+        """With kb != 1, T in new units must reproduce the same physics."""
+        levels, degens = ising_dos
+        kb = 8.617e-5
+        tab_red = thermodynamics(levels, np.log(degens), [2.0], kb=1.0)
+        tab_ev = thermodynamics(levels, np.log(degens), [2.0 / kb], kb=kb)
+        assert tab_red.internal_energy[0] == pytest.approx(tab_ev.internal_energy[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            thermodynamics([0.0], [0.0, 1.0], [1.0])
+        with pytest.raises(ValueError):
+            thermodynamics([0.0, 1.0], [0.0, 0.0], [-1.0])
+        with pytest.raises(ValueError):
+            thermodynamics([0.0, 1.0], [-np.inf, -np.inf], [1.0])
+
+    def test_per_site(self, ising_dos):
+        levels, degens = ising_dos
+        tab = thermodynamics(levels, np.log(degens), [2.0]).per_site(16)
+        assert tab.internal_energy[0] == pytest.approx(
+            exact_ising_internal_energy(4, 4, 2.0) / 16
+        )
+
+    def test_peak_temperature(self, ising_dos):
+        levels, degens = ising_dos
+        temps = np.linspace(1.5, 4.0, 60)
+        tab = thermodynamics(levels, np.log(degens), temps)
+        # Finite 4x4 lattice peaks near (slightly above) the Onsager Tc.
+        assert 2.0 < tab.peak_temperature < 3.0
+
+
+class TestNormalization:
+    def test_normalize_total_states(self, ising_dos):
+        levels, degens = ising_dos
+        relative = np.log(degens) - np.log(degens).min() + 7.0
+        normed = normalize_ln_g(relative, log_total_states(16, 2))
+        assert logsumexp(normed) == pytest.approx(16 * np.log(2.0))
+        # Normalization must recover the absolute values exactly here.
+        assert np.allclose(normed, np.log(degens), atol=1e-9)
+
+    def test_log_multinomial(self):
+        assert log_multinomial([2, 2]) == pytest.approx(np.log(6.0))
+        assert log_multinomial([1, 1, 1]) == pytest.approx(np.log(6.0))
+
+    def test_minus_inf_preserved(self):
+        out = normalize_ln_g(np.array([0.0, -np.inf]), 0.0)
+        assert out[1] == -np.inf
+        assert out[0] == pytest.approx(0.0)
+
+    def test_all_inf_raises(self):
+        with pytest.raises(ValueError):
+            normalize_ln_g(np.array([-np.inf]), 0.0)
+
+
+class TestReweighting:
+    def test_constant_observable(self, ising_dos):
+        levels, degens = ising_dos
+        out = reweight_observable(levels, np.log(degens), np.full(levels.shape, 3.0), [1.0, 2.0])
+        assert np.allclose(out, 3.0)
+
+    def test_energy_observable_matches_internal_energy(self, ising_dos):
+        levels, degens = ising_dos
+        temps = [1.5, 2.5]
+        out = reweight_observable(levels, np.log(degens), levels, temps)
+        tab = thermodynamics(levels, np.log(degens), temps)
+        assert np.allclose(out, tab.internal_energy)
+
+    def test_nan_bins_excluded(self):
+        energies = np.array([0.0, 1.0])
+        ln_g = np.zeros(2)
+        micro = np.array([2.0, np.nan])
+        out = reweight_observable(energies, ln_g, micro, [1.0])
+        assert out[0] == pytest.approx(2.0)
+
+    def test_all_nan_raises(self):
+        with pytest.raises(ValueError):
+            reweight_observable([0.0], [0.0], [np.nan], [1.0])
+
+
+class TestKaufman:
+    def test_matches_bruteforce_3x5(self):
+        levels, degens = exact_ising_dos_bruteforce(3, 5)
+        for t in [1.2, 2.3, 4.0]:
+            lz = logsumexp(np.log(degens) - levels / t)
+            assert lz == pytest.approx(kaufman_log_partition(3, 5, 1.0 / t), abs=1e-9)
+
+    def test_nonsquare_transpose_symmetric(self):
+        assert kaufman_log_partition(3, 5, 0.4) == pytest.approx(
+            kaufman_log_partition(5, 3, 0.4), abs=1e-9
+        )
+
+    def test_large_lattice_finite(self):
+        lz = kaufman_log_partition(32, 32, 1.0 / 2.269)
+        assert np.isfinite(lz)
+        assert lz > 0
+
+    def test_specific_heat_peak_near_onsager(self):
+        """At 16x16 the C peak sits close to the infinite-lattice Tc."""
+        temps = np.linspace(2.0, 2.6, 25)
+        c = [exact_ising_specific_heat(16, 16, t) for t in temps]
+        t_peak = temps[int(np.argmax(c))]
+        assert abs(t_peak - onsager_critical_temperature()) < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kaufman_log_partition(0, 4, 1.0)
+        with pytest.raises(ValueError):
+            kaufman_log_partition(4, 4, -1.0)
+
+    def test_low_temperature_ground_state_limit(self):
+        """As T→0, ln Z → −β·E₀ + ln 2 (two ground states)."""
+        beta = 8.0
+        lz = kaufman_log_partition(4, 4, beta)
+        assert lz == pytest.approx(beta * 32.0 + np.log(2.0), rel=1e-6)

@@ -1,0 +1,108 @@
+"""Tests for the HEA effective-pair-interaction model."""
+
+import numpy as np
+import pytest
+
+from repro.hamiltonians import (
+    KB_EV_PER_K,
+    NBMOTAW_EPI_SHELL1,
+    NBMOTAW_EPI_SHELL2,
+    EPIHamiltonian,
+    NbMoTaWHamiltonian,
+)
+from repro.lattice import NBMOTAW, bcc, equiatomic_counts, random_configuration, simple_cubic
+
+
+class TestEPIMatrices:
+    def test_symmetric(self):
+        assert np.allclose(NBMOTAW_EPI_SHELL1, NBMOTAW_EPI_SHELL1.T)
+        assert np.allclose(NBMOTAW_EPI_SHELL2, NBMOTAW_EPI_SHELL2.T)
+
+    def test_mo_ta_is_dominant_ordering_pair(self):
+        """The headline NbMoTaW physics: Mo-Ta is the strongest (most
+        negative) first-shell EPI."""
+        mo, ta = NBMOTAW.index("Mo"), NBMOTAW.index("Ta")
+        off_diag = NBMOTAW_EPI_SHELL1[~np.eye(4, dtype=bool)]
+        assert NBMOTAW_EPI_SHELL1[mo, ta] == off_diag.min()
+        assert NBMOTAW_EPI_SHELL1[mo, ta] < -0.05
+
+    def test_second_shell_weaker(self):
+        assert np.abs(NBMOTAW_EPI_SHELL2).max() < np.abs(NBMOTAW_EPI_SHELL1).max()
+
+
+class TestNbMoTaW:
+    def test_default_lattice(self):
+        ham = NbMoTaWHamiltonian()
+        assert ham.n_sites == 128
+        assert ham.n_species == 4
+        assert ham.species is NBMOTAW
+
+    def test_rejects_non_bcc(self):
+        with pytest.raises(ValueError):
+            NbMoTaWHamiltonian(simple_cubic(4))
+
+    def test_rejects_bad_shell_count(self):
+        with pytest.raises(ValueError):
+            NbMoTaWHamiltonian(bcc(3), n_shells=3)
+
+    def test_scale_multiplies_energy(self):
+        cfg = random_configuration(54, equiatomic_counts(54, 4), rng=0)
+        e1 = NbMoTaWHamiltonian(bcc(3), scale=1.0).energy(cfg)
+        e2 = NbMoTaWHamiltonian(bcc(3), scale=2.0).energy(cfg)
+        assert e2 == pytest.approx(2.0 * e1)
+
+    def test_b2_mo_ta_order_is_low_energy(self):
+        """A Mo/Ta B2 arrangement (Mo on one sublattice, Ta on the other,
+        Nb/W likewise paired) must lie well below the random alloy."""
+        lat = bcc(3)
+        ham = NbMoTaWHamiltonian(lat)
+        grid = lat.site_grid()
+        basis = grid[:, 3]
+        cells = grid[:, :3]
+        parity = cells.sum(axis=1) % 2
+        cfg = np.empty(lat.n_sites, dtype=np.int8)
+        # Sublattice 0: alternate Mo/W by cell parity; sublattice 1: Ta/Nb.
+        cfg[(basis == 0) & (parity == 0)] = NBMOTAW.index("Mo")
+        cfg[(basis == 0) & (parity == 1)] = NBMOTAW.index("W")
+        cfg[(basis == 1) & (parity == 0)] = NBMOTAW.index("Ta")
+        cfg[(basis == 1) & (parity == 1)] = NBMOTAW.index("Nb")
+        rng = np.random.default_rng(0)
+        random_energies = []
+        for _ in range(20):
+            rnd = cfg.copy()
+            rng.shuffle(rnd)
+            random_energies.append(ham.energy(rnd))
+        assert ham.energy(cfg) < min(random_energies) - 1.0
+
+    def test_temperature_conversions(self):
+        ham = NbMoTaWHamiltonian(bcc(3))
+        beta = ham.beta_from_kelvin(1000.0)
+        assert beta == pytest.approx(1.0 / (KB_EV_PER_K * 1000.0))
+        assert ham.kelvin_from_beta(beta) == pytest.approx(1000.0)
+
+    def test_temperature_validation(self):
+        ham = NbMoTaWHamiltonian(bcc(3))
+        with pytest.raises(ValueError):
+            ham.beta_from_kelvin(-1.0)
+        with pytest.raises(ValueError):
+            ham.kelvin_from_beta(0.0)
+
+
+class TestEPIGeneric:
+    def test_species_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            EPIHamiltonian(bcc(3), NBMOTAW, [np.zeros((3, 3))])
+
+    def test_point_energies_shift_absolute_only(self):
+        """On-site terms change E but not fixed-composition differences."""
+        lat = bcc(3)
+        base = EPIHamiltonian(lat, NBMOTAW, [NBMOTAW_EPI_SHELL1])
+        shifted = EPIHamiltonian(
+            lat, NBMOTAW, [NBMOTAW_EPI_SHELL1], point_energies=[0.1, 0.2, 0.3, 0.4]
+        )
+        counts = equiatomic_counts(lat.n_sites, 4)
+        a = random_configuration(lat.n_sites, counts, rng=1)
+        b = random_configuration(lat.n_sites, counts, rng=2)
+        diff_base = base.energy(a) - base.energy(b)
+        diff_shift = shifted.energy(a) - shifted.energy(b)
+        assert diff_base == pytest.approx(diff_shift, abs=1e-9)

@@ -1,0 +1,127 @@
+"""Tests for repro.lattice.configuration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice import (
+    NBMOTAW,
+    SpeciesSet,
+    composition_counts,
+    composition_fractions,
+    equiatomic_counts,
+    from_one_hot,
+    one_hot,
+    random_configuration,
+    swap_sites,
+    validate_configuration,
+)
+
+
+class TestSpeciesSet:
+    def test_nbmotaw_order(self):
+        assert NBMOTAW.names == ("Nb", "Mo", "Ta", "W")
+        assert NBMOTAW.index("W") == 3
+        assert len(NBMOTAW) == 4
+
+    def test_unknown_species_raises(self):
+        with pytest.raises(KeyError):
+            NBMOTAW.index("Fe")
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(ValueError):
+            SpeciesSet(("A", "A"))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            SpeciesSet(())
+
+    def test_iterable(self):
+        assert list(NBMOTAW) == ["Nb", "Mo", "Ta", "W"]
+
+
+class TestEquiatomic:
+    def test_divisible(self):
+        assert np.array_equal(equiatomic_counts(128, 4), [32, 32, 32, 32])
+
+    def test_remainder_goes_to_low_indices(self):
+        assert np.array_equal(equiatomic_counts(10, 4), [3, 3, 2, 2])
+
+    @given(st.integers(1, 500), st.integers(1, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_sums_to_n_sites(self, n, s):
+        counts = equiatomic_counts(n, s)
+        assert counts.sum() == n
+        assert counts.max() - counts.min() <= 1
+
+
+class TestRandomConfiguration:
+    def test_exact_composition(self):
+        cfg = random_configuration(20, [5, 5, 5, 5], rng=0)
+        assert np.array_equal(composition_counts(cfg, 4), [5, 5, 5, 5])
+
+    def test_deterministic_with_seed(self):
+        a = random_configuration(30, [10, 10, 10], rng=7)
+        b = random_configuration(30, [10, 10, 10], rng=7)
+        assert np.array_equal(a, b)
+
+    def test_bad_counts_sum_raises(self):
+        with pytest.raises(ValueError):
+            random_configuration(10, [5, 6])
+
+    def test_negative_counts_raise(self):
+        with pytest.raises(ValueError):
+            random_configuration(0, [-1, 1])
+
+    def test_dtype_is_int8(self):
+        assert random_configuration(8, [4, 4], rng=0).dtype == np.int8
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_composition_always_exact(self, seed):
+        counts = [7, 3, 5]
+        cfg = random_configuration(15, counts, rng=seed)
+        assert np.array_equal(composition_counts(cfg, 3), counts)
+
+
+class TestEncodings:
+    def test_one_hot_round_trip(self):
+        cfg = random_configuration(40, [10, 10, 10, 10], rng=1)
+        assert np.array_equal(from_one_hot(one_hot(cfg, 4)), cfg)
+
+    def test_one_hot_rows_sum_to_one(self):
+        cfg = random_configuration(12, [6, 6], rng=2)
+        assert np.allclose(one_hot(cfg, 2).sum(axis=1), 1.0)
+
+    def test_one_hot_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([0, 5]), 3)
+
+    def test_from_one_hot_bad_ndim_raises(self):
+        with pytest.raises(ValueError):
+            from_one_hot(np.zeros(5))
+
+    def test_fractions_sum_to_one(self):
+        cfg = random_configuration(16, [4, 4, 4, 4], rng=3)
+        assert composition_fractions(cfg, 4).sum() == pytest.approx(1.0)
+
+
+class TestValidateAndSwap:
+    def test_validate_accepts_good(self):
+        cfg = random_configuration(10, [5, 5], rng=0)
+        out = validate_configuration(cfg, 10, 2)
+        assert out.dtype == np.int8
+
+    def test_validate_rejects_shape(self):
+        with pytest.raises(ValueError):
+            validate_configuration(np.zeros(9, dtype=np.int8), 10, 2)
+
+    def test_validate_rejects_range(self):
+        with pytest.raises(ValueError):
+            validate_configuration(np.full(10, 3, dtype=np.int8), 10, 2)
+
+    def test_swap_sites_in_place(self):
+        cfg = np.array([0, 1, 2], dtype=np.int8)
+        swap_sites(cfg, 0, 2)
+        assert cfg.tolist() == [2, 1, 0]

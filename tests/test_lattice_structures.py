@@ -1,0 +1,141 @@
+"""Tests for repro.lattice.structures: neighbor tables are the foundation
+every Hamiltonian and observable rests on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice import bcc, fcc, simple_cubic, square_lattice
+from repro.lattice.structures import Lattice
+
+
+class TestBuilders:
+    @pytest.mark.parametrize(
+        "builder,arg,n_sites,z1,d1",
+        [
+            (square_lattice, 5, 25, 4, 1.0),
+            (simple_cubic, 4, 64, 6, 1.0),
+            (bcc, 4, 128, 8, np.sqrt(3) / 2),
+            (fcc, 3, 108, 12, 1 / np.sqrt(2)),
+        ],
+    )
+    def test_counts_and_first_shell(self, builder, arg, n_sites, z1, d1):
+        lat = builder(arg)
+        assert lat.n_sites == n_sites
+        shell = lat.neighbor_shells(1)[0]
+        assert shell.coordination == z1
+        assert shell.distance == pytest.approx(d1, abs=1e-9)
+
+    def test_bcc_second_shell(self):
+        shells = bcc(4).neighbor_shells(2)
+        assert shells[1].coordination == 6
+        assert shells[1].distance == pytest.approx(1.0)
+
+    def test_sc_second_shell(self):
+        shells = simple_cubic(4).neighbor_shells(2)
+        assert shells[1].coordination == 12
+        assert shells[1].distance == pytest.approx(np.sqrt(2.0))
+
+    def test_rectangular_square_lattice(self):
+        lat = square_lattice(4, 6)
+        assert lat.n_sites == 24
+        assert lat.neighbor_shells(1)[0].coordination == 4
+
+
+class TestNeighborInvariants:
+    @pytest.mark.parametrize("lat", [square_lattice(5), simple_cubic(3), bcc(3), fcc(3)])
+    def test_symmetry(self, lat):
+        """j in N(i) implies i in N(j) (undirected bonds)."""
+        for shell in lat.neighbor_shells(1):
+            table = shell.table
+            for i in range(lat.n_sites):
+                for j in table[i]:
+                    assert i in table[j]
+
+    @pytest.mark.parametrize("lat", [square_lattice(5), bcc(3)])
+    def test_no_self_neighbors(self, lat):
+        for shell in lat.neighbor_shells(2):
+            for i in range(lat.n_sites):
+                assert i not in shell.table[i]
+
+    @pytest.mark.parametrize("lat", [square_lattice(5), bcc(3)])
+    def test_no_duplicate_neighbors(self, lat):
+        for shell in lat.neighbor_shells(2):
+            for i in range(lat.n_sites):
+                assert len(set(shell.table[i].tolist())) == shell.coordination
+
+    @pytest.mark.parametrize("lat", [square_lattice(5), simple_cubic(3), bcc(3)])
+    def test_matches_bruteforce(self, lat):
+        fast = lat.neighbor_shells(2)
+        slow = lat.neighbor_shells_bruteforce(2)
+        for a, b in zip(fast, slow):
+            assert a.distance == pytest.approx(b.distance, abs=1e-8)
+            assert np.array_equal(np.sort(a.table, axis=1), b.table)
+
+    def test_pairs_each_bond_once(self):
+        lat = square_lattice(4)
+        shell = lat.neighbor_shells(1)[0]
+        pairs = shell.pairs()
+        # 2D square torus: 2N bonds.
+        assert pairs.shape == (2 * lat.n_sites, 2)
+        assert np.all(pairs[:, 0] < pairs[:, 1])
+        assert len({tuple(p) for p in pairs.tolist()}) == len(pairs)
+
+    def test_pairs_count_bcc(self):
+        lat = bcc(3)
+        shells = lat.neighbor_shells(2)
+        assert shells[0].pairs().shape[0] == lat.n_sites * 8 // 2
+        assert shells[1].pairs().shape[0] == lat.n_sites * 6 // 2
+
+    @given(st.integers(3, 6))
+    @settings(max_examples=4, deadline=None)
+    def test_translation_invariance_square(self, length):
+        """Shifting all sites by one lattice vector permutes neighbor rows
+        consistently: the neighbor of the shifted site is the shifted
+        neighbor."""
+        lat = square_lattice(length)
+        table = lat.neighbor_shells(1)[0].table
+
+        def shift(site):
+            row, col = divmod(site, length)
+            return ((row + 1) % length) * length + col
+
+        for i in range(lat.n_sites):
+            shifted = sorted(shift(j) for j in table[i])
+            assert shifted == sorted(table[shift(i)].tolist())
+
+
+class TestLatticeValidation:
+    def test_too_small_supercell_raises(self):
+        with pytest.raises(ValueError):
+            square_lattice(2).neighbor_shells(1)
+
+    def test_bad_primitive_shape(self):
+        with pytest.raises(ValueError):
+            Lattice(np.zeros((2, 3)), (4, 4), [[0, 0]])
+
+    def test_bad_size_length(self):
+        with pytest.raises(ValueError):
+            Lattice(np.eye(2), (4,), [[0, 0]])
+
+    def test_bad_basis_columns(self):
+        with pytest.raises(ValueError):
+            Lattice(np.eye(2), (4, 4), [[0, 0, 0]])
+
+    def test_positions_shape(self):
+        lat = bcc(3)
+        pos = lat.positions()
+        assert pos.shape == (lat.n_sites, 3)
+
+    def test_site_index_wraps(self):
+        lat = square_lattice(4)
+        assert lat.site_index((4, 0)) == lat.site_index((0, 0))
+        assert lat.site_index((-1, 0)) == lat.site_index((3, 0))
+
+    def test_repr_mentions_name(self):
+        assert "bcc" in repr(bcc(3))
+
+    def test_shell_cache_returns_same(self):
+        lat = square_lattice(4)
+        assert lat.neighbor_shells(1) is lat.neighbor_shells(1)

@@ -1,0 +1,140 @@
+"""Tests for the machine performance model (the scaling substitution)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    RoundCostModel,
+    WorkloadSpec,
+    crusher_mi250x,
+    strong_scaling,
+    summit_v100,
+    throughput_table,
+    weak_scaling,
+)
+
+
+@pytest.fixture
+def workload():
+    return WorkloadSpec()
+
+
+@pytest.fixture
+def small_workload():
+    return WorkloadSpec(n_sites=128, hidden=(64, 32), latent_dim=8, marginal_samples=8)
+
+
+class TestSpecs:
+    def test_factories(self):
+        s = summit_v100()
+        c = crusher_mi250x()
+        assert s.gpus_per_node == 6
+        assert c.gpus_per_node == 8
+        assert c.device.fp32_tflops > s.device.fp32_tflops
+
+    def test_ptp_time_monotone_in_bytes(self):
+        m = summit_v100()
+        assert m.ptp_time(1e6) > m.ptp_time(1e3) > 0
+
+    def test_allreduce_zero_for_single_rank(self):
+        assert summit_v100().allreduce_time(1e6, 1) == 0.0
+
+    def test_allreduce_grows_with_ranks(self):
+        m = summit_v100()
+        assert m.allreduce_time(1e6, 16) > m.allreduce_time(1e6, 2)
+
+
+class TestWorkloadOpCounts:
+    def test_flops_per_local_step_matches_instrumented_kernel(self, hea_small):
+        """The formula's operation count matches what the real ΔE kernel
+        does: per shell, 2 gathers of z species + 2z adds per swapped site."""
+        w = WorkloadSpec(n_sites=hea_small.n_sites, coordination=14)
+        # The ΔE closed form touches 2 sites × z₁+z₂ = 14 neighbors, with a
+        # multiply-add pair each (table lookup + accumulate) → 4·2·z ops.
+        assert w.flops_per_local_step == pytest.approx(4 * 2 * 14 + 20)
+
+    def test_nn_forward_flops_formula(self):
+        w = WorkloadSpec(n_sites=10, n_species=4, latent_dim=2, hidden=(8,))
+        dims_enc = [40, 8, 4]
+        enc = sum(2 * a * b for a, b in zip(dims_enc[:-1], dims_enc[1:]))
+        dims_dec = [2, 8, 40]
+        dec = sum(2 * a * b for a, b in zip(dims_dec[:-1], dims_dec[1:]))
+        assert w.flops_nn_forward == pytest.approx(0.5 * (enc + dec))
+
+    def test_dl_step_scales_with_marginal_samples(self):
+        w8 = WorkloadSpec(marginal_samples=8)
+        w64 = WorkloadSpec(marginal_samples=64)
+        assert w64.flops_per_dl_step > 6 * w8.flops_per_dl_step
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_sites=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(dl_fraction=1.5)
+
+
+class TestRoundCostModel:
+    def test_latency_floor_applies(self, small_workload):
+        m = RoundCostModel(summit_v100(), small_workload)
+        assert m.local_step_time() >= 80e-9
+
+    def test_dl_step_much_slower_than_local(self, workload):
+        m = RoundCostModel(summit_v100(), workload)
+        assert m.dl_step_time() > 100 * m.local_step_time()
+
+    def test_round_time_additive(self, workload):
+        m = RoundCostModel(summit_v100(), workload)
+        assert m.round_time() == pytest.approx(m.compute_time(1) + m.comm_time())
+
+    def test_more_walkers_per_gpu_slower(self, workload):
+        m = RoundCostModel(summit_v100(), workload)
+        assert m.compute_time(4) == pytest.approx(4 * m.compute_time(1))
+
+    def test_mi250x_faster_per_device(self, workload):
+        v = RoundCostModel(summit_v100(), workload).steps_per_second()
+        c = RoundCostModel(crusher_mi250x(), workload).steps_per_second()
+        assert 1.0 < c / v < 3.0  # the paper-shaped ratio
+
+
+class TestScalingShapes:
+    def test_strong_scaling_monotone_time(self, workload):
+        pts = strong_scaling(summit_v100(), workload, total_walkers=3000,
+                             gpu_counts=[6, 24, 96, 384, 1536, 3000])
+        times = [p.round_time for p in pts]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_strong_scaling_efficiency_band(self, workload):
+        pts = strong_scaling(summit_v100(), workload, total_walkers=3000,
+                             gpu_counts=[6, 96, 1536, 3000])
+        assert pts[0].efficiency == pytest.approx(1.0)
+        for p in pts[1:]:
+            assert 0.5 < p.efficiency <= 1.05
+
+    def test_strong_scaling_saturates_past_walker_count(self, workload):
+        pts = strong_scaling(summit_v100(), workload, total_walkers=64,
+                             gpu_counts=[64, 128])
+        # Extra GPUs beyond one walker each cannot reduce the time.
+        assert pts[1].round_time >= pts[0].round_time * 0.99
+        assert pts[1].efficiency < 0.6
+
+    def test_weak_scaling_efficiency_decays_slowly(self, workload):
+        pts = weak_scaling(crusher_mi250x(), workload, [8, 64, 512, 3000])
+        effs = [p.efficiency for p in pts]
+        assert effs[0] == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(effs, effs[1:]))
+        assert effs[-1] > 0.85  # the paper's near-ideal weak scaling
+
+    def test_gpu_count_validation(self, workload):
+        with pytest.raises(ValueError):
+            strong_scaling(summit_v100(), workload, 10, [0])
+        with pytest.raises(ValueError):
+            weak_scaling(summit_v100(), workload, [-1])
+
+
+class TestThroughputTable:
+    def test_rows_and_ordering(self, workload):
+        rows = throughput_table([summit_v100(), crusher_mi250x()], workload)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["local_steps_per_s"] > row["mixed_steps_per_s"]
+        assert rows[1]["mixed_steps_per_s"] > rows[0]["mixed_steps_per_s"]

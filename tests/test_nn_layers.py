@@ -1,0 +1,198 @@
+"""Gradient checks and unit tests for the NN substrate layers.
+
+Every backward pass is verified against central finite differences — the
+one test family that makes a hand-rolled backprop framework trustworthy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    LeakyReLU,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softplus,
+    Tanh,
+    glorot_uniform,
+    he_normal,
+    normal_init,
+    zeros_init,
+)
+
+EPS = 1e-6
+
+
+def numeric_grad(f, x, eps=EPS):
+    """Central-difference gradient of scalar f at array x."""
+    g = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = g.reshape(-1)
+    for k in range(flat.size):
+        old = flat[k]
+        flat[k] = old + eps
+        up = f()
+        flat[k] = old - eps
+        down = f()
+        flat[k] = old
+        gflat[k] = (up - down) / (2 * eps)
+    return g
+
+
+def check_layer_gradients(layer, x, atol=1e-6):
+    """Verify input and parameter gradients of `layer` at input `x`
+    against finite differences of the scalar loss sum(forward(x)²)/2."""
+    def loss():
+        return 0.5 * float(np.sum(layer.forward(x) ** 2))
+
+    # Analytic gradients.
+    layer.zero_grad()
+    out = layer.forward(x)
+    grad_in = layer.backward(out.copy())
+    # Input gradient.
+    expected_in = numeric_grad(loss, x)
+    assert np.allclose(grad_in, expected_in, atol=atol), "input gradient mismatch"
+    # Parameter gradients.
+    for p in layer.parameters():
+        expected = numeric_grad(loss, p.value)
+        # Recompute analytic grad (numeric_grad perturbed the values).
+        layer.zero_grad()
+        out = layer.forward(x)
+        layer.backward(out.copy())
+        assert np.allclose(p.grad, expected, atol=atol), f"grad mismatch for {p.name}"
+
+
+class TestDense:
+    def test_forward_affine(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        expected = x @ layer.weight.value + layer.bias.value
+        assert np.allclose(layer.forward(x), expected)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, 3, rng)
+        check_layer_gradients(layer, rng.normal(size=(5, 4)))
+
+    def test_gradcheck_no_bias(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(4, 3, rng, bias=False)
+        assert len(layer.parameters()) == 1
+        check_layer_gradients(layer, rng.normal(size=(5, 4)))
+
+    def test_masked_dense_respects_mask(self):
+        rng = np.random.default_rng(3)
+        mask = np.zeros((3, 2))
+        mask[0, 0] = 1.0
+        layer = Dense(3, 2, rng, mask=mask)
+        x = rng.normal(size=(4, 3))
+        out = layer.forward(x)
+        # Output column 1 connects to nothing -> bias only.
+        assert np.allclose(out[:, 1], layer.bias.value[1])
+
+    def test_masked_dense_gradient_gated(self):
+        rng = np.random.default_rng(4)
+        mask = np.zeros((3, 2))
+        mask[1, 0] = 1.0
+        layer = Dense(3, 2, rng, mask=mask)
+        x = rng.normal(size=(4, 3))
+        out = layer.forward(x)
+        layer.backward(np.ones_like(out))
+        assert np.all(layer.weight.grad[mask == 0] == 0.0)
+
+    def test_bad_mask_shape_raises(self):
+        with pytest.raises(ValueError):
+            Dense(3, 2, np.random.default_rng(0), mask=np.ones((2, 3)))
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense(2, 2, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_grad_accumulates(self):
+        rng = np.random.default_rng(5)
+        layer = Dense(2, 2, rng)
+        x = rng.normal(size=(3, 2))
+        layer.forward(x)
+        layer.backward(np.ones((3, 2)))
+        g1 = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(np.ones((3, 2)))
+        assert np.allclose(layer.weight.grad, 2 * g1)
+
+
+@pytest.mark.parametrize(
+    "activation", [ReLU(), Tanh(), Sigmoid(), Softplus(), LeakyReLU(0.1)]
+)
+class TestActivations:
+    def test_gradcheck(self, activation):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(4, 5)) * 2.0
+        # Nudge points away from ReLU kinks for finite differences.
+        x[np.abs(x) < 1e-3] = 0.1
+        check_layer_gradients(activation, x)
+
+    def test_no_parameters(self, activation):
+        assert activation.parameters() == []
+
+
+class TestActivationValues:
+    def test_relu(self):
+        out = ReLU().forward(np.array([-1.0, 0.0, 2.0]))
+        assert np.allclose(out, [0.0, 0.0, 2.0])
+
+    def test_leaky_relu(self):
+        out = LeakyReLU(0.1).forward(np.array([-10.0, 10.0]))
+        assert np.allclose(out, [-1.0, 10.0])
+
+    def test_sigmoid_stable_at_extremes(self):
+        out = Sigmoid().forward(np.array([-800.0, 800.0]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0, abs=1e-300)
+        assert out[1] == pytest.approx(1.0)
+
+    def test_softplus_stable_at_extremes(self):
+        out = Softplus().forward(np.array([-800.0, 800.0]))
+        assert np.all(np.isfinite(out))
+        assert out[1] == pytest.approx(800.0)
+
+
+class TestSequential:
+    def test_compose_and_gradcheck(self):
+        rng = np.random.default_rng(8)
+        net = Sequential(Dense(4, 8, rng), Tanh(), Dense(8, 3, rng))
+        check_layer_gradients(net, rng.normal(size=(6, 4)), atol=1e-5)
+
+    def test_parameters_collected(self):
+        rng = np.random.default_rng(9)
+        net = Sequential(Dense(2, 3, rng), ReLU(), Dense(3, 1, rng))
+        assert len(net.parameters()) == 4
+
+    def test_len_and_iter(self):
+        rng = np.random.default_rng(10)
+        net = Sequential(Dense(2, 2, rng), ReLU())
+        assert len(net) == 2
+        assert len(list(net)) == 2
+
+
+class TestInitializers:
+    def test_glorot_bounds(self):
+        rng = np.random.default_rng(0)
+        w = glorot_uniform(rng, 100, 50)
+        limit = np.sqrt(6.0 / 150)
+        assert w.shape == (100, 50)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_he_scale(self):
+        rng = np.random.default_rng(0)
+        w = he_normal(rng, 10_000, 4)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 10_000), rel=0.1)
+
+    def test_normal_init(self):
+        w = normal_init(np.random.default_rng(0), 1000, 4, std=0.05)
+        assert w.std() == pytest.approx(0.05, rel=0.2)
+
+    def test_zeros(self):
+        assert np.all(zeros_init(np.random.default_rng(0), 3, 3) == 0.0)

@@ -1,0 +1,141 @@
+"""Tests for the MPI-like communicator substrate."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SerialCommunicator, run_spmd
+
+
+class TestSerialCommunicator:
+    def test_identity_collectives(self):
+        comm = SerialCommunicator()
+        assert comm.bcast(42) == 42
+        assert comm.gather("x") == ["x"]
+        assert comm.allgather(1) == [1]
+        assert comm.allreduce(3) == 3
+        assert comm.scatter([7]) == 7
+        comm.barrier()
+
+    def test_point_to_point_invalid(self):
+        comm = SerialCommunicator()
+        with pytest.raises(RuntimeError):
+            comm.send(1, dest=0)
+        with pytest.raises(RuntimeError):
+            comm.recv(source=0)
+        with pytest.raises(RuntimeError):
+            comm.sendrecv(1, partner=0)
+
+    def test_bad_reduce_op(self):
+        with pytest.raises(ValueError):
+            SerialCommunicator().allreduce(1, op="mean")
+
+
+class TestThreadedWorld:
+    def test_allgather(self):
+        results = run_spmd(lambda c: c.allgather(c.rank), 4)
+        for r in results:
+            assert r == [0, 1, 2, 3]
+
+    def test_bcast_from_nonzero_root(self):
+        def prog(c):
+            value = f"hello-{c.rank}" if c.rank == 2 else None
+            return c.bcast(value, root=2)
+
+        assert run_spmd(prog, 4) == ["hello-2"] * 4
+
+    def test_gather_only_at_root(self):
+        def prog(c):
+            return c.gather(c.rank * 10, root=1)
+
+        results = run_spmd(prog, 3)
+        assert results[1] == [0, 10, 20]
+        assert results[0] is None and results[2] is None
+
+    def test_scatter(self):
+        def prog(c):
+            objs = [100, 200, 300] if c.rank == 0 else None
+            return c.scatter(objs, root=0)
+
+        assert run_spmd(prog, 3) == [100, 200, 300]
+
+    def test_allreduce_sum_max_min(self):
+        assert run_spmd(lambda c: c.allreduce(c.rank + 1, op="sum"), 4) == [10] * 4
+        assert run_spmd(lambda c: c.allreduce(c.rank, op="max"), 4) == [3] * 4
+        assert run_spmd(lambda c: c.allreduce(c.rank, op="min"), 4) == [0] * 4
+
+    def test_reduce_at_root(self):
+        results = run_spmd(lambda c: c.reduce(c.rank, op="sum", root=0), 3)
+        assert results[0] == 3
+        assert results[1] is None
+
+    def test_allreduce_numpy_arrays(self):
+        def prog(c):
+            return c.allreduce(np.full(3, float(c.rank)))
+
+        for r in run_spmd(prog, 3):
+            assert np.allclose(r, 3.0)
+
+    def test_send_recv_ring(self):
+        def prog(c):
+            right = (c.rank + 1) % c.size
+            left = (c.rank - 1) % c.size
+            c.send(c.rank, dest=right, tag=7)
+            return c.recv(source=left, tag=7)
+
+        assert run_spmd(prog, 4) == [3, 0, 1, 2]
+
+    def test_sendrecv_pairs(self):
+        def prog(c):
+            partner = c.rank ^ 1
+            return c.sendrecv(c.rank * 11, partner)
+
+        assert run_spmd(prog, 4) == [11, 0, 33, 22]
+
+    def test_tag_mismatch_detected(self):
+        def prog(c):
+            if c.rank == 0:
+                c.send("x", dest=1, tag=1)
+                c.recv(source=1, tag=1)
+            else:
+                c.send("y", dest=0, tag=1)
+                c.recv(source=0, tag=2)  # wrong tag
+
+        with pytest.raises(RuntimeError):
+            run_spmd(prog, 2, timeout=5.0)
+
+    def test_self_send_rejected(self):
+        def prog(c):
+            if c.size > 1:
+                c.send(1, dest=c.rank)
+
+        with pytest.raises(RuntimeError):
+            run_spmd(prog, 2, timeout=5.0)
+
+    def test_exception_propagates(self):
+        def prog(c):
+            if c.rank == 1:
+                raise ValueError("boom")
+            c.barrier()
+
+        with pytest.raises(RuntimeError, match="rank 1"):
+            run_spmd(prog, 2, timeout=5.0)
+
+    def test_single_rank_uses_serial(self):
+        results = run_spmd(lambda c: type(c).__name__, 1)
+        assert results == ["SerialCommunicator"]
+
+    def test_n_ranks_validation(self):
+        with pytest.raises(ValueError):
+            run_spmd(lambda c: None, 0)
+
+    def test_barrier_synchronizes_phases(self):
+        """Values written before the barrier are visible after it."""
+        box = [None] * 3
+
+        def prog(c):
+            box[c.rank] = c.rank
+            c.barrier()
+            return sorted(x for x in box if x is not None)
+
+        for r in run_spmd(prog, 3):
+            assert r == [0, 1, 2]

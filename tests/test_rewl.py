@@ -1,0 +1,151 @@
+"""Integration tests for the REWL driver (the paper's parallel framework)."""
+
+import numpy as np
+import pytest
+
+from repro.hamiltonians import IsingHamiltonian, enumerate_density_of_states
+from repro.lattice import square_lattice
+from repro.parallel import REWLConfig, REWLDriver, SerialExecutor, ThreadExecutor
+from repro.proposals import FlipProposal
+from repro.sampling import EnergyGrid
+
+
+@pytest.fixture(scope="module")
+def ising():
+    return IsingHamiltonian(square_lattice(4))
+
+
+@pytest.fixture(scope="module")
+def grid(ising):
+    return EnergyGrid.from_levels(ising.energy_levels())
+
+
+def run_driver(ising, grid, executor=None, seed=11, **cfg_kwargs):
+    defaults = dict(
+        n_windows=3, walkers_per_window=2, overlap=0.6,
+        exchange_interval=1500, ln_f_final=3e-4, seed=seed,
+    )
+    defaults.update(cfg_kwargs)
+    driver = REWLDriver(
+        ising, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
+        REWLConfig(**defaults), executor=executor,
+    )
+    return driver.run()
+
+
+class TestREWLCorrectness:
+    @pytest.fixture(scope="class")
+    def result(self, ising, grid):
+        return run_driver(ising, grid)
+
+    def test_converges(self, result):
+        assert result.converged
+        assert all(it >= 10 for it in result.window_iterations)
+
+    def test_exchanges_happen(self, result):
+        assert result.exchange_attempts.sum() > 0
+        rates = result.exchange_rates
+        assert np.nanmax(rates) > 0.0
+
+    def test_stitched_matches_exact(self, result, ising):
+        stitched = result.stitched()
+        levels, degens = enumerate_density_of_states(ising)
+        exact = {float(e): float(np.log(d)) for e, d in zip(levels, degens)}
+        es, vs = stitched.energies(), stitched.values()
+        pairs = [(v, exact[float(e)]) for e, v in zip(es, vs) if float(e) in exact]
+        est = np.array([p[0] for p in pairs])
+        ex = np.array([p[1] for p in pairs])
+        err = np.abs((est - est[0]) - (ex - ex[0]))
+        assert err.max() < 0.5
+
+    def test_stitch_residuals_small(self, result):
+        assert np.all(result.stitched().joint_residuals < 0.3)
+
+    def test_walker_snapshots(self, result):
+        assert len(result.walkers) == 6
+        for snap in result.walkers:
+            assert snap.n_steps > 0
+            assert 0.0 < snap.acceptance_rate <= 1.0
+
+
+class TestREWLDeterminism:
+    def test_serial_and_thread_executor_identical(self, ising, grid):
+        """Walker RNG state travels with the walker, so the executor choice
+        cannot change the trajectory."""
+        res_a = run_driver(ising, grid, executor=SerialExecutor(), seed=21,
+                           ln_f_final=5e-3)
+        with ThreadExecutor(n_workers=3) as pool:
+            res_b = run_driver(ising, grid, executor=pool, seed=21, ln_f_final=5e-3)
+        assert res_a.rounds == res_b.rounds
+        for ga, gb in zip(res_a.window_ln_g, res_b.window_ln_g):
+            assert np.array_equal(ga, gb)
+        assert np.array_equal(res_a.exchange_accepts, res_b.exchange_accepts)
+
+    def test_same_seed_reproducible(self, ising, grid):
+        res_a = run_driver(ising, grid, seed=33, ln_f_final=5e-3)
+        res_b = run_driver(ising, grid, seed=33, ln_f_final=5e-3)
+        for ga, gb in zip(res_a.window_ln_g, res_b.window_ln_g):
+            assert np.array_equal(ga, gb)
+
+    def test_different_seeds_differ(self, ising, grid):
+        res_a = run_driver(ising, grid, seed=1, ln_f_final=5e-3)
+        res_b = run_driver(ising, grid, seed=2, ln_f_final=5e-3)
+        assert any(
+            not np.array_equal(ga, gb)
+            for ga, gb in zip(res_a.window_ln_g, res_b.window_ln_g)
+        )
+
+
+class TestREWLMechanics:
+    def test_single_window_single_walker(self, ising, grid):
+        res = run_driver(ising, grid, n_windows=1, walkers_per_window=1,
+                         ln_f_final=5e-3)
+        assert res.converged
+        assert res.exchange_attempts.sum() == 0
+
+    def test_max_rounds_cutoff(self, ising, grid):
+        driver = REWLDriver(
+            ising, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
+            REWLConfig(n_windows=2, walkers_per_window=1, exchange_interval=100,
+                       ln_f_final=1e-12, seed=0),
+        )
+        res = driver.run(max_rounds=3)
+        assert not res.converged
+        assert res.rounds == 3
+
+    def test_merge_window_averages_relative_shapes(self, ising, grid):
+        """Merging averages the *relative* ln g of each walker (offsets are
+        arbitrary WL constants and must not leak into the mean)."""
+        driver = REWLDriver(
+            ising, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
+            REWLConfig(n_windows=1, walkers_per_window=2, exchange_interval=100, seed=0),
+        )
+        team = driver.walkers[0]
+        n = team[0].ln_g.shape[0]
+        ramp = np.arange(n, dtype=np.float64)
+        team[0].ln_g[:] = ramp  # relative shape: ramp
+        team[1].ln_g[:] = 2.0 * ramp + 10.0  # same shape x2, shifted offset
+        team[0].visited[:] = True
+        team[1].visited[:] = True
+        merged, union = driver._merge_window(team)
+        assert union.all()
+        assert np.allclose(merged, 1.5 * ramp)
+        # Pure function: walker state untouched.
+        assert np.allclose(team[0].ln_g, ramp)
+
+    def test_merge_respects_visited(self, ising, grid):
+        driver = REWLDriver(
+            ising, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
+            REWLConfig(n_windows=1, walkers_per_window=2, exchange_interval=100, seed=0),
+        )
+        team = driver.walkers[0]
+        team[0].ln_g[:] = 4.0
+        team[0].visited[:] = False
+        team[0].visited[0] = True
+        team[1].ln_g[:] = 8.0
+        team[1].visited[:] = False
+        team[1].visited[1] = True
+        merged, union = driver._merge_window(team)
+        assert union[0] and union[1]
+        assert not union[2:].any()
+        assert merged[0] == 0.0 and merged[1] == 0.0  # each shifted to 0

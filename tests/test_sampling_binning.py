@@ -1,0 +1,104 @@
+"""Tests for EnergyGrid (uniform and level-based binning)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import EnergyGrid
+
+
+class TestUniformGrid:
+    def test_basic_mapping(self):
+        g = EnergyGrid.uniform(0.0, 10.0, 5)
+        assert g.n_bins == 5
+        assert g.index(0.0) == 0
+        assert g.index(1.999) == 0
+        assert g.index(2.0) == 1
+        assert g.index(9.999) == 4
+
+    def test_right_edge_inclusive(self):
+        g = EnergyGrid.uniform(0.0, 10.0, 5)
+        assert g.index(10.0) == 4
+
+    def test_outside_returns_minus_one(self):
+        g = EnergyGrid.uniform(0.0, 10.0, 5)
+        assert g.index(-0.001) == -1
+        assert g.index(10.001) == -1
+        assert not g.contains(11.0)
+
+    def test_centers_and_widths(self):
+        g = EnergyGrid.uniform(0.0, 10.0, 5)
+        assert np.allclose(g.centers, [1, 3, 5, 7, 9])
+        assert np.allclose(g.widths, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyGrid.uniform(1.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            EnergyGrid.uniform(0.0, 1.0, 0)
+
+    @given(st.floats(-100, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_index_array_matches_scalar(self, e):
+        g = EnergyGrid.uniform(-50.0, 50.0, 17)
+        assert g.index_array(np.array([e]))[0] == g.index(e)
+
+
+class TestLevelsGrid:
+    def test_exact_levels(self):
+        g = EnergyGrid.from_levels([-4.0, 0.0, 4.0])
+        assert g.n_bins == 3
+        assert g.index(-4.0) == 0
+        assert g.index(0.0) == 1
+        assert g.index(4.0) == 2
+
+    def test_tolerance(self):
+        g = EnergyGrid.from_levels([-4.0, 0.0, 4.0], tol=1e-6)
+        assert g.index(-4.0 + 1e-7) == 0
+        assert g.index(-3.9) == -1
+
+    def test_duplicate_levels_deduplicated(self):
+        g = EnergyGrid.from_levels([0.0, 0.0, 1.0])
+        assert g.n_bins == 2
+
+    def test_too_close_levels_raise(self):
+        with pytest.raises(ValueError):
+            EnergyGrid.from_levels([0.0, 1e-8], tol=1e-6)
+
+    def test_index_array_levels(self):
+        g = EnergyGrid.from_levels([-2.0, 0.0, 2.0])
+        out = g.index_array(np.array([-2.0, -1.0, 0.0, 2.0, 3.0]))
+        assert out.tolist() == [0, -1, 1, 2, -1]
+
+    def test_empty_levels_raise(self):
+        with pytest.raises(ValueError):
+            EnergyGrid.from_levels([])
+
+
+class TestSubgrid:
+    def test_uniform_subgrid_alignment(self):
+        g = EnergyGrid.uniform(0.0, 10.0, 10)
+        sub = g.subgrid(2, 5)
+        assert sub.n_bins == 4
+        assert np.allclose(sub.centers, g.centers[2:6])
+
+    def test_levels_subgrid_alignment(self):
+        g = EnergyGrid.from_levels([0.0, 1.0, 2.0, 3.0])
+        sub = g.subgrid(1, 2)
+        assert np.allclose(sub.centers, [1.0, 2.0])
+
+    def test_invalid_range_raises(self):
+        g = EnergyGrid.uniform(0.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            g.subgrid(2, 1)
+        with pytest.raises(ValueError):
+            g.subgrid(0, 4)
+
+    def test_exactly_one_mode_enforced(self):
+        with pytest.raises(ValueError):
+            EnergyGrid(None, None, 0.0)
+
+    def test_repr(self):
+        assert "uniform" in repr(EnergyGrid.uniform(0, 1, 2))
+        assert "levels" in repr(EnergyGrid.from_levels([0.0, 1.0]))

@@ -1,0 +1,195 @@
+"""Tests for repro.util rng / timers / tables / validation."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.util.rng import BufferedDraws, RngFactory, as_generator, spawn_generators
+from repro.util.tables import format_series, format_table
+from repro.util.timers import Timer, TimerRegistry
+from repro.util.validation import (
+    check_array_shape,
+    check_in_range,
+    check_integer,
+    check_positive,
+    check_probability,
+)
+
+
+class TestRng:
+    def test_as_generator_from_int(self):
+        g1 = as_generator(7)
+        g2 = as_generator(7)
+        assert g1.random() == g2.random()
+
+    def test_as_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_spawn_independent(self):
+        gens = spawn_generators(0, 3)
+        draws = [g.random(4) for g in gens]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_factory_deterministic(self):
+        a = RngFactory(42).make("walker", 3).random(5)
+        b = RngFactory(42).make("walker", 3).random(5)
+        assert np.allclose(a, b)
+
+    def test_factory_component_independence(self):
+        f = RngFactory(42)
+        a = f.make("walker", 0).random(5)
+        b = f.make("driver", 0).random(5)
+        assert not np.allclose(a, b)
+
+    def test_factory_index_independence(self):
+        f = RngFactory(42)
+        assert f.make("w", 0).random() != f.make("w", 1).random()
+
+    def test_factory_order_independence(self):
+        f1 = RngFactory(9)
+        x1 = f1.make("a", 0).random()
+        _ = f1.make("b", 0).random()
+        f2 = RngFactory(9)
+        _ = f2.make("b", 0).random()
+        x2 = f2.make("a", 0).random()
+        assert x1 == x2
+
+    def test_seed_for_is_stable(self):
+        assert RngFactory(1).seed_for("x", 2) == RngFactory(1).seed_for("x", 2)
+
+
+class TestBufferedDraws:
+    def test_uniform_in_range(self):
+        draws = BufferedDraws(np.random.default_rng(0), block=16)
+        for _ in range(100):  # force several refills
+            assert 0.0 <= draws.random() < 1.0
+
+    def test_integers_in_range_and_uniformish(self):
+        draws = BufferedDraws(np.random.default_rng(1))
+        vals = [draws.integers(5) for _ in range(5_000)]
+        assert min(vals) == 0 and max(vals) == 4
+        counts = np.bincount(vals, minlength=5)
+        assert counts.min() > 800  # roughly uniform
+
+    def test_non_scalar_calls_delegate(self):
+        draws = BufferedDraws(np.random.default_rng(2))
+        arr = draws.random(size=7)
+        assert arr.shape == (7,)
+        ints = draws.integers(0, 10, size=4)
+        assert ints.shape == (4,)
+
+    def test_attribute_delegation(self):
+        draws = BufferedDraws(np.random.default_rng(3))
+        assert draws.standard_normal(3).shape == (3,)
+        draws.shuffle(np.arange(5))  # must not raise
+
+    def test_deterministic_per_seed(self):
+        a = BufferedDraws(np.random.default_rng(4))
+        b = BufferedDraws(np.random.default_rng(4))
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_pickle_round_trip_continues_stream(self):
+        import pickle
+
+        draws = BufferedDraws(np.random.default_rng(5), block=8)
+        before = [draws.random() for _ in range(5)]
+        clone = pickle.loads(pickle.dumps(draws))
+        assert [draws.random() for _ in range(10)] == [clone.random() for _ in range(10)]
+
+    def test_as_generator_passthrough(self):
+        draws = BufferedDraws(np.random.default_rng(6))
+        assert as_generator(draws) is draws
+
+    def test_wrapping_buffered_unwraps(self):
+        gen = np.random.default_rng(7)
+        double = BufferedDraws(BufferedDraws(gen))
+        assert double.generator is gen
+
+
+class TestTimers:
+    def test_context_manager_accumulates(self):
+        t = Timer("t")
+        with t:
+            time.sleep(0.005)
+        with t:
+            time.sleep(0.005)
+        assert t.count == 2
+        assert t.total >= 0.008
+
+    def test_double_start_raises(self):
+        t = Timer("t")
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer("t").stop()
+
+    def test_mean_empty_is_zero(self):
+        assert Timer("t").mean == 0.0
+
+    def test_registry_creates_and_reports(self):
+        reg = TimerRegistry()
+        with reg["phase.a"]:
+            pass
+        assert "phase.a" in reg
+        assert "phase.a" in reg.report()
+        assert reg.as_dict()["phase.a"]["count"] == 1
+
+
+class TestTables:
+    def test_basic_render(self):
+        out = format_table(["a", "b"], [[1, 2.5], [3, None]])
+        assert "a" in out and "2.5" in out and "-" in out
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_series_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1, 2], [1])
+
+    def test_series_contains_labels(self):
+        out = format_series("s", [1], [2], xlabel="T", ylabel="C")
+        assert "T" in out and "C" in out
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_in_range(self):
+        assert check_in_range("x", 1, 0, 2) == 1
+        with pytest.raises(ValueError):
+            check_in_range("x", 0, 0, 2, inclusive=False)
+
+    def test_check_integer_rejects_bool_and_float(self):
+        with pytest.raises(TypeError):
+            check_integer("n", True)
+        with pytest.raises(TypeError):
+            check_integer("n", 1.5)
+        with pytest.raises(ValueError):
+            check_integer("n", 0, minimum=1)
+
+    def test_check_array_shape_wildcard(self):
+        a = np.zeros((3, 4))
+        check_array_shape("a", a, (3, None))
+        with pytest.raises(ValueError):
+            check_array_shape("a", a, (4, None))

@@ -1,0 +1,61 @@
+"""Tests for the text plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util import ascii_plot, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        out = sparkline([1, 2, 3, 4])
+        assert len(out) == 4
+        assert out[0] == "▁" and out[-1] == "█"
+
+    def test_constant_series_mid_level(self):
+        out = sparkline([5, 5, 5])
+        assert len(set(out)) == 1
+
+    def test_nan_becomes_blank(self):
+        out = sparkline([1.0, np.nan, 3.0])
+        assert out[1] == " "
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_nan(self):
+        assert sparkline([np.nan, np.nan]) == "  "
+
+
+class TestAsciiPlot:
+    def test_single_series_contains_markers(self):
+        xs = np.linspace(0, 1, 20)
+        out = ascii_plot(xs, xs**2, title="parabola")
+        assert "parabola" in out
+        assert "*" in out
+
+    def test_multi_series_legend(self):
+        xs = np.linspace(0, 1, 10)
+        out = ascii_plot(xs, {"a": xs, "b": 1 - xs})
+        assert "*=a" in out and "o=b" in out
+
+    def test_axis_labels(self):
+        xs = np.linspace(0, 2, 5)
+        out = ascii_plot(xs, xs, xlabel="T", ylabel="C")
+        assert "T →" in out and "C ↑" in out
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ascii_plot([0, 1], {"a": [1, 2, 3]})
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            ascii_plot([0], [1])
+
+    def test_flat_series_handled(self):
+        out = ascii_plot([0, 1, 2], [3, 3, 3])
+        assert "*" in out
+
+    def test_nan_values_skipped(self):
+        out = ascii_plot([0, 1, 2], [1.0, np.nan, 2.0])
+        assert "*" in out

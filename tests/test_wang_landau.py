@@ -1,0 +1,230 @@
+"""Wang–Landau correctness tests against exact enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.hamiltonians import enumerate_density_of_states, enumerate_energies
+from repro.lattice import random_configuration
+from repro.proposals import FlipProposal, SwapProposal
+from repro.sampling import (
+    EnergyGrid,
+    MulticanonicalSampler,
+    WangLandauSampler,
+    drive_into_range,
+)
+
+
+def compare_to_exact(result, levels, degens, atol):
+    """RMS and max error of relative ln g on commonly visited levels."""
+    exact = {float(e): float(np.log(d)) for e, d in zip(levels, degens)}
+    centers = result.grid.centers
+    mg = result.masked_ln_g()
+    est, ex = [], []
+    for k in np.nonzero(result.visited)[0]:
+        e = float(centers[k])
+        if e in exact:
+            est.append(mg[k])
+            ex.append(exact[e])
+    est = np.array(est) - est[0]
+    ex = np.array(ex) - ex[0]
+    err = np.abs(est - ex)
+    assert err.max() < atol, f"max ln g error {err.max():.3f} exceeds {atol}"
+    return err
+
+
+class TestWangLandauIsing:
+    @pytest.fixture(scope="class")
+    def wl_result(self):
+        from repro.hamiltonians import IsingHamiltonian
+        from repro.lattice import square_lattice
+
+        ham = IsingHamiltonian(square_lattice(4))
+        grid = EnergyGrid.from_levels(ham.energy_levels())
+        wl = WangLandauSampler(
+            ham, FlipProposal(), grid, np.zeros(16, dtype=np.int8),
+            rng=0, ln_f_final=1e-5,
+        )
+        return ham, wl.run(max_steps=5_000_000)
+
+    def test_converged(self, wl_result):
+        _, res = wl_result
+        assert res.converged
+        assert res.final_ln_f <= 1e-5
+
+    def test_ln_g_matches_enumeration(self, wl_result):
+        ham, res = wl_result
+        levels, degens = enumerate_density_of_states(ham)
+        compare_to_exact(res, levels, degens, atol=0.35)
+
+    def test_visits_full_spectrum(self, wl_result):
+        ham, res = wl_result
+        centers = res.grid.centers[res.visited]
+        assert centers.min() == pytest.approx(-32.0)
+        assert centers.max() == pytest.approx(32.0)
+        assert res.visited.sum() == 15  # exact number of Ising levels at L=4
+
+    def test_iteration_counting(self, wl_result):
+        _, res = wl_result
+        # ln f halves from 1.0 to <=1e-5: ceil(log2(1e5)) = 17 iterations.
+        assert res.n_iterations == 17
+        assert len(res.iteration_steps) == 17
+
+
+class TestWangLandauCanonical:
+    def test_fixed_composition_dos(self, ising_4x4):
+        """WL with swap moves reproduces the fixed-magnetization DoS."""
+        counts = [8, 8]
+        energies = enumerate_energies(ising_4x4, counts=counts)
+        levels, degen_counts = np.unique(np.round(energies, 9), return_counts=True)
+        grid = EnergyGrid.from_levels(levels)
+        cfg = random_configuration(16, counts, rng=1)
+        wl = WangLandauSampler(ising_4x4, SwapProposal(), grid, cfg, rng=2, ln_f_final=1e-5)
+        res = wl.run(max_steps=5_000_000)
+        assert res.converged
+        compare_to_exact(res, levels, degen_counts, atol=0.4)
+
+
+class TestWangLandauMechanics:
+    def make_wl(self, ising_4x4, **kwargs):
+        grid = EnergyGrid.from_levels(ising_4x4.energy_levels())
+        defaults = dict(rng=0, ln_f_final=1e-3)
+        defaults.update(kwargs)
+        return WangLandauSampler(
+            ising_4x4, FlipProposal(), grid, np.zeros(16, dtype=np.int8), **defaults
+        )
+
+    def test_out_of_range_initial_raises(self, ising_4x4):
+        grid = EnergyGrid.uniform(-32.0, -20.0, 8)
+        with pytest.raises(ValueError):
+            WangLandauSampler(
+                ising_4x4, FlipProposal(), grid, np.eye(4, dtype=np.int8)[0].repeat(4), rng=0
+            )
+
+    def test_invalid_schedule_raises(self, ising_4x4):
+        with pytest.raises(ValueError):
+            self.make_wl(ising_4x4, schedule="linear")
+
+    def test_invalid_flatness_raises(self, ising_4x4):
+        with pytest.raises(ValueError):
+            self.make_wl(ising_4x4, flatness=1.5)
+
+    def test_invalid_ln_f_raises(self, ising_4x4):
+        with pytest.raises(ValueError):
+            self.make_wl(ising_4x4, ln_f_final=2.0)
+
+    def test_histogram_updates_every_step(self, ising_4x4):
+        wl = self.make_wl(ising_4x4)
+        for _ in range(100):
+            wl.step()
+        assert wl.histogram.sum() == 100
+
+    def test_flatness_false_with_unvisited_previous(self, ising_4x4):
+        wl = self.make_wl(ising_4x4)
+        wl.visited[0] = True
+        wl.visited[5] = True
+        wl.histogram[0] = 100
+        wl.histogram[5] = 0  # previously visited but empty this iteration
+        assert not wl.is_flat()
+
+    def test_one_over_t_floor(self, ising_4x4):
+        wl = self.make_wl(ising_4x4, schedule="one_over_t")
+        wl.n_steps = 16_000  # 1000 sweeps of 16 sites
+        wl.ln_f = 2e-3
+        wl.advance_modification_factor()
+        # halving would give 1e-3 which equals 1/t=1e-3 -> stays on floor
+        assert wl.ln_f == pytest.approx(1e-3)
+
+    def test_one_over_t_converges(self, ising_4x4):
+        grid = EnergyGrid.from_levels(ising_4x4.energy_levels())
+        wl = WangLandauSampler(
+            ising_4x4, FlipProposal(), grid, np.zeros(16, dtype=np.int8),
+            rng=3, ln_f_final=5e-4, schedule="one_over_t",
+        )
+        res = wl.run(max_steps=2_000_000)
+        assert res.converged
+
+    def test_max_steps_cuts_off(self, ising_4x4):
+        wl = self.make_wl(ising_4x4, ln_f_final=1e-12)
+        res = wl.run(max_steps=5_000)
+        assert not res.converged
+        assert res.n_steps == 5_000
+
+
+class TestDriveIntoRange:
+    def test_drives_to_low_window(self, ising_4x4):
+        grid = EnergyGrid.uniform(-32.0, -24.0, 5)
+        rng = np.random.default_rng(0)
+        cfg = rng.integers(0, 2, 16).astype(np.int8)
+        driven = drive_into_range(ising_4x4, FlipProposal(), grid, cfg, rng=rng)
+        assert grid.contains(ising_4x4.energy(driven))
+
+    def test_drives_to_high_window(self, ising_4x4):
+        grid = EnergyGrid.uniform(24.0, 32.0, 5)
+        rng = np.random.default_rng(1)
+        cfg = rng.integers(0, 2, 16).astype(np.int8)
+        driven = drive_into_range(ising_4x4, FlipProposal(), grid, cfg, rng=rng)
+        assert grid.contains(ising_4x4.energy(driven))
+
+    def test_already_inside_returns_copy(self, ising_4x4):
+        grid = EnergyGrid.uniform(-33.0, 33.0, 10)
+        cfg = np.zeros(16, dtype=np.int8)
+        driven = drive_into_range(ising_4x4, FlipProposal(), grid, cfg, rng=0)
+        assert grid.contains(ising_4x4.energy(driven))
+        assert driven is not cfg
+
+    def test_unreachable_raises(self, ising_4x4):
+        grid = EnergyGrid.uniform(-100.0, -90.0, 4)  # below the ground state
+        with pytest.raises(RuntimeError):
+            drive_into_range(
+                ising_4x4, FlipProposal(), grid, np.zeros(16, dtype=np.int8),
+                rng=0, max_steps=5_000,
+            )
+
+
+class TestMulticanonical:
+    def test_flat_walk_and_refinement(self, ising_4x4):
+        """With the exact ln g, the production histogram is flat and the
+        refined DoS stays within tolerance of exact."""
+        levels, degens = enumerate_density_of_states(ising_4x4)
+        grid = EnergyGrid.from_levels(levels)
+        ln_g = np.log(degens.astype(np.float64))
+        sampler = MulticanonicalSampler(
+            ising_4x4, FlipProposal(), grid, ln_g, np.zeros(16, dtype=np.int8), rng=0
+        )
+        res = sampler.run(150_000)
+        h = res.histogram[res.histogram > 0]
+        assert h.min() / h.mean() > 0.4  # roughly flat visitation
+        refined = res.refined_ln_g()
+        rel = refined[np.isfinite(refined)]
+        exact_rel = ln_g - ln_g.min()
+        assert np.abs((rel - rel[0]) - (exact_rel - exact_rel[0])).max() < 0.5
+
+    def test_observable_accumulation(self, ising_4x4):
+        levels, degens = enumerate_density_of_states(ising_4x4)
+        grid = EnergyGrid.from_levels(levels)
+        ln_g = np.log(degens.astype(np.float64))
+        sampler = MulticanonicalSampler(
+            ising_4x4, FlipProposal(), grid, ln_g, np.zeros(16, dtype=np.int8), rng=1,
+            observables={"abs_m": lambda c, e: abs(ising_4x4.magnetization(c))},
+        )
+        res = sampler.run(50_000)
+        m = res.observable_means["abs_m"]
+        visited = res.histogram > 0
+        # |M| at the ground-state bin is exactly 16 (all up or all down).
+        assert m[0] == pytest.approx(16.0)
+        assert np.all(np.isfinite(m[visited]))
+
+    def test_bad_ln_g_shape_raises(self, ising_4x4):
+        grid = EnergyGrid.uniform(-32, 32, 10)
+        with pytest.raises(ValueError):
+            MulticanonicalSampler(
+                ising_4x4, FlipProposal(), grid, np.zeros(5), np.zeros(16, dtype=np.int8)
+            )
+
+    def test_initial_energy_must_be_in_grid(self, ising_4x4):
+        grid = EnergyGrid.uniform(0.0, 32.0, 10)
+        with pytest.raises(ValueError):
+            MulticanonicalSampler(
+                ising_4x4, FlipProposal(), grid, np.zeros(10),
+                np.zeros(16, dtype=np.int8),
+            )

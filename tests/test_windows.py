@@ -1,0 +1,77 @@
+"""Property tests for the REWL energy-window decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import make_windows
+from repro.sampling import EnergyGrid
+
+
+class TestMakeWindows:
+    def test_single_window_is_whole_grid(self):
+        grid = EnergyGrid.uniform(0, 10, 20)
+        windows = make_windows(grid, 1)
+        assert len(windows) == 1
+        assert windows[0].lo_bin == 0 and windows[0].hi_bin == 19
+
+    def test_two_windows_cover_and_overlap(self):
+        grid = EnergyGrid.uniform(0, 10, 20)
+        w = make_windows(grid, 2, overlap=0.5)
+        assert w[0].lo_bin == 0
+        assert w[1].hi_bin == 19
+        ov = w[0].overlap_bins(w[1])
+        assert ov is not None and ov[1] >= ov[0]
+
+    @given(
+        n_bins=st.integers(10, 200),
+        n_windows=st.integers(1, 8),
+        overlap=st.floats(0.1, 0.9),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_invariants(self, n_bins, n_windows, overlap):
+        if n_bins < 2 * n_windows:
+            return  # construction legitimately refuses
+        grid = EnergyGrid.uniform(0.0, 1.0, n_bins)
+        windows = make_windows(grid, n_windows, overlap)
+        assert len(windows) == n_windows
+        covered = np.zeros(n_bins, dtype=bool)
+        for w in windows:
+            assert w.n_bins >= 2
+            covered[w.lo_bin : w.hi_bin + 1] = True
+            # Window grid aligns with global bins.
+            assert np.allclose(w.grid.centers, grid.centers[w.lo_bin : w.hi_bin + 1])
+        assert covered.all()
+        for a, b in zip(windows, windows[1:]):
+            assert a.overlap_bins(b) is not None
+            assert b.lo_bin > a.lo_bin and b.hi_bin > a.hi_bin
+
+    def test_overlap_fraction_roughly_respected(self):
+        grid = EnergyGrid.uniform(0.0, 1.0, 120)
+        windows = make_windows(grid, 4, overlap=0.5)
+        for a, b in zip(windows, windows[1:]):
+            lo, hi = a.overlap_bins(b)
+            frac = (hi - lo + 1) / a.n_bins
+            assert 0.3 < frac < 0.7
+
+    def test_too_many_windows_raises(self):
+        grid = EnergyGrid.uniform(0, 1, 6)
+        with pytest.raises(ValueError):
+            make_windows(grid, 4)
+
+    def test_bad_overlap_raises(self):
+        grid = EnergyGrid.uniform(0, 1, 20)
+        with pytest.raises(ValueError):
+            make_windows(grid, 2, overlap=0.95)
+
+    def test_levels_grid_windows(self):
+        grid = EnergyGrid.from_levels(np.arange(20.0))
+        windows = make_windows(grid, 3, overlap=0.4)
+        assert windows[0].lo_bin == 0
+        assert windows[-1].hi_bin == 19
+
+    def test_no_overlap_between_distant_windows(self):
+        grid = EnergyGrid.uniform(0.0, 1.0, 100)
+        windows = make_windows(grid, 5, overlap=0.3)
+        assert windows[0].overlap_bins(windows[4]) is None

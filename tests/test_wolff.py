@@ -1,0 +1,83 @@
+"""Tests for the Wolff cluster sampler."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import integrated_autocorrelation_time
+from repro.dos import exact_ising_internal_energy
+from repro.hamiltonians import IsingHamiltonian
+from repro.lattice import square_lattice
+from repro.proposals import FlipProposal
+from repro.sampling import MetropolisSampler, WolffSampler
+
+
+class TestWolffCorrectness:
+    @pytest.mark.parametrize("temperature", [2.0, 2.269, 3.5])
+    def test_mean_energy_matches_kaufman(self, temperature):
+        ham = IsingHamiltonian(square_lattice(6))
+        exact = exact_ising_internal_energy(6, 6, temperature)
+        sampler = WolffSampler(ham, 1.0 / temperature,
+                               np.zeros(36, dtype=np.int8), rng=0)
+        sampler.run(400)  # burn-in
+        stats = sampler.run(4_000, record_energy_every=2)
+        sem = stats.energies.std() / np.sqrt(len(stats.energies) / 10)
+        assert stats.energies.mean() == pytest.approx(exact, abs=max(5 * sem, 1.0))
+
+    def test_energy_tracking_no_drift(self):
+        ham = IsingHamiltonian(square_lattice(5))
+        sampler = WolffSampler(ham, 0.5, np.zeros(25, dtype=np.int8), rng=1)
+        sampler.run(2_000)
+        assert sampler.resync_energy() < 1e-8
+
+    def test_cluster_sizes_grow_at_low_temperature(self):
+        ham = IsingHamiltonian(square_lattice(6))
+        rng_cfg = np.random.default_rng(2).integers(0, 2, 36).astype(np.int8)
+        hot = WolffSampler(ham, 0.1, rng_cfg, rng=3)
+        cold = WolffSampler(ham, 1.0, rng_cfg, rng=4)
+        hot_stats = hot.run(500)
+        cold_stats = cold.run(500)
+        assert cold_stats.mean_cluster_size > 3 * hot_stats.mean_cluster_size
+
+    def test_decorrelates_faster_than_metropolis_near_tc(self):
+        """The headline property: near criticality Wolff's tau (per update)
+        is far below single-flip Metropolis's tau (per sweep)."""
+        ham = IsingHamiltonian(square_lattice(8))
+        beta = 1.0 / 2.3
+        wolff = WolffSampler(ham, beta, np.zeros(64, dtype=np.int8), rng=5)
+        wolff.run(300)
+        w_stats = wolff.run(3_000, record_energy_every=1)
+        tau_wolff = integrated_autocorrelation_time(w_stats.energies)
+
+        metro = MetropolisSampler(ham, FlipProposal(), beta,
+                                  np.zeros(64, dtype=np.int8), rng=6)
+        metro.run(64 * 300)
+        m_stats = metro.run(64 * 3_000, record_energy_every=64)  # per sweep
+        tau_metro = integrated_autocorrelation_time(m_stats.energies)
+        assert tau_wolff < tau_metro
+
+
+class TestWolffValidation:
+    def test_rejects_field(self):
+        ham = IsingHamiltonian(square_lattice(4), external_field=0.1)
+        with pytest.raises(ValueError):
+            WolffSampler(ham, 1.0, np.zeros(16, dtype=np.int8))
+
+    def test_rejects_antiferromagnet(self):
+        ham = IsingHamiltonian(square_lattice(4), coupling=-1.0)
+        with pytest.raises(ValueError):
+            WolffSampler(ham, 1.0, np.zeros(16, dtype=np.int8))
+
+    def test_rejects_non_ising(self, hea_small, hea_config):
+        with pytest.raises(TypeError):
+            WolffSampler(hea_small, 1.0, hea_config)
+
+    def test_rejects_negative_beta(self):
+        ham = IsingHamiltonian(square_lattice(4))
+        with pytest.raises(ValueError):
+            WolffSampler(ham, -1.0, np.zeros(16, dtype=np.int8))
+
+    def test_zero_beta_flips_single_sites(self):
+        ham = IsingHamiltonian(square_lattice(4))
+        sampler = WolffSampler(ham, 0.0, np.zeros(16, dtype=np.int8), rng=7)
+        stats = sampler.run(200)
+        assert stats.mean_cluster_size == pytest.approx(1.0)
