@@ -1,0 +1,87 @@
+"""Telemetry overhead: the no-op bundle must not tax the WL hot loop.
+
+The obs subsystem's performance contract is that a disabled
+:class:`repro.obs.Telemetry` (null event sink) costs <3% of Wang-Landau
+step throughput versus entirely uninstrumented code, because the step loop
+only touches plain integer counters and ``emit`` bails on one boolean.
+A JSONL-sink run is benchmarked alongside for the real cost of tracing.
+
+Run: ``pytest benchmarks/bench_obs_overhead.py --benchmark-only``.
+"""
+
+import numpy as np
+
+from repro.obs import JsonlSink, Telemetry
+from repro.obs.events import EventLog
+from repro.parallel import REWLConfig, REWLDriver
+from repro.proposals import FlipProposal
+from repro.sampling import EnergyGrid, WangLandauSampler
+
+_BLOCK = 20_000  # WL steps per benchmark round
+
+
+def _make_wl(ising_4x4, seed=0):
+    grid = EnergyGrid.from_levels(ising_4x4.energy_levels())
+    return WangLandauSampler(
+        ising_4x4, FlipProposal(), grid, np.zeros(16, dtype=np.int8),
+        rng=seed, ln_f_final=1e-12,  # never converges inside the bench
+    )
+
+
+def bench_wl_steps_bare(benchmark, ising_4x4):
+    """Baseline: the raw step loop, no telemetry object anywhere."""
+    wl = _make_wl(ising_4x4)
+
+    def block():
+        for _ in range(_BLOCK):
+            wl.step()
+        return wl.n_steps
+
+    assert benchmark(block) >= _BLOCK
+
+
+def bench_wl_run_null_telemetry(benchmark, ising_4x4):
+    """run() with the disabled default Telemetry — the <3% overhead target."""
+    wl = _make_wl(ising_4x4)
+    tel = Telemetry()
+    assert not tel.enabled
+
+    def block():
+        wl.run(max_steps=wl.n_steps + _BLOCK, telemetry=tel)
+        return wl.n_steps
+
+    assert benchmark(block) >= _BLOCK
+
+
+def bench_wl_run_jsonl_telemetry(benchmark, ising_4x4, tmp_path_factory):
+    """run() with a live JSONL sink — what a traced run actually costs."""
+    wl = _make_wl(ising_4x4)
+    trace = tmp_path_factory.mktemp("obs") / "bench.jsonl"
+    tel = Telemetry(events=EventLog(run_id="bench", sinks=[JsonlSink(trace)]))
+
+    def block():
+        wl.run(max_steps=wl.n_steps + _BLOCK, telemetry=tel)
+        return wl.n_steps
+
+    assert benchmark(block) >= _BLOCK
+    tel.close()
+
+
+def bench_rewl_round_null_telemetry(benchmark, ising_4x4):
+    """One REWL advance+exchange+sync round with disabled telemetry."""
+    grid = EnergyGrid.from_levels(ising_4x4.energy_levels())
+    driver = REWLDriver(
+        ising_4x4, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
+        REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
+                   exchange_interval=1_000, ln_f_final=1e-12, seed=0),
+        telemetry=Telemetry(),
+    )
+
+    def one_round():
+        driver._advance_phase()
+        driver.rounds += 1
+        driver._exchange_phase()
+        driver._sync_phase()
+        return driver.rounds
+
+    assert benchmark(one_round) >= 1

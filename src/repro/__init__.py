@@ -13,6 +13,7 @@ Subpackages
 ``repro.proposals``     MC proposals: local, cluster, deep-learning global
 ``repro.sampling``      Metropolis, Wang-Landau, multicanonical, tempering
 ``repro.parallel``      MPI-like communicator + replica-exchange Wang-Landau
+``repro.obs``           run telemetry: metrics, spans, JSONL event traces
 ``repro.dos``           density-of-states stitching and thermodynamics
 ``repro.analysis``      short-range order, transitions, diagnostics
 ``repro.training``      online training loop for learned proposals

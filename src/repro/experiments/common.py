@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.hamiltonians import NbMoTaWHamiltonian
 from repro.lattice import bcc, equiatomic_counts, random_configuration
+from repro.obs import Telemetry
 from repro.proposals import SwapProposal
 from repro.sampling import EnergyGrid
 from repro.util.rng import as_generator
@@ -20,6 +21,7 @@ __all__ = [
     "EXPERIMENTS",
     "results_dir",
     "estimate_energy_range",
+    "experiment_telemetry",
     "hea_system",
     "default_hea_grid",
 ]
@@ -61,6 +63,9 @@ class ExperimentResult:
     data : dict
         Raw numbers (JSON-serializable) for downstream use.
     elapsed_s : float
+    telemetry : dict
+        Structured run telemetry (span aggregates, metrics, run id) stamped
+        by the harness; lands in the saved JSON as a ``telemetry`` block.
     """
 
     experiment_id: str
@@ -70,6 +75,7 @@ class ExperimentResult:
     tables: dict[str, str] = field(default_factory=dict)
     data: dict = field(default_factory=dict)
     elapsed_s: float = 0.0
+    telemetry: dict = field(default_factory=dict)
 
     def print(self) -> None:
         header = f"=== {self.experiment_id}: {self.title} ({self.elapsed_s:.1f}s) ==="
@@ -93,6 +99,7 @@ class ExperimentResult:
             "tables": self.tables,
             "data": _jsonify(self.data),
             "elapsed_s": self.elapsed_s,
+            "telemetry": _jsonify(self.telemetry),
         }
         path.write_text(json.dumps(payload, indent=2))
         return path
@@ -128,6 +135,20 @@ class timed:
     def stamp(self, result: ExperimentResult) -> ExperimentResult:
         result.elapsed_s = time.perf_counter() - self.start
         return result
+
+
+def experiment_telemetry(experiment_id: str, extra_sinks=()) -> Telemetry:
+    """Telemetry handle for one experiment run.
+
+    Honors the ``REPRO_TRACE`` environment knob (JSONL path / ``stderr`` /
+    unset → disabled), so every runner and the ``run_all`` harness share one
+    wiring convention.  Stamp the summary onto the result before saving::
+
+        tel = experiment_telemetry("E11")
+        ...
+        result.telemetry = tel.summary()
+    """
+    return Telemetry.from_env(run_id=experiment_id, extra_sinks=extra_sinks)
 
 
 # ------------------------------------------------------------- HEA helpers

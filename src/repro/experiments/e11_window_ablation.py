@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dos import exact_ising_dos_bruteforce
-from repro.experiments.common import ExperimentResult, timed
+from repro.experiments.common import ExperimentResult, experiment_telemetry, timed
 from repro.hamiltonians import IsingHamiltonian
 from repro.lattice import square_lattice
 from repro.parallel import REWLConfig, REWLDriver
@@ -48,6 +48,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     rows = []
     data = {}
     base_max_steps = None
+    tel = experiment_telemetry("E11")
     for n_windows in window_counts:
         driver = REWLDriver(
             ham, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
@@ -55,6 +56,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                 n_windows=n_windows, walkers_per_window=2, overlap=0.6,
                 exchange_interval=1_000, ln_f_final=ln_f_final, seed=seed,
             ),
+            telemetry=tel,
         )
         res = driver.run(max_rounds=5_000)
         max_walker_steps = max(s.n_steps for s in res.walkers)
@@ -99,6 +101,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         },
         data=data,
     )
+    result.telemetry = tel.summary()
+    tel.close()
     return clock.stamp(result)
 
 

@@ -19,7 +19,8 @@ import json
 import sys
 import traceback
 
-from repro.experiments.common import EXPERIMENTS, results_dir
+from repro.experiments.common import EXPERIMENTS, experiment_telemetry, results_dir
+from repro.obs import ConsoleSink
 
 __all__ = ["main"]
 
@@ -49,19 +50,42 @@ def main(argv=None) -> int:
             summary = json.loads(summary_path.read_text())
         except json.JSONDecodeError:
             summary = {}
+    # Harness narration goes through the structured event logger (console
+    # lines on stdout, plus a JSONL sink when REPRO_TRACE is set); the
+    # human-readable ExperimentResult.print() tables stay the final render.
+    console = ConsoleSink(sys.stdout)
+    mode = "full" if args.full else "quick"
     failures = []
     for exp_id in wanted:
         module = importlib.import_module(EXPERIMENTS[exp_id])
-        print(f"\n>>> running {exp_id} ({EXPERIMENTS[exp_id]}) "
-              f"[{'full' if args.full else 'quick'}]")
-        try:
-            result = module.run(quick=not args.full, seed=args.seed)
-        except Exception:  # noqa: BLE001 - report and continue
-            traceback.print_exc()
-            failures.append(exp_id)
-            continue
-        result.print()
-        path = result.save()
+        with experiment_telemetry(exp_id, extra_sinks=[console]) as tel:
+            tel.emit("experiment_start", experiment=exp_id,
+                     module=EXPERIMENTS[exp_id], mode=mode, seed=args.seed)
+            try:
+                with tel.span(f"experiment.{exp_id}"):
+                    result = module.run(quick=not args.full, seed=args.seed)
+            except Exception as exc:  # noqa: BLE001 - report and continue
+                traceback.print_exc()
+                tel.emit("experiment_failed", experiment=exp_id,
+                         error=f"{type(exc).__name__}: {exc}")
+                failures.append(exp_id)
+                continue
+            # Merge rather than overwrite: experiments that created their own
+            # telemetry handle (e.g. E11's REWL driver) already put span/
+            # metric aggregates on the result, and the harness summary must
+            # not clobber them.
+            harness = tel.summary()
+            if result.telemetry:
+                harness["spans"] = {**harness["spans"],
+                                    **result.telemetry.get("spans", {})}
+                harness["metrics"] = {**harness["metrics"],
+                                      **result.telemetry.get("metrics", {})}
+            result.telemetry = harness
+            result.print()
+            path = result.save()
+            tel.emit("experiment_end", experiment=exp_id,
+                     elapsed_s=result.elapsed_s, file=str(path),
+                     measured=result.measured)
         summary[exp_id] = {
             "title": result.title,
             "paper_claim": result.paper_claim,
@@ -73,11 +97,10 @@ def main(argv=None) -> int:
     summary_path.parent.mkdir(parents=True, exist_ok=True)
     ordered = {k: summary[k] for k in EXPERIMENTS if k in summary}
     summary_path.write_text(json.dumps(ordered, indent=2))
-    print(f"\nwrote {summary_path} ({len(ordered)} experiments, {len(failures)} failures)")
-    if failures:
-        print(f"FAILED: {failures}")
-        return 1
-    return 0
+    with experiment_telemetry("run_all", extra_sinks=[console]) as tel:
+        tel.emit("summary", file=str(summary_path), experiments=len(ordered),
+                 failures=failures)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

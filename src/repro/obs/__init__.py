@@ -1,0 +1,113 @@
+"""Structured run telemetry: metrics, spans, and JSONL event traces.
+
+DeepThermo's claims are operational — time-to-flat-histogram, exchange
+acceptance, walker throughput — so the reproduction carries a telemetry
+layer wired through the sampling stack:
+
+- :mod:`repro.obs.metrics` — picklable, mergeable counters / gauges /
+  histograms (per-walker metrics survive the process executors and reduce
+  across windows),
+- :mod:`repro.obs.tracing` — nestable spans with per-path aggregates; also
+  home of the ``Timer``/``TimerRegistry`` the rest of the code has always
+  used (``repro.util.timers`` re-exports them),
+- :mod:`repro.obs.events` — newline-delimited JSON event records behind
+  swappable sinks (no-op by default),
+- :mod:`repro.obs.report` — ``python -m repro.obs.report trace.jsonl``
+  renders per-phase time/throughput breakdowns from a trace.
+
+:class:`Telemetry` bundles the three runtime pieces behind one handle that
+drivers accept as an optional argument.  The determinism contract: enabling
+telemetry never draws random numbers and never accumulates floats into
+sampler state, so instrumented runs are bit-identical to bare ones.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import (
+    ConsoleSink,
+    EventLog,
+    EventSink,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    SCHEMA_VERSION,
+    TRACE_ENV_VAR,
+    from_env,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_registries,
+)
+from repro.obs.tracing import Span, Timer, TimerRegistry, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_registries",
+    "Span",
+    "Timer",
+    "TimerRegistry",
+    "Tracer",
+    "ConsoleSink",
+    "EventLog",
+    "EventSink",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "SCHEMA_VERSION",
+    "TRACE_ENV_VAR",
+    "from_env",
+    "Telemetry",
+]
+
+
+class Telemetry:
+    """One handle bundling a metrics registry, a tracer, and an event log.
+
+    ``Telemetry()`` is fully disabled (null event log) and cheap enough to
+    be every driver's default.  ``Telemetry.from_env(run_id=...)`` attaches
+    a JSONL or console sink when ``REPRO_TRACE`` is set.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 events: EventLog | None = None, run_id: str | None = None):
+        self.events = events if events is not None else EventLog(run_id=run_id)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = Tracer(events=self.events)
+
+    @classmethod
+    def from_env(cls, run_id: str | None = None, extra_sinks=()) -> "Telemetry":
+        return cls(events=from_env(run_id=run_id, extra_sinks=extra_sinks))
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one event sink is live."""
+        return self.events.enabled
+
+    def span(self, name: str, **fields) -> Span:
+        return self.tracer.span(name, **fields)
+
+    def emit(self, kind: str, **fields) -> None:
+        self.events.emit(kind, **fields)
+
+    def summary(self) -> dict:
+        """JSON-ready snapshot: run id + span aggregates + metrics."""
+        return {
+            "run_id": self.events.run_id,
+            "spans": self.tracer.as_dict(),
+            "metrics": self.metrics.as_dict(),
+        }
+
+    def close(self) -> None:
+        self.events.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

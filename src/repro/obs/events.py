@@ -1,0 +1,206 @@
+"""Structured event log: newline-delimited JSON records with swappable sinks.
+
+Every record carries the envelope ``{"v": schema version, "run": run id,
+"seq": monotone index, "ts": unix wall time, "kind": event kind}`` plus
+kind-specific fields; :mod:`repro.obs.report` consumes the resulting
+``.jsonl`` files.  The default sink is :class:`NullSink`, and ``emit`` on a
+fully disabled log is a single attribute check — instrumented code paths
+cost nothing until a real sink is attached.
+
+Sinks
+-----
+- :class:`NullSink` — drop everything (default),
+- :class:`MemorySink` — keep records in a list (tests, in-process readers),
+- :class:`JsonlSink` — append JSON lines to a file or stream,
+- :class:`ConsoleSink` — render ``[kind] key=value`` lines for humans; this
+  is what replaced the experiment runners' raw ``print()`` calls.
+
+Environment wiring: :func:`from_env` builds an :class:`EventLog` from
+``REPRO_TRACE`` (a path → JSONL file; ``stderr``/``-`` → console lines;
+unset → disabled), so any entry point gains telemetry without new flags.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sys
+import time
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EventSink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "ConsoleSink",
+    "EventLog",
+    "from_env",
+    "TRACE_ENV_VAR",
+]
+
+SCHEMA_VERSION = 1
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+
+def _json_default(obj):
+    """Serialize the numpy scalars/arrays that ride along in telemetry."""
+    item = getattr(obj, "item", None)
+    if item is not None and getattr(obj, "ndim", None) == 0:
+        return item()
+    tolist = getattr(obj, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return str(obj)
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+class EventSink:
+    """Sink interface: receive one record dict per event."""
+
+    enabled: bool = True
+
+    def emit(self, record: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        return None
+
+
+class NullSink(EventSink):
+    """Discard everything (the near-zero-cost default)."""
+
+    enabled = False
+
+    def emit(self, record: dict) -> None:
+        return None
+
+
+class MemorySink(EventSink):
+    """Buffer records in memory (tests and in-process consumers)."""
+
+    def __init__(self):
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+
+class JsonlSink(EventSink):
+    """Append newline-delimited JSON to ``path`` (or a writable stream)."""
+
+    def __init__(self, path_or_stream, autoflush: bool = True):
+        self.autoflush = autoflush
+        if hasattr(path_or_stream, "write"):
+            self.path = None
+            self._stream = path_or_stream
+            self._owned = False
+        else:
+            self.path = os.fspath(path_or_stream)
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._stream = open(self.path, "a", encoding="utf-8")
+            self._owned = True
+
+    def emit(self, record: dict) -> None:
+        self._stream.write(
+            json.dumps(record, separators=(",", ":"), default=_json_default) + "\n"
+        )
+        if self.autoflush:
+            self._stream.flush()
+
+    def close(self) -> None:
+        if self._owned and not self._stream.closed:
+            self._stream.close()
+
+
+class ConsoleSink(EventSink):
+    """Human-readable one-liners: ``[run:kind] key=value ...``."""
+
+    #: Envelope keys hidden from the rendered line.
+    _SKIP = frozenset({"v", "ts", "seq", "run", "kind"})
+
+    def __init__(self, stream=None):
+        self._stream = stream if stream is not None else sys.stderr
+
+    def emit(self, record: dict) -> None:
+        fields = " ".join(
+            f"{k}={_render(v)}" for k, v in record.items() if k not in self._SKIP
+        )
+        self._stream.write(f"[{record.get('run', '?')}:{record.get('kind', '?')}] "
+                           f"{fields}".rstrip() + "\n")
+        self._stream.flush()
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, str):
+        return value
+    return json.dumps(value, default=_json_default)
+
+
+class EventLog:
+    """Fan-out event emitter with the envelope described in the module doc.
+
+    ``emit`` bails on one boolean when every sink is disabled, so leaving an
+    ``EventLog()`` default argument in a hot-ish path is safe.
+    """
+
+    def __init__(self, run_id: str | None = None, sinks=()):
+        self.run_id = run_id if run_id is not None else _default_run_id()
+        self.sinks = [s for s in sinks if s is not None]
+        self.enabled = any(s.enabled for s in self.sinks)
+        self._seq = 0
+
+    def emit(self, kind: str, **fields) -> None:
+        if not self.enabled:
+            return
+        record = {
+            "v": SCHEMA_VERSION,
+            "run": self.run_id,
+            "seq": self._seq,
+            "ts": time.time(),
+            "kind": kind,
+        }
+        record.update(fields)
+        self._seq += 1
+        for sink in self.sinks:
+            if sink.enabled:
+                sink.emit(record)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _default_run_id() -> str:
+    # Wall-clock + pid: unique enough for traces, and crucially *not* drawn
+    # from any numpy RNG stream (telemetry must never perturb sampling).
+    return f"run-{int(time.time() * 1000):x}-{os.getpid()}"
+
+
+def from_env(run_id: str | None = None, env_var: str = TRACE_ENV_VAR,
+             extra_sinks=()) -> EventLog:
+    """Build an :class:`EventLog` from the ``REPRO_TRACE`` environment knob.
+
+    - unset/empty → disabled log (plus any ``extra_sinks``),
+    - ``"stderr"`` or ``"-"`` → console lines on stderr,
+    - anything else → treated as a JSONL output path.
+    """
+    value = os.environ.get(env_var, "").strip()
+    sinks = list(extra_sinks)
+    if value in ("stderr", "-"):
+        sinks.append(ConsoleSink(sys.stderr))
+    elif value:
+        sinks.append(JsonlSink(value))
+    return EventLog(run_id=run_id, sinks=sinks)

@@ -1,0 +1,253 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+The REWL advance phase ships walker state through process executors
+(:mod:`repro.parallel.executors`); anything measured inside a worker must
+therefore be (a) picklable and (b) *mergeable*, so per-walker registries can
+be reduced across walkers, windows, and ranks after the fact.  All three
+metric kinds here are plain-data and merge associatively:
+
+- :class:`Counter` — monotone integer, merged by addition,
+- :class:`Gauge` — last-written float, merged right-biased (the right
+  operand wins when it has ever been set),
+- :class:`Histogram` — fixed bucket edges, merged bucket-wise; edges must
+  match exactly (histograms are only mergeable within one schema).
+
+Metrics never touch sampler state: values live in the registry only, so a
+run with metrics enabled is bit-identical to one without (the determinism
+guarantee tested in ``tests/test_obs_rewl.py``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "merge_registries"]
+
+#: Default histogram bucket upper bounds (seconds-flavored, log-spaced).
+DEFAULT_BUCKETS = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0, 600.0
+)
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {n})")
+        self.value += n
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def as_dict(self) -> dict:
+        return {"kind": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """Last-written float metric (e.g. current ln f, rolling loss)."""
+
+    name: str
+    value: float = 0.0
+    updated: bool = False
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updated = True
+
+    def merge(self, other: "Gauge") -> None:
+        # Right-biased: the most recently merged writer wins.  Associative
+        # (though not commutative), which is what executor reduction needs.
+        if other.updated:
+            self.value = other.value
+        self.updated = self.updated or other.updated
+
+    def as_dict(self) -> dict:
+        return {"kind": "gauge", "value": self.value, "updated": self.updated}
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max summary statistics.
+
+    ``buckets`` are upper bounds; an implicit +inf bucket catches overflow.
+    """
+
+    name: str
+    buckets: tuple = DEFAULT_BUCKETS
+    counts: list = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def __post_init__(self):
+        self.buckets = tuple(float(b) for b in self.buckets)
+        if list(self.buckets) != sorted(set(self.buckets)):
+            raise ValueError(f"histogram {self.name!r} buckets must be strictly increasing")
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+        elif len(self.counts) != len(self.buckets) + 1:
+            raise ValueError(
+                f"histogram {self.name!r}: {len(self.counts)} counts for "
+                f"{len(self.buckets)} buckets"
+            )
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge mismatched buckets "
+                f"{other.buckets} into {self.buckets}"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Named collection of metrics; picklable and mergeable.
+
+    Metric kinds are fixed at first registration: asking for an existing
+    name with a different kind raises ``TypeError`` (silent kind morphing
+    would make merges undefined).
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    # ------------------------------------------------------------ creation
+
+    def _get(self, name: str, cls, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name=name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, buckets=tuple(buckets))
+
+    # --------------------------------------------------------- convenience
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float, buckets=DEFAULT_BUCKETS) -> None:
+        self.histogram(name, buckets).observe(value)
+
+    # ------------------------------------------------------------ plumbing
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str):
+        return self._metrics[name]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (in place); returns ``self``."""
+        for name in other.names():
+            theirs = other._metrics[name]
+            mine = self._metrics.get(name)
+            if mine is None:
+                # Re-register a same-kind copy so later merges stay isolated.
+                mine = self._get(
+                    name, type(theirs),
+                    **({"buckets": theirs.buckets} if isinstance(theirs, Histogram) else {}),
+                )
+            elif type(mine) is not type(theirs):
+                raise TypeError(
+                    f"metric {name!r}: cannot merge {type(theirs).__name__} "
+                    f"into {type(mine).__name__}"
+                )
+            mine.merge(theirs)
+        return self
+
+    def as_dict(self) -> dict[str, dict]:
+        return {name: self._metrics[name].as_dict() for name in self.names()}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, dict]) -> "MetricsRegistry":
+        reg = cls()
+        for name, entry in payload.items():
+            kind = entry.get("kind")
+            if kind == "counter":
+                reg.counter(name).value = int(entry["value"])
+            elif kind == "gauge":
+                g = reg.gauge(name)
+                g.value = float(entry["value"])
+                g.updated = bool(entry.get("updated", True))
+            elif kind == "histogram":
+                h = reg.histogram(name, tuple(entry["buckets"]))
+                h.counts = [int(c) for c in entry["counts"]]
+                h.count = int(entry["count"])
+                h.sum = float(entry["sum"])
+                h.min = math.inf if entry.get("min") is None else float(entry["min"])
+                h.max = -math.inf if entry.get("max") is None else float(entry["max"])
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+        return reg
+
+
+def merge_registries(registries) -> MetricsRegistry:
+    """Reduce an iterable of registries into a fresh one (left to right)."""
+    out = MetricsRegistry()
+    for reg in registries:
+        out.merge(reg)
+    return out

@@ -1,0 +1,193 @@
+"""Render a per-phase breakdown from a telemetry trace.
+
+``python -m repro.obs.report trace.jsonl`` reads the newline-delimited JSON
+records written by :class:`repro.obs.events.JsonlSink` and prints
+
+- the runs contained in the trace (id, record count, wall-clock span),
+- a per-phase table aggregated over span records (calls, total time, mean,
+  share of traced time) with walker throughput where spans carry ``steps``,
+- exchange-acceptance rates per adjacent window pair,
+- the per-window ln f trajectory (sync events),
+- a training summary when trainer events are present.
+
+This is the consumer side of the schema described in DESIGN.md §8; the
+producer side is wired through :class:`repro.parallel.rewl.REWLDriver`,
+:class:`repro.sampling.wang_landau.WangLandauSampler`,
+:class:`repro.training.trainer.ProposalTrainer`, and the experiment harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+__all__ = ["load_trace", "render_report", "main"]
+
+
+def load_trace(path, run: str | None = None) -> list[dict]:
+    """Parse a JSONL trace; skips malformed lines, optionally filters by run."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and (run is None or record.get("run") == run):
+                records.append(record)
+    return records
+
+
+def _fmt_seconds(s: float) -> str:
+    return f"{s:.4f}"
+
+
+def _span_table(records: list[dict]) -> str:
+    from repro.util.tables import format_table
+
+    agg: dict[str, dict] = defaultdict(
+        lambda: {"calls": 0, "total": 0.0, "steps": 0}
+    )
+    for r in records:
+        if r.get("kind") != "span":
+            continue
+        row = agg[r.get("path", r.get("name", "?"))]
+        row["calls"] += 1
+        row["total"] += float(r.get("dur_s", 0.0))
+        if isinstance(r.get("steps"), (int, float)):
+            row["steps"] += r["steps"]
+    if not agg:
+        return "(no span records)"
+    # Share is computed against top-level spans only; child spans are a
+    # subdivision of their parents, not extra wall time.
+    top_total = sum(v["total"] for path, v in agg.items() if "." not in path)
+    if top_total <= 0:
+        top_total = sum(v["total"] for v in agg.values())
+    rows = []
+    for path in sorted(agg):
+        v = agg[path]
+        mean_ms = v["total"] / v["calls"] * 1e3 if v["calls"] else 0.0
+        share = v["total"] / top_total if top_total > 0 else 0.0
+        throughput = f"{v['steps'] / v['total']:,.0f}" if v["steps"] and v["total"] > 0 else "-"
+        rows.append([path, v["calls"], _fmt_seconds(v["total"]),
+                     f"{mean_ms:.3f}", f"{share:.1%}", throughput])
+    return format_table(
+        ["phase", "calls", "total_s", "mean_ms", "share", "steps/s"],
+        rows, title="per-phase breakdown",
+    )
+
+
+def _exchange_table(records: list[dict]) -> str | None:
+    from repro.util.tables import format_table
+
+    attempts: dict[int, int] = defaultdict(int)
+    accepts: dict[int, int] = defaultdict(int)
+    for r in records:
+        if r.get("kind") != "exchange_attempt":
+            continue
+        pair = int(r.get("pair", -1))
+        attempts[pair] += 1
+        if r.get("accepted"):
+            accepts[pair] += 1
+    if not attempts:
+        return None
+    rows = []
+    for pair in sorted(attempts):
+        att, acc = attempts[pair], accepts[pair]
+        rate = f"{acc / att:.1%}" if att else "-"
+        rows.append([f"{pair}-{pair + 1}", att, acc, rate])
+    return format_table(
+        ["window pair", "attempts", "accepts", "acceptance"],
+        rows, title="replica exchanges",
+    )
+
+
+def _lnf_table(records: list[dict]) -> str | None:
+    from repro.util.tables import format_table
+
+    per_window: dict[int, list[float]] = defaultdict(list)
+    for r in records:
+        if r.get("kind") == "sync":
+            per_window[int(r.get("window", -1))].append(float(r.get("ln_f", 0.0)))
+        elif r.get("kind") == "wl_iteration":
+            per_window[int(r.get("window", 0))].append(float(r.get("ln_f", 0.0)))
+    if not per_window:
+        return None
+    rows = [
+        [w, len(traj), f"{traj[0]:.3g}", f"{traj[-1]:.3g}"]
+        for w, traj in sorted(per_window.items())
+    ]
+    return format_table(
+        ["window", "iterations", "first ln f", "final ln f"],
+        rows, title="ln f trajectory",
+    )
+
+
+def _training_lines(records: list[dict]) -> list[str]:
+    losses = [float(r["loss"]) for r in records
+              if r.get("kind") == "train_step" and "loss" in r]
+    if not losses:
+        return []
+    return [
+        f"training: {len(losses)} steps, loss {losses[0]:.4f} -> {losses[-1]:.4f}",
+        "",
+    ]
+
+
+def render_report(records: list[dict]) -> str:
+    """Assemble the full text report for one trace's records."""
+    lines: list[str] = []
+    runs: dict[str, list[dict]] = defaultdict(list)
+    for r in records:
+        runs[str(r.get("run", "?"))].append(r)
+    for run_id, recs in runs.items():
+        stamps = [r["ts"] for r in recs if isinstance(r.get("ts"), (int, float))]
+        span = f"{max(stamps) - min(stamps):.1f}s" if len(stamps) > 1 else "n/a"
+        lines.append(f"run {run_id}: {len(recs)} records, wall span {span}")
+    lines.append("")
+    lines.append(_span_table(records))
+    lines.append("")
+    for table in (_exchange_table(records), _lnf_table(records)):
+        if table is not None:
+            lines.append(table)
+            lines.append("")
+    lines.extend(_training_lines(records))
+    errors = [r for r in records if r.get("kind") == "span" and "error" in r]
+    if errors:
+        lines.append(f"WARNING: {len(errors)} span(s) closed by an exception "
+                     f"({sorted({r['error'] for r in errors})})")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Per-phase time/throughput breakdown of a telemetry trace.",
+    )
+    parser.add_argument("trace", help="path to a .jsonl trace file")
+    parser.add_argument("--run", default=None,
+                        help="only include records from this run id")
+    args = parser.parse_args(argv)
+
+    path = Path(args.trace)
+    if not path.exists():
+        print(f"no such trace file: {path}", file=sys.stderr)
+        return 1
+    records = load_trace(path, run=args.run)
+    if not records:
+        print(f"no telemetry records in {path}"
+              + (f" for run {args.run}" if args.run else ""), file=sys.stderr)
+        return 1
+    print(render_report(records), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

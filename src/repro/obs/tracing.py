@@ -1,0 +1,176 @@
+"""Span tracing and wall-clock timers.
+
+:class:`Span` generalizes the old ``repro.util.timers.Timer`` stopwatch:
+spans nest (a span opened while another is running becomes its child, and
+aggregates under the dotted path ``parent.child``), survive exceptions (the
+interval is recorded and the stack unwound either way), and optionally emit
+a structured record to an event log (:mod:`repro.obs.events`) on close.
+
+``Timer`` and ``TimerRegistry`` live here now — :mod:`repro.util.timers`
+re-exports them unchanged — because a span *is* a timer plus context; the
+aggregate a :class:`Tracer` keeps per path is literally a ``Timer``.
+
+Nothing in this module draws random numbers or writes into sampler arrays:
+instrumented runs stay bit-identical to uninstrumented ones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "TimerRegistry", "Span", "Tracer"]
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch usable as a context manager.
+
+    >>> t = Timer("sweep")
+    >>> with t:
+    ...     pass
+    >>> t.count
+    1
+    """
+
+    name: str = ""
+    total: float = 0.0
+    count: int = 0
+    _start: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError(f"timer {self.name!r} already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop and return the elapsed interval for this start/stop pair."""
+        if self._start is None:
+            raise RuntimeError(f"timer {self.name!r} is not running")
+        elapsed = time.perf_counter() - self._start
+        self._start = None
+        self.total += elapsed
+        self.count += 1
+        return elapsed
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def mean(self) -> float:
+        """Mean interval length (0.0 when never stopped)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class TimerRegistry:
+    """Named collection of timers with a one-line report per timer."""
+
+    def __init__(self):
+        self._timers: dict[str, Timer] = {}
+
+    def __getitem__(self, name: str) -> Timer:
+        if name not in self._timers:
+            self._timers[name] = Timer(name)
+        return self._timers[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._timers
+
+    def names(self) -> list[str]:
+        return sorted(self._timers)
+
+    def report(self) -> str:
+        # Size the name column to the longest name so long (e.g. deeply
+        # nested span) names cannot shear the numeric columns out of line.
+        width = max([28] + [len(name) + 2 for name in self.names()])
+        lines = [f"{'timer':<{width}}{'calls':>8}{'total_s':>12}{'mean_ms':>12}"]
+        for name in self.names():
+            t = self._timers[name]
+            lines.append(
+                f"{name:<{width}}{t.count:>8}{t.total:>12.4f}{t.mean * 1e3:>12.4f}"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        return {
+            name: {"total": t.total, "count": t.count, "mean": t.mean}
+            for name, t in self._timers.items()
+        }
+
+
+class Span:
+    """One timed region; created by :meth:`Tracer.span`, used as a context.
+
+    Attributes are populated on exit: ``duration`` (seconds) and ``path``
+    (dot-joined ancestry, e.g. ``"rewl.round.advance"``).
+    """
+
+    __slots__ = ("tracer", "name", "fields", "path", "duration", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, fields: dict):
+        self.tracer = tracer
+        self.name = name
+        self.fields = fields
+        self.path = name
+        self.duration = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = self.tracer._stack
+        if stack:
+            self.path = f"{stack[-1].path}.{self.name}"
+        stack.append(self)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self._t0
+        # Unwind unconditionally so an exception inside the span cannot
+        # corrupt the ancestry of later spans.
+        stack = self.tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        agg = self.tracer.timers[self.path]
+        agg.total += self.duration
+        agg.count += 1
+        events = self.tracer.events
+        if events is not None and events.enabled:
+            record = {"name": self.name, "path": self.path,
+                      "dur_s": self.duration, **self.fields}
+            if exc_type is not None:
+                record["error"] = exc_type.__name__
+            events.emit("span", **record)
+
+
+class Tracer:
+    """Span factory plus per-path aggregate timings.
+
+    Parameters
+    ----------
+    events : EventLog, optional
+        Sink for per-span records; ``None`` aggregates only.
+    """
+
+    def __init__(self, events=None):
+        self.events = events
+        self.timers = TimerRegistry()
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **fields) -> Span:
+        """Open a (nestable) span: ``with tracer.span("advance", round=3):``."""
+        return Span(self, name, fields)
+
+    @property
+    def current_path(self) -> str | None:
+        """Dotted path of the innermost open span (None outside any span)."""
+        return self._stack[-1].path if self._stack else None
+
+    def report(self) -> str:
+        return self.timers.report()
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        return self.timers.as_dict()

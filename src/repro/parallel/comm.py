@@ -26,11 +26,17 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Any, Callable
+
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["Communicator", "SerialCommunicator", "ThreadCommunicator", "run_spmd"]
 
 _DEFAULT_TIMEOUT = 60.0  # deadlock guard for the threaded backend
+
+#: Histogram bucket upper bounds for collective/point-to-point latencies.
+_LATENCY_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
 
 
 def _sum(a, b):
@@ -45,10 +51,23 @@ _REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
 
 
 class Communicator:
-    """Abstract communicator (see module docstring for semantics)."""
+    """Abstract communicator (see module docstring for semantics).
+
+    Every backend carries a per-rank :class:`~repro.obs.metrics.MetricsRegistry`
+    under ``self.metrics`` recording ``comm.<op>.calls`` counters and
+    ``comm.<op>.seconds`` latency histograms for each point-to-point and
+    collective operation; :func:`run_spmd` reduces them across ranks when
+    given a telemetry handle.
+    """
 
     rank: int
     size: int
+    metrics: MetricsRegistry
+
+    def _record(self, op: str, t0: float) -> None:
+        dt = time.perf_counter() - t0
+        self.metrics.inc(f"comm.{op}.calls")
+        self.metrics.observe(f"comm.{op}.seconds", dt, buckets=_LATENCY_BUCKETS)
 
     # -- point to point ----------------------------------------------------
 
@@ -92,6 +111,9 @@ class SerialCommunicator(Communicator):
     rank = 0
     size = 1
 
+    def __init__(self, metrics: MetricsRegistry | None = None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
     def send(self, obj, dest, tag=0):
         raise RuntimeError("send in a size-1 world has no valid destination")
 
@@ -102,30 +124,37 @@ class SerialCommunicator(Communicator):
         raise RuntimeError("sendrecv in a size-1 world has no valid partner")
 
     def barrier(self):
+        self._record("barrier", time.perf_counter())
         return None
 
     def bcast(self, obj, root=0):
+        self._record("bcast", time.perf_counter())
         return obj
 
     def gather(self, obj, root=0):
+        self._record("gather", time.perf_counter())
         return [obj]
 
     def allgather(self, obj):
+        self._record("allgather", time.perf_counter())
         return [obj]
 
     def scatter(self, objs, root=0):
         if objs is None or len(objs) != 1:
             raise ValueError("scatter in a size-1 world needs exactly one object")
+        self._record("scatter", time.perf_counter())
         return objs[0]
 
     def reduce(self, obj, op="sum", root=0):
         if op not in _REDUCE_OPS:
             raise ValueError(f"unknown reduce op {op!r}")
+        self._record("reduce", time.perf_counter())
         return obj
 
     def allreduce(self, obj, op="sum"):
         if op not in _REDUCE_OPS:
             raise ValueError(f"unknown reduce op {op!r}")
+        self._record("allreduce", time.perf_counter())
         return obj
 
 
@@ -148,10 +177,14 @@ class _World:
 class ThreadCommunicator(Communicator):
     """One rank of a threaded SPMD world (created by :func:`run_spmd`)."""
 
-    def __init__(self, world: _World, rank: int):
+    def __init__(self, world: _World, rank: int,
+                 metrics: MetricsRegistry | None = None):
         self._world = world
         self.rank = rank
         self.size = world.size
+        # Per-rank registry: threads never share one (MetricsRegistry is
+        # not locked); run_spmd merges them after the ranks join.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     def _check_peer(self, peer: int, what: str) -> None:
         if not 0 <= peer < self.size:
@@ -162,10 +195,13 @@ class ThreadCommunicator(Communicator):
     # -- point to point ----------------------------------------------------
 
     def send(self, obj, dest, tag=0):
+        t0 = time.perf_counter()
         self._check_peer(dest, "send")
         self._world.queues[(self.rank, dest)].put((tag, obj))
+        self._record("send", t0)
 
     def recv(self, source, tag=0):
+        t0 = time.perf_counter()
         self._check_peer(source, "recv")
         got_tag, obj = self._world.queues[(source, self.rank)].get(
             timeout=self._world.timeout
@@ -175,41 +211,54 @@ class ThreadCommunicator(Communicator):
                 f"rank {self.rank}: tag mismatch from {source}: "
                 f"expected {tag}, got {got_tag}"
             )
+        self._record("recv", t0)
         return obj
 
     def sendrecv(self, obj, partner, tag=0):
+        t0 = time.perf_counter()
         self._check_peer(partner, "sendrecv")
         self.send(obj, partner, tag)
-        return self.recv(partner, tag)
+        out = self.recv(partner, tag)
+        self._record("sendrecv", t0)
+        return out
 
     # -- collectives --------------------------------------------------------
 
     def barrier(self):
+        t0 = time.perf_counter()
         self._world.barrier.wait(timeout=self._world.timeout)
+        self._record("barrier", t0)
 
     def bcast(self, obj, root=0):
+        t0 = time.perf_counter()
         if self.rank == root:
             self._world.bcast_box[0] = obj
         self.barrier()
         out = self._world.bcast_box[0]
         self.barrier()
+        self._record("bcast", t0)
         return out
 
     def gather(self, obj, root=0):
+        t0 = time.perf_counter()
         self._world.gather_box[self.rank] = obj
         self.barrier()
         out = list(self._world.gather_box) if self.rank == root else None
         self.barrier()
+        self._record("gather", t0)
         return out
 
     def allgather(self, obj):
+        t0 = time.perf_counter()
         self._world.gather_box[self.rank] = obj
         self.barrier()
         out = list(self._world.gather_box)
         self.barrier()
+        self._record("allgather", t0)
         return out
 
     def scatter(self, objs, root=0):
+        t0 = time.perf_counter()
         if self.rank == root:
             if objs is None or len(objs) != self.size:
                 raise ValueError(f"scatter needs exactly {self.size} objects at root")
@@ -217,12 +266,15 @@ class ThreadCommunicator(Communicator):
         self.barrier()
         out = self._world.gather_box[self.rank]
         self.barrier()
+        self._record("scatter", t0)
         return out
 
     def reduce(self, obj, op="sum", root=0):
+        t0 = time.perf_counter()
         if op not in _REDUCE_OPS:
             raise ValueError(f"unknown reduce op {op!r}")
         gathered = self.gather(obj, root=root)
+        self._record("reduce", t0)
         if self.rank != root:
             return None
         acc = gathered[0]
@@ -231,46 +283,64 @@ class ThreadCommunicator(Communicator):
         return acc
 
     def allreduce(self, obj, op="sum"):
+        t0 = time.perf_counter()
         if op not in _REDUCE_OPS:
             raise ValueError(f"unknown reduce op {op!r}")
         gathered = self.allgather(obj)
         acc = gathered[0]
         for item in gathered[1:]:
             acc = _REDUCE_OPS[op](acc, item)
+        self._record("allreduce", t0)
         return acc
 
 
 def run_spmd(fn: Callable[[Communicator], Any], n_ranks: int,
-             timeout: float = _DEFAULT_TIMEOUT) -> list[Any]:
+             timeout: float = _DEFAULT_TIMEOUT, telemetry=None) -> list[Any]:
     """Run ``fn(comm)`` on ``n_ranks`` threads; return per-rank results.
 
     The first exception raised by any rank is re-raised in the caller (other
     ranks are abandoned — acceptable for a test/teaching substrate).
+
+    When ``telemetry`` (a :class:`repro.obs.Telemetry`) is supplied, each
+    rank's per-collective call counts and latency histograms are merged into
+    ``telemetry.metrics`` after the ranks join, and one ``spmd`` event is
+    emitted with the world size and wall time.
     """
     if n_ranks < 1:
         raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    t0 = time.perf_counter()
     if n_ranks == 1:
-        return [fn(SerialCommunicator())]
-    world = _World(n_ranks, timeout)
-    results: list[Any] = [None] * n_ranks
-    errors: list[tuple[int, BaseException]] = []
+        comm = SerialCommunicator()
+        out = [fn(comm)]
+        comms = [comm]
+    else:
+        world = _World(n_ranks, timeout)
+        comms = [ThreadCommunicator(world, r) for r in range(n_ranks)]
+        results: list[Any] = [None] * n_ranks
+        errors: list[tuple[int, BaseException]] = []
 
-    def target(rank: int) -> None:
-        try:
-            results[rank] = fn(ThreadCommunicator(world, rank))
-        except BaseException as exc:  # noqa: BLE001 - propagated below
-            errors.append((rank, exc))
-            world.barrier.abort()
+        def target(rank: int) -> None:
+            try:
+                results[rank] = fn(comms[rank])
+            except BaseException as exc:  # noqa: BLE001 - propagated below
+                errors.append((rank, exc))
+                world.barrier.abort()
 
-    threads = [threading.Thread(target=target, args=(r,), daemon=True) for r in range(n_ranks)]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join(timeout=timeout * 4)
-    if errors:
-        rank, exc = errors[0]
-        raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
-    alive = [t for t in threads if t.is_alive()]
-    if alive:
-        raise RuntimeError(f"{len(alive)} ranks did not finish (deadlock?)")
-    return results
+        threads = [threading.Thread(target=target, args=(r,), daemon=True)
+                   for r in range(n_ranks)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout * 4)
+        if errors:
+            rank, exc = errors[0]
+            raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+        alive = [t for t in threads if t.is_alive()]
+        if alive:
+            raise RuntimeError(f"{len(alive)} ranks did not finish (deadlock?)")
+        out = results
+    if telemetry is not None:
+        for comm in comms:
+            telemetry.metrics.merge(comm.metrics)
+        telemetry.emit("spmd", n_ranks=n_ranks, dur_s=time.perf_counter() - t0)
+    return out

@@ -23,15 +23,16 @@ stitched into a global density of states by :mod:`repro.dos.stitching`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.hamiltonians.base import Hamiltonian
+from repro.obs import Telemetry
 from repro.parallel.executors import SerialExecutor
 from repro.parallel.windows import WindowSpec, make_windows
 from repro.sampling.binning import EnergyGrid
-from repro.sampling.wang_landau import WangLandauSampler, drive_into_range
+from repro.sampling.wang_landau import WalkerCounters, WangLandauSampler, drive_into_range
 from repro.util.rng import RngFactory
 from repro.util.validation import check_integer, check_probability
 
@@ -77,6 +78,7 @@ class WalkerSnapshot:
     n_steps: int
     acceptance_rate: float
     final_energy: float
+    counters: WalkerCounters = field(default_factory=WalkerCounters)
 
 
 @dataclass
@@ -94,6 +96,7 @@ class REWLResult:
     exchange_attempts: np.ndarray
     exchange_accepts: np.ndarray
     walkers: list[WalkerSnapshot] = field(default_factory=list)
+    telemetry: dict = field(default_factory=dict)
 
     @property
     def exchange_rates(self) -> np.ndarray:
@@ -130,15 +133,21 @@ class REWLDriver:
     config : REWLConfig
     executor : executor, optional
         Advance-phase executor (default serial).
+    telemetry : repro.obs.Telemetry, optional
+        Metrics/spans/events handle.  The default is a disabled bundle;
+        either way sampler outputs are bit-identical to an uninstrumented
+        run (telemetry draws no random numbers and accumulates no floats
+        into walker state).
     """
 
     def __init__(self, hamiltonian: Hamiltonian, proposal_factory, grid: EnergyGrid,
                  initial_config: np.ndarray, config: REWLConfig | None = None,
-                 executor=None):
+                 executor=None, telemetry: Telemetry | None = None):
         self.hamiltonian = hamiltonian
         self.grid = grid
         self.cfg = config or REWLConfig()
         self.executor = executor or SerialExecutor()
+        self.obs = telemetry if telemetry is not None else Telemetry()
         self.windows = make_windows(grid, self.cfg.n_windows, self.cfg.overlap)
         self._rngs = RngFactory(self.cfg.seed)
         self._exchange_rng = self._rngs.make("rewl-exchange")
@@ -179,57 +188,83 @@ class REWLDriver:
             for k in range(len(team))
             if not self.window_converged[w]
         ]
-        moved = self.executor.map(
-            _advance_walker,
-            [self.walkers[w][k] for w, k in tasks],
-            self.cfg.exchange_interval,
-        )
-        for (w, k), walker in zip(tasks, moved):
-            self.walkers[w][k] = walker
+        steps = len(tasks) * self.cfg.exchange_interval
+        with self.obs.span("advance", round=self.rounds, walkers=len(tasks),
+                           steps=steps):
+            moved = self.executor.map(
+                _advance_walker,
+                [self.walkers[w][k] for w, k in tasks],
+                self.cfg.exchange_interval,
+            )
+            for (w, k), walker in zip(tasks, moved):
+                self.walkers[w][k] = walker
+        self.obs.metrics.inc("rewl.steps", steps)
 
     def _exchange_phase(self) -> None:
-        start = self.rounds % 2
-        for left in range(start, len(self.windows) - 1, 2):
-            right = left + 1
-            if self.window_converged[left] or self.window_converged[right]:
-                continue
-            a = self.walkers[left][
-                int(self._exchange_rng.integers(len(self.walkers[left])))
-            ]
-            b = self.walkers[right][
-                int(self._exchange_rng.integers(len(self.walkers[right])))
-            ]
-            self.exchange_attempts[left] += 1
-            bin_a_in_b = b.grid.index(a.energy)
-            bin_b_in_a = a.grid.index(b.energy)
-            if bin_a_in_b < 0 or bin_b_in_a < 0:
-                continue  # not both in the overlap
-            log_alpha = (
-                a.ln_g[a.current_bin]
-                - a.ln_g[bin_b_in_a]
-                + b.ln_g[b.current_bin]
-                - b.ln_g[bin_a_in_b]
-            )
-            if log_alpha >= 0.0 or np.log(self._exchange_rng.random()) < log_alpha:
-                a.config, b.config = b.config, a.config
-                a.energy, b.energy = b.energy, a.energy
-                a.current_bin = bin_b_in_a
-                b.current_bin = bin_a_in_b
-                self.exchange_accepts[left] += 1
+        with self.obs.span("exchange", round=self.rounds):
+            start = self.rounds % 2
+            for left in range(start, len(self.windows) - 1, 2):
+                right = left + 1
+                if self.window_converged[left] or self.window_converged[right]:
+                    continue
+                a = self.walkers[left][
+                    int(self._exchange_rng.integers(len(self.walkers[left])))
+                ]
+                b = self.walkers[right][
+                    int(self._exchange_rng.integers(len(self.walkers[right])))
+                ]
+                self.exchange_attempts[left] += 1
+                a.counters.exchange_attempts += 1
+                b.counters.exchange_attempts += 1
+                self.obs.metrics.inc("rewl.exchange.attempts")
+                accepted = False
+                in_overlap = True
+                bin_a_in_b = b.grid.index(a.energy)
+                bin_b_in_a = a.grid.index(b.energy)
+                if bin_a_in_b < 0 or bin_b_in_a < 0:
+                    in_overlap = False  # not both in the overlap
+                else:
+                    log_alpha = (
+                        a.ln_g[a.current_bin]
+                        - a.ln_g[bin_b_in_a]
+                        + b.ln_g[b.current_bin]
+                        - b.ln_g[bin_a_in_b]
+                    )
+                    if log_alpha >= 0.0 or np.log(self._exchange_rng.random()) < log_alpha:
+                        a.config, b.config = b.config, a.config
+                        a.energy, b.energy = b.energy, a.energy
+                        a.current_bin = bin_b_in_a
+                        b.current_bin = bin_a_in_b
+                        self.exchange_accepts[left] += 1
+                        a.counters.exchange_accepts += 1
+                        b.counters.exchange_accepts += 1
+                        self.obs.metrics.inc("rewl.exchange.accepts")
+                        accepted = True
+                if self.obs.enabled:
+                    self.obs.emit("exchange_attempt", round=self.rounds, pair=left,
+                                  accepted=accepted, in_overlap=in_overlap)
 
     def _sync_phase(self) -> None:
-        for w, team in enumerate(self.walkers):
-            if self.window_converged[w]:
-                continue
-            if not all(walker.is_flat() for walker in team):
-                continue
-            merged, union = self._merge_window(team)
-            for walker in team:
-                walker.ln_g[...] = merged
-                walker.visited[...] = union
-                walker.advance_modification_factor()
-            if team[0].ln_f <= self.cfg.ln_f_final:
-                self.window_converged[w] = True
+        with self.obs.span("synchronize", round=self.rounds):
+            for w, team in enumerate(self.walkers):
+                if self.window_converged[w]:
+                    continue
+                if not all(walker.is_flat() for walker in team):
+                    continue
+                merged, union = self._merge_window(team)
+                for walker in team:
+                    walker.ln_g[...] = merged
+                    walker.visited[...] = union
+                    walker.advance_modification_factor()
+                if team[0].ln_f <= self.cfg.ln_f_final:
+                    self.window_converged[w] = True
+                self.obs.metrics.inc("rewl.syncs")
+                if self.obs.enabled:
+                    self.obs.emit(
+                        "sync", round=self.rounds, window=w,
+                        ln_f=team[0].ln_f, iteration=team[0].n_iterations,
+                        converged=self.window_converged[w],
+                    )
 
     @staticmethod
     def _merge_window(team: list[WangLandauSampler]) -> tuple[np.ndarray, np.ndarray]:
@@ -259,12 +294,28 @@ class REWLDriver:
     def run(self, max_rounds: int | None = None) -> REWLResult:
         """Iterate advance/exchange/sync until every window converges."""
         limit = self.cfg.max_rounds if max_rounds is None else max_rounds
-        while not all(self.window_converged) and self.rounds < limit:
-            self._advance_phase()
-            self.rounds += 1
-            self._exchange_phase()
-            self._sync_phase()
-        return self.result()
+        self.obs.emit(
+            "run_start", scope="rewl", n_windows=len(self.windows),
+            walkers_per_window=self.cfg.walkers_per_window,
+            exchange_interval=self.cfg.exchange_interval,
+            ln_f_final=self.cfg.ln_f_final, seed=self.cfg.seed,
+            n_bins=self.grid.n_bins, max_rounds=limit,
+        )
+        with self.obs.span("rewl"):
+            while not all(self.window_converged) and self.rounds < limit:
+                self._advance_phase()
+                self.rounds += 1
+                self.obs.metrics.inc("rewl.rounds")
+                self._exchange_phase()
+                self._sync_phase()
+        result = self.result()
+        self.obs.emit(
+            "run_end", scope="rewl", rounds=self.rounds,
+            converged=result.converged, total_steps=result.total_steps,
+            exchange_attempts=int(self.exchange_attempts.sum()),
+            exchange_accepts=int(self.exchange_accepts.sum()),
+        )
+        return result
 
     def result(self) -> REWLResult:
         window_ln_g = []
@@ -292,6 +343,7 @@ class REWLDriver:
                             walker.n_accepted / walker.n_steps if walker.n_steps else 0.0
                         ),
                         final_energy=walker.energy,
+                        counters=replace(walker.counters),
                     )
                 )
         return REWLResult(
@@ -306,4 +358,5 @@ class REWLDriver:
             exchange_attempts=self.exchange_attempts.copy(),
             exchange_accepts=self.exchange_accepts.copy(),
             walkers=snapshots,
+            telemetry=self.obs.summary(),
         )

@@ -20,6 +20,7 @@ exact.
 from repro.sampling.binning import EnergyGrid
 from repro.sampling.metropolis import MetropolisSampler, RunStats
 from repro.sampling.wang_landau import (
+    WalkerCounters,
     WangLandauSampler,
     WangLandauResult,
     drive_into_range,
@@ -32,6 +33,7 @@ __all__ = [
     "EnergyGrid",
     "MetropolisSampler",
     "RunStats",
+    "WalkerCounters",
     "WangLandauSampler",
     "WangLandauResult",
     "drive_into_range",

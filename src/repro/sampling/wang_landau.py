@@ -24,7 +24,8 @@ the reachable set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -33,7 +34,7 @@ from repro.proposals.base import Proposal
 from repro.sampling.binning import EnergyGrid
 from repro.util.rng import BufferedDraws, as_generator
 
-__all__ = ["WangLandauSampler", "WangLandauResult", "drive_into_range"]
+__all__ = ["WangLandauSampler", "WangLandauResult", "WalkerCounters", "drive_into_range"]
 
 
 def drive_into_range(hamiltonian: Hamiltonian, proposal: Proposal, grid: EnergyGrid,
@@ -75,6 +76,39 @@ def drive_into_range(hamiltonian: Hamiltonian, proposal: Proposal, grid: EnergyG
 
 
 @dataclass
+class WalkerCounters:
+    """Per-walker event totals, kept as plain integers in the step loop.
+
+    These are the operational statistics the paper (and the flat-histogram
+    parallelization literature) reasons about; they are surfaced on
+    :class:`WangLandauResult` and on REWL walker snapshots rather than being
+    discarded at the end of a run.  Counting never touches ``ln_g`` or RNG
+    state, so instrumented runs stay bit-identical.
+    """
+
+    proposals: int = 0
+    null_proposals: int = 0
+    accepted: int = 0
+    out_of_grid: int = 0
+    flat_checks_passed: int = 0
+    flat_checks_failed: int = 0
+    exchange_attempts: int = 0
+    exchange_accepts: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "proposals": self.proposals,
+            "null_proposals": self.null_proposals,
+            "accepted": self.accepted,
+            "out_of_grid": self.out_of_grid,
+            "flat_checks_passed": self.flat_checks_passed,
+            "flat_checks_failed": self.flat_checks_failed,
+            "exchange_attempts": self.exchange_attempts,
+            "exchange_accepts": self.exchange_accepts,
+        }
+
+
+@dataclass
 class WangLandauResult:
     """Outcome of a Wang–Landau run.
 
@@ -93,6 +127,7 @@ class WangLandauResult:
     final_ln_f: float
     acceptance_rate: float
     iteration_steps: list[int] = field(default_factory=list)
+    counters: WalkerCounters = field(default_factory=WalkerCounters)
 
     def masked_ln_g(self) -> np.ndarray:
         """ln g with unvisited bins set to −inf."""
@@ -165,6 +200,9 @@ class WangLandauSampler:
         self.n_iterations = 0
         self.iteration_steps: list[int] = []
         self._steps_this_iteration = 0
+        # Plain-int telemetry (picklable; travels with the walker through
+        # process executors).  The REWL driver fills the exchange fields.
+        self.counters = WalkerCounters()
 
     # ----------------------------------------------------------------- step
 
@@ -176,10 +214,15 @@ class WangLandauSampler:
             self.config, self.hamiltonian, self.rng, current_energy=self.energy
         )
         accepted = False
-        if move is not None:
+        if move is None:
+            self.counters.null_proposals += 1
+        else:
+            self.counters.proposals += 1
             new_energy = self.energy + move.delta_energy
             new_bin = self.grid.index(new_energy)
-            if new_bin >= 0:
+            if new_bin < 0:
+                self.counters.out_of_grid += 1
+            else:
                 log_alpha = (
                     self.ln_g[self.current_bin] - self.ln_g[new_bin] + move.log_q_ratio
                 )
@@ -189,6 +232,7 @@ class WangLandauSampler:
                     self.current_bin = new_bin
                     accepted = True
                     self.n_accepted += 1
+                    self.counters.accepted += 1
         # Update the (possibly unchanged) current bin — mandatory for WL.
         self.ln_g[self.current_bin] += self.ln_f
         self.histogram[self.current_bin] += 1
@@ -198,7 +242,19 @@ class WangLandauSampler:
     # ----------------------------------------------------------- iteration
 
     def is_flat(self) -> bool:
-        """Histogram flatness over the reachable-bin set."""
+        """Histogram flatness over the reachable-bin set.
+
+        Every call counts as one flatness check in ``self.counters`` —
+        whether issued by :meth:`run` or by the REWL driver's sync phase.
+        """
+        flat = self._flatness_test()
+        if flat:
+            self.counters.flat_checks_passed += 1
+        else:
+            self.counters.flat_checks_failed += 1
+        return flat
+
+    def _flatness_test(self) -> bool:
         mask = self.visited
         if not np.any(mask):
             return False
@@ -221,20 +277,39 @@ class WangLandauSampler:
         self.ln_f = new_ln_f
         self.histogram[:] = 0
 
-    def run(self, max_steps: int = 50_000_000) -> WangLandauResult:
-        """Iterate until ``ln f ≤ ln_f_final`` or ``max_steps`` is exhausted."""
-        while self.n_steps < max_steps and self.ln_f > self.ln_f_final:
-            budget = min(self.check_interval, max_steps - self.n_steps)
-            for _ in range(budget):
-                self.step()
-            if self.is_flat():
-                self.advance_modification_factor()
-            elif self.schedule == "one_over_t" and self.ln_f <= 1.0 / max(
-                1.0, self.n_steps / max(1, self.hamiltonian.n_sites)
-            ):
-                # In the 1/t regime ln f decays with time, not with flatness.
-                sweeps = max(1.0, self.n_steps / max(1, self.hamiltonian.n_sites))
-                self.ln_f = 1.0 / sweeps
+    def run(self, max_steps: int = 50_000_000, telemetry=None) -> WangLandauResult:
+        """Iterate until ``ln f ≤ ln_f_final`` or ``max_steps`` is exhausted.
+
+        ``telemetry`` (a :class:`repro.obs.Telemetry`) is used per *WL
+        iteration*, never per step, and is deliberately not stored on the
+        sampler: walkers must stay cheaply picklable for process executors.
+        Enabling it changes no sampler state (bit-identity is tested).
+        """
+        span = telemetry.span("wl.run") if telemetry is not None else nullcontext()
+        steps_before = self.n_steps
+        with span:
+            while self.n_steps < max_steps and self.ln_f > self.ln_f_final:
+                budget = min(self.check_interval, max_steps - self.n_steps)
+                for _ in range(budget):
+                    self.step()
+                if self.is_flat():
+                    self.advance_modification_factor()
+                    if telemetry is not None:
+                        telemetry.emit(
+                            "wl_iteration",
+                            iteration=self.n_iterations,
+                            ln_f=self.ln_f,
+                            steps=self.n_steps,
+                            iteration_steps=self.iteration_steps[-1],
+                        )
+                elif self.schedule == "one_over_t" and self.ln_f <= 1.0 / max(
+                    1.0, self.n_steps / max(1, self.hamiltonian.n_sites)
+                ):
+                    # In the 1/t regime ln f decays with time, not with flatness.
+                    sweeps = max(1.0, self.n_steps / max(1, self.hamiltonian.n_sites))
+                    self.ln_f = 1.0 / sweeps
+        if telemetry is not None:
+            telemetry.metrics.inc("wl.steps", self.n_steps - steps_before)
         return self.result()
 
     def result(self) -> WangLandauResult:
@@ -252,4 +327,5 @@ class WangLandauSampler:
             final_ln_f=self.ln_f,
             acceptance_rate=self.n_accepted / self.n_steps if self.n_steps else 0.0,
             iteration_steps=list(self.iteration_steps),
+            counters=replace(self.counters),
         )

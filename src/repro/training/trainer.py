@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
+
 import numpy as np
 
 from repro.nn.models.made import MADE
@@ -25,10 +28,14 @@ class ProposalTrainer:
     batch_size : int
     rng : seed or Generator
         Batch-sampling and (for the VAE) reparameterization stream.
+    telemetry : repro.obs.Telemetry, optional
+        Records per-step loss/batch timing (``train.loss`` gauge,
+        ``train.batch_seconds`` histogram, ``train_step`` events).  Training
+        math is unaffected: telemetry draws nothing from ``rng``.
     """
 
     def __init__(self, model, buffer: ReplayBuffer, lr: float = 1e-3,
-                 batch_size: int = 64, rng=None):
+                 batch_size: int = 64, rng=None, telemetry=None):
         if not isinstance(model, (CategoricalVAE, MADE)):
             raise TypeError(
                 f"model must be CategoricalVAE or MADE, got {type(model).__name__}"
@@ -40,6 +47,7 @@ class ProposalTrainer:
         self.optimizer = Adam(model.parameters(), lr=lr)
         self.loss_history: list[float] = []
         self.steps_trained = 0
+        self.telemetry = telemetry
 
     @property
     def is_vae(self) -> bool:
@@ -49,16 +57,27 @@ class ProposalTrainer:
         """Run ``n_steps`` gradient steps; returns mean metrics."""
         if len(self.buffer) == 0:
             raise ValueError("replay buffer is empty; harvest configurations first")
+        obs = self.telemetry
         losses = []
-        for _ in range(n_steps):
-            batch = self.buffer.sample_one_hot(self.batch_size, self.rng)
-            if self.is_vae:
-                metrics = self.model.train_step(batch, self.optimizer, self.rng)
-            else:
-                metrics = self.model.train_step(batch, self.optimizer)
-            losses.append(metrics["loss"])
-            self.loss_history.append(metrics["loss"])
-            self.steps_trained += 1
+        with obs.span("train", steps=n_steps) if obs is not None else nullcontext():
+            for _ in range(n_steps):
+                t0 = time.perf_counter()
+                batch = self.buffer.sample_one_hot(self.batch_size, self.rng)
+                if self.is_vae:
+                    metrics = self.model.train_step(batch, self.optimizer, self.rng)
+                else:
+                    metrics = self.model.train_step(batch, self.optimizer)
+                losses.append(metrics["loss"])
+                self.loss_history.append(metrics["loss"])
+                self.steps_trained += 1
+                if obs is not None:
+                    dt = time.perf_counter() - t0
+                    obs.metrics.inc("train.steps")
+                    obs.metrics.observe("train.batch_seconds", dt)
+                    obs.metrics.set("train.loss", metrics["loss"])
+                    if obs.enabled:
+                        obs.emit("train_step", step=self.steps_trained,
+                                 loss=float(metrics["loss"]), dur_s=dt)
         return {"mean_loss": float(np.mean(losses)), "last_loss": float(losses[-1])}
 
     def train_until(self, target_loss: float, max_steps: int = 5_000,

@@ -1,88 +1,12 @@
-"""Wall-clock instrumentation.
+"""Wall-clock instrumentation (compatibility shim).
 
-The machine performance model (:mod:`repro.machine`) is calibrated from
-measured per-operation costs; these timers are how the experiment harness
-collects those costs without pulling in an external profiler.
+``Timer`` and ``TimerRegistry`` moved to :mod:`repro.obs.tracing`, where
+they back the span-tracing layer; this module keeps the historical import
+path (``from repro.util.timers import Timer``) working unchanged.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from repro.obs.tracing import Timer, TimerRegistry
 
 __all__ = ["Timer", "TimerRegistry"]
-
-
-@dataclass
-class Timer:
-    """Accumulating stopwatch usable as a context manager.
-
-    >>> t = Timer("sweep")
-    >>> with t:
-    ...     pass
-    >>> t.count
-    1
-    """
-
-    name: str = ""
-    total: float = 0.0
-    count: int = 0
-    _start: float | None = field(default=None, repr=False)
-
-    def start(self) -> None:
-        if self._start is not None:
-            raise RuntimeError(f"timer {self.name!r} already running")
-        self._start = time.perf_counter()
-
-    def stop(self) -> float:
-        """Stop and return the elapsed interval for this start/stop pair."""
-        if self._start is None:
-            raise RuntimeError(f"timer {self.name!r} is not running")
-        elapsed = time.perf_counter() - self._start
-        self._start = None
-        self.total += elapsed
-        self.count += 1
-        return elapsed
-
-    def __enter__(self) -> "Timer":
-        self.start()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.stop()
-
-    @property
-    def mean(self) -> float:
-        """Mean interval length (0.0 when never stopped)."""
-        return self.total / self.count if self.count else 0.0
-
-
-class TimerRegistry:
-    """Named collection of timers with a one-line report per timer."""
-
-    def __init__(self):
-        self._timers: dict[str, Timer] = {}
-
-    def __getitem__(self, name: str) -> Timer:
-        if name not in self._timers:
-            self._timers[name] = Timer(name)
-        return self._timers[name]
-
-    def __contains__(self, name: str) -> bool:
-        return name in self._timers
-
-    def names(self) -> list[str]:
-        return sorted(self._timers)
-
-    def report(self) -> str:
-        lines = [f"{'timer':<28}{'calls':>8}{'total_s':>12}{'mean_ms':>12}"]
-        for name in self.names():
-            t = self._timers[name]
-            lines.append(f"{name:<28}{t.count:>8}{t.total:>12.4f}{t.mean * 1e3:>12.4f}")
-        return "\n".join(lines)
-
-    def as_dict(self) -> dict[str, dict[str, float]]:
-        return {
-            name: {"total": t.total, "count": t.count, "mean": t.mean}
-            for name, t in self._timers.items()
-        }

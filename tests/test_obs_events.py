@@ -1,0 +1,128 @@
+"""Tests for repro.obs.events: envelope schema, sinks, env wiring."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.events import (
+    SCHEMA_VERSION,
+    TRACE_ENV_VAR,
+    ConsoleSink,
+    EventLog,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    from_env,
+)
+
+
+class TestEnvelope:
+    def test_envelope_keys_and_sequence(self):
+        sink = MemorySink()
+        log = EventLog(run_id="r1", sinks=[sink])
+        log.emit("alpha", x=1)
+        log.emit("beta", y=2)
+        for i, record in enumerate(sink.records):
+            assert record["v"] == SCHEMA_VERSION
+            assert record["run"] == "r1"
+            assert record["seq"] == i
+            assert isinstance(record["ts"], float)
+        assert [r["kind"] for r in sink.records] == ["alpha", "beta"]
+        assert sink.records[0]["x"] == 1
+
+    def test_default_run_id_generated(self):
+        log = EventLog(sinks=[MemorySink()])
+        assert log.run_id.startswith("run-")
+
+
+class TestNullSink:
+    def test_disabled_log_skips_everything(self):
+        log = EventLog(run_id="r", sinks=[NullSink()])
+        assert not log.enabled
+        log.emit("anything", huge_payload=object())  # never serialized
+        assert log._seq == 0  # emit bailed before building the record
+
+    def test_empty_sinks_disabled(self):
+        assert not EventLog(run_id="r").enabled
+
+
+class TestJsonlSink:
+    def test_round_trip_file(self, tmp_path):
+        path = tmp_path / "trace" / "run.jsonl"
+        with EventLog(run_id="rt", sinks=[JsonlSink(path)]) as log:
+            log.emit("span", name="advance", dur_s=0.5)
+            log.emit("sync", ln_f=np.float64(0.25), hist=np.array([1, 2]))
+        lines = path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["kind"] for r in records] == ["span", "sync"]
+        assert records[0]["name"] == "advance"
+        # numpy scalars/arrays serialize to plain JSON values
+        assert records[1]["ln_f"] == 0.25
+        assert records[1]["hist"] == [1, 2]
+
+    def test_append_mode(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        for kind in ("first", "second"):
+            with EventLog(run_id="a", sinks=[JsonlSink(path)]) as log:
+                log.emit(kind)
+        kinds = [json.loads(l)["kind"] for l in path.read_text().splitlines()]
+        assert kinds == ["first", "second"]
+
+    def test_stream_not_closed_when_unowned(self):
+        buf = io.StringIO()
+        log = EventLog(run_id="s", sinks=[JsonlSink(buf)])
+        log.emit("x")
+        log.close()
+        assert not buf.closed
+        assert json.loads(buf.getvalue())["kind"] == "x"
+
+    def test_nonfinite_floats_serializable(self):
+        import math
+
+        buf = io.StringIO()
+        log = EventLog(run_id="s", sinks=[JsonlSink(buf)])
+        log.emit("x", rate=float("nan"))
+        rate = json.loads(buf.getvalue())["rate"]
+        assert rate == "nan" or (isinstance(rate, float) and math.isnan(rate))
+
+
+class TestConsoleSink:
+    def test_renders_kind_and_fields(self):
+        buf = io.StringIO()
+        log = EventLog(run_id="E7", sinks=[ConsoleSink(buf)])
+        log.emit("experiment_start", mode="quick", seed=0)
+        line = buf.getvalue().strip()
+        assert line.startswith("[E7:experiment_start]")
+        assert "mode=quick" in line and "seed=0" in line
+        # envelope noise stays hidden
+        assert "ts=" not in line and "seq=" not in line
+
+
+class TestFromEnv:
+    def test_unset_disabled(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+        assert not from_env(run_id="r").enabled
+
+    def test_stderr_console(self, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV_VAR, "stderr")
+        log = from_env(run_id="r")
+        assert log.enabled
+        assert any(isinstance(s, ConsoleSink) for s in log.sinks)
+
+    def test_path_jsonl(self, monkeypatch, tmp_path):
+        path = tmp_path / "t.jsonl"
+        monkeypatch.setenv(TRACE_ENV_VAR, str(path))
+        with from_env(run_id="r") as log:
+            assert log.enabled
+            log.emit("hello")
+        assert json.loads(path.read_text())["kind"] == "hello"
+
+    def test_extra_sinks_survive_unset_env(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+        sink = MemorySink()
+        log = from_env(run_id="r", extra_sinks=[sink])
+        assert log.enabled
+        log.emit("kept")
+        assert sink.records[0]["kind"] == "kept"

@@ -1,0 +1,131 @@
+"""Tests for repro.obs.tracing: spans, nesting, and the Timer compat shim."""
+
+import pytest
+
+from repro.obs.events import EventLog, MemorySink
+from repro.obs.tracing import Span, Timer, TimerRegistry, Tracer
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer("t")
+        with t:
+            pass
+        with t:
+            pass
+        assert t.count == 2
+        assert t.total >= 0.0
+        assert t.mean == t.total / 2
+
+    def test_stop_without_start_raises(self):
+        t = Timer("t")
+        with pytest.raises(RuntimeError, match="not running"):
+            t.stop()
+
+    def test_double_start_raises(self):
+        t = Timer("t")
+        t.start()
+        with pytest.raises(RuntimeError, match="already running"):
+            t.start()
+
+    def test_mean_zero_when_unused(self):
+        assert Timer("t").mean == 0.0
+
+
+class TestTimerRegistry:
+    def test_autocreates_and_reports(self):
+        reg = TimerRegistry()
+        with reg["alpha"]:
+            pass
+        assert "alpha" in reg
+        assert reg.names() == ["alpha"]
+        assert reg.as_dict()["alpha"]["count"] == 1
+
+    def test_report_columns_align_for_long_names(self):
+        reg = TimerRegistry()
+        long = "rewl.round.advance.window.walker.sweep_accumulator"
+        assert len(long) > 28
+        with reg[long]:
+            pass
+        with reg["short"]:
+            pass
+        lines = reg.report().splitlines()
+        header = lines[0]
+        # The name column widens to fit the longest name, so "calls" starts
+        # past it and every row's call count ends at the same column.
+        calls_end = header.index("calls") + len("calls")
+        assert calls_end > len(long)
+        for line in lines[1:]:
+            assert line[calls_end - 1] == "1"
+
+    def test_compat_shim_import(self):
+        from repro.util.timers import Timer as ShimTimer
+        from repro.util.timers import TimerRegistry as ShimRegistry
+
+        assert ShimTimer is Timer
+        assert ShimRegistry is TimerRegistry
+
+
+class TestSpans:
+    def test_nesting_builds_dotted_paths(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            assert tr.current_path == "outer"
+            with tr.span("inner") as inner:
+                assert tr.current_path == "outer.inner"
+            assert tr.current_path == "outer"
+        assert tr.current_path is None
+        assert outer.path == "outer"
+        assert inner.path == "outer.inner"
+        assert tr.timers["outer"].count == 1
+        assert tr.timers["outer.inner"].count == 1
+
+    def test_exception_unwinds_stack_and_records(self):
+        sink = MemorySink()
+        tr = Tracer(events=EventLog(run_id="t", sinks=[sink]))
+        with pytest.raises(ValueError):
+            with tr.span("risky"):
+                raise ValueError("boom")
+        assert tr.current_path is None  # stack unwound
+        assert tr.timers["risky"].count == 1  # interval still recorded
+        (record,) = sink.records
+        assert record["kind"] == "span"
+        assert record["error"] == "ValueError"
+        # a later span is unaffected by the earlier failure
+        with tr.span("after"):
+            assert tr.current_path == "after"
+
+    def test_span_emits_fields_and_duration(self):
+        sink = MemorySink()
+        tr = Tracer(events=EventLog(run_id="t", sinks=[sink]))
+        with tr.span("advance", round=3, walkers=4):
+            pass
+        (record,) = sink.records
+        assert record["path"] == "advance"
+        assert record["round"] == 3 and record["walkers"] == 4
+        assert record["dur_s"] >= 0.0
+        assert "error" not in record
+
+    def test_spans_without_events_aggregate_only(self):
+        tr = Tracer()  # no event log attached
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+        assert set(tr.as_dict()) == {"a", "a.b"}
+        assert "a.b" in tr.report()
+
+    def test_sibling_spans_share_parent_prefix(self):
+        tr = Tracer()
+        with tr.span("round"):
+            with tr.span("advance"):
+                pass
+            with tr.span("exchange"):
+                pass
+        assert set(tr.as_dict()) == {"round", "round.advance", "round.exchange"}
+
+    def test_reentered_name_aggregates(self):
+        tr = Tracer()
+        for _ in range(3):
+            with tr.span("sweep"):
+                pass
+        assert tr.timers["sweep"].count == 3
