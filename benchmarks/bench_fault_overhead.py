@@ -1,0 +1,97 @@
+"""Supervision overhead: retry/timeout plumbing must not tax fault-free runs.
+
+The fault-tolerance contract (DESIGN.md §9) is that a supervised executor
+with no injected faults costs a few percent at most over the bare map on a
+REWL-advance-sized workload — the supervision layer only adds a retry loop
+around each task and the fault wrapper is a passthrough when no task faults
+are configured.  A chaos run (crash+hang injection with retries) is
+benchmarked alongside to show what recovery actually costs, as is the
+crash-consistent checkpoint write/read cycle.
+
+Run: ``pytest benchmarks/bench_fault_overhead.py --benchmark-only``.
+"""
+
+import numpy as np
+
+from repro.faults import FaultConfig, FaultInjector
+from repro.parallel import REWLConfig, REWLDriver, SerialExecutor, save_checkpoint
+from repro.parallel.checkpoint import load_checkpoint
+from repro.proposals import FlipProposal
+from repro.sampling import EnergyGrid, WangLandauSampler
+
+_STEPS = 2_000  # WL steps per task, REWL advance-phase sized
+_TASKS = 8
+
+
+def _make_walkers(ising_4x4, n=_TASKS):
+    grid = EnergyGrid.from_levels(ising_4x4.energy_levels())
+    return [
+        WangLandauSampler(
+            ising_4x4, FlipProposal(), grid, np.zeros(16, dtype=np.int8),
+            rng=seed, ln_f_final=1e-12,  # never converges inside the bench
+        )
+        for seed in range(n)
+    ]
+
+
+def _advance(wl):
+    wl.run(max_steps=wl.n_steps + _STEPS)
+    return wl.n_steps
+
+
+def bench_advance_bare_loop(benchmark, ising_4x4):
+    """Baseline: the advance workload with no executor at all."""
+    walkers = _make_walkers(ising_4x4)
+
+    def block():
+        return [_advance(wl) for wl in walkers]
+
+    assert min(benchmark(block)) >= _STEPS
+
+
+def bench_advance_supervised_no_faults(benchmark, ising_4x4):
+    """Supervised map, retry budget armed, nothing injected — the overhead
+    target: same work as the bare loop plus only the supervision plumbing."""
+    walkers = _make_walkers(ising_4x4)
+    ex = SerialExecutor(max_retries=3, faults=None)
+    assert ex.faults is None or not ex.faults.cfg.any_task_faults
+
+    def block():
+        return ex.map(_advance, walkers)
+
+    assert min(benchmark(block)) >= _STEPS
+
+
+def bench_map_under_chaos(benchmark, ising_4x4):
+    """Crash+hang injection with retries: the price of actually recovering.
+
+    Uses a cheap task so the benchmark measures the retry machinery, not
+    the (re-run) WL steps.
+    """
+    inj = FaultInjector(FaultConfig(crash=0.2, hang=0.05, hang_s=0.0, seed=3))
+    ex = SerialExecutor(faults=inj, retry_backoff=0.0)
+    items = list(range(64))
+
+    def block():
+        return ex.map(lambda x: x * x, items)
+
+    assert benchmark(block) == [x * x for x in items]
+
+
+def bench_checkpoint_save_load_cycle(benchmark, ising_4x4, tmp_path_factory):
+    """Atomic write (tmp+fsync+rename, sha256) plus verified read-back."""
+    grid = EnergyGrid.from_levels(ising_4x4.energy_levels())
+    driver = REWLDriver(
+        ising_4x4, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
+        REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
+                   exchange_interval=500, ln_f_final=1e-12, seed=0),
+    )
+    driver.run(max_rounds=1)
+    path = tmp_path_factory.mktemp("ckpt") / "bench.ckpt"
+
+    def cycle():
+        save_checkpoint(driver, path)
+        load_checkpoint(driver, path)
+        return driver.rounds
+
+    assert benchmark(cycle) == 1

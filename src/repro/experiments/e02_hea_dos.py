@@ -29,7 +29,12 @@ from repro.experiments.common import (
     timed,
 )
 from repro.lattice import random_configuration
-from repro.parallel import REWLConfig, REWLDriver
+from repro.parallel import (
+    REWLConfig,
+    REWLDriver,
+    maybe_resume,
+    previous_checkpoint_path,
+)
 from repro.proposals import SwapProposal
 from repro.sampling import EnergyGrid
 from repro.util.tables import format_series, format_table
@@ -92,12 +97,21 @@ def load_or_run_hea_dos(length: int = 3, seed: int = 0, quick: bool = True) -> H
         ln_f_final=1e-3 if quick else 1e-6,
         flatness=0.7 if quick else 0.8,
         seed=seed,
+        checkpoint_interval=25,
     )
+    # Crash consistency: periodic snapshots next to the cache file let an
+    # interrupted run (job-time limit, injected fault) resume mid-campaign
+    # bit-identically instead of restarting from scratch.
+    ckpt = path.with_suffix(".ckpt")
     driver = REWLDriver(
         ham, lambda: SwapProposal(), grid,
         random_configuration(ham.n_sites, counts, rng=seed), cfg,
+        checkpoint_path=ckpt,
     )
+    maybe_resume(driver, ckpt)
     res = driver.run(max_rounds=4_000)
+    ckpt.unlink(missing_ok=True)
+    previous_checkpoint_path(ckpt).unlink(missing_ok=True)
     stitched = res.stitched()
     ln_g = normalize_ln_g(stitched.ln_g, log_multinomial(counts))
     dos = HeaDos(

@@ -5,10 +5,17 @@ Options
 --full        run at full (slow) fidelity instead of quick mode
 --only E3,E7  run a subset of experiment ids
 --seed N      root seed (default 0)
+--resume      continue an interrupted campaign: skip experiments already
+              recorded in ``results/campaign.json`` (same mode/seed), and
+              let REWL-driving experiments restore their own mid-run
+              checkpoints from the cache directory
 
 Each experiment prints its tables and writes ``results/<id>.json``; a
 summary manifest lands in ``results/summary.json`` and the paper-vs-measured
-lines are exactly what EXPERIMENTS.md records.
+lines are exactly what EXPERIMENTS.md records.  Both manifests are written
+atomically (tmp + rename), and the campaign manifest is updated after every
+experiment, so a killed campaign can always ``--resume`` from the last good
+state.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import json
+import os
 import sys
 import traceback
 
@@ -23,6 +31,39 @@ from repro.experiments.common import EXPERIMENTS, experiment_telemetry, results_
 from repro.obs import ConsoleSink
 
 __all__ = ["main"]
+
+
+def _atomic_write_json(path, payload: dict) -> None:
+    """Crash-consistent manifest write: tmp file + atomic rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as f:
+        f.write(json.dumps(payload, indent=2))
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+def _read_json(path) -> dict:
+    if not path.exists():
+        return {}
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return {}
+
+
+def _load_campaign(path, mode: str, seed: int, resume: bool) -> dict:
+    """The campaign manifest, or a fresh one when not resumable/compatible."""
+    fresh = {"mode": mode, "seed": seed, "completed": [], "failed": []}
+    if not resume:
+        return fresh
+    campaign = _read_json(path)
+    if campaign.get("mode") != mode or campaign.get("seed") != seed:
+        return fresh
+    campaign.setdefault("completed", [])
+    campaign.setdefault("failed", [])
+    return campaign
 
 
 def main(argv=None) -> int:
@@ -34,6 +75,9 @@ def main(argv=None) -> int:
     parser.add_argument("--only", type=str, default="",
                         help="comma-separated experiment ids (e.g. E1,E7)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--resume", action="store_true",
+                        help="skip experiments already completed by an "
+                             "interrupted campaign with the same mode/seed")
     args = parser.parse_args(argv)
 
     wanted = [e.strip().upper() for e in args.only.split(",") if e.strip()] or list(EXPERIMENTS)
@@ -44,19 +88,27 @@ def main(argv=None) -> int:
     # Merge into any existing summary so partial (--only) runs refresh their
     # entries without dropping the others.
     summary_path = results_dir() / "summary.json"
-    summary = {}
-    if summary_path.exists():
-        try:
-            summary = json.loads(summary_path.read_text())
-        except json.JSONDecodeError:
-            summary = {}
+    summary = _read_json(summary_path)
+    mode = "full" if args.full else "quick"
+    campaign_path = results_dir() / "campaign.json"
+    campaign = _load_campaign(campaign_path, mode, args.seed, args.resume)
+    _atomic_write_json(campaign_path, campaign)
+
     # Harness narration goes through the structured event logger (console
     # lines on stdout, plus a JSONL sink when REPRO_TRACE is set); the
     # human-readable ExperimentResult.print() tables stay the final render.
     console = ConsoleSink(sys.stdout)
-    mode = "full" if args.full else "quick"
     failures = []
     for exp_id in wanted:
+        if (
+            args.resume
+            and exp_id in campaign["completed"]
+            and (results_dir() / f"{exp_id.lower()}.json").exists()
+        ):
+            with experiment_telemetry(exp_id, extra_sinks=[console]) as tel:
+                tel.emit("experiment_skipped", experiment=exp_id,
+                         reason="already completed (campaign resume)")
+            continue
         module = importlib.import_module(EXPERIMENTS[exp_id])
         with experiment_telemetry(exp_id, extra_sinks=[console]) as tel:
             tel.emit("experiment_start", experiment=exp_id,
@@ -69,6 +121,9 @@ def main(argv=None) -> int:
                 tel.emit("experiment_failed", experiment=exp_id,
                          error=f"{type(exc).__name__}: {exc}")
                 failures.append(exp_id)
+                if exp_id not in campaign["failed"]:
+                    campaign["failed"].append(exp_id)
+                _atomic_write_json(campaign_path, campaign)
                 continue
             # Merge rather than overwrite: experiments that created their own
             # telemetry handle (e.g. E11's REWL driver) already put span/
@@ -93,10 +148,16 @@ def main(argv=None) -> int:
             "elapsed_s": result.elapsed_s,
             "file": str(path),
         }
+        if exp_id not in campaign["completed"]:
+            campaign["completed"].append(exp_id)
+        if exp_id in campaign["failed"]:
+            campaign["failed"].remove(exp_id)
+        _atomic_write_json(campaign_path, campaign)
+        ordered = {k: summary[k] for k in EXPERIMENTS if k in summary}
+        _atomic_write_json(summary_path, ordered)
 
-    summary_path.parent.mkdir(parents=True, exist_ok=True)
     ordered = {k: summary[k] for k in EXPERIMENTS if k in summary}
-    summary_path.write_text(json.dumps(ordered, indent=2))
+    _atomic_write_json(summary_path, ordered)
     with experiment_telemetry("run_all", extra_sinks=[console]) as tel:
         tel.emit("summary", file=str(summary_path), experiments=len(ordered),
                  failures=failures)

@@ -129,6 +129,31 @@ def _lnf_table(records: list[dict]) -> str | None:
     )
 
 
+def _fault_lines(records: list[dict]) -> list[str]:
+    """Fault-tolerance digest: retries by reason, rebuilds, checkpoint I/O."""
+    retries: dict[str, int] = defaultdict(int)
+    for r in records:
+        if r.get("kind") == "task_retry":
+            retries[str(r.get("reason", "?"))] += 1
+    rebuilds = sum(1 for r in records if r.get("kind") == "pool_rebuild")
+    saved = sum(1 for r in records if r.get("kind") == "checkpoint_saved")
+    restored = sum(1 for r in records if r.get("kind") == "checkpoint_restored")
+    fallbacks = sum(1 for r in records if r.get("kind") == "checkpoint_fallback")
+    if not (retries or rebuilds or saved or restored or fallbacks):
+        return []
+    parts = []
+    if retries:
+        by_reason = ", ".join(f"{k}={v}" for k, v in sorted(retries.items()))
+        parts.append(f"{sum(retries.values())} task retries ({by_reason})")
+    if rebuilds:
+        parts.append(f"{rebuilds} pool rebuild(s)")
+    if saved or restored:
+        parts.append(f"checkpoints: {saved} saved, {restored} restored")
+    if fallbacks:
+        parts.append(f"{fallbacks} fallback(s) to a previous snapshot")
+    return ["fault tolerance: " + "; ".join(parts), ""]
+
+
 def _training_lines(records: list[dict]) -> list[str]:
     losses = [float(r["loss"]) for r in records
               if r.get("kind") == "train_step" and "loss" in r]
@@ -157,6 +182,7 @@ def render_report(records: list[dict]) -> str:
         if table is not None:
             lines.append(table)
             lines.append("")
+    lines.extend(_fault_lines(records))
     lines.extend(_training_lines(records))
     errors = [r for r in records if r.get("kind") == "span" and "error" in r]
     if errors:

@@ -12,6 +12,13 @@ with MPI.  Here the same algorithm runs at laptop scale over two layers:
 - :mod:`repro.parallel.executors` — bulk-synchronous walker executors
   (serial / thread / process).  Walker state travels with the task, so the
   serial and multiprocess REWL runs are bit-identical by construction.
+  Every executor supervises its tasks: per-task timeout, bounded retry
+  with backoff, broken-pool rebuild, and deterministic chaos via
+  :mod:`repro.faults` — a run that survives injected faults is
+  bit-identical to the fault-free run.
+- :mod:`repro.parallel.checkpoint` — crash-consistent snapshots (atomic
+  tmp+rename writes, SHA-256 integrity framing, ``.prev`` rotation with
+  fallback) so interrupted campaigns auto-resume bit-identically.
 
 On top sits the REWL driver:
 
@@ -36,7 +43,14 @@ from repro.parallel.executors import (
 from repro.parallel.windows import WindowSpec, make_windows
 from repro.parallel.rewl import REWLDriver, REWLConfig, REWLResult, WalkerSnapshot
 from repro.parallel.tempering import distributed_parallel_tempering
-from repro.parallel.checkpoint import save_checkpoint, load_checkpoint
+from repro.parallel.checkpoint import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    load_latest_checkpoint,
+    maybe_resume,
+    previous_checkpoint_path,
+    save_checkpoint,
+)
 
 __all__ = [
     "Communicator",
@@ -53,6 +67,10 @@ __all__ = [
     "REWLResult",
     "WalkerSnapshot",
     "distributed_parallel_tempering",
+    "CHECKPOINT_VERSION",
     "save_checkpoint",
     "load_checkpoint",
+    "load_latest_checkpoint",
+    "maybe_resume",
+    "previous_checkpoint_path",
 ]

@@ -1,11 +1,30 @@
-"""Checkpoint/restore for long REWL runs.
+"""Crash-consistent checkpoint/restore for long REWL runs.
 
 Production flat-histogram runs are days long; the paper's framework (like
-any HPC application) must survive job-time limits.  A checkpoint captures
-every piece of driver state that evolves — walkers (configurations, ln g,
-histograms, RNG streams), window convergence flags, exchange statistics, and
-the driver's own RNG — so a restored run continues *bit-identically* (tested
-in ``tests/test_checkpoint.py``).
+any HPC application) must survive job-time limits and node failures.  A
+checkpoint captures every piece of driver state that evolves — walkers
+(configurations, ln g, histograms, RNG streams), window convergence flags,
+exchange statistics, and the driver's own RNG — so a restored run continues
+*bit-identically* (tested in ``tests/test_checkpoint.py``).
+
+Crash consistency (format version 2):
+
+- **atomic writes** — the blob is written to a same-directory ``.tmp``
+  file, flushed and fsynced, then moved into place with ``os.replace``
+  (atomic on POSIX), so a process killed mid-save never leaves a torn file
+  at the checkpoint path;
+- **integrity check** — the blob is framed ``MAGIC | version | SHA-256 |
+  payload``; a flipped bit or truncated tail fails the digest check on load
+  with a clear ``ValueError`` instead of unpickling garbage;
+- **snapshot rotation** — each save first rotates the existing snapshot to
+  ``<name>.prev``, and :func:`load_latest_checkpoint` falls back to it when
+  the primary is missing or unreadable;
+- **chaos hooks** — checkpoint writes consult the active
+  :class:`repro.faults.FaultInjector` (``corrupt`` probability), which can
+  flip a payload byte or kill the save between tmp write and rename; both
+  paths are recovered by the integrity check + rotation.
+
+Legacy version-1 checkpoints (raw pickles) are still readable.
 
 The proposal factory and executor are deliberately not serialized (factories
 are often closures over live models); the caller reconstructs the driver
@@ -14,18 +33,48 @@ with the same arguments and then restores into it.
 
 from __future__ import annotations
 
+import hashlib
+import os
 import pickle
+import struct
 from pathlib import Path
+from typing import TYPE_CHECKING
 
-from repro.parallel.rewl import REWLDriver
+import numpy as np
 
-__all__ = ["save_checkpoint", "load_checkpoint", "CHECKPOINT_VERSION"]
+from repro.faults import FaultInjector, InjectedCrash, faults_from_env
 
-CHECKPOINT_VERSION = 1
+if TYPE_CHECKING:  # avoid a circular import; rewl imports save_checkpoint
+    from repro.parallel.rewl import REWLDriver
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "load_checkpoint",
+    "load_latest_checkpoint",
+    "maybe_resume",
+    "previous_checkpoint_path",
+    "save_checkpoint",
+]
+
+CHECKPOINT_VERSION = 2
+_MAGIC = b"REWLCKPT"
+_HEADER = struct.Struct("<8sI32s")  # magic, version, sha256(payload)
 
 
-def save_checkpoint(driver: REWLDriver, path) -> Path:
-    """Write the driver's evolving state to ``path`` (pickle format)."""
+def previous_checkpoint_path(path) -> Path:
+    """Rotation slot holding the snapshot before the latest one."""
+    path = Path(path)
+    return path.with_name(path.name + ".prev")
+
+
+def save_checkpoint(driver: "REWLDriver", path, keep_previous: bool = True,
+                    faults: FaultInjector | None = None) -> Path:
+    """Atomically write the driver's evolving state to ``path``.
+
+    The existing snapshot (if any) is rotated to ``<name>.prev`` first when
+    ``keep_previous`` is set, so there is always at most one write in flight
+    and at least one intact snapshot on disk.
+    """
     path = Path(path)
     state = {
         "version": CHECKPOINT_VERSION,
@@ -40,26 +89,79 @@ def save_checkpoint(driver: REWLDriver, path) -> Path:
         "rounds": driver.rounds,
         "exchange_rng": driver._exchange_rng,
     }
+    payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).digest()
+
+    faults = faults if faults is not None else faults_from_env()
+    action = faults.decide_checkpoint(driver.rounds) if faults is not None else None
+    if action == "corrupt":
+        # Simulated storage corruption: the digest is of the *intended*
+        # payload, so the flipped byte is caught on load.
+        payload = bytearray(payload)
+        payload[len(payload) // 2] ^= 0xFF
+        payload = bytes(payload)
+
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("wb") as f:
-        pickle.dump(state, f, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as f:
+        f.write(_HEADER.pack(_MAGIC, CHECKPOINT_VERSION, digest))
+        f.write(payload)
+        f.flush()
+        os.fsync(f.fileno())
+    if action == "crash":
+        # Simulated death between write and publish: the tmp file is
+        # abandoned and the previous snapshot at ``path`` stays intact.
+        raise InjectedCrash(f"injected crash before checkpoint rename ({path})")
+    if keep_previous and path.exists():
+        os.replace(path, previous_checkpoint_path(path))
+    os.replace(tmp, path)
+    driver.obs.metrics.inc("checkpoint.saved")
+    if driver.obs.enabled:
+        driver.obs.emit("checkpoint_saved", path=str(path), rounds=driver.rounds)
     return path
 
 
-def load_checkpoint(driver: REWLDriver, path) -> REWLDriver:
+def _read_state(path: Path) -> dict:
+    """Read + verify one checkpoint file; raise ``ValueError`` on any damage."""
+    data = path.read_bytes()
+    if data[: len(_MAGIC)] == _MAGIC:
+        if len(data) < _HEADER.size:
+            raise ValueError(f"checkpoint {path} is truncated (incomplete header)")
+        _magic, version, digest = _HEADER.unpack_from(data)
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {version} != {CHECKPOINT_VERSION} ({path})"
+            )
+        payload = data[_HEADER.size:]
+        if hashlib.sha256(payload).digest() != digest:
+            raise ValueError(
+                f"checkpoint {path} failed its integrity check "
+                f"(truncated or corrupt payload)"
+            )
+        return pickle.loads(payload)
+    # Legacy version-1 checkpoints: a raw pickle with a version field.
+    try:
+        state = pickle.loads(data)
+    except Exception as exc:
+        raise ValueError(f"checkpoint {path} is not readable: {exc}") from exc
+    if not isinstance(state, dict) or state.get("version") != 1:
+        version = state.get("version") if isinstance(state, dict) else None
+        raise ValueError(
+            f"checkpoint version {version} != {CHECKPOINT_VERSION} ({path})"
+        )
+    return state
+
+
+def load_checkpoint(driver: "REWLDriver", path) -> "REWLDriver":
     """Restore state saved by :func:`save_checkpoint` into ``driver``.
 
     The driver must have been constructed with a *compatible* setup (same
-    window/walker counts, grid size, and system size); mismatches raise
-    ``ValueError`` before any state is touched.
+    window/walker counts, grid size, and system size); mismatches — and
+    corrupt or truncated files — raise ``ValueError`` before any state is
+    touched.
     """
     path = Path(path)
-    with path.open("rb") as f:
-        state = pickle.load(f)
-    if state.get("version") != CHECKPOINT_VERSION:
-        raise ValueError(
-            f"checkpoint version {state.get('version')} != {CHECKPOINT_VERSION}"
-        )
+    state = _read_state(path)
     checks = [
         ("n_windows", len(driver.windows)),
         ("walkers_per_window", len(driver.walkers[0])),
@@ -72,10 +174,76 @@ def load_checkpoint(driver: REWLDriver, path) -> REWLDriver:
                 f"checkpoint mismatch: {key} is {state[key]} in the file but "
                 f"{current} in the driver"
             )
+    n_pairs = len(driver.windows) - 1
+    attempts = np.asarray(state["exchange_attempts"])
+    accepts = np.asarray(state["exchange_accepts"])
+    if attempts.shape[0] != n_pairs:
+        if n_pairs == 0 and attempts.shape[0] == 1 and attempts[0] == 0:
+            # Legacy single-window files carried one phantom (unused) pair.
+            attempts, accepts = attempts[:0], accepts[:0]
+        else:
+            raise ValueError(
+                f"checkpoint mismatch: exchange statistics cover "
+                f"{attempts.shape[0]} window pairs but the driver has {n_pairs}"
+            )
     driver.walkers = state["walkers"]
     driver.window_converged = list(state["window_converged"])
-    driver.exchange_attempts = state["exchange_attempts"]
-    driver.exchange_accepts = state["exchange_accepts"]
+    driver.exchange_attempts = attempts
+    driver.exchange_accepts = accepts
     driver.rounds = state["rounds"]
     driver._exchange_rng = state["exchange_rng"]
+    driver.obs.metrics.inc("checkpoint.restored")
+    if driver.obs.enabled:
+        driver.obs.emit("checkpoint_restored", path=str(path), rounds=driver.rounds)
     return driver
+
+
+def load_latest_checkpoint(driver: "REWLDriver", path) -> Path:
+    """Restore the newest *loadable* snapshot: ``path``, else ``path.prev``.
+
+    Returns the path actually restored.  A damaged primary (torn write on a
+    dying node, bit rot) falls back to the rotated previous snapshot with a
+    ``checkpoint_fallback`` event; if nothing loads, raises
+    ``FileNotFoundError`` listing each candidate's failure.
+    """
+    path = Path(path)
+    candidates = [path, previous_checkpoint_path(path)]
+    failures = []
+    for candidate in candidates:
+        if not candidate.exists():
+            failures.append(f"{candidate}: not found")
+            continue
+        try:
+            load_checkpoint(driver, candidate)
+        except ValueError as exc:
+            failures.append(f"{candidate}: {exc}")
+            continue
+        if candidate != path and driver.obs.enabled:
+            driver.obs.emit("checkpoint_fallback", path=str(candidate),
+                            primary=str(path),
+                            reason=failures[0] if failures else "")
+        return candidate
+    raise FileNotFoundError(
+        "no loadable checkpoint: " + "; ".join(failures)
+    )
+
+
+def maybe_resume(driver: "REWLDriver", path) -> bool:
+    """Best-effort auto-resume: restore the latest good snapshot if one exists.
+
+    Returns True when the driver was restored.  Unlike
+    :func:`load_latest_checkpoint`, a completely unusable checkpoint set
+    (all candidates damaged) emits a ``checkpoint_resume_failed`` event and
+    returns False — the campaign restarts from scratch rather than dying.
+    """
+    path = Path(path)
+    if not path.exists() and not previous_checkpoint_path(path).exists():
+        return False
+    try:
+        load_latest_checkpoint(driver, path)
+        return True
+    except (FileNotFoundError, ValueError) as exc:
+        if driver.obs.enabled:
+            driver.obs.emit("checkpoint_resume_failed", path=str(path),
+                            error=f"{type(exc).__name__}: {exc}")
+        return False

@@ -34,7 +34,7 @@ from repro.parallel.windows import WindowSpec, make_windows
 from repro.sampling.binning import EnergyGrid
 from repro.sampling.wang_landau import WalkerCounters, WangLandauSampler, drive_into_range
 from repro.util.rng import RngFactory
-from repro.util.validation import check_integer, check_probability
+from repro.util.validation import check_in_range, check_integer, check_probability
 
 __all__ = ["REWLConfig", "REWLDriver", "REWLResult", "WalkerSnapshot"]
 
@@ -61,12 +61,18 @@ class REWLConfig:
     seed: int = 0
     max_rounds: int = 100_000
     drive_max_steps: int = 2_000_000
+    checkpoint_interval: int = 0  # rounds between snapshots (0 = off)
 
     def __post_init__(self):
         check_integer("n_windows", self.n_windows, minimum=1)
         check_integer("walkers_per_window", self.walkers_per_window, minimum=1)
         check_integer("exchange_interval", self.exchange_interval, minimum=1)
         check_probability("flatness", self.flatness)
+        # Fail here rather than deep inside make_windows / drive_into_range.
+        check_in_range("overlap", self.overlap, 0.1, 0.9)
+        check_integer("max_rounds", self.max_rounds, minimum=1)
+        check_integer("drive_max_steps", self.drive_max_steps, minimum=1)
+        check_integer("checkpoint_interval", self.checkpoint_interval, minimum=0)
 
 
 @dataclass
@@ -138,16 +144,26 @@ class REWLDriver:
         either way sampler outputs are bit-identical to an uninstrumented
         run (telemetry draws no random numbers and accumulates no floats
         into walker state).
+    checkpoint_path : path-like, optional
+        Where periodic snapshots land when ``config.checkpoint_interval``
+        is set; resume with :func:`repro.parallel.checkpoint.maybe_resume`.
     """
 
     def __init__(self, hamiltonian: Hamiltonian, proposal_factory, grid: EnergyGrid,
                  initial_config: np.ndarray, config: REWLConfig | None = None,
-                 executor=None, telemetry: Telemetry | None = None):
+                 executor=None, telemetry: Telemetry | None = None,
+                 checkpoint_path=None):
         self.hamiltonian = hamiltonian
         self.grid = grid
         self.cfg = config or REWLConfig()
         self.executor = executor or SerialExecutor()
         self.obs = telemetry if telemetry is not None else Telemetry()
+        self.checkpoint_path = checkpoint_path
+        # Executors constructed without their own telemetry adopt ours, so
+        # retry/fault/rebuild events land in this run's trace.
+        bind = getattr(self.executor, "bind_telemetry", None)
+        if bind is not None:
+            bind(self.obs)
         self.windows = make_windows(grid, self.cfg.n_windows, self.cfg.overlap)
         self._rngs = RngFactory(self.cfg.seed)
         self._exchange_rng = self._rngs.make("rewl-exchange")
@@ -175,7 +191,9 @@ class REWLDriver:
                 )
             self.walkers.append(team)
         self.window_converged = [False] * len(self.windows)
-        self.exchange_attempts = np.zeros(max(len(self.windows) - 1, 1), dtype=np.int64)
+        # One slot per *adjacent window pair*: zero-length for a single
+        # window (no phantom pair with a NaN rate in the result).
+        self.exchange_attempts = np.zeros(len(self.windows) - 1, dtype=np.int64)
         self.exchange_accepts = np.zeros_like(self.exchange_attempts)
         self.rounds = 0
 
@@ -289,6 +307,18 @@ class REWLDriver:
         merged[union] = acc[union] / cnt[union]
         return merged, union
 
+    def _maybe_checkpoint(self) -> None:
+        """Periodic crash-consistent snapshot (``cfg.checkpoint_interval``)."""
+        if (
+            self.checkpoint_path is None
+            or not self.cfg.checkpoint_interval
+            or self.rounds % self.cfg.checkpoint_interval != 0
+        ):
+            return
+        from repro.parallel.checkpoint import save_checkpoint
+
+        save_checkpoint(self, self.checkpoint_path)
+
     # ----------------------------------------------------------------- run
 
     def run(self, max_rounds: int | None = None) -> REWLResult:
@@ -308,6 +338,7 @@ class REWLDriver:
                 self.obs.metrics.inc("rewl.rounds")
                 self._exchange_phase()
                 self._sync_phase()
+                self._maybe_checkpoint()
         result = self.result()
         self.obs.emit(
             "run_end", scope="rewl", rounds=self.rounds,

@@ -1,23 +1,47 @@
-"""Checkpoint/restore round-trip tests for the REWL driver."""
+"""Checkpoint/restore round-trip and crash-consistency tests for REWL."""
+
+import pickle
 
 import numpy as np
 import pytest
 
+from repro.faults import FaultConfig, FaultInjector, InjectedCrash
 from repro.hamiltonians import IsingHamiltonian
 from repro.lattice import square_lattice
-from repro.parallel import REWLConfig, REWLDriver, load_checkpoint, save_checkpoint
+from repro.parallel import (
+    REWLConfig,
+    REWLDriver,
+    load_checkpoint,
+    load_latest_checkpoint,
+    maybe_resume,
+    previous_checkpoint_path,
+    save_checkpoint,
+)
 from repro.proposals import FlipProposal
 from repro.sampling import EnergyGrid
 
 
-def make_driver(seed=3, n_windows=2, walkers=2):
+def make_driver(seed=3, n_windows=2, walkers=2, checkpoint_path=None,
+                checkpoint_interval=0):
     ham = IsingHamiltonian(square_lattice(4))
     grid = EnergyGrid.from_levels(ham.energy_levels())
     return REWLDriver(
         ham, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
         REWLConfig(n_windows=n_windows, walkers_per_window=walkers,
-                   exchange_interval=300, ln_f_final=1e-6, seed=seed),
+                   exchange_interval=300, ln_f_final=1e-6, seed=seed,
+                   checkpoint_interval=checkpoint_interval),
+        checkpoint_path=checkpoint_path,
     )
+
+
+def _checkpoint_fault(kind: str, rounds: int) -> FaultInjector:
+    """An injector whose deterministic checkpoint decision at ``rounds``
+    is exactly ``kind`` (search over seeds keeps the test explicit)."""
+    for seed in range(1000):
+        inj = FaultInjector(FaultConfig(corrupt=1.0, seed=seed))
+        if inj.decide_checkpoint(rounds) == kind:
+            return inj
+    raise AssertionError(f"no seed produced a {kind!r} decision")
 
 
 class TestCheckpointRoundTrip:
@@ -67,9 +91,198 @@ class TestCheckpointValidation:
             load_checkpoint(other, ckpt)
 
     def test_version_guard(self, tmp_path):
-        import pickle
-
         path = tmp_path / "bad.ckpt"
         path.write_bytes(pickle.dumps({"version": 999}))
         with pytest.raises(ValueError, match="version"):
             load_checkpoint(make_driver(), path)
+
+    def test_new_format_version_guard(self, tmp_path):
+        """A framed checkpoint with a future version is rejected clearly."""
+        driver = make_driver()
+        path = save_checkpoint(driver, tmp_path / "c.ckpt")
+        raw = bytearray(path.read_bytes())
+        raw[8] = 99  # little-endian version field right after the magic
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(make_driver(), path)
+
+    def test_grid_mismatch(self, tmp_path):
+        driver = make_driver()
+        ckpt = save_checkpoint(driver, tmp_path / "c.ckpt")
+        ham = IsingHamiltonian(square_lattice(4))
+        other = REWLDriver(
+            ham, lambda: FlipProposal(),
+            EnergyGrid.uniform(-40.0, 40.0, 12), np.zeros(16, dtype=np.int8),
+            REWLConfig(n_windows=2, walkers_per_window=2, exchange_interval=300,
+                       seed=3),
+        )
+        with pytest.raises(ValueError, match="grid_n_bins"):
+            load_checkpoint(other, ckpt)
+
+    def test_exchange_stats_shape_mismatch(self, tmp_path):
+        """A doctored legacy file with the wrong pair count is rejected
+        before any driver state is touched."""
+        driver = make_driver()
+        ckpt = save_checkpoint(driver, tmp_path / "c.ckpt")
+        from repro.parallel.checkpoint import _read_state
+
+        state = _read_state(ckpt)
+        state["version"] = 1
+        state["exchange_attempts"] = np.zeros(5, dtype=np.int64)
+        state["exchange_accepts"] = np.zeros(5, dtype=np.int64)
+        bad = tmp_path / "legacy.ckpt"
+        bad.write_bytes(pickle.dumps(state))
+        fresh = make_driver()
+        before = fresh.rounds
+        with pytest.raises(ValueError, match="exchange statistics"):
+            load_checkpoint(fresh, bad)
+        assert fresh.rounds == before  # untouched on failure
+
+    def test_legacy_v1_raw_pickle_loads(self, tmp_path):
+        """Pre-framing checkpoints (raw pickles, version 1) stay readable."""
+        driver = make_driver()
+        driver.run(max_rounds=2)
+        from repro.parallel.checkpoint import _read_state
+
+        state = _read_state(save_checkpoint(driver, tmp_path / "new.ckpt"))
+        state["version"] = 1
+        legacy = tmp_path / "legacy.ckpt"
+        legacy.write_bytes(pickle.dumps(state))
+        fresh = make_driver()
+        load_checkpoint(fresh, legacy)
+        assert fresh.rounds == 2
+
+
+class TestCrashConsistency:
+    def test_save_is_atomic_no_tmp_left(self, tmp_path):
+        path = save_checkpoint(make_driver(), tmp_path / "c.ckpt")
+        assert path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_crash_mid_save_preserves_latest_snapshot(self, tmp_path):
+        """Dying between the tmp write and the rename must leave the last
+        published snapshot untouched (the atomic-rename guarantee)."""
+        driver = make_driver()
+        driver.run(max_rounds=2)
+        path = save_checkpoint(driver, tmp_path / "c.ckpt")
+        good = path.read_bytes()
+
+        driver.run(max_rounds=4)
+        inj = _checkpoint_fault("crash", driver.rounds)
+        with pytest.raises(InjectedCrash):
+            save_checkpoint(driver, path, faults=inj)
+        assert path.read_bytes() == good  # byte-for-byte intact
+        fresh = make_driver()
+        load_checkpoint(fresh, path)
+        assert fresh.rounds == 2
+
+    def test_corrupt_payload_detected_on_load(self, tmp_path):
+        driver = make_driver()
+        inj = _checkpoint_fault("corrupt", driver.rounds)
+        path = save_checkpoint(driver, tmp_path / "c.ckpt", faults=inj)
+        with pytest.raises(ValueError, match="integrity"):
+            load_checkpoint(make_driver(), path)
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = save_checkpoint(make_driver(), tmp_path / "c.ckpt")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="integrity|truncated"):
+            load_checkpoint(make_driver(), path)
+        path.write_bytes(data[:20])  # not even a full header
+        with pytest.raises(ValueError, match="truncated"):
+            load_checkpoint(make_driver(), path)
+
+    def test_garbage_file_detected(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(b"not a checkpoint at all")
+        with pytest.raises(ValueError, match="not a readable checkpoint|not readable"):
+            load_checkpoint(make_driver(), path)
+
+    def test_rotation_keeps_previous_snapshot(self, tmp_path):
+        driver = make_driver()
+        driver.run(max_rounds=2)
+        path = save_checkpoint(driver, tmp_path / "c.ckpt")
+        driver.run(max_rounds=4)
+        save_checkpoint(driver, path)
+        prev = previous_checkpoint_path(path)
+        assert prev.exists()
+        older, newer = make_driver(), make_driver()
+        load_checkpoint(older, prev)
+        load_checkpoint(newer, path)
+        assert (older.rounds, newer.rounds) == (2, 4)
+
+
+class TestAutoResume:
+    def test_fallback_to_previous_good_snapshot(self, tmp_path):
+        driver = make_driver()
+        driver.run(max_rounds=2)
+        path = save_checkpoint(driver, tmp_path / "c.ckpt")
+        driver.run(max_rounds=4)
+        save_checkpoint(driver, path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF  # bit rot in the primary
+        path.write_bytes(bytes(raw))
+
+        fresh = make_driver()
+        used = load_latest_checkpoint(fresh, path)
+        assert used == previous_checkpoint_path(path)
+        assert fresh.rounds == 2
+
+    def test_no_checkpoints_raises_with_details(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no loadable checkpoint"):
+            load_latest_checkpoint(make_driver(), tmp_path / "missing.ckpt")
+
+    def test_maybe_resume_fresh_start(self, tmp_path):
+        assert maybe_resume(make_driver(), tmp_path / "missing.ckpt") is False
+
+    def test_maybe_resume_restores(self, tmp_path):
+        driver = make_driver()
+        driver.run(max_rounds=3)
+        path = save_checkpoint(driver, tmp_path / "c.ckpt")
+        fresh = make_driver()
+        assert maybe_resume(fresh, path) is True
+        assert fresh.rounds == 3
+
+    def test_maybe_resume_survives_total_damage(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        path.write_bytes(b"garbage")
+        previous_checkpoint_path(path).write_bytes(b"more garbage")
+        assert maybe_resume(make_driver(), path) is False
+
+
+class TestPeriodicCheckpoints:
+    def test_run_snapshots_on_interval(self, tmp_path):
+        path = tmp_path / "periodic.ckpt"
+        driver = make_driver(checkpoint_path=path, checkpoint_interval=2)
+        driver.run(max_rounds=5)
+        assert path.exists()
+        restored = make_driver()
+        load_checkpoint(restored, path)
+        assert restored.rounds == 4  # saved at rounds 2 and 4
+        prev = make_driver()
+        load_checkpoint(prev, previous_checkpoint_path(path))
+        assert prev.rounds == 2
+
+    def test_resume_from_periodic_snapshot_is_bit_identical(self, tmp_path):
+        straight = make_driver()
+        straight.run(max_rounds=6)
+        ref = straight.result()
+
+        path = tmp_path / "periodic.ckpt"
+        interrupted = make_driver(checkpoint_path=path, checkpoint_interval=3)
+        interrupted.run(max_rounds=3)  # "killed" right after the snapshot
+
+        resumed = make_driver()
+        assert maybe_resume(resumed, path) is True
+        resumed.run(max_rounds=6)
+        res = resumed.result()
+        for a, b in zip(ref.window_ln_g, res.window_ln_g):
+            assert np.array_equal(a, b)
+        assert np.array_equal(ref.exchange_accepts, res.exchange_accepts)
+
+    def test_disabled_by_default(self, tmp_path):
+        path = tmp_path / "never.ckpt"
+        driver = make_driver(checkpoint_path=path)  # interval stays 0
+        driver.run(max_rounds=3)
+        assert not path.exists()

@@ -96,12 +96,51 @@ class TestREWLDeterminism:
         )
 
 
+class TestREWLConfigValidation:
+    """Bad knobs fail at construction, not deep inside make_windows/drive."""
+
+    def test_overlap_out_of_range(self):
+        with pytest.raises(ValueError, match="overlap"):
+            REWLConfig(overlap=0.05)
+        with pytest.raises(ValueError, match="overlap"):
+            REWLConfig(overlap=0.95)
+
+    def test_max_rounds_positive_integer(self):
+        with pytest.raises(ValueError, match="max_rounds"):
+            REWLConfig(max_rounds=0)
+        with pytest.raises(TypeError, match="max_rounds"):
+            REWLConfig(max_rounds=2.5)
+
+    def test_drive_max_steps_positive_integer(self):
+        with pytest.raises(ValueError, match="drive_max_steps"):
+            REWLConfig(drive_max_steps=0)
+
+    def test_checkpoint_interval_non_negative(self):
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            REWLConfig(checkpoint_interval=-1)
+        assert REWLConfig(checkpoint_interval=0).checkpoint_interval == 0
+
+
 class TestREWLMechanics:
     def test_single_window_single_walker(self, ising, grid):
         res = run_driver(ising, grid, n_windows=1, walkers_per_window=1,
                          ln_f_final=5e-3)
         assert res.converged
         assert res.exchange_attempts.sum() == 0
+
+    def test_single_window_has_no_phantom_exchange_pair(self, ising, grid):
+        """Exchange statistics are sized per adjacent *pair*: one window
+        means zero pairs, not a bogus pair with a NaN rate."""
+        res = run_driver(ising, grid, n_windows=1, walkers_per_window=1,
+                         ln_f_final=5e-3)
+        assert res.exchange_attempts.shape == (0,)
+        assert res.exchange_accepts.shape == (0,)
+        assert res.exchange_rates.shape == (0,)
+        assert not np.isnan(res.exchange_rates).any()
+
+    def test_multi_window_pair_count(self, ising, grid):
+        res = run_driver(ising, grid, ln_f_final=5e-3)
+        assert res.exchange_attempts.shape == (2,)  # 3 windows -> 2 pairs
 
     def test_max_rounds_cutoff(self, ising, grid):
         driver = REWLDriver(

@@ -1,0 +1,115 @@
+"""Campaign resume tests for the run_all harness.
+
+Fake experiment modules stand in for the real runners so the tests cover
+only the orchestration contract: the campaign manifest, --resume skipping,
+failure bookkeeping, and atomic manifest writes.
+"""
+
+import json
+import sys
+import types
+
+import pytest
+
+import repro.experiments.common as common
+import repro.experiments.run_all as run_all
+from repro.experiments.common import ExperimentResult
+
+
+def _fake_module(name, exp_id, counter, fail_flag=None):
+    """A module whose run() bumps a call counter and optionally fails."""
+
+    def run(quick=True, seed=0):
+        counter.write_text(str(int(counter.read_text() or 0) + 1)
+                           if counter.exists() else "1")
+        if fail_flag is not None and fail_flag.exists():
+            raise RuntimeError(f"{exp_id} exploded")
+        return ExperimentResult(
+            experiment_id=exp_id, title=f"fake {exp_id}",
+            paper_claim="n/a", measured="ok",
+        )
+
+    mod = types.ModuleType(name)
+    mod.run = run
+    return mod
+
+
+@pytest.fixture
+def campaign_env(tmp_path, monkeypatch):
+    """Two fake experiments (E1 always passes, E2 fails while the flag file
+    exists) wired into run_all, with results redirected to tmp_path."""
+    counts = {"E1": tmp_path / "e1.calls", "E2": tmp_path / "e2.calls"}
+    flag = tmp_path / "e2.fail"
+    monkeypatch.setitem(sys.modules, "fake_exp_e1",
+                        _fake_module("fake_exp_e1", "E1", counts["E1"]))
+    monkeypatch.setitem(sys.modules, "fake_exp_e2",
+                        _fake_module("fake_exp_e2", "E2", counts["E2"], flag))
+    registry = {"E1": "fake_exp_e1", "E2": "fake_exp_e2"}
+    monkeypatch.setattr(run_all, "EXPERIMENTS", registry)
+    monkeypatch.setattr(common, "EXPERIMENTS", registry)
+    results = tmp_path / "results"
+    monkeypatch.setattr(run_all, "results_dir", lambda: results)
+    monkeypatch.setattr(common, "results_dir", lambda: results)
+
+    def calls(exp_id):
+        path = counts[exp_id]
+        return int(path.read_text()) if path.exists() else 0
+
+    return types.SimpleNamespace(results=results, flag=flag, calls=calls)
+
+
+class TestCampaignManifest:
+    def test_failure_recorded_and_rc_nonzero(self, campaign_env, capsys):
+        campaign_env.flag.touch()
+        assert run_all.main([]) == 1
+        campaign = json.loads((campaign_env.results / "campaign.json").read_text())
+        assert campaign["completed"] == ["E1"]
+        assert campaign["failed"] == ["E2"]
+        assert campaign["mode"] == "quick" and campaign["seed"] == 0
+
+    def test_clean_run_completes_everything(self, campaign_env, capsys):
+        assert run_all.main([]) == 0
+        campaign = json.loads((campaign_env.results / "campaign.json").read_text())
+        assert campaign["completed"] == ["E1", "E2"]
+        assert campaign["failed"] == []
+
+    def test_manifest_writes_are_atomic(self, campaign_env, capsys):
+        run_all.main([])
+        assert not list(campaign_env.results.glob("*.tmp"))
+
+
+class TestResume:
+    def test_resume_skips_completed_and_retries_failed(self, campaign_env, capsys):
+        campaign_env.flag.touch()
+        assert run_all.main([]) == 1
+        assert campaign_env.calls("E1") == 1
+
+        campaign_env.flag.unlink()  # "fix" E2
+        assert run_all.main(["--resume"]) == 0
+        # E1 was skipped (still one call), E2 ran again and moved to completed.
+        assert campaign_env.calls("E1") == 1
+        assert campaign_env.calls("E2") == 2
+        campaign = json.loads((campaign_env.results / "campaign.json").read_text())
+        assert sorted(campaign["completed"]) == ["E1", "E2"]
+        assert campaign["failed"] == []
+        out = capsys.readouterr().out
+        assert "experiment_skipped" in out
+
+    def test_resume_requires_matching_seed(self, campaign_env, capsys):
+        assert run_all.main([]) == 0
+        assert campaign_env.calls("E1") == 1
+        # A different seed is a different campaign: nothing is skipped.
+        assert run_all.main(["--resume", "--seed", "1"]) == 0
+        assert campaign_env.calls("E1") == 2
+
+    def test_without_resume_everything_reruns(self, campaign_env, capsys):
+        assert run_all.main([]) == 0
+        assert run_all.main([]) == 0
+        assert campaign_env.calls("E1") == 2
+
+    def test_resume_reruns_when_results_file_missing(self, campaign_env, capsys):
+        """A completed entry whose results JSON vanished is not trusted."""
+        assert run_all.main([]) == 0
+        (campaign_env.results / "e1.json").unlink()
+        assert run_all.main(["--resume"]) == 0
+        assert campaign_env.calls("E1") == 2
