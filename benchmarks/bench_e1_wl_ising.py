@@ -8,38 +8,31 @@ regression test of the figure's content).
 import numpy as np
 
 from repro.dos import exact_ising_dos_bruteforce
-from repro.proposals import FlipProposal
-from repro.sampling import EnergyGrid, WangLandauSampler
+
+_BLOCK = 2_000  # WL steps per benchmark round
 
 
-def _make_wl(ising_4x4, seed=0, ln_f_final=1e-4):
-    grid = EnergyGrid.from_levels(ising_4x4.energy_levels())
-    return WangLandauSampler(
-        ising_4x4, FlipProposal(), grid, np.zeros(16, dtype=np.int8),
-        rng=seed, ln_f_final=ln_f_final,
-    )
-
-
-def bench_wl_steps(benchmark, ising_4x4):
+def bench_wl_steps(benchmark, make_ising_wl, throughput):
     """Raw WL step throughput (the inner loop of Fig 1)."""
-    wl = _make_wl(ising_4x4)
+    wl = make_ising_wl()
+    throughput(_BLOCK)
 
     def run_block():
-        for _ in range(2_000):
+        for _ in range(_BLOCK):
             wl.step()
         return wl.n_steps
 
     total = benchmark(run_block)
-    assert total >= 2_000
+    assert total >= _BLOCK
 
 
-def bench_wl_convergence_small(benchmark, ising_4x4):
+def bench_wl_convergence_small(benchmark, make_ising_wl):
     """Full WL convergence at relaxed ln f (regenerates Fig 1a's data)."""
     levels, degens = exact_ising_dos_bruteforce(4)
     exact = {float(e): float(np.log(d)) for e, d in zip(levels, degens)}
 
     def converge():
-        wl = _make_wl(ising_4x4, seed=1, ln_f_final=5e-3)
+        wl = make_ising_wl(seed=1, ln_f_final=5e-3)
         return wl.run(max_steps=3_000_000)
 
     res = benchmark.pedantic(converge, iterations=1, rounds=1)

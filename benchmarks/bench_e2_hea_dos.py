@@ -13,7 +13,7 @@ from repro.proposals import SwapProposal
 from repro.sampling import EnergyGrid
 
 
-def bench_rewl_round(benchmark, hea, hea_counts):
+def bench_rewl_round(benchmark, hea, hea_counts, throughput):
     """One bulk-synchronous REWL round (2 windows x 2 walkers, HEA N=54)."""
     grid = EnergyGrid.uniform(-14.0, 4.0, 24)
     driver = REWLDriver(
@@ -22,6 +22,7 @@ def bench_rewl_round(benchmark, hea, hea_counts):
         REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
                    exchange_interval=500, seed=0),
     )
+    throughput(2 * 2 * 500)  # windows x walkers x steps per round
 
     def one_round():
         driver._advance_phase()

@@ -11,10 +11,11 @@ from repro.nn import MADE, CategoricalVAE, MADEConfig, VAEConfig
 from repro.proposals import MADEProposal, SwapProposal, VAEProposal
 
 
-def bench_swap_proposal(benchmark, hea, hea_config):
+def bench_swap_proposal(benchmark, hea, hea_config, throughput):
     prop = SwapProposal()
     rng = np.random.default_rng(0)
     energy = hea.energy(hea_config)
+    throughput(1)  # one proposal per round
 
     move = benchmark(prop.propose, hea_config, hea, rng, energy)
     assert move is not None

@@ -1,29 +1,20 @@
 """E6 bench (Fig 6): mixed local+DL Wang-Landau stepping."""
 
-import numpy as np
-
 from repro.nn import MADE, MADEConfig
 from repro.proposals import FlipProposal, MADEProposal, MixtureProposal
-from repro.sampling import EnergyGrid, WangLandauSampler
 
 
-def _mixed_wl(ising_4x4, dl_fraction):
-    grid = EnergyGrid.from_levels(ising_4x4.energy_levels())
-    if dl_fraction == 0.0:
-        proposal = FlipProposal()
-    else:
-        model = MADE(MADEConfig(16, 2, hidden=(64,)), rng=0)
-        proposal = MixtureProposal([
-            (FlipProposal(), 1.0 - dl_fraction),
-            (MADEProposal(model, composition="free"), dl_fraction),
-        ])
-    return WangLandauSampler(
-        ising_4x4, proposal, grid, np.zeros(16, dtype=np.int8), rng=1
-    )
+def _mixture(dl_fraction):
+    model = MADE(MADEConfig(16, 2, hidden=(64,)), rng=0)
+    return MixtureProposal([
+        (FlipProposal(), 1.0 - dl_fraction),
+        (MADEProposal(model, composition="free"), dl_fraction),
+    ])
 
 
-def bench_wl_local_only(benchmark, ising_4x4):
-    wl = _mixed_wl(ising_4x4, 0.0)
+def bench_wl_local_only(benchmark, make_ising_wl, throughput):
+    wl = make_ising_wl(seed=1)
+    throughput(2_000)
 
     def block():
         for _ in range(2_000):
@@ -33,8 +24,9 @@ def bench_wl_local_only(benchmark, ising_4x4):
     assert benchmark(block) >= 2_000
 
 
-def bench_wl_mixed_10pct_dl(benchmark, ising_4x4):
-    wl = _mixed_wl(ising_4x4, 0.1)
+def bench_wl_mixed_10pct_dl(benchmark, make_ising_wl, throughput):
+    wl = make_ising_wl(seed=1, proposal=_mixture(0.1))
+    throughput(200)
 
     def block():
         for _ in range(200):

@@ -10,12 +10,13 @@ from repro.proposals import SwapProposal
 from repro.sampling import MetropolisSampler
 
 
-def bench_delta_energy_swap(benchmark, hea, hea_config):
+def bench_delta_energy_swap(benchmark, hea, hea_config, throughput):
     """O(z) incremental ΔE — the single hottest kernel in the system."""
     rng = np.random.default_rng(0)
     ii = rng.integers(0, hea.n_sites, 1_000)
     jj = rng.integers(0, hea.n_sites, 1_000)
     k = [0]
+    throughput(1)  # one ΔE evaluation per round
 
     def one():
         k[0] = (k[0] + 1) % 1_000
@@ -24,19 +25,21 @@ def bench_delta_energy_swap(benchmark, hea, hea_config):
     benchmark(one)
 
 
-def bench_delta_energy_swap_batch(benchmark, hea, hea_config):
+def bench_delta_energy_swap_batch(benchmark, hea, hea_config, throughput):
     """Vectorized batch ΔE (the GPU-like evaluation path)."""
     rng = np.random.default_rng(1)
     ii = rng.integers(0, hea.n_sites, 4_096)
     jj = rng.integers(0, hea.n_sites, 4_096)
+    throughput(4_096)
 
     out = benchmark(hea.delta_energy_swap_batch, hea_config, ii, jj)
     assert out.shape == (4_096,)
 
 
-def bench_metropolis_steps(benchmark, hea, hea_config):
+def bench_metropolis_steps(benchmark, hea, hea_config, throughput):
     """End-to-end Metropolis step throughput (Table 3 calibration row)."""
     sampler = MetropolisSampler(hea, SwapProposal(), 5.0, hea_config, rng=2)
+    throughput(1_000)
 
     def block():
         sampler.run(1_000)
@@ -45,9 +48,10 @@ def bench_metropolis_steps(benchmark, hea, hea_config):
     assert benchmark(block) >= 1_000
 
 
-def bench_energy_batch(benchmark, hea, hea_config):
+def bench_energy_batch(benchmark, hea, hea_config, throughput):
     """Batched full-energy evaluation (DL-proposal re-scoring path)."""
     configs = np.stack([hea_config] * 64)
+    throughput(64)
 
     out = benchmark(hea.energy_batch, configs)
     assert out.shape == (64,)

@@ -15,11 +15,12 @@ from repro.proposals import ConditionalMADEProposal
 from repro.sampling import WolffSampler
 
 
-def bench_wolff_clusters_near_tc(benchmark):
+def bench_wolff_clusters_near_tc(benchmark, throughput):
     """Cluster flips at the critical point (the baseline's best regime)."""
     ham = IsingHamiltonian(square_lattice(16))
     sampler = WolffSampler(ham, 1.0 / 2.27, np.zeros(256, dtype=np.int8), rng=0)
     sampler.run(50)  # settle cluster sizes
+    throughput(20)  # cluster flips per round
 
     def flip_block():
         sampler.run(20)

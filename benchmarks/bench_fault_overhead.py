@@ -17,21 +17,15 @@ from repro.faults import FaultConfig, FaultInjector
 from repro.parallel import REWLConfig, REWLDriver, SerialExecutor, save_checkpoint
 from repro.parallel.checkpoint import load_checkpoint
 from repro.proposals import FlipProposal
-from repro.sampling import EnergyGrid, WangLandauSampler
+from repro.sampling import EnergyGrid
 
 _STEPS = 2_000  # WL steps per task, REWL advance-phase sized
 _TASKS = 8
 
 
-def _make_walkers(ising_4x4, n=_TASKS):
-    grid = EnergyGrid.from_levels(ising_4x4.energy_levels())
-    return [
-        WangLandauSampler(
-            ising_4x4, FlipProposal(), grid, np.zeros(16, dtype=np.int8),
-            rng=seed, ln_f_final=1e-12,  # never converges inside the bench
-        )
-        for seed in range(n)
-    ]
+def _make_walkers(make_ising_wl, n=_TASKS):
+    # never converges inside the bench
+    return [make_ising_wl(seed=seed, ln_f_final=1e-12) for seed in range(n)]
 
 
 def _advance(wl):
@@ -39,9 +33,10 @@ def _advance(wl):
     return wl.n_steps
 
 
-def bench_advance_bare_loop(benchmark, ising_4x4):
+def bench_advance_bare_loop(benchmark, make_ising_wl, throughput):
     """Baseline: the advance workload with no executor at all."""
-    walkers = _make_walkers(ising_4x4)
+    walkers = _make_walkers(make_ising_wl)
+    throughput(_TASKS * _STEPS)
 
     def block():
         return [_advance(wl) for wl in walkers]
@@ -49,10 +44,11 @@ def bench_advance_bare_loop(benchmark, ising_4x4):
     assert min(benchmark(block)) >= _STEPS
 
 
-def bench_advance_supervised_no_faults(benchmark, ising_4x4):
+def bench_advance_supervised_no_faults(benchmark, make_ising_wl, throughput):
     """Supervised map, retry budget armed, nothing injected — the overhead
     target: same work as the bare loop plus only the supervision plumbing."""
-    walkers = _make_walkers(ising_4x4)
+    walkers = _make_walkers(make_ising_wl)
+    throughput(_TASKS * _STEPS)
     ex = SerialExecutor(max_retries=3, faults=None)
     assert ex.faults is None or not ex.faults.cfg.any_task_faults
 

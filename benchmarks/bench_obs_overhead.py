@@ -11,26 +11,19 @@ Run: ``pytest benchmarks/bench_obs_overhead.py --benchmark-only``.
 
 import numpy as np
 
-from repro.obs import JsonlSink, Telemetry
+from repro.obs import JsonlSink, SectionProfiler, Telemetry
 from repro.obs.events import EventLog
 from repro.parallel import REWLConfig, REWLDriver
 from repro.proposals import FlipProposal
-from repro.sampling import EnergyGrid, WangLandauSampler
+from repro.sampling import EnergyGrid
 
 _BLOCK = 20_000  # WL steps per benchmark round
 
 
-def _make_wl(ising_4x4, seed=0):
-    grid = EnergyGrid.from_levels(ising_4x4.energy_levels())
-    return WangLandauSampler(
-        ising_4x4, FlipProposal(), grid, np.zeros(16, dtype=np.int8),
-        rng=seed, ln_f_final=1e-12,  # never converges inside the bench
-    )
-
-
-def bench_wl_steps_bare(benchmark, ising_4x4):
+def bench_wl_steps_bare(benchmark, make_ising_wl, throughput):
     """Baseline: the raw step loop, no telemetry object anywhere."""
-    wl = _make_wl(ising_4x4)
+    wl = make_ising_wl(ln_f_final=1e-12)  # never converges inside the bench
+    throughput(_BLOCK)
 
     def block():
         for _ in range(_BLOCK):
@@ -40,9 +33,10 @@ def bench_wl_steps_bare(benchmark, ising_4x4):
     assert benchmark(block) >= _BLOCK
 
 
-def bench_wl_run_null_telemetry(benchmark, ising_4x4):
+def bench_wl_run_null_telemetry(benchmark, make_ising_wl, throughput):
     """run() with the disabled default Telemetry — the <3% overhead target."""
-    wl = _make_wl(ising_4x4)
+    wl = make_ising_wl(ln_f_final=1e-12)
+    throughput(_BLOCK)
     tel = Telemetry()
     assert not tel.enabled
 
@@ -53,9 +47,29 @@ def bench_wl_run_null_telemetry(benchmark, ising_4x4):
     assert benchmark(block) >= _BLOCK
 
 
-def bench_wl_run_jsonl_telemetry(benchmark, ising_4x4, tmp_path_factory):
+def bench_wl_steps_profiled(benchmark, make_ising_wl, throughput):
+    """The step loop with a live sampling profiler (default stride).
+
+    The profiler's overhead contract: counter-sampled timing keeps this
+    within a few percent of ``bench_wl_steps_bare``.
+    """
+    wl = make_ising_wl(ln_f_final=1e-12)
+    wl.enable_profiling(SectionProfiler())
+    throughput(_BLOCK)
+
+    def block():
+        for _ in range(_BLOCK):
+            wl.step()
+        return wl.n_steps
+
+    assert benchmark(block) >= _BLOCK
+
+
+def bench_wl_run_jsonl_telemetry(benchmark, make_ising_wl, throughput,
+                                 tmp_path_factory):
     """run() with a live JSONL sink — what a traced run actually costs."""
-    wl = _make_wl(ising_4x4)
+    wl = make_ising_wl(ln_f_final=1e-12)
+    throughput(_BLOCK)
     trace = tmp_path_factory.mktemp("obs") / "bench.jsonl"
     tel = Telemetry(events=EventLog(run_id="bench", sinks=[JsonlSink(trace)]))
 

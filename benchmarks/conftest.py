@@ -4,6 +4,13 @@ Each ``bench_eNN_*.py`` file regenerates (a small-scale instance of) one
 paper table/figure kernel; the full-fidelity harness is
 ``python -m repro.experiments.run_all``.  Benchmarks are sized so the whole
 directory finishes in a few minutes under ``--benchmark-only``.
+
+The common runner is :mod:`repro.obs.bench` (``python -m repro obs bench``):
+it executes any subset of these files in a child pytest and captures the
+results as a versioned ``BENCH_<n>.json`` snapshot.  Benches that loop a
+known number of MC steps per round record it via the ``throughput`` fixture
+so the snapshot (and ``bench-compare``) can report steps/s, not just wall
+time.
 """
 
 import numpy as np
@@ -31,3 +38,36 @@ def hea_counts(hea):
 @pytest.fixture()
 def hea_config(hea, hea_counts):
     return random_configuration(hea.n_sites, hea_counts, rng=0)
+
+
+@pytest.fixture()
+def make_ising_wl(ising_4x4):
+    """Factory for the 4x4 Ising Wang-Landau sampler the step benches share."""
+    from repro.proposals import FlipProposal
+    from repro.sampling import EnergyGrid, WangLandauSampler
+
+    grid = EnergyGrid.from_levels(ising_4x4.energy_levels())
+
+    def _make(seed=0, ln_f_final=1e-4, proposal=None):
+        return WangLandauSampler(
+            ising_4x4,
+            proposal if proposal is not None else FlipProposal(),
+            grid, np.zeros(16, dtype=np.int8),
+            rng=seed, ln_f_final=ln_f_final,
+        )
+
+    return _make
+
+
+@pytest.fixture()
+def throughput(benchmark):
+    """Record a bench's MC-steps-per-round in the pytest-benchmark JSON.
+
+    ``repro.obs.bench`` divides it by the measured mean round time to put a
+    steps/s figure in the BENCH snapshot.
+    """
+
+    def _record(steps_per_round):
+        benchmark.extra_info["steps_per_round"] = int(steps_per_round)
+
+    return _record

@@ -5,6 +5,9 @@ Commands
 ``experiments``   regenerate paper tables/figures (wraps run_all; same flags)
 ``report``        rebuild EXPERIMENTS.md from saved results
 ``info``          print version, subsystem inventory, and environment checks
+``obs``           observability tools: ``report`` (trace digest), ``bench`` /
+                  ``bench-compare`` (BENCH snapshots), ``dash`` / ``tail``
+                  (live run-health views)
 """
 
 from __future__ import annotations
@@ -21,7 +24,49 @@ commands:
   experiments [--full] [--only E1,E7] [--seed N]   regenerate tables/figures
   report                                           rebuild EXPERIMENTS.md
   info                                             version + inventory
+  obs <subcommand>                                 observability tools
+
+obs subcommands:
+  obs report trace.jsonl                 per-phase/health digest of a trace
+  obs bench [--quick] [-o OUT]           run benches, emit BENCH_<n>.json
+  obs bench-compare OLD NEW              diff snapshots, flag regressions
+  obs dash trace.jsonl [--watch N]       status board for a running campaign
+  obs tail trace.jsonl [-f]              follow a JSONL trace
 """
+
+_OBS_USAGE = """usage: python -m repro obs <subcommand> [options]
+
+subcommands: report, bench, bench-compare, dash, tail (see --help on each)
+"""
+
+
+def _obs(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_OBS_USAGE)
+        return 0
+    sub, rest = argv[0], argv[1:]
+    if sub == "report":
+        from repro.obs.report import main as obs_report_main
+
+        return obs_report_main(rest)
+    if sub == "bench":
+        from repro.obs.bench import main_bench
+
+        return main_bench(rest)
+    if sub == "bench-compare":
+        from repro.obs.bench import main_compare
+
+        return main_compare(rest)
+    if sub == "dash":
+        from repro.obs.dash import main_dash
+
+        return main_dash(rest)
+    if sub == "tail":
+        from repro.obs.dash import main_tail
+
+        return main_tail(rest)
+    print(f"unknown obs subcommand {sub!r}\n\n{_OBS_USAGE}", file=sys.stderr)
+    return 2
 
 
 def _info() -> int:
@@ -67,6 +112,8 @@ def main(argv=None) -> int:
         return report_main(rest)
     if command == "info":
         return _info()
+    if command == "obs":
+        return _obs(rest)
     print(f"unknown command {command!r}\n\n{_USAGE}", file=sys.stderr)
     return 2
 

@@ -13,7 +13,15 @@ layer wired through the sampling stack:
 - :mod:`repro.obs.events` — newline-delimited JSON event records behind
   swappable sinks (no-op by default),
 - :mod:`repro.obs.report` — ``python -m repro.obs.report trace.jsonl``
-  renders per-phase time/throughput breakdowns from a trace.
+  renders per-phase time/throughput breakdowns from a trace,
+- :mod:`repro.obs.profile` — deterministic counter-sampled section profiler
+  hooked into the ΔE / proposal / histogram-update / exchange hot paths,
+- :mod:`repro.obs.health` — heartbeats and stall/anomaly detection for long
+  REWL campaigns (``REPRO_HEALTH``),
+- :mod:`repro.obs.bench` — BENCH_<n>.json benchmark snapshots and
+  regression comparison (``python -m repro obs bench / bench-compare``),
+- :mod:`repro.obs.dash` — ``python -m repro obs dash / tail`` terminal
+  views over a live JSONL trace.
 
 :class:`Telemetry` bundles the three runtime pieces behind one handle that
 drivers accept as an optional argument.  The determinism contract: enabling
@@ -27,12 +35,20 @@ from repro.obs.events import (
     ConsoleSink,
     EventLog,
     EventSink,
+    FileSink,
     JsonlSink,
     MemorySink,
     NullSink,
     SCHEMA_VERSION,
     TRACE_ENV_VAR,
+    TRACE_FSYNC_ENV_VAR,
     from_env,
+)
+from repro.obs.health import (
+    HEALTH_ENV_VAR,
+    HealthConfig,
+    HealthMonitor,
+    health_from_env,
 )
 from repro.obs.metrics import (
     Counter,
@@ -40,6 +56,14 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     merge_registries,
+)
+from repro.obs.profile import (
+    PROFILE_ENV_VAR,
+    ProfiledHamiltonian,
+    ProfiledProposal,
+    SectionProfiler,
+    SectionStat,
+    profile_from_env,
 )
 from repro.obs.tracing import Span, Timer, TimerRegistry, Tracer
 
@@ -56,13 +80,25 @@ __all__ = [
     "ConsoleSink",
     "EventLog",
     "EventSink",
+    "FileSink",
     "JsonlSink",
     "MemorySink",
     "NullSink",
     "SCHEMA_VERSION",
     "TRACE_ENV_VAR",
+    "TRACE_FSYNC_ENV_VAR",
     "from_env",
     "Telemetry",
+    "HEALTH_ENV_VAR",
+    "HealthConfig",
+    "HealthMonitor",
+    "health_from_env",
+    "PROFILE_ENV_VAR",
+    "ProfiledHamiltonian",
+    "ProfiledProposal",
+    "SectionProfiler",
+    "SectionStat",
+    "profile_from_env",
 ]
 
 

@@ -1,0 +1,396 @@
+"""Benchmark-regression tracking: versioned BENCH snapshots + comparison.
+
+The paper's headline claims are performance claims, so benchmark numbers
+need a machine-readable trajectory PR-over-PR, not ad-hoc console prints.
+This module runs any subset of ``benchmarks/bench_*.py`` through one common
+runner (a child ``pytest --benchmark-only`` process, so benchmark isolation
+and calibration stay pytest-benchmark's job) and captures the result as a
+versioned snapshot::
+
+    {
+      "v": 1,                       # BENCH schema version
+      "created_ts": ...,            # unix wall time
+      "wall_s": ...,                # end-to-end harness wall time
+      "peak_rss_kb": ...,           # child peak resident set (ru_maxrss)
+      "fingerprint": {...},         # python/numpy/platform/commit identity
+      "selection": [...],           # bench files run
+      "benchmarks": {name: {"mean_s", "stddev_s", "min_s", "rounds",
+                            "steps_per_s" (when the bench records
+                            steps_per_round in extra_info)}},
+      "profile": {section: {...}}   # merged per-section SectionProfiler dump
+    }
+
+The per-section profile is recovered from the child process through the
+``REPRO_PROFILE`` / ``REPRO_PROFILE_OUT`` knobs (see
+:mod:`repro.obs.profile`): the child's global collector dumps merged
+sections as JSON at interpreter exit, and the snapshot embeds them.
+
+:func:`compare_snapshots` diffs two snapshots with a multiplicative noise
+threshold — a benchmark regresses when ``new_mean > old_mean * (1 +
+threshold)`` — and ``python -m repro obs bench-compare`` renders the diff,
+exiting non-zero on regression unless ``--warn-only`` (the CI smoke job
+runs warn-only against the committed baseline).
+
+CLI: ``python -m repro obs bench [--quick] [-k EXPR] [-o OUT] [FILE ...]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "QUICK_BENCHES",
+    "discover_benchmarks",
+    "run_benchmarks",
+    "load_snapshot",
+    "next_snapshot_path",
+    "compare_snapshots",
+    "render_compare",
+    "main_bench",
+    "main_compare",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Default noise threshold for compare: 25% mean-time growth is a regression.
+DEFAULT_THRESHOLD = 0.25
+
+#: The fast subset for CI smoke runs (micro-kernels + setup costs; the long
+#: convergence benches stay out so the job finishes in a couple of minutes).
+QUICK_BENCHES = (
+    "bench_e9_throughput.py",
+    "bench_e12_systems_table.py",
+    "bench_obs_overhead.py",
+)
+
+
+def discover_benchmarks(bench_dir) -> list[Path]:
+    """All ``bench_*.py`` files under ``bench_dir``, sorted by name."""
+    return sorted(Path(bench_dir).glob("bench_*.py"))
+
+
+def _fingerprint() -> dict:
+    """Environment/commit identity a snapshot is comparable under."""
+    import numpy as np
+
+    commit, dirty = None, None
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            commit = out.stdout.strip()
+            status = subprocess.run(
+                ["git", "status", "--porcelain"], capture_output=True,
+                text=True, timeout=10,
+            )
+            dirty = bool(status.stdout.strip()) if status.returncode == 0 else None
+    except OSError:
+        pass
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "commit": commit,
+        "dirty": dirty,
+    }
+
+
+def _child_peak_rss_kb() -> int | None:
+    """Peak resident set over reaped children, in kB (max-so-far semantics)."""
+    try:
+        import resource
+    except ImportError:  # non-posix
+        return None
+    peak = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    # ru_maxrss is kB on Linux, bytes on macOS.
+    return int(peak // 1024) if sys.platform == "darwin" else int(peak)
+
+
+def _extract_benchmarks(pytest_json: dict) -> dict[str, dict]:
+    out: dict[str, dict] = {}
+    for bench in pytest_json.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        entry = {
+            "mean_s": stats.get("mean"),
+            "stddev_s": stats.get("stddev"),
+            "min_s": stats.get("min"),
+            "rounds": stats.get("rounds"),
+        }
+        extra = bench.get("extra_info") or {}
+        steps = extra.get("steps_per_round")
+        if steps and stats.get("mean"):
+            entry["steps_per_s"] = float(steps) / float(stats["mean"])
+        out[bench.get("fullname", bench.get("name", "?"))] = entry
+    return out
+
+
+def run_benchmarks(
+    selection=None,
+    bench_dir="benchmarks",
+    quick: bool = False,
+    keyword: str | None = None,
+    out_path=None,
+    profile_every: int = 8,
+    pytest_args=(),
+    stream=None,
+) -> dict:
+    """Run bench files through pytest-benchmark; return (and save) a snapshot.
+
+    ``selection`` is an iterable of bench file names/paths (defaults to the
+    whole directory, or :data:`QUICK_BENCHES` under ``quick=True``).  The
+    child process runs with profiling enabled so the snapshot carries the
+    per-section breakdown.  Profiling adds a small, *uniform* cost to the
+    instrumented kernels, so keep ``profile_every`` identical across
+    snapshots you intend to compare (the default never changes silently).
+    """
+    bench_dir = Path(bench_dir)
+    if selection:
+        files = [bench_dir / Path(s).name for s in selection]
+    elif quick:
+        files = [bench_dir / name for name in QUICK_BENCHES]
+    else:
+        files = discover_benchmarks(bench_dir)
+    missing = [str(f) for f in files if not f.exists()]
+    if missing:
+        raise FileNotFoundError(f"no such benchmark file(s): {missing}")
+    if not files:
+        raise FileNotFoundError(f"no bench_*.py files under {bench_dir}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        pytest_json = Path(tmp) / "pytest-bench.json"
+        profile_json = Path(tmp) / "profile.json"
+        cmd = [
+            sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+            # Collection must not depend on the rootdir's ini (bench files
+            # may live outside this repo, e.g. in test fixtures).
+            "-o", "python_files=bench_*.py", "-o", "python_functions=bench_*",
+            "--benchmark-only", f"--benchmark-json={pytest_json}",
+            *map(str, files), *pytest_args,
+        ]
+        if keyword:
+            cmd += ["-k", keyword]
+        env = dict(os.environ)
+        env["REPRO_PROFILE"] = str(int(profile_every))
+        env["REPRO_PROFILE_OUT"] = str(profile_json)
+        t0 = time.perf_counter()
+        proc = subprocess.run(
+            cmd, env=env, text=True, capture_output=True, cwd=os.getcwd(),
+        )
+        wall_s = time.perf_counter() - t0
+        if stream is not None:
+            stream.write(proc.stdout)
+            if proc.stderr:
+                stream.write(proc.stderr)
+        if proc.returncode != 0 and not pytest_json.exists():
+            raise RuntimeError(
+                f"benchmark run failed (pytest exit {proc.returncode}):\n"
+                + (proc.stdout or "") + (proc.stderr or "")
+            )
+        with pytest_json.open(encoding="utf-8") as fh:
+            pytest_payload = json.load(fh)
+        profile = {}
+        if profile_json.exists():
+            try:
+                with profile_json.open(encoding="utf-8") as fh:
+                    profile = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                profile = {}
+
+    snapshot = {
+        "v": BENCH_SCHEMA_VERSION,
+        "created_ts": time.time(),
+        "wall_s": wall_s,
+        "peak_rss_kb": _child_peak_rss_kb(),
+        "pytest_exit": proc.returncode,
+        "fingerprint": _fingerprint(),
+        "selection": [f.name for f in files],
+        "benchmarks": _extract_benchmarks(pytest_payload),
+        "profile": profile,
+    }
+    if out_path is not None:
+        out_path = Path(out_path)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        with out_path.open("w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return snapshot
+
+
+def load_snapshot(path) -> dict:
+    with Path(path).open(encoding="utf-8") as fh:
+        snapshot = json.load(fh)
+    version = snapshot.get("v")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: BENCH schema v{version!r}, expected v{BENCH_SCHEMA_VERSION}"
+        )
+    return snapshot
+
+
+def next_snapshot_path(directory=".") -> Path:
+    """First unused ``BENCH_<n>.json`` in ``directory`` (versioned names)."""
+    directory = Path(directory)
+    taken = set()
+    for existing in directory.glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", existing.name)
+        if match:
+            taken.add(int(match.group(1)))
+    n = 1
+    while n in taken:
+        n += 1
+    return directory / f"BENCH_{n}.json"
+
+
+# ------------------------------------------------------------------ comparison
+
+
+def compare_snapshots(old: dict, new: dict,
+                      threshold: float = DEFAULT_THRESHOLD) -> dict:
+    """Diff two snapshots' mean times with a multiplicative noise threshold.
+
+    Returns ``{"threshold", "entries": [...], "regressions": [names]}``;
+    each entry has ``name/old_mean_s/new_mean_s/ratio/status`` with status
+    one of ``ok | regression | improvement | added | removed``.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold!r}")
+    old_b = old.get("benchmarks", {})
+    new_b = new.get("benchmarks", {})
+    entries = []
+    regressions = []
+    for name in sorted(set(old_b) | set(new_b)):
+        o = old_b.get(name, {}).get("mean_s")
+        n = new_b.get(name, {}).get("mean_s")
+        if o is None or n is None:
+            entries.append({
+                "name": name, "old_mean_s": o, "new_mean_s": n,
+                "ratio": None, "status": "removed" if n is None else "added",
+            })
+            continue
+        ratio = n / o if o > 0 else None
+        if ratio is not None and ratio > 1.0 + threshold:
+            status = "regression"
+            regressions.append(name)
+        elif ratio is not None and ratio < 1.0 / (1.0 + threshold):
+            status = "improvement"
+        else:
+            status = "ok"
+        entries.append({
+            "name": name, "old_mean_s": o, "new_mean_s": n,
+            "ratio": ratio, "status": status,
+        })
+    return {"threshold": threshold, "entries": entries,
+            "regressions": regressions}
+
+
+def render_compare(diff: dict) -> str:
+    from repro.util.tables import format_table
+
+    rows = []
+    for entry in diff["entries"]:
+        o, n, ratio = entry["old_mean_s"], entry["new_mean_s"], entry["ratio"]
+        rows.append([
+            entry["name"],
+            "-" if o is None else f"{o * 1e3:.3f}",
+            "-" if n is None else f"{n * 1e3:.3f}",
+            "-" if ratio is None else f"{ratio:.2f}x",
+            entry["status"],
+        ])
+    table = format_table(
+        ["benchmark", "old mean_ms", "new mean_ms", "ratio", "status"],
+        rows, title=f"bench-compare (threshold {diff['threshold']:.0%})",
+    )
+    regressions = diff["regressions"]
+    verdict = (
+        f"{len(regressions)} regression(s): {', '.join(regressions)}"
+        if regressions else "no regressions beyond threshold"
+    )
+    return f"{table}\n{verdict}\n"
+
+
+# ------------------------------------------------------------------------- CLI
+
+
+def main_bench(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs bench",
+        description="Run benchmarks/bench_*.py and emit a BENCH_<n>.json "
+                    "snapshot.",
+    )
+    parser.add_argument("files", nargs="*",
+                        help="bench files to run (default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help=f"run the CI smoke subset {list(QUICK_BENCHES)}")
+    parser.add_argument("-k", dest="keyword", default=None,
+                        help="pytest -k expression to filter benchmarks")
+    parser.add_argument("-o", "--out", default=None,
+                        help="snapshot path (default: next free BENCH_<n>.json)")
+    parser.add_argument("--bench-dir", default="benchmarks")
+    parser.add_argument("--profile-every", type=int, default=8,
+                        help="profiler sampling stride in the child run")
+    parser.add_argument("--pytest-arg", action="append", default=[],
+                        dest="pytest_args", metavar="ARG",
+                        help="extra argument forwarded to pytest (repeatable)")
+    args = parser.parse_args(argv)
+
+    out_path = Path(args.out) if args.out else next_snapshot_path(".")
+    try:
+        snapshot = run_benchmarks(
+            selection=args.files or None, bench_dir=args.bench_dir,
+            quick=args.quick, keyword=args.keyword, out_path=out_path,
+            profile_every=args.profile_every, pytest_args=args.pytest_args,
+            stream=sys.stderr,
+        )
+    except (FileNotFoundError, RuntimeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    n_bench = len(snapshot["benchmarks"])
+    n_prof = len(snapshot["profile"])
+    print(f"wrote {out_path}: {n_bench} benchmark(s), {n_prof} profiled "
+          f"section(s), wall {snapshot['wall_s']:.1f}s")
+    return 0 if snapshot["pytest_exit"] == 0 else 1
+
+
+def main_compare(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs bench-compare",
+        description="Diff two BENCH snapshots; exit 1 on regression.",
+    )
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="relative mean-time growth that counts as a "
+                             "regression (default 0.25)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="always exit 0 (CI smoke mode)")
+    args = parser.parse_args(argv)
+
+    try:
+        old = load_snapshot(args.old)
+        new = load_snapshot(args.new)
+        diff = compare_snapshots(old, new, threshold=args.threshold)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(render_compare(diff), end="")
+    if diff["regressions"] and not args.warn_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main_bench())

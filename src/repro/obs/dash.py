@@ -1,0 +1,232 @@
+"""Terminal views of a live campaign's JSONL trace: ``dash`` and ``tail``.
+
+A long REWL campaign run with ``REPRO_TRACE=trace.jsonl`` (and usually
+``REPRO_HEALTH=1``) leaves a growing event stream; these commands watch it
+without touching the run:
+
+- ``python -m repro obs dash trace.jsonl`` renders a one-screen status
+  board from the most recent records: per-window ln f / WL iteration /
+  flatness ratio from the latest ``heartbeat`` event, per-pair exchange
+  acceptance, recent ``health_alert`` events, and trace staleness (how long
+  since the last record — a crude liveness check for the producer).
+  ``--watch N`` re-renders every N seconds; ``--iterations`` bounds the
+  loop (tests use 1).
+- ``python -m repro obs tail trace.jsonl`` prints trailing records as
+  human one-liners (same rendering as :class:`repro.obs.events.ConsoleSink`)
+  and with ``--follow`` keeps polling for new lines, again bounded by
+  ``--iterations`` so it is testable and cron-safe.
+
+Both are read-only consumers of the DESIGN.md §8/§10 schemas — they never
+write to the trace and tolerate truncated/garbage lines (a crash mid-write
+leaves at most one partial line; see the fsync notes in
+:mod:`repro.obs.events`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.obs.events import _render
+from repro.obs.health import ALERT_KIND, HEARTBEAT_KIND
+from repro.obs.report import load_trace
+
+__all__ = [
+    "render_dash",
+    "render_record_line",
+    "main_dash",
+    "main_tail",
+]
+
+
+def _latest_run(records: list[dict]) -> str | None:
+    """Run id of the record with the newest timestamp (ties: last wins).
+
+    Runs that emitted heartbeats win over runs that did not, whatever the
+    timestamps: a multi-run trace (e.g. the experiment harness wrapping a
+    monitored REWL campaign) usually ends with a wrapper summary event, and
+    the board should default to the run actually being monitored.
+    """
+    heartbeats = [r for r in records if r.get("kind") == HEARTBEAT_KIND]
+    best, best_ts = None, float("-inf")
+    for r in heartbeats or records:
+        ts = r.get("ts")
+        if isinstance(ts, (int, float)) and ts >= best_ts:
+            best, best_ts = str(r.get("run", "?")), ts
+    return best
+
+
+def render_dash(records: list[dict], run: str | None = None,
+                now: float | None = None, max_alerts: int = 5) -> str:
+    """One-screen status board from a trace's records (pure function)."""
+    from repro.util.tables import format_table
+
+    if not records:
+        return "(empty trace)\n"
+    run = run or _latest_run(records)
+    records = [r for r in records if str(r.get("run", "?")) == run]
+    now = time.time() if now is None else now
+
+    lines = []
+    stamps = [r["ts"] for r in records if isinstance(r.get("ts"), (int, float))]
+    staleness = f"{now - max(stamps):.1f}s ago" if stamps else "unknown"
+    lines.append(f"run {run}: {len(records)} records, last event {staleness}")
+
+    heartbeats = [r for r in records if r.get("kind") == HEARTBEAT_KIND]
+    if heartbeats:
+        hb = heartbeats[-1]
+        lines.append(
+            f"heartbeat #{len(heartbeats)} @ round {hb.get('round', '?')}: "
+            f"{hb.get('steps', 0):,} steps, "
+            f"{hb.get('converged_windows', 0)} window(s) converged, "
+            f"{hb.get('retries', 0)} retries since previous"
+        )
+        lines.append("")
+        window_rows = [
+            [w.get("window"), f"{w.get('ln_f', 0.0):.3g}", w.get("iteration"),
+             f"{w.get('flatness', 0.0):.3f}",
+             "yes" if w.get("converged") else "no"]
+            for w in hb.get("windows", [])
+        ]
+        if window_rows:
+            lines.append(format_table(
+                ["window", "ln f", "iteration", "flatness", "converged"],
+                window_rows, title="windows (latest heartbeat)",
+            ))
+            lines.append("")
+        pair_rows = [
+            [f"{p.get('pair')}-{p.get('pair', 0) + 1}", p.get("attempts"),
+             p.get("accepts"),
+             "-" if p.get("rate") is None else f"{p['rate']:.1%}"]
+            for p in hb.get("pairs", [])
+        ]
+        if pair_rows:
+            lines.append(format_table(
+                ["window pair", "attempts", "accepts", "acceptance"],
+                pair_rows, title="exchange (since previous heartbeat)",
+            ))
+            lines.append("")
+    else:
+        lines.append("(no heartbeat events yet — is REPRO_HEALTH set?)")
+        lines.append("")
+
+    alerts = [r for r in records if r.get("kind") == ALERT_KIND]
+    if alerts:
+        lines.append(f"ALERTS ({len(alerts)} total, newest last):")
+        for alert in alerts[-max_alerts:]:
+            lines.append(
+                f"  [{alert.get('alert', '?')}] round "
+                f"{alert.get('round', '?')}: {alert.get('detail', '')}"
+            )
+    else:
+        lines.append("no health alerts")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_record_line(record: dict) -> str:
+    """One trace record as a ``[run:kind] key=value`` console line."""
+    skip = ("v", "ts", "seq", "run", "kind")
+    fields = " ".join(
+        f"{k}={_render(v)}" for k, v in record.items() if k not in skip
+    )
+    return (f"[{record.get('run', '?')}:{record.get('kind', '?')}] "
+            f"{fields}").rstrip()
+
+
+def main_dash(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs dash",
+        description="Status board for a (running) campaign's JSONL trace.",
+    )
+    parser.add_argument("trace", help="path to a .jsonl trace file")
+    parser.add_argument("--run", default=None,
+                        help="run id to show (default: newest in the trace)")
+    parser.add_argument("--watch", type=float, default=0.0, metavar="SECONDS",
+                        help="re-render every SECONDS (0 = render once)")
+    parser.add_argument("--iterations", type=int, default=0,
+                        help="stop after N renders in watch mode (0 = forever)")
+    args = parser.parse_args(argv)
+
+    path = Path(args.trace)
+    rendered = 0
+    while True:
+        if not path.exists():
+            print(f"no such trace file: {path}", file=sys.stderr)
+            return 1
+        board = render_dash(load_trace(path), run=args.run)
+        if rendered:
+            print("\n" + "=" * 60 + "\n")
+        print(board, end="")
+        rendered += 1
+        if args.watch <= 0 or (args.iterations and rendered >= args.iterations):
+            return 0
+        time.sleep(args.watch)
+
+
+def main_tail(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs tail",
+        description="Print trailing trace records; --follow polls for more.",
+    )
+    parser.add_argument("trace", help="path to a .jsonl trace file")
+    parser.add_argument("-n", "--lines", type=int, default=10,
+                        help="trailing records to print first (default 10)")
+    parser.add_argument("-f", "--follow", action="store_true",
+                        help="keep polling the file for new records")
+    parser.add_argument("--interval", type=float, default=0.5,
+                        help="poll interval in follow mode (seconds)")
+    parser.add_argument("--iterations", type=int, default=0,
+                        help="stop after N polls in follow mode (0 = forever)")
+    args = parser.parse_args(argv)
+
+    path = Path(args.trace)
+    if not path.exists():
+        print(f"no such trace file: {path}", file=sys.stderr)
+        return 1
+
+    pos = 0
+    tail: list[dict] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            record = _parse_line(line)
+            if record is not None:
+                tail.append(record)
+        pos = fh.tell()
+    for record in tail[-args.lines:] if args.lines else tail:
+        print(render_record_line(record))
+
+    if not args.follow:
+        return 0
+    polls = 0
+    while not args.iterations or polls < args.iterations:
+        time.sleep(args.interval)
+        polls += 1
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                fh.seek(pos)
+                chunk = fh.read()
+        except OSError:
+            return 1
+        # Only consume complete lines; a partial trailing line is re-read
+        # on the next poll once the writer finishes it.
+        consumed = chunk.rfind("\n") + 1
+        for line in chunk[:consumed].splitlines():
+            record = _parse_line(line)
+            if record is not None:
+                print(render_record_line(record), flush=True)
+        pos += len(chunk[:consumed].encode("utf-8"))
+    return 0
+
+
+def _parse_line(line: str) -> dict | None:
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    return record if isinstance(record, dict) else None

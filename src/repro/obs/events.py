@@ -34,14 +34,17 @@ __all__ = [
     "NullSink",
     "MemorySink",
     "JsonlSink",
+    "FileSink",
     "ConsoleSink",
     "EventLog",
     "from_env",
     "TRACE_ENV_VAR",
+    "TRACE_FSYNC_ENV_VAR",
 ]
 
 SCHEMA_VERSION = 1
 TRACE_ENV_VAR = "REPRO_TRACE"
+TRACE_FSYNC_ENV_VAR = "REPRO_TRACE_FSYNC"
 
 
 def _json_default(obj):
@@ -89,10 +92,21 @@ class MemorySink(EventSink):
 
 
 class JsonlSink(EventSink):
-    """Append newline-delimited JSON to ``path`` (or a writable stream)."""
+    """Append newline-delimited JSON to ``path`` (or a writable stream).
 
-    def __init__(self, path_or_stream, autoflush: bool = True):
-        self.autoflush = autoflush
+    Crash durability: every record is flushed to the OS before ``emit``
+    returns, so an injected crash (``repro.faults``) loses at most the
+    record being written — a SIGKILL mid-``write`` leaves one partial line,
+    which every trace consumer here skips.  ``fsync=True`` (or
+    ``REPRO_TRACE_FSYNC=1`` via :func:`from_env`) additionally forces each
+    record to stable storage, surviving power loss at a large per-event
+    cost; leave it off unless the trace *is* the experiment record.
+    """
+
+    def __init__(self, path_or_stream, autoflush: bool = True,
+                 fsync: bool = False):
+        self.autoflush = autoflush or fsync  # fsync of unflushed data is moot
+        self.fsync = fsync
         if hasattr(path_or_stream, "write"):
             self.path = None
             self._stream = path_or_stream
@@ -111,10 +125,21 @@ class JsonlSink(EventSink):
         )
         if self.autoflush:
             self._stream.flush()
+        if self.fsync:
+            fileno = getattr(self._stream, "fileno", None)
+            if fileno is not None:
+                try:
+                    os.fsync(fileno())
+                except (OSError, ValueError):
+                    pass  # stream has no real fd (StringIO, closed, ...)
 
     def close(self) -> None:
         if self._owned and not self._stream.closed:
             self._stream.close()
+
+
+#: Historical name for the JSONL file sink.
+FileSink = JsonlSink
 
 
 class ConsoleSink(EventSink):
@@ -195,12 +220,15 @@ def from_env(run_id: str | None = None, env_var: str = TRACE_ENV_VAR,
 
     - unset/empty → disabled log (plus any ``extra_sinks``),
     - ``"stderr"`` or ``"-"`` → console lines on stderr,
-    - anything else → treated as a JSONL output path.
+    - anything else → treated as a JSONL output path; ``REPRO_TRACE_FSYNC=1``
+      additionally fsyncs each record (crash-durable traces, see
+      :class:`JsonlSink`).
     """
     value = os.environ.get(env_var, "").strip()
     sinks = list(extra_sinks)
     if value in ("stderr", "-"):
         sinks.append(ConsoleSink(sys.stderr))
     elif value:
-        sinks.append(JsonlSink(value))
+        fsync = os.environ.get(TRACE_FSYNC_ENV_VAR, "").strip().lower()
+        sinks.append(JsonlSink(value, fsync=fsync in ("1", "on", "true")))
     return EventLog(run_id=run_id, sinks=sinks)

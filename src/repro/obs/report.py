@@ -8,9 +8,13 @@ records written by :class:`repro.obs.events.JsonlSink` and prints
   share of traced time) with walker throughput where spans carry ``steps``,
 - exchange-acceptance rates per adjacent window pair,
 - the per-window ln f trajectory (sync events),
-- a training summary when trainer events are present.
+- a training summary when trainer events are present,
+- a profiled-sections table when ``profile`` events are present (emitted by
+  :mod:`repro.obs.profile` via the REWL driver),
+- a run-health digest — heartbeat count plus ``health_alert`` events by
+  kind — when :mod:`repro.obs.health` monitored the run.
 
-This is the consumer side of the schema described in DESIGN.md §8; the
+This is the consumer side of the schema described in DESIGN.md §8/§10; the
 producer side is wired through :class:`repro.parallel.rewl.REWLDriver`,
 :class:`repro.sampling.wang_landau.WangLandauSampler`,
 :class:`repro.training.trainer.ProposalTrainer`, and the experiment harness.
@@ -154,6 +158,62 @@ def _fault_lines(records: list[dict]) -> list[str]:
     return ["fault tolerance: " + "; ".join(parts), ""]
 
 
+def _profile_table(records: list[dict]) -> str | None:
+    """Sections table from ``profile`` events (latest event wins per run).
+
+    The driver emits one cumulative ``profile`` event at run end, so merging
+    across runs sums the last event of each run.
+    """
+    from repro.util.tables import format_table
+
+    latest: dict[str, dict] = {}
+    for r in records:
+        if r.get("kind") == "profile" and isinstance(r.get("sections"), dict):
+            latest[str(r.get("run", "?"))] = r["sections"]
+    if not latest:
+        return None
+    merged: dict[str, dict] = defaultdict(
+        lambda: {"calls": 0, "timed": 0, "est_total_s": 0.0}
+    )
+    for sections in latest.values():
+        for name, stat in sections.items():
+            row = merged[name]
+            row["calls"] += int(stat.get("calls", 0))
+            row["timed"] += int(stat.get("timed", 0))
+            row["est_total_s"] += float(stat.get("est_total_s", 0.0))
+    rows = []
+    for name in sorted(merged):
+        v = merged[name]
+        mean_us = v["est_total_s"] / v["calls"] * 1e6 if v["calls"] else 0.0
+        rows.append([name, v["calls"], v["timed"],
+                     f"{v['est_total_s']:.4f}", f"{mean_us:.2f}"])
+    return format_table(
+        ["section", "calls", "timed", "est_total_s", "mean_us"],
+        rows, title="profiled sections",
+    )
+
+
+def _health_lines(records: list[dict]) -> list[str]:
+    """Run-health digest: heartbeat count + alerts by kind (with details)."""
+    heartbeats = sum(1 for r in records if r.get("kind") == "heartbeat")
+    alerts = [r for r in records if r.get("kind") == "health_alert"]
+    if not heartbeats and not alerts:
+        return []
+    by_kind: dict[str, int] = defaultdict(int)
+    for a in alerts:
+        by_kind[str(a.get("alert", "?"))] += 1
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(by_kind.items()))
+    lines = [
+        f"run health: {heartbeats} heartbeat(s), {len(alerts)} alert(s)"
+        + (f" ({summary})" if summary else "")
+    ]
+    for a in alerts:
+        lines.append(f"  [{a.get('alert', '?')}] round {a.get('round', '?')}: "
+                     f"{a.get('detail', '')}")
+    lines.append("")
+    return lines
+
+
 def _training_lines(records: list[dict]) -> list[str]:
     losses = [float(r["loss"]) for r in records
               if r.get("kind") == "train_step" and "loss" in r]
@@ -178,10 +238,12 @@ def render_report(records: list[dict]) -> str:
     lines.append("")
     lines.append(_span_table(records))
     lines.append("")
-    for table in (_exchange_table(records), _lnf_table(records)):
+    for table in (_exchange_table(records), _lnf_table(records),
+                  _profile_table(records)):
         if table is not None:
             lines.append(table)
             lines.append("")
+    lines.extend(_health_lines(records))
     lines.extend(_fault_lines(records))
     lines.extend(_training_lines(records))
     errors = [r for r in records if r.get("kind") == "span" and "error" in r]

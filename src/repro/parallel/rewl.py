@@ -29,6 +29,8 @@ import numpy as np
 
 from repro.hamiltonians.base import Hamiltonian
 from repro.obs import Telemetry
+from repro.obs.health import HealthConfig, HealthMonitor, health_from_env
+from repro.obs.profile import SectionProfiler, contribute_profile, profile_from_env
 from repro.parallel.executors import SerialExecutor
 from repro.parallel.windows import WindowSpec, make_windows
 from repro.sampling.binning import EnergyGrid
@@ -147,18 +149,38 @@ class REWLDriver:
     checkpoint_path : path-like, optional
         Where periodic snapshots land when ``config.checkpoint_interval``
         is set; resume with :func:`repro.parallel.checkpoint.maybe_resume`.
+    profiler : repro.obs.profile.SectionProfiler, optional
+        Enables the sampling section profiler: round phases are timed here
+        and every walker gets an independent profiler (same stride) wrapped
+        around its proposal/ΔE kernels.  Defaults to the ``REPRO_PROFILE``
+        environment knob; either way sampling stays bit-identical.
+    health : repro.obs.health.HealthMonitor or HealthConfig, optional
+        Live run-health monitoring (heartbeats + stall/anomaly detection)
+        through this driver's telemetry.  Defaults to the ``REPRO_HEALTH``
+        environment knob.
     """
 
     def __init__(self, hamiltonian: Hamiltonian, proposal_factory, grid: EnergyGrid,
                  initial_config: np.ndarray, config: REWLConfig | None = None,
                  executor=None, telemetry: Telemetry | None = None,
-                 checkpoint_path=None):
+                 checkpoint_path=None, profiler: SectionProfiler | None = None,
+                 health=None):
         self.hamiltonian = hamiltonian
         self.grid = grid
         self.cfg = config or REWLConfig()
         self.executor = executor or SerialExecutor()
         self.obs = telemetry if telemetry is not None else Telemetry()
         self.checkpoint_path = checkpoint_path
+        self.profiler = profiler if profiler is not None else profile_from_env()
+        if health is None:
+            health_cfg = health_from_env()
+            self.health = (
+                HealthMonitor(self.obs, health_cfg) if health_cfg is not None else None
+            )
+        elif isinstance(health, HealthConfig):
+            self.health = HealthMonitor(self.obs, health)
+        else:
+            self.health = health
         # Executors constructed without their own telemetry adopt ours, so
         # retry/fault/rebuild events land in this run's trace.
         bind = getattr(self.executor, "bind_telemetry", None)
@@ -190,6 +212,14 @@ class REWLDriver:
                     )
                 )
             self.walkers.append(team)
+        if self.profiler is not None:
+            # One independent profiler per walker (picklable; ships through
+            # the executors and merges back in result()).
+            for team in self.walkers:
+                for walker in team:
+                    walker.enable_profiling(
+                        SectionProfiler(sample_every=self.profiler.sample_every)
+                    )
         self.window_converged = [False] * len(self.windows)
         # One slot per *adjacent window pair*: zero-length for a single
         # window (no phantom pair with a NaN rate in the result).
@@ -207,6 +237,8 @@ class REWLDriver:
             if not self.window_converged[w]
         ]
         steps = len(tasks) * self.cfg.exchange_interval
+        prof = self.profiler
+        t0 = prof.start_always("rewl.advance") if prof is not None else None
         with self.obs.span("advance", round=self.rounds, walkers=len(tasks),
                            steps=steps):
             moved = self.executor.map(
@@ -216,9 +248,13 @@ class REWLDriver:
             )
             for (w, k), walker in zip(tasks, moved):
                 self.walkers[w][k] = walker
+        if prof is not None:
+            prof.stop("rewl.advance", t0)
         self.obs.metrics.inc("rewl.steps", steps)
 
     def _exchange_phase(self) -> None:
+        prof = self.profiler
+        t0 = prof.start_always("rewl.exchange_round") if prof is not None else None
         with self.obs.span("exchange", round=self.rounds):
             start = self.rounds % 2
             for left in range(start, len(self.windows) - 1, 2):
@@ -261,8 +297,12 @@ class REWLDriver:
                 if self.obs.enabled:
                     self.obs.emit("exchange_attempt", round=self.rounds, pair=left,
                                   accepted=accepted, in_overlap=in_overlap)
+        if prof is not None:
+            prof.stop("rewl.exchange_round", t0)
 
     def _sync_phase(self) -> None:
+        prof = self.profiler
+        t0 = prof.start_always("rewl.sync") if prof is not None else None
         with self.obs.span("synchronize", round=self.rounds):
             for w, team in enumerate(self.walkers):
                 if self.window_converged[w]:
@@ -283,6 +323,8 @@ class REWLDriver:
                         ln_f=team[0].ln_f, iteration=team[0].n_iterations,
                         converged=self.window_converged[w],
                     )
+        if prof is not None:
+            prof.stop("rewl.sync", t0)
 
     @staticmethod
     def _merge_window(team: list[WangLandauSampler]) -> tuple[np.ndarray, np.ndarray]:
@@ -338,7 +380,15 @@ class REWLDriver:
                 self.obs.metrics.inc("rewl.rounds")
                 self._exchange_phase()
                 self._sync_phase()
+                if self.health is not None:
+                    self.health.observe_round(self)
                 self._maybe_checkpoint()
+        if self.profiler is not None:
+            merged = self.merged_profile()
+            merged.publish(self.obs.metrics)
+            contribute_profile(merged)
+            if self.obs.enabled:
+                self.obs.emit("profile", sections=merged.as_dict())
         result = self.result()
         self.obs.emit(
             "run_end", scope="rewl", rounds=self.rounds,
@@ -347,6 +397,24 @@ class REWLDriver:
             exchange_accepts=int(self.exchange_accepts.sum()),
         )
         return result
+
+    def merged_profile(self) -> SectionProfiler:
+        """Round-phase sections merged with every walker's hot-path profile.
+
+        Walker profilers travel with the walkers through the executors, so
+        this reduction works identically for serial, thread, and process
+        backends.  Returns a fresh profiler; nothing is mutated.
+        """
+        merged = SectionProfiler(
+            sample_every=self.profiler.sample_every if self.profiler else 1
+        )
+        if self.profiler is not None:
+            merged.merge(self.profiler)
+        for team in self.walkers:
+            for walker in team:
+                if walker.profiler is not None:
+                    merged.merge(walker.profiler)
+        return merged
 
     def result(self) -> REWLResult:
         window_ln_g = []
@@ -377,6 +445,11 @@ class REWLDriver:
                         counters=replace(walker.counters),
                     )
                 )
+        telemetry = self.obs.summary()
+        if self.profiler is not None:
+            telemetry["profile"] = self.merged_profile().as_dict()
+        if self.health is not None:
+            telemetry["health"] = self.health.summary()
         return REWLResult(
             global_grid=self.grid,
             windows=self.windows,
@@ -389,5 +462,5 @@ class REWLDriver:
             exchange_attempts=self.exchange_attempts.copy(),
             exchange_accepts=self.exchange_accepts.copy(),
             walkers=snapshots,
-            telemetry=self.obs.summary(),
+            telemetry=telemetry,
         )

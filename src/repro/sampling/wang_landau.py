@@ -203,6 +203,24 @@ class WangLandauSampler:
         # Plain-int telemetry (picklable; travels with the walker through
         # process executors).  The REWL driver fills the exchange fields.
         self.counters = WalkerCounters()
+        # Optional section profiler (repro.obs.profile); None keeps the hot
+        # loop at a single attribute check.  Enable via enable_profiling().
+        self.profiler = None
+
+    def enable_profiling(self, profiler) -> None:
+        """Attach a :class:`repro.obs.profile.SectionProfiler` to this walker.
+
+        Wraps the proposal and Hamiltonian in profiled views (section-timed
+        ΔE and proposal generation) and hooks the histogram update and
+        flatness checks.  Profiling draws no random numbers and writes only
+        into the profiler, so the sampled trajectory is bit-identical; the
+        profiler pickles with the walker through process executors.
+        """
+        if self.profiler is not None:
+            raise RuntimeError("profiling is already enabled on this walker")
+        self.profiler = profiler
+        self.hamiltonian = self.hamiltonian.profiled(profiler)
+        self.proposal = self.proposal.profiled(profiler)
 
     # ----------------------------------------------------------------- step
 
@@ -234,9 +252,17 @@ class WangLandauSampler:
                     self.n_accepted += 1
                     self.counters.accepted += 1
         # Update the (possibly unchanged) current bin — mandatory for WL.
-        self.ln_g[self.current_bin] += self.ln_f
-        self.histogram[self.current_bin] += 1
-        self.visited[self.current_bin] = True
+        prof = self.profiler
+        if prof is None:
+            self.ln_g[self.current_bin] += self.ln_f
+            self.histogram[self.current_bin] += 1
+            self.visited[self.current_bin] = True
+        else:
+            t0 = prof.start("wl.histogram_update")
+            self.ln_g[self.current_bin] += self.ln_f
+            self.histogram[self.current_bin] += 1
+            self.visited[self.current_bin] = True
+            prof.stop("wl.histogram_update", t0)
         return accepted
 
     # ----------------------------------------------------------- iteration
@@ -247,7 +273,11 @@ class WangLandauSampler:
         Every call counts as one flatness check in ``self.counters`` —
         whether issued by :meth:`run` or by the REWL driver's sync phase.
         """
+        prof = self.profiler
+        t0 = prof.start("wl.flat_check") if prof is not None else None
         flat = self._flatness_test()
+        if prof is not None:
+            prof.stop("wl.flat_check", t0)
         if flat:
             self.counters.flat_checks_passed += 1
         else:
@@ -285,6 +315,15 @@ class WangLandauSampler:
         sampler: walkers must stay cheaply picklable for process executors.
         Enabling it changes no sampler state (bit-identity is tested).
         """
+        from repro.obs.profile import contribute_profile, profile_from_env
+
+        if self.profiler is None:
+            env_profiler = profile_from_env()
+            if env_profiler is not None:
+                self.enable_profiling(env_profiler)
+        profile_before = (
+            self.profiler.as_dict() if self.profiler is not None else None
+        )
         span = telemetry.span("wl.run") if telemetry is not None else nullcontext()
         steps_before = self.n_steps
         with span:
@@ -310,6 +349,10 @@ class WangLandauSampler:
                     self.ln_f = 1.0 / sweeps
         if telemetry is not None:
             telemetry.metrics.inc("wl.steps", self.n_steps - steps_before)
+        if profile_before is not None:
+            contribute_profile(self.profiler.delta_since(profile_before))
+            if telemetry is not None:
+                self.profiler.publish(telemetry.metrics)
         return self.result()
 
     def result(self) -> WangLandauResult:

@@ -7,12 +7,13 @@ every other subpackage may depend on it.  It provides
   (one independent stream per MC walker / parallel rank),
 - :mod:`repro.util.numerics` — numerically stable log-domain primitives used
   throughout density-of-states post-processing,
-- :mod:`repro.util.timers` — lightweight wall-clock instrumentation used by
-  the benchmark harness and the machine performance model calibration,
 - :mod:`repro.util.tables` — plain-text table rendering for experiment
   reports (the "same rows the paper prints" requirement),
 - :mod:`repro.util.validation` — argument checking helpers shared by public
   API entry points.
+
+Wall-clock instrumentation (``Timer``/``TimerRegistry``) lives in
+:mod:`repro.obs.tracing`; the :mod:`repro.util.timers` shim is deprecated.
 """
 
 from repro.util.numerics import (
@@ -27,7 +28,6 @@ from repro.util.numerics import (
     weighted_logsumexp,
 )
 from repro.util.rng import RngFactory, as_generator, spawn_generators
-from repro.util.timers import Timer, TimerRegistry
 from repro.util.tables import format_table, format_series
 from repro.util.plots import ascii_plot, sparkline
 from repro.util.validation import (
@@ -51,8 +51,6 @@ __all__ = [
     "RngFactory",
     "as_generator",
     "spawn_generators",
-    "Timer",
-    "TimerRegistry",
     "format_table",
     "format_series",
     "ascii_plot",

@@ -1,12 +1,22 @@
-"""Wall-clock instrumentation (compatibility shim).
+"""Deprecated compatibility shim — import from :mod:`repro.obs.tracing`.
 
 ``Timer`` and ``TimerRegistry`` moved to :mod:`repro.obs.tracing`, where
-they back the span-tracing layer; this module keeps the historical import
-path (``from repro.util.timers import Timer``) working unchanged.
+they back the span-tracing layer.  This module keeps the historical import
+path (``from repro.util.timers import Timer``) working one release longer;
+it warns on import and will be removed.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.obs.tracing import Timer, TimerRegistry
 
 __all__ = ["Timer", "TimerRegistry"]
+
+warnings.warn(
+    "repro.util.timers is deprecated; import Timer/TimerRegistry from "
+    "repro.obs.tracing instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

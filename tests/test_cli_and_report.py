@@ -7,6 +7,9 @@ import pytest
 from repro.__main__ import main as cli_main
 from repro.experiments.common import EXPERIMENTS
 from repro.experiments.report import render
+from repro.obs import MetricsRegistry, merge_registries
+from repro.obs.report import main as obs_report_main
+from repro.obs.report import render_report
 
 
 class TestCli:
@@ -26,6 +29,88 @@ class TestCli:
     def test_experiments_rejects_unknown_id(self):
         with pytest.raises(SystemExit):
             cli_main(["experiments", "--only", "E99"])
+
+    def test_obs_usage_and_unknown_subcommand(self, capsys):
+        assert cli_main(["obs"]) == 0
+        assert "bench-compare" in capsys.readouterr().out
+        assert cli_main(["obs", "frobnicate"]) == 2
+        assert "unknown obs subcommand" in capsys.readouterr().err
+
+    def test_obs_report_dispatch(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(json.dumps({
+            "v": 1, "run": "r", "seq": 0, "ts": 1.0, "kind": "span",
+            "path": "advance", "dur_s": 0.5,
+        }) + "\n")
+        assert cli_main(["obs", "report", str(trace)]) == 0
+        assert "advance" in capsys.readouterr().out
+
+    def test_obs_dash_dispatch(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(json.dumps({
+            "v": 1, "run": "r", "seq": 0, "ts": 1.0, "kind": "heartbeat",
+            "round": 1, "windows": [], "pairs": [],
+        }) + "\n")
+        assert cli_main(["obs", "dash", str(trace)]) == 0
+        assert "heartbeat" in capsys.readouterr().out
+
+
+class TestObsReportEdgeCases:
+    """Satellite coverage: empty traces, zero-fault digests, metric merges."""
+
+    def test_empty_run_no_events(self, tmp_path, capsys):
+        trace = tmp_path / "empty.jsonl"
+        trace.write_text("")
+        assert obs_report_main([str(trace)]) == 1
+        assert "no telemetry records" in capsys.readouterr().err
+
+    def test_missing_trace_file(self, tmp_path, capsys):
+        assert obs_report_main([str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_zero_fault_digest_is_omitted(self):
+        records = [{"v": 1, "run": "r", "seq": 0, "ts": 1.0, "kind": "span",
+                    "path": "advance", "dur_s": 0.5}]
+        report = render_report(records)
+        assert "fault tolerance:" not in report
+        assert "run health:" not in report
+
+    def test_fault_digest_present_with_retries(self):
+        records = [
+            {"run": "r", "ts": 1.0, "kind": "task_retry", "reason": "hang"},
+            {"run": "r", "ts": 2.0, "kind": "checkpoint_saved"},
+        ]
+        report = render_report(records)
+        assert "1 task retries (hang=1)" in report
+        assert "1 saved" in report
+
+    def test_metrics_merge_disjoint_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("adv.time", 0.01, buckets=(0.1, 1.0))
+        b.observe("sync.time", 5.0, buckets=(0.1, 1.0))
+        merged = merge_registries([a, b])
+        assert merged.names() == ["adv.time", "sync.time"]
+        assert merged["adv.time"].count == 1
+        assert merged["sync.time"].count == 1
+
+    def test_metrics_merge_mismatched_buckets_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("t", 0.01, buckets=(0.1, 1.0))
+        b.observe("t", 0.01, buckets=(0.5, 2.0))
+        with pytest.raises(ValueError, match="mismatched buckets"):
+            a.merge(b)
+
+    def test_profile_events_render_sections_table(self):
+        records = [{
+            "run": "r", "ts": 1.0, "kind": "profile",
+            "sections": {
+                "proposal.flip": {"calls": 100, "timed": 10,
+                                  "est_total_s": 0.5},
+            },
+        }]
+        report = render_report(records)
+        assert "profiled sections" in report
+        assert "proposal.flip" in report
 
 
 class TestReportRender:

@@ -1,0 +1,118 @@
+"""Tests for repro.obs.dash: the status board and the trace tail."""
+
+import json
+
+from repro.obs.dash import (
+    main_dash,
+    main_tail,
+    render_dash,
+    render_record_line,
+)
+
+_HEARTBEAT = {
+    "v": 1, "run": "r1", "seq": 3, "ts": 100.0, "kind": "heartbeat",
+    "round": 10, "steps": 4000, "retries": 0, "converged_windows": 1,
+    "windows": [
+        {"window": 0, "ln_f": 0.25, "iteration": 2, "flatness": 0.91,
+         "converged": True},
+        {"window": 1, "ln_f": 0.5, "iteration": 1, "flatness": 0.55,
+         "converged": False},
+    ],
+    "pairs": [{"pair": 0, "attempts": 8, "accepts": 2, "rate": 0.25}],
+}
+
+_ALERT = {
+    "v": 1, "run": "r1", "seq": 4, "ts": 101.0, "kind": "health_alert",
+    "alert": "stall", "round": 30, "detail": "no histogram progress",
+}
+
+
+def _write_trace(path, records):
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+
+
+class TestRenderDash:
+    def test_empty_records(self):
+        assert "empty trace" in render_dash([])
+
+    def test_board_shows_windows_pairs_and_alerts(self):
+        board = render_dash([_HEARTBEAT, _ALERT], now=105.0)
+        assert "run r1" in board and "4.0s ago" in board
+        assert "windows (latest heartbeat)" in board
+        assert "0.91" in board and "25.0%" in board
+        assert "ALERTS" in board and "no histogram progress" in board
+
+    def test_no_heartbeats_hint(self):
+        board = render_dash([{"run": "r1", "ts": 1.0, "kind": "span"}])
+        assert "REPRO_HEALTH" in board
+        assert "no health alerts" in board
+
+    def test_picks_newest_run_by_default(self):
+        older = dict(_HEARTBEAT, run="old", ts=50.0)
+        board = render_dash([older, _HEARTBEAT])
+        assert "run r1" in board and "run old" not in board
+
+    def test_monitored_run_beats_newer_wrapper_run(self):
+        # A harness wrapper's summary event lands last, but the board should
+        # default to the run that actually emitted heartbeats.
+        wrapper = {"run": "run_all", "ts": 200.0, "kind": "summary"}
+        board = render_dash([_HEARTBEAT, wrapper])
+        assert "run r1" in board
+        assert "windows (latest heartbeat)" in board
+
+
+class TestRecordLine:
+    def test_envelope_is_hidden(self):
+        line = render_record_line(_ALERT)
+        assert line.startswith("[r1:health_alert]")
+        assert "alert=stall" in line
+        assert "seq=" not in line and "ts=" not in line
+
+
+class TestMainDash:
+    def test_missing_file(self, tmp_path, capsys):
+        assert main_dash([str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_single_render(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        _write_trace(trace, [_HEARTBEAT, _ALERT])
+        assert main_dash([str(trace)]) == 0
+        assert "windows (latest heartbeat)" in capsys.readouterr().out
+
+    def test_watch_bounded_iterations(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        _write_trace(trace, [_HEARTBEAT])
+        assert main_dash([str(trace), "--watch", "0.01",
+                          "--iterations", "2"]) == 0
+        assert capsys.readouterr().out.count("run r1") == 2
+
+
+class TestMainTail:
+    def test_missing_file(self, tmp_path, capsys):
+        assert main_tail([str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_prints_trailing_lines_and_skips_garbage(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(
+            "not json at all\n"
+            + json.dumps(_HEARTBEAT) + "\n"
+            + json.dumps(_ALERT) + "\n"
+        )
+        assert main_tail([str(trace), "-n", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "[r1:health_alert]" in out
+        assert "[r1:heartbeat]" not in out  # trimmed by -n 1
+
+    def test_follow_picks_up_appended_records(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        _write_trace(trace, [_HEARTBEAT])
+        with trace.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(_ALERT) + "\n")
+        # One bounded poll: the pre-existing record prints first, then the
+        # appended one is consumed from the follow position.
+        assert main_tail([str(trace), "-n", "0", "--follow",
+                          "--interval", "0.01", "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "[r1:heartbeat]" in out

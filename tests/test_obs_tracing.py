@@ -58,12 +58,16 @@ class TestTimerRegistry:
         for line in lines[1:]:
             assert line[calls_end - 1] == "1"
 
-    def test_compat_shim_import(self):
-        from repro.util.timers import Timer as ShimTimer
-        from repro.util.timers import TimerRegistry as ShimRegistry
+    def test_compat_shim_import_warns(self):
+        import importlib
+        import sys
 
-        assert ShimTimer is Timer
-        assert ShimRegistry is TimerRegistry
+        sys.modules.pop("repro.util.timers", None)
+        with pytest.warns(DeprecationWarning, match="repro.obs.tracing"):
+            shim = importlib.import_module("repro.util.timers")
+
+        assert shim.Timer is Timer
+        assert shim.TimerRegistry is TimerRegistry
 
 
 class TestSpans:

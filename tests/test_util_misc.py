@@ -5,9 +5,9 @@ import time
 import numpy as np
 import pytest
 
+from repro.obs.tracing import Timer, TimerRegistry
 from repro.util.rng import BufferedDraws, RngFactory, as_generator, spawn_generators
 from repro.util.tables import format_series, format_table
-from repro.util.timers import Timer, TimerRegistry
 from repro.util.validation import (
     check_array_shape,
     check_in_range,
