@@ -20,9 +20,9 @@ def bench_exchange_phase(benchmark, hea, hea_counts):
     """The exchange+sync phases alone (communication-side cost of Fig 9)."""
     grid = EnergyGrid.uniform(-14.0, 4.0, 24)
     driver = REWLDriver(
-        hea, lambda: SwapProposal(), grid,
-        random_configuration(hea.n_sites, hea_counts, rng=0),
-        REWLConfig(n_windows=3, walkers_per_window=2, overlap=0.6,
+        hamiltonian=hea, proposal_factory=lambda: SwapProposal(), grid=grid,
+        initial_config=random_configuration(hea.n_sites, hea_counts, rng=0),
+        config=REWLConfig(n_windows=3, walkers_per_window=2, overlap=0.6,
                    exchange_interval=200, seed=1),
     )
     driver._advance_phase()  # give walkers real states first

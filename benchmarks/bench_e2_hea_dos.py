@@ -17,9 +17,9 @@ def bench_rewl_round(benchmark, hea, hea_counts, throughput):
     """One bulk-synchronous REWL round (2 windows x 2 walkers, HEA N=54)."""
     grid = EnergyGrid.uniform(-14.0, 4.0, 24)
     driver = REWLDriver(
-        hea, lambda: SwapProposal(), grid,
-        random_configuration(hea.n_sites, hea_counts, rng=0),
-        REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
+        hamiltonian=hea, proposal_factory=lambda: SwapProposal(), grid=grid,
+        initial_config=random_configuration(hea.n_sites, hea_counts, rng=0),
+        config=REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
                    exchange_interval=500, seed=0),
     )
     throughput(2 * 2 * 500)  # windows x walkers x steps per round

@@ -1,13 +1,16 @@
 """E9 bench (Table 3): the calibration kernels behind the throughput table.
 
 These host-side measurements are the inputs the machine model prices; the
-benchmark records them so throughput regressions are caught.
+benchmark records them so throughput regressions are caught.  The
+``wl_steps_scalar`` / ``wl_steps_batched`` pair measures the end-to-end
+Wang-Landau stepping speedup delivered by the batched multi-walker mode
+(``WLConfig(batch_size=K)``) — the headline number of the kernels layer.
 """
 
 import numpy as np
 
-from repro.proposals import SwapProposal
-from repro.sampling import MetropolisSampler
+from repro.proposals import FlipProposal, SwapProposal
+from repro.sampling import EnergyGrid, MetropolisSampler, WLConfig, make_wang_landau
 
 
 def bench_delta_energy_swap(benchmark, hea, hea_config, throughput):
@@ -26,7 +29,7 @@ def bench_delta_energy_swap(benchmark, hea, hea_config, throughput):
 
 
 def bench_delta_energy_swap_batch(benchmark, hea, hea_config, throughput):
-    """Vectorized batch ΔE (the GPU-like evaluation path)."""
+    """Vectorized alternative-swap ΔE (multiple-try / DL-proposal scoring)."""
     rng = np.random.default_rng(1)
     ii = rng.integers(0, hea.n_sites, 4_096)
     jj = rng.integers(0, hea.n_sites, 4_096)
@@ -34,6 +37,30 @@ def bench_delta_energy_swap_batch(benchmark, hea, hea_config, throughput):
 
     out = benchmark(hea.delta_energy_swap_batch, hea_config, ii, jj)
     assert out.shape == (4_096,)
+
+
+def bench_delta_energy_flip_batch(benchmark, hea, hea_config, throughput):
+    """Vectorized alternative-flip ΔE."""
+    rng = np.random.default_rng(2)
+    sites = rng.integers(0, hea.n_sites, 4_096)
+    news = rng.integers(0, hea.n_species, 4_096)
+    throughput(4_096)
+
+    out = benchmark(hea.delta_energy_flip_batch, hea_config, sites, news)
+    assert out.shape == (4_096,)
+
+
+def bench_delta_energy_swap_many(benchmark, hea, hea_config, throughput):
+    """Multi-walker ΔE: one swap per row of a (B, n_sites) config batch."""
+    B = 512
+    rng = np.random.default_rng(3)
+    configs = np.tile(hea_config, (B, 1))
+    ii = rng.integers(0, hea.n_sites, B)
+    jj = rng.integers(0, hea.n_sites, B)
+    throughput(B)
+
+    out = benchmark(hea.delta_energy_swap_many, configs, ii, jj)
+    assert out.shape == (B,)
 
 
 def bench_metropolis_steps(benchmark, hea, hea_config, throughput):
@@ -48,10 +75,49 @@ def bench_metropolis_steps(benchmark, hea, hea_config, throughput):
     assert benchmark(block) >= 1_000
 
 
-def bench_energy_batch(benchmark, hea, hea_config, throughput):
+def bench_energies(benchmark, hea, hea_config, throughput):
     """Batched full-energy evaluation (DL-proposal re-scoring path)."""
     configs = np.stack([hea_config] * 64)
     throughput(64)
 
-    out = benchmark(hea.energy_batch, configs)
+    out = benchmark(hea.energies, configs)
     assert out.shape == (64,)
+
+
+def bench_wl_steps_scalar(benchmark, ising_4x4, throughput):
+    """Scalar Wang-Landau stepping (the batch_size=1 reference)."""
+    grid = EnergyGrid.from_levels(ising_4x4.energy_levels())
+    wl = make_wang_landau(
+        hamiltonian=ising_4x4, proposal=FlipProposal(), grid=grid,
+        initial_config=np.zeros(16, dtype=np.int8), rng=0,
+    )
+    throughput(1_000)
+
+    def block():
+        for _ in range(1_000):
+            wl.step()
+        return wl.n_steps
+
+    assert benchmark(block) >= 1_000
+
+
+def bench_wl_steps_batched(benchmark, ising_4x4, throughput):
+    """Batched multi-walker WL stepping — the kernels-layer headline.
+
+    64 walkers per super-step against a shared ln g; steps/s counts walker
+    steps, directly comparable to ``bench_wl_steps_scalar``.
+    """
+    B, n_super = 64, 100
+    grid = EnergyGrid.from_levels(ising_4x4.energy_levels())
+    wl = make_wang_landau(
+        hamiltonian=ising_4x4, proposal=FlipProposal(), grid=grid,
+        initial_config=np.zeros(16, dtype=np.int8), rng=0,
+        config=WLConfig(batch_size=B),
+    )
+    throughput(B * n_super)
+
+    def block():
+        wl.steps(n_super)
+        return wl.n_steps
+
+    assert benchmark(block) >= B * n_super

@@ -74,8 +74,10 @@ def bench_checkpoint_round_trip(benchmark, tmp_path_factory):
     ham = IsingHamiltonian(square_lattice(4))
     grid = EnergyGrid.from_levels(ham.energy_levels())
     driver = REWLDriver(
-        ham, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
-        REWLConfig(n_windows=2, walkers_per_window=2, exchange_interval=200, seed=0),
+        hamiltonian=ham, proposal_factory=lambda: FlipProposal(), grid=grid,
+        initial_config=np.zeros(16, dtype=np.int8),
+        config=REWLConfig(n_windows=2, walkers_per_window=2,
+                          exchange_interval=200, seed=0),
     )
     driver.run(max_rounds=2)
     path = tmp_path_factory.mktemp("ckpt") / "rewl.ckpt"

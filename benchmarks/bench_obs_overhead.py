@@ -85,8 +85,9 @@ def bench_rewl_round_null_telemetry(benchmark, ising_4x4):
     """One REWL advance+exchange+sync round with disabled telemetry."""
     grid = EnergyGrid.from_levels(ising_4x4.energy_levels())
     driver = REWLDriver(
-        ising_4x4, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
-        REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
+        hamiltonian=ising_4x4, proposal_factory=lambda: FlipProposal(),
+        grid=grid, initial_config=np.zeros(16, dtype=np.int8),
+        config=REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
                    exchange_interval=1_000, ln_f_final=1e-12, seed=0),
         telemetry=Telemetry(),
     )

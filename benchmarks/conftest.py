@@ -50,9 +50,9 @@ def make_ising_wl(ising_4x4):
 
     def _make(seed=0, ln_f_final=1e-4, proposal=None):
         return WangLandauSampler(
-            ising_4x4,
-            proposal if proposal is not None else FlipProposal(),
-            grid, np.zeros(16, dtype=np.int8),
+            hamiltonian=ising_4x4,
+            proposal=proposal if proposal is not None else FlipProposal(),
+            grid=grid, initial_config=np.zeros(16, dtype=np.int8),
             rng=seed, ln_f_final=ln_f_final,
         )
 

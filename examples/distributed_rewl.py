@@ -30,9 +30,9 @@ def run_once(executor=None):
     e_lo, e_hi = estimate_energy_range(ham, counts, rng=5, margin=0.03)
     grid = EnergyGrid.uniform(e_lo, e_hi, 28)
     driver = REWLDriver(
-        ham, lambda: SwapProposal(), grid,
-        random_configuration(ham.n_sites, counts, rng=0),
-        REWLConfig(n_windows=3, walkers_per_window=2, overlap=0.6,
+        hamiltonian=ham, proposal_factory=lambda: SwapProposal(), grid=grid,
+        initial_config=random_configuration(ham.n_sites, counts, rng=0),
+        config=REWLConfig(n_windows=3, walkers_per_window=2, overlap=0.6,
                    exchange_interval=1_500, ln_f_final=5e-3, flatness=0.7,
                    seed=7),
         executor=executor,

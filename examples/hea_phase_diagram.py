@@ -31,9 +31,9 @@ def main() -> None:
     e_lo, e_hi = estimate_energy_range(ham, counts, rng=9, margin=0.03)
     grid = EnergyGrid.uniform(e_lo, e_hi, 30)
     driver = REWLDriver(
-        ham, lambda: SwapProposal(), grid,
-        random_configuration(ham.n_sites, counts, rng=0),
-        REWLConfig(n_windows=2, walkers_per_window=1, overlap=0.6,
+        hamiltonian=ham, proposal_factory=lambda: SwapProposal(), grid=grid,
+        initial_config=random_configuration(ham.n_sites, counts, rng=0),
+        config=REWLConfig(n_windows=2, walkers_per_window=1, overlap=0.6,
                    exchange_interval=2_000, ln_f_final=2e-3, flatness=0.7, seed=1),
     )
     res = driver.run(max_rounds=3_000)

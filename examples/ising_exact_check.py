@@ -34,8 +34,9 @@ def main(length: int = 6) -> None:
     # ---- exact DoS vs Wang-Landau at 4x4 --------------------------------
     ham4 = IsingHamiltonian(square_lattice(4))
     wl4 = WangLandauSampler(
-        ham4, FlipProposal(), EnergyGrid.from_levels(ham4.energy_levels()),
-        np.zeros(16, dtype=np.int8), rng=0, ln_f_final=1e-5,
+        hamiltonian=ham4, proposal=FlipProposal(),
+        grid=EnergyGrid.from_levels(ham4.energy_levels()),
+        initial_config=np.zeros(16, dtype=np.int8), rng=0, ln_f_final=1e-5,
     )
     res4 = wl4.run()
     levels, degens = exact_ising_dos_bruteforce(4)
@@ -52,8 +53,10 @@ def main(length: int = 6) -> None:
     # ---- WL thermodynamics vs Kaufman at LxL ----------------------------
     ham = IsingHamiltonian(square_lattice(length))
     wl = WangLandauSampler(
-        ham, FlipProposal(), EnergyGrid.from_levels(ham.energy_levels()),
-        np.zeros(length * length, dtype=np.int8), rng=1, ln_f_final=1e-5,
+        hamiltonian=ham, proposal=FlipProposal(),
+        grid=EnergyGrid.from_levels(ham.energy_levels()),
+        initial_config=np.zeros(length * length, dtype=np.int8),
+        rng=1, ln_f_final=1e-5,
     )
     res = wl.run(max_steps=80_000_000)
     temps = np.linspace(1.8, 3.2, 8)

@@ -56,7 +56,8 @@ def main() -> None:
     grid = EnergyGrid.uniform(-11.0, 1.0, 24)
     with tel.span("wang_landau"):
         start = drive_into_range(ham, SwapProposal(), grid, config, rng=2)
-        wl = WangLandauSampler(ham, SwapProposal(), grid, start, rng=3,
+        wl = WangLandauSampler(hamiltonian=ham, proposal=SwapProposal(),
+                               grid=grid, initial_config=start, rng=3,
                                ln_f_final=5e-3, flatness=0.7)
         result = wl.run(max_steps=3_000_000, telemetry=tel)
     print(f"Wang-Landau: converged={result.converged} after {result.n_steps:,} steps, "

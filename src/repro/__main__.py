@@ -8,6 +8,7 @@ Commands
 ``obs``           observability tools: ``report`` (trace digest), ``bench`` /
                   ``bench-compare`` (BENCH snapshots), ``dash`` / ``tail``
                   (live run-health views)
+``tools``         repo hygiene: ``lint-api`` (grep for deprecated API paths)
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ commands:
   report                                           rebuild EXPERIMENTS.md
   info                                             version + inventory
   obs <subcommand>                                 observability tools
+  tools lint-api [root]                            fail on deprecated API use
 
 obs subcommands:
   obs report trace.jsonl                 per-phase/health digest of a trace
@@ -66,6 +68,20 @@ def _obs(argv: list[str]) -> int:
 
         return main_tail(rest)
     print(f"unknown obs subcommand {sub!r}\n\n{_OBS_USAGE}", file=sys.stderr)
+    return 2
+
+
+def _tools(argv: list[str]) -> int:
+    usage = "usage: python -m repro tools lint-api [root]"
+    if not argv or argv[0] in ("-h", "--help"):
+        print(usage)
+        return 0
+    sub, rest = argv[0], argv[1:]
+    if sub == "lint-api":
+        from repro.tools.lint import main as lint_main
+
+        return lint_main(rest)
+    print(f"unknown tools subcommand {sub!r}\n\n{usage}", file=sys.stderr)
     return 2
 
 
@@ -114,6 +130,8 @@ def main(argv=None) -> int:
         return _info()
     if command == "obs":
         return _obs(rest)
+    if command == "tools":
+        return _tools(rest)
     print(f"unknown command {command!r}\n\n{_USAGE}", file=sys.stderr)
     return 2
 

@@ -39,7 +39,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     ham4 = IsingHamiltonian(square_lattice(4))
     grid4 = EnergyGrid.from_levels(ham4.energy_levels())
     wl4 = WangLandauSampler(
-        ham4, FlipProposal(), grid4, np.zeros(16, dtype=np.int8),
+        hamiltonian=ham4, proposal=FlipProposal(), grid=grid4,
+        initial_config=np.zeros(16, dtype=np.int8),
         rng=seed, ln_f_final=ln_f_final,
     )
     res4 = wl4.run()
@@ -62,7 +63,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     ham_l = IsingHamiltonian(square_lattice(large))
     grid_l = EnergyGrid.from_levels(ham_l.energy_levels())
     wl_l = WangLandauSampler(
-        ham_l, FlipProposal(), grid_l, np.zeros(large * large, dtype=np.int8),
+        hamiltonian=ham_l, proposal=FlipProposal(), grid=grid_l,
+        initial_config=np.zeros(large * large, dtype=np.int8),
         rng=seed + 1, ln_f_final=max(ln_f_final, 1e-5),
     )
     res_l = wl_l.run(max_steps=60_000_000)

@@ -104,9 +104,9 @@ def load_or_run_hea_dos(length: int = 3, seed: int = 0, quick: bool = True) -> H
     # bit-identically instead of restarting from scratch.
     ckpt = path.with_suffix(".ckpt")
     driver = REWLDriver(
-        ham, lambda: SwapProposal(), grid,
-        random_configuration(ham.n_sites, counts, rng=seed), cfg,
-        checkpoint_path=ckpt,
+        hamiltonian=ham, proposal_factory=lambda: SwapProposal(), grid=grid,
+        initial_config=random_configuration(ham.n_sites, counts, rng=seed),
+        config=cfg, checkpoint_path=ckpt,
     )
     maybe_resume(driver, ckpt)
     res = driver.run(max_rounds=4_000)

@@ -84,7 +84,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                 (MADEProposal(model, composition="free"), frac),
             ])
         wl = WangLandauSampler(
-            ham, proposal, grid, np.zeros(16, dtype=np.int8),
+            hamiltonian=ham, proposal=proposal, grid=grid,
+            initial_config=np.zeros(16, dtype=np.int8),
             rng=rngs.make("wl", int(frac * 100)), ln_f_final=1e-8,
             check_interval=500,
         )

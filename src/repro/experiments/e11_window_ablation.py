@@ -51,8 +51,9 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     tel = experiment_telemetry("E11")
     for n_windows in window_counts:
         driver = REWLDriver(
-            ham, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
-            REWLConfig(
+            hamiltonian=ham, proposal_factory=lambda: FlipProposal(),
+            grid=grid, initial_config=np.zeros(16, dtype=np.int8),
+            config=REWLConfig(
                 n_windows=n_windows, walkers_per_window=2, overlap=0.6,
                 exchange_interval=1_000, ln_f_final=ln_f_final, seed=seed,
             ),

@@ -58,14 +58,24 @@ class Hamiltonian(abc.ABC):
 
     # -------------------------------------------------------------- batched
 
-    def energy_batch(self, configs: np.ndarray) -> np.ndarray:
+    def energies(self, configs: np.ndarray) -> np.ndarray:
         """Energies of a batch of configurations, shape ``(B, n_sites) -> (B,)``.
 
         Default: loop over :meth:`energy`; pair models override with a fully
-        vectorized version (deep-learning proposals evaluate whole batches).
+        vectorized kernel (deep-learning proposals evaluate whole batches).
         """
         configs = np.atleast_2d(configs)
         return np.array([self.energy(c) for c in configs], dtype=np.float64)
+
+    def energy_batch(self, configs: np.ndarray) -> np.ndarray:
+        """Deprecated alias of :meth:`energies` (pre-kernel-layer name)."""
+        from repro.util.deprecation import warn_once
+
+        warn_once(
+            "Hamiltonian.energy_batch",
+            "Hamiltonian.energy_batch() is deprecated; call energies() instead",  # lint-api: allow
+        )
+        return self.energies(configs)
 
     def delta_energy_swap_batch(self, config: np.ndarray, ii, jj) -> np.ndarray:
         """ΔE for many *independent alternative* swaps on the same config.
@@ -77,6 +87,49 @@ class Hamiltonian(abc.ABC):
         jj = np.asarray(jj)
         return np.array(
             [self.delta_energy_swap(config, int(i), int(j)) for i, j in zip(ii, jj)],
+            dtype=np.float64,
+        )
+
+    def delta_energy_flip_batch(self, config: np.ndarray, sites, new_species) -> np.ndarray:
+        """ΔE for many *independent alternative* flips on the same config."""
+        sites = np.asarray(sites)
+        new_species = np.asarray(new_species)
+        return np.array(
+            [
+                self.delta_energy_flip(config, int(s), int(v))
+                for s, v in zip(sites, new_species)
+            ],
+            dtype=np.float64,
+        )
+
+    def delta_energy_swap_many(self, configs: np.ndarray, ii, jj) -> np.ndarray:
+        """ΔE of one swap per configuration row, ``(B, n_sites) -> (B,)``.
+
+        Unlike :meth:`delta_energy_swap_batch`, each row of ``configs`` is an
+        *independent* configuration (a walker in batched multi-walker WL) and
+        the move ``(ii[b], jj[b])`` is priced against row ``b`` only.
+        """
+        configs = np.atleast_2d(configs)
+        ii = np.asarray(ii)
+        jj = np.asarray(jj)
+        return np.array(
+            [
+                self.delta_energy_swap(c, int(i), int(j))
+                for c, i, j in zip(configs, ii, jj)
+            ],
+            dtype=np.float64,
+        )
+
+    def delta_energy_flip_many(self, configs: np.ndarray, sites, new_species) -> np.ndarray:
+        """ΔE of one flip per configuration row, ``(B, n_sites) -> (B,)``."""
+        configs = np.atleast_2d(configs)
+        sites = np.asarray(sites)
+        new_species = np.asarray(new_species)
+        return np.array(
+            [
+                self.delta_energy_flip(c, int(s), int(v))
+                for c, s, v in zip(configs, sites, new_species)
+            ],
             dtype=np.float64,
         )
 

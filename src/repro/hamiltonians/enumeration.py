@@ -108,7 +108,7 @@ def enumerate_energies(ham: Hamiltonian, counts=None, chunk: int = 65536) -> np.
     energies = np.empty(configs.shape[0], dtype=np.float64)
     for start in range(0, configs.shape[0], chunk):
         stop = min(start + chunk, configs.shape[0])
-        energies[start:stop] = ham.energy_batch(configs[start:stop])
+        energies[start:stop] = ham.energies(configs[start:stop])
     return energies
 
 

@@ -15,6 +15,12 @@ on is exactly this sign/magnitude structure:
 - a density of states spanning ln g ≈ N·ln 4 (E2).
 
 Units: energies in **eV**, temperatures in **K** via ``KB_EV_PER_K``.
+
+Hot path: EPI is a two-shell :class:`PairHamiltonian`, so its ΔE kernels
+are the precomputed pair-delta tables of :mod:`repro.kernels` — the fused
+(z₁+z₂)-column neighbor table and the 4×4×8 difference-row lookup price a
+swap with two gathers and no per-shell Python loop, and the ``*_many``
+variants step whole batched-walker teams per call.
 """
 
 from __future__ import annotations

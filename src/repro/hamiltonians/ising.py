@@ -48,6 +48,10 @@ class IsingHamiltonian(PairHamiltonian):
         """Total magnetization sum_i s_i."""
         return float(_SPINS[np.asarray(config)].sum())
 
+    def magnetizations(self, configs: np.ndarray) -> np.ndarray:
+        """Per-row total magnetization of a config batch, ``(B, n) -> (B,)``."""
+        return _SPINS[np.atleast_2d(np.asarray(configs))].sum(axis=1)
+
     @staticmethod
     def spins(config: np.ndarray) -> np.ndarray:
         """Map species indices {0,1} to spins {-1,+1}."""

@@ -9,20 +9,13 @@ symmetric interaction matrix of shell ``s`` and ``f`` an optional on-site
 (per-species) field.  Ising, Potts, and the HEA effective-pair-interaction
 models are all thin wrappers over this class.
 
-Performance notes (per the HPC guides: vectorize, avoid copies):
-
-- :meth:`energy` gathers ``V_s[c[i], c[j]]`` over precomputed pair index
-  arrays — one fancy-indexing pass per shell, no Python loops.
-- :meth:`delta_energy_swap` touches only the ~2z neighbors of the swapped
-  sites, using the closed form
-
-  ``ΔE = Σ_n (V[b,c_n] − V[a,c_n]) + Σ_m (V[a,c_m] − V[b,c_m])
-          − [i~j]·(V[a,a] + V[b,b] − 2V[a,b])``
-
-  where ``a = c_i``, ``b = c_j``, n ranges over N(i), m over N(j), and the
-  bracket corrects for the i–j bond when the sites are neighbors.
-- :meth:`energy_batch` evaluates whole configuration batches in one gather
-  (used by the deep-learning proposals, which re-score global updates).
+All energy evaluation delegates to :mod:`repro.kernels`: the constructor
+builds a :class:`~repro.kernels.tables.PairTables` (fused neighbor tables,
+difference-row ΔE lookups, bond-correction stacks) and every method below is
+a thin call into :mod:`repro.kernels.ops`.  The scalar ΔE path there is
+operation-for-operation the pre-kernel implementation, so single-walker
+trajectories are bit-identical; the ``*_alternatives`` / ``*_many`` kernels
+are the fully vectorized batched shapes (see the kernels module docs).
 """
 
 from __future__ import annotations
@@ -30,6 +23,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hamiltonians.base import Hamiltonian
+from repro.kernels import ops
+from repro.kernels.tables import PairTables
 from repro.lattice.structures import Lattice, NeighborShell
 
 __all__ = ["PairHamiltonian"]
@@ -77,109 +72,40 @@ class PairHamiltonian(Hamiltonian):
 
         shells: tuple[NeighborShell, ...] = lattice.neighbor_shells(len(mats))
         self.shells = shells
-        # Pair arrays (each undirected bond once) for the full-energy gather.
-        self._pair_i = []
-        self._pair_j = []
-        for shell in shells:
-            pairs = shell.pairs()
-            self._pair_i.append(np.ascontiguousarray(pairs[:, 0]))
-            self._pair_j.append(np.ascontiguousarray(pairs[:, 1]))
-        # Neighbor tables for the O(z) incremental updates.
-        self._tables = [shell.table for shell in shells]
-        # Per-shell "same-bond" correction term V[a,a] + V[b,b] - 2 V[a,b].
-        self._bond_corr = []
-        for m in mats:
-            diag = np.diag(m)
-            self._bond_corr.append(diag[:, None] + diag[None, :] - 2.0 * m)
-
-        # Fused incremental-update structures: all shells concatenated into
-        # one neighbor table, with species keys offset by shell so a single
-        # gather + one row lookup prices a move (profiling showed the
-        # per-shell loop dominated the MC step on this interpreter).
-        self._cat_table = np.concatenate(self._tables, axis=1)
-        self._shell_offsets = np.concatenate(
-            [np.full(t.shape[1], s * n_species, dtype=np.int64)
-             for s, t in enumerate(self._tables)]
-        )
-        self._shell_of_col = np.concatenate(
-            [np.full(t.shape[1], s, dtype=np.int64) for s, t in enumerate(self._tables)]
-        )
-        # _diff_rows[a, b, c + s*n_species] = V_s[b, c] - V_s[a, c]
-        self._diff_rows = np.empty((n_species, n_species, n_species * len(mats)))
-        for a in range(n_species):
-            for b in range(n_species):
-                self._diff_rows[a, b] = np.concatenate(
-                    [m[b] - m[a] for m in mats]
-                )
+        #: Precomputed kernel tables (see :mod:`repro.kernels.tables`).
+        self.tables = PairTables(shells, self.shell_matrices, self.field)
 
     # ---------------------------------------------------------------- energy
 
     def energy(self, config: np.ndarray) -> float:
-        config = np.asarray(config)
-        total = 0.0
-        for m, pi, pj in zip(self.shell_matrices, self._pair_i, self._pair_j):
-            total += m[config[pi], config[pj]].sum()
-        if self.field is not None:
-            total += self.field[config].sum()
-        return float(total)
+        return ops.energy(self.tables, config)
 
-    def energy_batch(self, configs: np.ndarray) -> np.ndarray:
-        configs = np.atleast_2d(np.asarray(configs))
-        total = np.zeros(configs.shape[0], dtype=np.float64)
-        for m, pi, pj in zip(self.shell_matrices, self._pair_i, self._pair_j):
-            total += m[configs[:, pi], configs[:, pj]].sum(axis=1)
-        if self.field is not None:
-            total += self.field[configs].sum(axis=1)
-        return total
+    def energies(self, configs: np.ndarray) -> np.ndarray:
+        return ops.energies(self.tables, configs)
 
     # ----------------------------------------------------------- incremental
 
     def delta_energy_swap(self, config: np.ndarray, i: int, j: int) -> float:
-        a = int(config[i])
-        b = int(config[j])
-        if a == b or i == j:
-            return 0.0
-        row = self._diff_rows[a, b]
-        nbr_i = self._cat_table[i]
-        keys_i = config[nbr_i] + self._shell_offsets
-        keys_j = config[self._cat_table[j]] + self._shell_offsets
-        delta = row[keys_i].sum() - row[keys_j].sum()
-        # The i-j bond (when present in a shell) was double-handled above.
-        hits = nbr_i == j
-        if hits.any():
-            for col in np.nonzero(hits)[0]:
-                delta -= self._bond_corr[self._shell_of_col[col]][a, b]
-        return float(delta)
+        return ops.delta_swap(self.tables, config, i, j)
 
     def delta_energy_flip(self, config: np.ndarray, site: int, new_species: int) -> float:
-        old = int(config[site])
-        new = int(new_species)
-        if old == new:
-            return 0.0
-        keys = config[self._cat_table[site]] + self._shell_offsets
-        delta = self._diff_rows[old, new][keys].sum()
-        if self.field is not None:
-            delta += self.field[new] - self.field[old]
-        return float(delta)
+        return ops.delta_flip(self.tables, config, site, new_species)
 
     def delta_energy_swap_batch(self, config: np.ndarray, ii, jj) -> np.ndarray:
         """Vectorized ΔE for a batch of independent alternative swaps."""
-        config = np.asarray(config)
-        ii = np.asarray(ii, dtype=np.int64)
-        jj = np.asarray(jj, dtype=np.int64)
-        aa = config[ii].astype(np.int64)
-        bb = config[jj].astype(np.int64)
-        delta = np.zeros(ii.shape[0], dtype=np.float64)
-        for m, table, corr in zip(self.shell_matrices, self._tables, self._bond_corr):
-            ni = config[table[ii]]  # (B, z)
-            nj = config[table[jj]]
-            delta += (m[bb[:, None], ni] - m[aa[:, None], ni]).sum(axis=1)
-            delta += (m[aa[:, None], nj] - m[bb[:, None], nj]).sum(axis=1)
-            bonds = (table[ii] == jj[:, None]).sum(axis=1)
-            delta -= bonds * corr[aa, bb]
-        same = (aa == bb) | (ii == jj)
-        delta[same] = 0.0
-        return delta
+        return ops.delta_swap_alternatives(self.tables, config, ii, jj)
+
+    def delta_energy_flip_batch(self, config: np.ndarray, sites, new_species) -> np.ndarray:
+        """Vectorized ΔE for a batch of independent alternative flips."""
+        return ops.delta_flip_alternatives(self.tables, config, sites, new_species)
+
+    def delta_energy_swap_many(self, configs: np.ndarray, ii, jj) -> np.ndarray:
+        """Vectorized per-walker swap ΔE (batched multi-walker stepping)."""
+        return ops.delta_swap_many(self.tables, configs, ii, jj)
+
+    def delta_energy_flip_many(self, configs: np.ndarray, sites, new_species) -> np.ndarray:
+        """Vectorized per-walker flip ΔE (batched multi-walker stepping)."""
+        return ops.delta_flip_many(self.tables, configs, sites, new_species)
 
     # --------------------------------------------------------------- bounds
 
@@ -187,7 +113,7 @@ class PairHamiltonian(Hamiltonian):
         """Matrix-derived rigorous bounds on the energy spectrum."""
         lo = 0.0
         hi = 0.0
-        for m, pi in zip(self.shell_matrices, self._pair_i):
+        for m, pi in zip(self.shell_matrices, self.tables.pair_i):
             n_pairs = pi.shape[0]
             lo += n_pairs * float(m.min())
             hi += n_pairs * float(m.max())
@@ -204,7 +130,7 @@ class PairHamiltonian(Hamiltonian):
 
     def bond_count(self, shell: int = 0) -> int:
         """Number of undirected bonds in the given shell."""
-        return self._pair_i[shell].shape[0]
+        return self.tables.pair_i[shell].shape[0]
 
     def __repr__(self) -> str:
         return (

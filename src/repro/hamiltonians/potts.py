@@ -54,3 +54,9 @@ class PottsHamiltonian(PairHamiltonian):
         """Standard Potts order parameter (q·max_fraction − 1)/(q − 1) ∈ [0, 1]."""
         counts = np.bincount(np.asarray(config, dtype=np.int64), minlength=self.q)
         return (self.q * counts.max() / self.n_sites - 1.0) / (self.q - 1.0)
+
+    def order_parameters(self, configs: np.ndarray) -> np.ndarray:
+        """Per-row order parameter of a config batch, ``(B, n) -> (B,)``."""
+        configs = np.atleast_2d(np.asarray(configs, dtype=np.int64))
+        counts = (configs[:, :, None] == np.arange(self.q)).sum(axis=1)
+        return (self.q * counts.max(axis=1) / self.n_sites - 1.0) / (self.q - 1.0)

@@ -1,0 +1,23 @@
+"""repro.kernels — the vectorized compute layer under the Hamiltonians.
+
+DeepThermo's throughput premise (and the data-driven HEA MC literature it
+builds on) is that flat-histogram sampling lives or dies on the ΔE hot
+path.  This package centralizes that hot path:
+
+- :class:`PairTables` — per-model precomputed neighbor index tables,
+  difference-row ΔE lookup tables, and bond-correction stacks;
+- :mod:`repro.kernels.ops` — scalar, ``*_alternatives`` (one config, many
+  hypothetical moves) and ``*_many`` (many configs, one move each)
+  energy/ΔE kernels, all O(z) numpy gathers with no Python per-neighbor
+  loop.
+
+The Hamiltonians in :mod:`repro.hamiltonians` delegate here; samplers never
+import this package directly — batched stepping reaches it through the
+``Hamiltonian`` batched API (``energies``, ``delta_energy_*_batch``,
+``delta_energy_*_many``).
+"""
+
+from repro.kernels import ops
+from repro.kernels.tables import PairTables
+
+__all__ = ["PairTables", "ops"]

@@ -1,0 +1,191 @@
+"""Vectorized energy / delta-energy kernels over :class:`PairTables`.
+
+These free functions are the single implementation of the pair-model hot
+path; :class:`repro.hamiltonians.pair.PairHamiltonian` delegates every
+energy method here.  Three shapes of batching appear, named consistently:
+
+- *scalar* (``energy``, ``delta_swap``, ``delta_flip``) — one config, one
+  move.  These are kept **operation-for-operation identical** to the
+  pre-kernel implementations so single-walker trajectories stay
+  bit-identical (tested in ``tests/test_batched_wl.py``).
+- ``*_alternatives`` — one config, many *hypothetical* moves; every ΔE is
+  relative to the same starting configuration (multiple-try MC, DL
+  proposal re-scoring).
+- ``*_many`` — a batch of configs, one move per config; this is the
+  batched multi-walker WL stepping shape (each row is an independent
+  walker).
+
+All batched kernels are pure numpy gathers with no Python per-neighbor or
+per-shell loop: species keys from the fused ``cat_table`` index one
+``diff_rows`` row per move, and swap kernels price shared i–j bonds via the
+column-indexed ``corr_by_col`` stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.tables import PairTables
+
+__all__ = [
+    "energy",
+    "energies",
+    "delta_swap",
+    "delta_flip",
+    "delta_swap_alternatives",
+    "delta_flip_alternatives",
+    "delta_swap_many",
+    "delta_flip_many",
+]
+
+
+# ------------------------------------------------------------------ energy
+
+
+def energy(t: PairTables, config: np.ndarray) -> float:
+    """Total energy: one fancy-indexing pass per shell, no Python loops."""
+    config = np.asarray(config)
+    total = 0.0
+    for m, pi, pj in zip(t.shell_matrices, t.pair_i, t.pair_j):
+        total += m[config[pi], config[pj]].sum()
+    if t.field is not None:
+        total += t.field[config].sum()
+    return float(total)
+
+
+def energies(t: PairTables, configs: np.ndarray) -> np.ndarray:
+    """Energies of a config batch, shape ``(B, n_sites) -> (B,)``."""
+    configs = np.atleast_2d(np.asarray(configs))
+    total = np.zeros(configs.shape[0], dtype=np.float64)
+    for m, pi, pj in zip(t.shell_matrices, t.pair_i, t.pair_j):
+        total += m[configs[:, pi], configs[:, pj]].sum(axis=1)
+    if t.field is not None:
+        total += t.field[configs].sum(axis=1)
+    return total
+
+
+# ------------------------------------------------------- scalar incremental
+
+
+def delta_swap(t: PairTables, config: np.ndarray, i: int, j: int) -> float:
+    """O(z) ΔE of swapping sites ``i`` and ``j`` (bit-exact scalar path)."""
+    a = int(config[i])
+    b = int(config[j])
+    if a == b or i == j:
+        return 0.0
+    row = t.diff_rows[a, b]
+    nbr_i = t.cat_table[i]
+    keys_i = config[nbr_i] + t.shell_offsets
+    keys_j = config[t.cat_table[j]] + t.shell_offsets
+    delta = row[keys_i].sum() - row[keys_j].sum()
+    # The i-j bond (when present in a shell) was double-handled above.
+    hits = nbr_i == j
+    if hits.any():
+        for col in np.nonzero(hits)[0]:
+            delta -= t.bond_corr[t.shell_of_col[col]][a, b]
+    return float(delta)
+
+
+def delta_flip(t: PairTables, config: np.ndarray, site: int, new_species: int) -> float:
+    """O(z) ΔE of repainting ``site`` to ``new_species`` (bit-exact)."""
+    old = int(config[site])
+    new = int(new_species)
+    if old == new:
+        return 0.0
+    keys = config[t.cat_table[site]] + t.shell_offsets
+    delta = t.diff_rows[old, new][keys].sum()
+    if t.field is not None:
+        delta += t.field[new] - t.field[old]
+    return float(delta)
+
+
+# ------------------------------------------- one config, many alternatives
+
+
+def delta_swap_alternatives(t: PairTables, config: np.ndarray, ii, jj) -> np.ndarray:
+    """ΔE for many independent *alternative* swaps on one config.
+
+    Every ΔE is relative to the same starting ``config``; shape
+    ``(M,), (M,) -> (M,)``.
+    """
+    config = np.asarray(config)
+    ii = np.asarray(ii, dtype=np.int64)
+    jj = np.asarray(jj, dtype=np.int64)
+    aa = config[ii].astype(np.int64)
+    bb = config[jj].astype(np.int64)
+    rows = t.diff_rows[aa, bb]                       # (M, S*n_shells)
+    nbr_i = t.cat_table[ii]                          # (M, Z)
+    keys_i = config[nbr_i] + t.shell_offsets
+    keys_j = config[t.cat_table[jj]] + t.shell_offsets
+    delta = (
+        np.take_along_axis(rows, keys_i, axis=1).sum(axis=1)
+        - np.take_along_axis(rows, keys_j, axis=1).sum(axis=1)
+    )
+    hits = nbr_i == jj[:, None]                      # (M, Z)
+    if hits.any():
+        delta -= (hits * t.corr_by_col[:, aa, bb].T).sum(axis=1)
+    same = (aa == bb) | (ii == jj)
+    delta[same] = 0.0
+    return delta
+
+
+def delta_flip_alternatives(t: PairTables, config: np.ndarray, sites, new_species) -> np.ndarray:
+    """ΔE for many independent *alternative* flips on one config."""
+    config = np.asarray(config)
+    sites = np.asarray(sites, dtype=np.int64)
+    new = np.asarray(new_species, dtype=np.int64)
+    old = config[sites].astype(np.int64)
+    rows = t.diff_rows[old, new]                     # (M, S*n_shells)
+    keys = config[t.cat_table[sites]] + t.shell_offsets
+    delta = np.take_along_axis(rows, keys, axis=1).sum(axis=1)
+    if t.field is not None:
+        delta += t.field[new] - t.field[old]
+    delta[old == new] = 0.0
+    return delta
+
+
+# ------------------------------------------- config batch, one move per row
+
+
+def delta_swap_many(t: PairTables, configs: np.ndarray, ii, jj) -> np.ndarray:
+    """ΔE of one swap per config row: ``(B, n_sites), (B,), (B,) -> (B,)``.
+
+    The multi-walker stepping kernel: row ``b`` prices the swap
+    ``(ii[b], jj[b])`` on walker ``b``'s configuration.
+    """
+    configs = np.atleast_2d(np.asarray(configs))
+    ii = np.asarray(ii, dtype=np.int64)
+    jj = np.asarray(jj, dtype=np.int64)
+    rows_idx = np.arange(configs.shape[0])
+    aa = configs[rows_idx, ii].astype(np.int64)
+    bb = configs[rows_idx, jj].astype(np.int64)
+    rows = t.diff_rows[aa, bb]                       # (B, S*n_shells)
+    nbr_i = t.cat_table[ii]                          # (B, Z)
+    keys_i = configs[rows_idx[:, None], nbr_i] + t.shell_offsets
+    keys_j = configs[rows_idx[:, None], t.cat_table[jj]] + t.shell_offsets
+    delta = (
+        np.take_along_axis(rows, keys_i, axis=1).sum(axis=1)
+        - np.take_along_axis(rows, keys_j, axis=1).sum(axis=1)
+    )
+    hits = nbr_i == jj[:, None]                      # (B, Z)
+    if hits.any():
+        delta -= (hits * t.corr_by_col[:, aa, bb].T).sum(axis=1)
+    same = (aa == bb) | (ii == jj)
+    delta[same] = 0.0
+    return delta
+
+
+def delta_flip_many(t: PairTables, configs: np.ndarray, sites, new_species) -> np.ndarray:
+    """ΔE of one flip per config row: ``(B, n_sites), (B,), (B,) -> (B,)``."""
+    configs = np.atleast_2d(np.asarray(configs))
+    sites = np.asarray(sites, dtype=np.int64)
+    new = np.asarray(new_species, dtype=np.int64)
+    rows_idx = np.arange(configs.shape[0])
+    old = configs[rows_idx, sites].astype(np.int64)
+    rows = t.diff_rows[old, new]                     # (B, S*n_shells)
+    keys = configs[rows_idx[:, None], t.cat_table[sites]] + t.shell_offsets
+    delta = np.take_along_axis(rows, keys, axis=1).sum(axis=1)
+    if t.field is not None:
+        delta += t.field[new] - t.field[old]
+    delta[old == new] = 0.0
+    return delta

@@ -1,0 +1,107 @@
+"""Precomputed lookup tables for pair-interaction kernels.
+
+Everything the vectorized kernels in :mod:`repro.kernels.ops` need is built
+once per Hamiltonian and frozen here:
+
+- **pair arrays** (``pair_i``/``pair_j``): every undirected bond of every
+  shell, for the one-gather full-energy evaluation;
+- **fused neighbor table** (``cat_table``): the per-shell neighbor tables
+  concatenated column-wise, with per-column species-key offsets
+  (``shell_offsets``) so a single row lookup prices a move across all
+  shells at once;
+- **difference rows** (``diff_rows``)::
+
+      diff_rows[a, b, c + s*n_species] = V_s[b, c] - V_s[a, c]
+
+  the per-neighbor ΔE contribution of repainting a site from species ``a``
+  to ``b`` when the neighbor (in shell ``s``) carries species ``c``;
+- **bond corrections** (``bond_corr`` per shell, and the column-indexed
+  stack ``corr_by_col``)::
+
+      bond_corr_s[a, b] = V_s[a, a] + V_s[b, b] - 2 V_s[a, b]
+
+  subtracted once per shared bond when *both* endpoints of a swap are
+  repainted (the two one-site terms double-handle the i–j bond).
+
+The tables are plain numpy arrays (no views into caller state), so a
+:class:`PairTables` pickles with the walkers through process executors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PairTables"]
+
+
+class PairTables:
+    """Frozen index/lookup tables for one pair Hamiltonian.
+
+    Parameters
+    ----------
+    shells : sequence of NeighborShell
+        One shell per interaction matrix, innermost first.
+    shell_matrices : sequence of (n_species, n_species) symmetric arrays
+    field : (n_species,) array or None
+        On-site energy per species.
+    """
+
+    def __init__(self, shells, shell_matrices, field=None):
+        mats = [np.asarray(m, dtype=np.float64) for m in shell_matrices]
+        n_species = mats[0].shape[0]
+        self.shell_matrices = tuple(mats)
+        self.n_species = n_species
+        self.n_shells = len(mats)
+        self.field = None if field is None else np.asarray(field, dtype=np.float64)
+
+        # Pair arrays (each undirected bond once) for the full-energy gather.
+        self.pair_i: list[np.ndarray] = []
+        self.pair_j: list[np.ndarray] = []
+        for shell in shells:
+            pairs = shell.pairs()
+            self.pair_i.append(np.ascontiguousarray(pairs[:, 0]))
+            self.pair_j.append(np.ascontiguousarray(pairs[:, 1]))
+
+        # Per-shell neighbor tables for the O(z) incremental updates.
+        self.tables = [shell.table for shell in shells]
+
+        # Per-shell "same-bond" correction term V[a,a] + V[b,b] - 2 V[a,b].
+        self.bond_corr: list[np.ndarray] = []
+        for m in mats:
+            diag = np.diag(m)
+            self.bond_corr.append(diag[:, None] + diag[None, :] - 2.0 * m)
+
+        # Fused incremental-update structures: all shells concatenated into
+        # one neighbor table, with species keys offset by shell so a single
+        # gather + one row lookup prices a move (profiling showed the
+        # per-shell loop dominated the MC step on this interpreter).
+        self.cat_table = np.concatenate(self.tables, axis=1)
+        self.shell_offsets = np.concatenate(
+            [np.full(t.shape[1], s * n_species, dtype=np.int64)
+             for s, t in enumerate(self.tables)]
+        )
+        self.shell_of_col = np.concatenate(
+            [np.full(t.shape[1], s, dtype=np.int64) for s, t in enumerate(self.tables)]
+        )
+        # diff_rows[a, b, c + s*n_species] = V_s[b, c] - V_s[a, c]
+        self.diff_rows = np.empty((n_species, n_species, n_species * len(mats)))
+        for a in range(n_species):
+            for b in range(n_species):
+                self.diff_rows[a, b] = np.concatenate([m[b] - m[a] for m in mats])
+        # Column-indexed bond-correction stack: corr_by_col[col] is the
+        # bond_corr matrix of the shell that neighbor-column ``col`` belongs
+        # to, so batched kernels can price bond hits without a shell loop.
+        self.corr_by_col = np.stack(
+            [self.bond_corr[s] for s in self.shell_of_col], axis=0
+        ) if len(self.shell_of_col) else np.zeros((0, n_species, n_species))
+
+    @property
+    def n_neighbor_cols(self) -> int:
+        """Total neighbor-table width (sum of shell coordination numbers)."""
+        return self.cat_table.shape[1]
+
+    def __repr__(self) -> str:
+        return (
+            f"PairTables(n_species={self.n_species}, n_shells={self.n_shells}, "
+            f"n_neighbor_cols={self.n_neighbor_cols})"
+        )

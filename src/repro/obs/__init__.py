@@ -8,8 +8,7 @@ layer wired through the sampling stack:
   histograms (per-walker metrics survive the process executors and reduce
   across windows),
 - :mod:`repro.obs.tracing` — nestable spans with per-path aggregates; also
-  home of the ``Timer``/``TimerRegistry`` the rest of the code has always
-  used (``repro.util.timers`` re-exports them),
+  home of ``Timer``/``TimerRegistry``,
 - :mod:`repro.obs.events` — newline-delimited JSON event records behind
   swappable sinks (no-op by default),
 - :mod:`repro.obs.report` — ``python -m repro.obs.report trace.jsonl``

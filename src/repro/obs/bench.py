@@ -377,6 +377,9 @@ def main_compare(argv=None) -> int:
                              "regression (default 0.25)")
     parser.add_argument("--warn-only", action="store_true",
                         help="always exit 0 (CI smoke mode)")
+    parser.add_argument("--gate-only", metavar="SUBSTR", default=None,
+                        help="exit 1 only for regressions whose name contains "
+                             "SUBSTR; others are reported but don't gate")
     args = parser.parse_args(argv)
 
     try:
@@ -387,7 +390,13 @@ def main_compare(argv=None) -> int:
         print(str(exc), file=sys.stderr)
         return 1
     print(render_compare(diff), end="")
-    if diff["regressions"] and not args.warn_only:
+    gating = diff["regressions"]
+    if args.gate_only is not None:
+        gating = [name for name in gating if args.gate_only in name]
+        if gating:
+            print(f"gated regression(s) matching {args.gate_only!r}: "
+                  f"{', '.join(gating)}")
+    if gating and not args.warn_only:
         return 1
     return 0
 

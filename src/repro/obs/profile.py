@@ -284,11 +284,39 @@ class ProfiledHamiltonian:
         prof.stop("hamiltonian.delta_flip", t0)
         return out
 
-    def energy_batch(self, configs):
+    def energies(self, configs):
         prof = self.profiler
-        t0 = prof.start("hamiltonian.energy_batch")
-        out = self.inner.energy_batch(configs)
-        prof.stop("hamiltonian.energy_batch", t0)
+        t0 = prof.start("hamiltonian.energies")
+        out = self.inner.energies(configs)
+        prof.stop("hamiltonian.energies", t0)
+        return out
+
+    def delta_energy_swap_batch(self, config, sites_i, sites_j):
+        prof = self.profiler
+        t0 = prof.start("hamiltonian.delta_swap_batch")
+        out = self.inner.delta_energy_swap_batch(config, sites_i, sites_j)
+        prof.stop("hamiltonian.delta_swap_batch", t0)
+        return out
+
+    def delta_energy_flip_batch(self, config, sites, new_species):
+        prof = self.profiler
+        t0 = prof.start("hamiltonian.delta_flip_batch")
+        out = self.inner.delta_energy_flip_batch(config, sites, new_species)
+        prof.stop("hamiltonian.delta_flip_batch", t0)
+        return out
+
+    def delta_energy_swap_many(self, configs, sites_i, sites_j):
+        prof = self.profiler
+        t0 = prof.start("hamiltonian.delta_swap_many")
+        out = self.inner.delta_energy_swap_many(configs, sites_i, sites_j)
+        prof.stop("hamiltonian.delta_swap_many", t0)
+        return out
+
+    def delta_energy_flip_many(self, configs, sites, new_species):
+        prof = self.profiler
+        t0 = prof.start("hamiltonian.delta_flip_many")
+        out = self.inner.delta_energy_flip_many(configs, sites, new_species)
+        prof.stop("hamiltonian.delta_flip_many", t0)
         return out
 
     def __getattr__(self, name):
@@ -328,6 +356,15 @@ class ProfiledProposal:
         out = self.inner.propose(config, hamiltonian, rng,
                                  current_energy=current_energy)
         prof.stop(self._section, t0)
+        return out
+
+    def propose_many(self, configs, hamiltonian, rng, current_energies=None):
+        prof = self.profiler
+        section = self._section + ".many"
+        t0 = prof.start(section)
+        out = self.inner.propose_many(configs, hamiltonian, rng,
+                                      current_energies=current_energies)
+        prof.stop(section, t0)
         return out
 
     def __getattr__(self, name):

@@ -1,14 +1,13 @@
 """Span tracing and wall-clock timers.
 
-:class:`Span` generalizes the old ``repro.util.timers.Timer`` stopwatch:
-spans nest (a span opened while another is running becomes its child, and
+:class:`Span` generalizes the plain :class:`Timer` stopwatch: spans nest (a span opened while another is running becomes its child, and
 aggregates under the dotted path ``parent.child``), survive exceptions (the
 interval is recorded and the stack unwound either way), and optionally emit
 a structured record to an event log (:mod:`repro.obs.events`) on close.
 
-``Timer`` and ``TimerRegistry`` live here now — :mod:`repro.util.timers`
-re-exports them unchanged — because a span *is* a timer plus context; the
-aggregate a :class:`Tracer` keeps per path is literally a ``Timer``.
+``Timer`` and ``TimerRegistry`` live here because a span *is* a timer
+plus context; the aggregate a :class:`Tracer` keeps per path is literally
+a ``Timer``.
 
 Nothing in this module draws random numbers or writes into sampler arrays:
 instrumented runs stay bit-identical to uninstrumented ones.

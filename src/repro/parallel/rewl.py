@@ -33,16 +33,31 @@ from repro.obs.health import HealthConfig, HealthMonitor, health_from_env
 from repro.obs.profile import SectionProfiler, contribute_profile, profile_from_env
 from repro.parallel.executors import SerialExecutor
 from repro.parallel.windows import WindowSpec, make_windows
+from repro.sampling.batched import BatchedWangLandauSampler
 from repro.sampling.binning import EnergyGrid
-from repro.sampling.wang_landau import WalkerCounters, WangLandauSampler, drive_into_range
+from repro.sampling.wang_landau import (
+    WalkerCounters,
+    WangLandauSampler,
+    WLConfig,
+    drive_into_range,
+)
+from repro.util.deprecation import warn_once
 from repro.util.rng import RngFactory
 from repro.util.validation import check_in_range, check_integer, check_probability
 
 __all__ = ["REWLConfig", "REWLDriver", "REWLResult", "WalkerSnapshot"]
 
 
-def _advance_walker(walker: WangLandauSampler, n_steps: int) -> WangLandauSampler:
-    """Module-level task so process executors can pickle it."""
+def _advance_walker(walker, n_steps: int):
+    """Module-level task so process executors can pickle it.
+
+    ``n_steps`` is per walker: a scalar walker takes ``n_steps`` WL steps, a
+    batched team takes ``n_steps`` super-steps (one step per slot each).
+    """
+    batched = getattr(walker, "steps", None)
+    if batched is not None:
+        batched(n_steps)
+        return walker
     for _ in range(n_steps):
         walker.step()
     return walker
@@ -50,7 +65,14 @@ def _advance_walker(walker: WangLandauSampler, n_steps: int) -> WangLandauSample
 
 @dataclass(frozen=True)
 class REWLConfig:
-    """Tuning knobs for :class:`REWLDriver`."""
+    """Tuning knobs for :class:`REWLDriver`.
+
+    ``batched_walkers`` switches each window's team from N independent
+    scalar walkers to one :class:`BatchedWangLandauSampler` stepping N
+    walker slots per super-step against a shared ln g (the within-window
+    throughput mode; see :mod:`repro.sampling.batched`).  Default off —
+    scalar teams remain bit-identical to previous releases.
+    """
 
     n_windows: int = 4
     walkers_per_window: int = 2
@@ -64,6 +86,7 @@ class REWLConfig:
     max_rounds: int = 100_000
     drive_max_steps: int = 2_000_000
     checkpoint_interval: int = 0  # rounds between snapshots (0 = off)
+    batched_walkers: bool = False
 
     def __post_init__(self):
         check_integer("n_windows", self.n_windows, minimum=1)
@@ -124,8 +147,24 @@ class REWLResult:
         )
 
 
+#: Old positional parameter order, kept alive by the deprecation shim.
+_REWL_POSITIONAL = (
+    "hamiltonian", "proposal_factory", "grid", "initial_config", "config",
+    "executor", "telemetry", "checkpoint_path", "profiler", "health",
+)
+
+
 class REWLDriver:
     """Windows × walkers replica-exchange Wang-Landau.
+
+    Keyword-only construction (the pre-redesign positional signature keeps
+    working for one release behind a ``DeprecationWarning``; see DESIGN.md
+    §11)::
+
+        REWLDriver(
+            hamiltonian=ham, proposal_factory=make_prop, grid=grid,
+            initial_config=cfg0, config=REWLConfig(...),
+        )
 
     Parameters
     ----------
@@ -160,11 +199,45 @@ class REWLDriver:
         environment knob.
     """
 
-    def __init__(self, hamiltonian: Hamiltonian, proposal_factory, grid: EnergyGrid,
-                 initial_config: np.ndarray, config: REWLConfig | None = None,
-                 executor=None, telemetry: Telemetry | None = None,
-                 checkpoint_path=None, profiler: SectionProfiler | None = None,
-                 health=None):
+    def __init__(self, *args, **kwargs):
+        if args:
+            if len(args) > len(_REWL_POSITIONAL):
+                raise TypeError(
+                    f"REWLDriver takes at most {len(_REWL_POSITIONAL)} "
+                    f"positional arguments ({len(args)} given)"
+                )
+            warn_once(
+                "REWLDriver.positional",
+                "positional REWLDriver(...) arguments are deprecated; pass "
+                "hamiltonian=, proposal_factory=, grid=, initial_config= and "
+                "config=REWLConfig(...) instead",
+            )
+            for name, value in zip(_REWL_POSITIONAL, args):
+                if name in kwargs:
+                    raise TypeError(f"REWLDriver() got multiple values for {name!r}")
+                kwargs[name] = value
+        unknown = set(kwargs) - set(_REWL_POSITIONAL)
+        if unknown:
+            raise TypeError(
+                f"REWLDriver() got unexpected keyword arguments {sorted(unknown)}"
+            )
+        missing = [
+            k for k in ("hamiltonian", "proposal_factory", "grid", "initial_config")
+            if kwargs.get(k) is None
+        ]
+        if missing:
+            raise TypeError(f"REWLDriver() missing required arguments {missing}")
+        hamiltonian: Hamiltonian = kwargs["hamiltonian"]
+        proposal_factory = kwargs["proposal_factory"]
+        grid: EnergyGrid = kwargs["grid"]
+        initial_config = kwargs["initial_config"]
+        config: REWLConfig | None = kwargs.get("config")
+        executor = kwargs.get("executor")
+        telemetry: Telemetry | None = kwargs.get("telemetry")
+        checkpoint_path = kwargs.get("checkpoint_path")
+        profiler: SectionProfiler | None = kwargs.get("profiler")
+        health = kwargs.get("health")
+
         self.hamiltonian = hamiltonian
         self.grid = grid
         self.cfg = config or REWLConfig()
@@ -191,9 +264,14 @@ class REWLDriver:
         self._exchange_rng = self._rngs.make("rewl-exchange")
 
         initial_config = hamiltonian.validate_config(np.asarray(initial_config))
-        self.walkers: list[list[WangLandauSampler]] = []
+        wl_cfg = WLConfig(
+            ln_f_init=self.cfg.ln_f_init, ln_f_final=self.cfg.ln_f_final,
+            flatness=self.cfg.flatness, check_interval=self.cfg.check_interval,
+            batch_size=self.cfg.walkers_per_window,
+        )
+        self.walkers: list[list] = []
         for w, spec in enumerate(self.windows):
-            team = []
+            driven_rows = []
             for k in range(self.cfg.walkers_per_window):
                 rng = self._rngs.make("rewl-walker", w * 10_000 + k)
                 cfg0 = initial_config.copy()
@@ -203,14 +281,28 @@ class REWLDriver:
                     rng=self._rngs.make("rewl-drive", w * 10_000 + k),
                     max_steps=self.cfg.drive_max_steps,
                 )
-                team.append(
-                    WangLandauSampler(
-                        hamiltonian, proposal_factory(), spec.grid, driven,
-                        rng=rng, ln_f_init=self.cfg.ln_f_init,
-                        ln_f_final=self.cfg.ln_f_final, flatness=self.cfg.flatness,
-                        check_interval=self.cfg.check_interval,
+                driven_rows.append((driven, rng))
+            if self.cfg.batched_walkers:
+                # One stepping object per window: the walkers become slots of
+                # a shared-ln g batched team (same drive/shuffle streams as
+                # scalar mode, so the starting states match walker-for-walker).
+                team = [
+                    BatchedWangLandauSampler(
+                        hamiltonian=hamiltonian, proposal=proposal_factory(),
+                        grid=spec.grid,
+                        initial_config=np.stack([d for d, _ in driven_rows]),
+                        rng=self._rngs.make("rewl-team", w), config=wl_cfg,
                     )
-                )
+                ]
+            else:
+                team = [
+                    WangLandauSampler(
+                        hamiltonian=hamiltonian, proposal=proposal_factory(),
+                        grid=spec.grid, initial_config=driven, rng=rng,
+                        config=wl_cfg,
+                    )
+                    for driven, rng in driven_rows
+                ]
             self.walkers.append(team)
         if self.profiler is not None:
             # One independent profiler per walker (picklable; ships through
@@ -253,6 +345,9 @@ class REWLDriver:
         self.obs.metrics.inc("rewl.steps", steps)
 
     def _exchange_phase(self) -> None:
+        if self.cfg.batched_walkers:
+            self._exchange_phase_batched()
+            return
         prof = self.profiler
         t0 = prof.start_always("rewl.exchange_round") if prof is not None else None
         with self.obs.span("exchange", round=self.rounds):
@@ -300,6 +395,62 @@ class REWLDriver:
         if prof is not None:
             prof.stop("rewl.exchange_round", t0)
 
+    def _exchange_phase_batched(self) -> None:
+        """Replica exchange between *slots* of batched window teams.
+
+        Same pairing schedule, acceptance rule, and RNG draw pattern as the
+        scalar phase (one slot pick per side, one uniform for acceptance);
+        only the state swap differs — slots are exchanged through the teams'
+        ``slot_*`` accessors instead of swapping walker attributes.
+        """
+        prof = self.profiler
+        t0 = prof.start_always("rewl.exchange_round") if prof is not None else None
+        with self.obs.span("exchange", round=self.rounds):
+            start = self.rounds % 2
+            for left in range(start, len(self.windows) - 1, 2):
+                right = left + 1
+                if self.window_converged[left] or self.window_converged[right]:
+                    continue
+                team_a = self.walkers[left][0]
+                team_b = self.walkers[right][0]
+                ka = int(self._exchange_rng.integers(team_a.n_slots))
+                kb = int(self._exchange_rng.integers(team_b.n_slots))
+                self.exchange_attempts[left] += 1
+                team_a.counters.exchange_attempts += 1
+                team_b.counters.exchange_attempts += 1
+                self.obs.metrics.inc("rewl.exchange.attempts")
+                accepted = False
+                in_overlap = True
+                bin_a_in_b = team_b.grid.index(team_a.slot_energy(ka))
+                bin_b_in_a = team_a.grid.index(team_b.slot_energy(kb))
+                if bin_a_in_b < 0 or bin_b_in_a < 0:
+                    in_overlap = False  # not both in the overlap
+                else:
+                    log_alpha = (
+                        team_a.ln_g[team_a.slot_bin(ka)]
+                        - team_a.ln_g[bin_b_in_a]
+                        + team_b.ln_g[team_b.slot_bin(kb)]
+                        - team_b.ln_g[bin_a_in_b]
+                    )
+                    if log_alpha >= 0.0 or np.log(self._exchange_rng.random()) < log_alpha:
+                        cfg_a = team_a.slot_config(ka).copy()
+                        e_a = team_a.slot_energy(ka)
+                        team_a.set_slot(
+                            ka, team_b.slot_config(kb), team_b.slot_energy(kb),
+                            bin_b_in_a,
+                        )
+                        team_b.set_slot(kb, cfg_a, e_a, bin_a_in_b)
+                        self.exchange_accepts[left] += 1
+                        team_a.counters.exchange_accepts += 1
+                        team_b.counters.exchange_accepts += 1
+                        self.obs.metrics.inc("rewl.exchange.accepts")
+                        accepted = True
+                if self.obs.enabled:
+                    self.obs.emit("exchange_attempt", round=self.rounds, pair=left,
+                                  accepted=accepted, in_overlap=in_overlap)
+        if prof is not None:
+            prof.stop("rewl.exchange_round", t0)
+
     def _sync_phase(self) -> None:
         prof = self.profiler
         t0 = prof.start_always("rewl.sync") if prof is not None else None
@@ -327,8 +478,12 @@ class REWLDriver:
             prof.stop("rewl.sync", t0)
 
     @staticmethod
-    def _merge_window(team: list[WangLandauSampler]) -> tuple[np.ndarray, np.ndarray]:
+    def _merge_window(team: list) -> tuple[np.ndarray, np.ndarray]:
         """Bin-wise mean of ln g over the walkers that visited each bin.
+
+        A batched team is a single shared-ln g object, so the "merge" is the
+        identity (modulo the min-shift every sync applies in scalar mode
+        too).
 
         Pure function of the team state (callers decide whether to write the
         merge back — ``result()`` must *not* mutate walkers, or checkpoints
@@ -432,19 +587,44 @@ class REWLDriver:
             window_ln_g.append(ln_g)
             window_visited.append(union)
             window_iterations.append(team[0].n_iterations)
-            for k, walker in enumerate(team):
-                snapshots.append(
-                    WalkerSnapshot(
-                        window=w,
-                        walker=k,
-                        n_steps=walker.n_steps,
-                        acceptance_rate=(
-                            walker.n_accepted / walker.n_steps if walker.n_steps else 0.0
-                        ),
-                        final_energy=walker.energy,
-                        counters=replace(walker.counters),
+            if self.cfg.batched_walkers:
+                # One snapshot per slot.  Event counters are accumulated
+                # team-wide in batched mode, so they ride on slot 0 only
+                # (summing snapshots then stays double-count-free).
+                team_obj = team[0]
+                for k in range(team_obj.n_slots):
+                    slot_steps = int(team_obj.slot_steps[k])
+                    snapshots.append(
+                        WalkerSnapshot(
+                            window=w,
+                            walker=k,
+                            n_steps=slot_steps,
+                            acceptance_rate=(
+                                int(team_obj.slot_accepted[k]) / slot_steps
+                                if slot_steps else 0.0
+                            ),
+                            final_energy=team_obj.slot_energy(k),
+                            counters=(
+                                replace(team_obj.counters) if k == 0
+                                else WalkerCounters()
+                            ),
+                        )
                     )
-                )
+            else:
+                for k, walker in enumerate(team):
+                    snapshots.append(
+                        WalkerSnapshot(
+                            window=w,
+                            walker=k,
+                            n_steps=walker.n_steps,
+                            acceptance_rate=(
+                                walker.n_accepted / walker.n_steps
+                                if walker.n_steps else 0.0
+                            ),
+                            final_energy=walker.energy,
+                            counters=replace(walker.counters),
+                        )
+                    )
         telemetry = self.obs.summary()
         if self.profiler is not None:
             telemetry["profile"] = self.merged_profile().as_dict()

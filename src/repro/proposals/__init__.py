@@ -26,7 +26,7 @@ Composition:
   (the paper mixes local refinement with global DL moves).
 """
 
-from repro.proposals.base import Move, Proposal
+from repro.proposals.base import BatchMove, Move, Proposal
 from repro.proposals.local import (
     SwapProposal,
     NeighborSwapProposal,
@@ -39,6 +39,7 @@ from repro.proposals.dl_cmade import ConditionalMADEProposal
 from repro.proposals.mixture import MixtureProposal
 
 __all__ = [
+    "BatchMove",
     "Move",
     "Proposal",
     "SwapProposal",

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.hamiltonians.base import Hamiltonian
 
-__all__ = ["Move", "Proposal"]
+__all__ = ["Move", "BatchMove", "Proposal"]
 
 
 @dataclass
@@ -58,6 +58,46 @@ class Move:
         return int(len(self.sites))
 
 
+@dataclass
+class BatchMove:
+    """One proposed transition per row of a configuration batch.
+
+    The multi-walker stepping shape: row ``b`` is an independent walker, and
+    the arrays below describe its proposed move ``x_b → x'_b``.  Produced by
+    :meth:`Proposal.propose_many`, consumed by the batched Wang-Landau
+    stepper (:mod:`repro.sampling.batched`).
+
+    Attributes
+    ----------
+    sites : numpy.ndarray of shape (B, k)
+        Per-row indices of the sites whose species change.
+    new_values : numpy.ndarray of shape (B, k)
+        New species at those sites.
+    delta_energies : numpy.ndarray of shape (B,)
+        ``H(x'_b) − H(x_b)`` per row.
+    log_q_ratios : numpy.ndarray of shape (B,)
+        Per-row ``log q(x|x') − log q(x'|x)``.
+    valid : numpy.ndarray of shape (B,), bool, or None
+        False where the proposal produced no move for that row (the batched
+        analogue of :meth:`Proposal.propose` returning ``None``); ``None``
+        means every row is valid.
+    """
+
+    sites: np.ndarray
+    new_values: np.ndarray
+    delta_energies: np.ndarray
+    log_q_ratios: np.ndarray
+    valid: np.ndarray | None = None
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.delta_energies.shape[0])
+
+    def apply_row(self, b: int, config: np.ndarray) -> None:
+        """Write row ``b``'s move into ``config`` in place."""
+        config[self.sites[b]] = self.new_values[b]
+
+
 class Proposal(abc.ABC):
     """Transition-kernel factory.
 
@@ -88,6 +128,56 @@ class Proposal(abc.ABC):
         ``current_energy`` lets global proposals compute ``delta_energy``
         without re-evaluating ``H(x)``; samplers always pass it.
         """
+
+    def propose_many(
+        self,
+        configs: np.ndarray,
+        hamiltonian: Hamiltonian,
+        rng: np.random.Generator,
+        current_energies: np.ndarray | None = None,
+    ) -> BatchMove:
+        """Produce one move per row of ``configs`` (shape ``(B, n_sites)``).
+
+        Default: loop over :meth:`propose` row by row with the shared
+        ``rng``.  Local proposals override this with a fully vectorized
+        kernel (array RNG draws + ``delta_energy_*_many``); the batched WL
+        stepper only ever calls this entry point, so overriding it is all a
+        proposal needs to opt into batched stepping.
+
+        Note the default's RNG *draw order* differs from the vectorized
+        overrides (scalar draws per row vs. one array draw per field), so
+        batched trajectories are reproducible per proposal implementation,
+        not across them.
+        """
+        configs = np.atleast_2d(configs)
+        n_rows = configs.shape[0]
+        moves = []
+        for b in range(n_rows):
+            e = None if current_energies is None else float(current_energies[b])
+            moves.append(self.propose(configs[b], hamiltonian, rng, current_energy=e))
+        k = max((m.sites.shape[0] for m in moves if m is not None), default=1)
+        sites = np.zeros((n_rows, k), dtype=np.int64)
+        new_values = np.zeros((n_rows, k), dtype=configs.dtype)
+        delta = np.zeros(n_rows, dtype=np.float64)
+        log_q = np.zeros(n_rows, dtype=np.float64)
+        valid = np.zeros(n_rows, dtype=bool)
+        for b, m in enumerate(moves):
+            if m is None:
+                continue
+            valid[b] = True
+            width = m.sites.shape[0]
+            # Pad narrow rows by repeating their first (site, value) pair —
+            # an idempotent re-write, so apply_row stays a plain gather.
+            sites[b, :width] = m.sites
+            sites[b, width:] = m.sites[0]
+            new_values[b, :width] = m.new_values
+            new_values[b, width:] = m.new_values[0]
+            delta[b] = m.delta_energy
+            log_q[b] = m.log_q_ratio
+        return BatchMove(
+            sites=sites, new_values=new_values, delta_energies=delta,
+            log_q_ratios=log_q, valid=None if valid.all() else valid,
+        )
 
     def profiled(self, profiler) -> "Proposal":
         """Profiled view of this kernel: ``propose`` calls are section-timed

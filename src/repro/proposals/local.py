@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hamiltonians.base import Hamiltonian
-from repro.proposals.base import Move, Proposal
+from repro.proposals.base import BatchMove, Move, Proposal
 from repro.util.validation import check_integer
 
 __all__ = ["SwapProposal", "NeighborSwapProposal", "FlipProposal", "MultiSwapProposal"]
@@ -64,6 +64,39 @@ class SwapProposal(Proposal):
             new_values=np.array([config[j], config[i]], dtype=config.dtype),
             delta_energy=delta,
             log_q_ratio=0.0,
+        )
+
+    def propose_many(self, configs, hamiltonian: Hamiltonian, rng,
+                     current_energies=None) -> BatchMove:
+        """Vectorized per-row swaps: array site draws + ``delta_energy_swap_many``.
+
+        The bounded resampling loop reruns only the rows that still hold an
+        identity pair, mirroring the scalar kernel's distinct-pair semantics
+        (and its fallback to a possibly-identity pair on exhaustion).
+        """
+        configs = np.atleast_2d(configs)
+        n_rows = configs.shape[0]
+        n = hamiltonian.n_sites
+        rows = np.arange(n_rows)
+        ii = rng.integers(n, size=n_rows)
+        jj = rng.integers(n, size=n_rows)
+        for _ in range(_MAX_DISTINCT_TRIES - 1):
+            bad = ii == jj
+            if self.require_distinct:
+                bad |= configs[rows, ii] == configs[rows, jj]
+            if not bad.any():
+                break
+            n_bad = int(bad.sum())
+            ii[bad] = rng.integers(n, size=n_bad)
+            jj[bad] = rng.integers(n, size=n_bad)
+        delta = hamiltonian.delta_energy_swap_many(configs, ii, jj)
+        return BatchMove(
+            sites=np.stack([ii, jj], axis=1),
+            new_values=np.stack(
+                [configs[rows, jj], configs[rows, ii]], axis=1
+            ).astype(configs.dtype, copy=False),
+            delta_energies=delta,
+            log_q_ratios=np.zeros(n_rows),
         )
 
 
@@ -126,6 +159,24 @@ class FlipProposal(Proposal):
             new_values=np.array([new], dtype=config.dtype),
             delta_energy=delta,
             log_q_ratio=0.0,
+        )
+
+    def propose_many(self, configs, hamiltonian: Hamiltonian, rng,
+                     current_energies=None) -> BatchMove:
+        """Vectorized per-row flips: array draws + ``delta_energy_flip_many``."""
+        configs = np.atleast_2d(configs)
+        n_rows = configs.shape[0]
+        rows = np.arange(n_rows)
+        sites = rng.integers(hamiltonian.n_sites, size=n_rows)
+        old = configs[rows, sites]
+        shift = 1 + rng.integers(hamiltonian.n_species - 1, size=n_rows)
+        new = (old + shift) % hamiltonian.n_species
+        delta = hamiltonian.delta_energy_flip_many(configs, sites, new)
+        return BatchMove(
+            sites=sites[:, None],
+            new_values=new[:, None].astype(configs.dtype, copy=False),
+            delta_energies=delta,
+            log_q_ratios=np.zeros(n_rows),
         )
 
 

@@ -3,39 +3,63 @@
 All samplers consume any :class:`~repro.hamiltonians.base.Hamiltonian` and
 any :class:`~repro.proposals.base.Proposal`; acceptance rules include the
 proposal's ``log_q_ratio`` term so learned (asymmetric) proposals remain
-exact.
+exact.  Every sampler satisfies the :class:`Sampler` protocol
+(``run(...) -> Result``) and is registered by stable name in
+:data:`SAMPLERS` — import from this package, not from the submodules.
 
 - :class:`MetropolisSampler` — canonical sampling at fixed β,
 - :class:`WangLandauSampler` — flat-histogram estimation of ln g(E)
-  (standard halving and 1/t modification-factor schedules),
+  (standard halving and 1/t modification-factor schedules), tuned through
+  :class:`WLConfig`,
+- :class:`BatchedWangLandauSampler` / :func:`make_wang_landau` — batched
+  multi-walker WL stepping against a shared ln g
+  (``WLConfig(batch_size=K)``),
 - :class:`MulticanonicalSampler` — production run with fixed 1/g(E) weights
   (microcanonical observable accumulation),
 - :class:`ParallelTempering` — serial reference replica-exchange Metropolis
   (the distributed version lives in :mod:`repro.parallel`),
+- :class:`WolffSampler` — cluster updates for the Ising validation model,
 - :class:`EnergyGrid` — uniform or level-based energy binning,
 - :func:`drive_into_range` — steers a configuration into an energy window
   (REWL walker initialization).
 """
 
+from repro.sampling.base import (
+    SAMPLERS,
+    Sampler,
+    get_sampler,
+    make_sampler,
+    register_sampler,
+)
 from repro.sampling.binning import EnergyGrid
 from repro.sampling.metropolis import MetropolisSampler, RunStats
 from repro.sampling.wang_landau import (
     WalkerCounters,
     WangLandauSampler,
     WangLandauResult,
+    WLConfig,
     drive_into_range,
 )
+from repro.sampling.batched import BatchedWangLandauSampler, make_wang_landau
 from repro.sampling.multicanonical import MulticanonicalSampler, MulticanonicalResult
 from repro.sampling.tempering import ParallelTempering, TemperingResult
 from repro.sampling.wolff import WolffSampler, WolffStats
 
 __all__ = [
+    "SAMPLERS",
+    "Sampler",
+    "get_sampler",
+    "make_sampler",
+    "register_sampler",
     "EnergyGrid",
     "MetropolisSampler",
     "RunStats",
     "WalkerCounters",
+    "WLConfig",
     "WangLandauSampler",
     "WangLandauResult",
+    "BatchedWangLandauSampler",
+    "make_wang_landau",
     "drive_into_range",
     "MulticanonicalSampler",
     "MulticanonicalResult",

@@ -1,0 +1,375 @@
+"""Batched multi-walker Wang–Landau stepping.
+
+:class:`BatchedWangLandauSampler` steps B walkers *of the same energy
+window* together against one shared ``ln g`` / histogram.  Each super-step
+is split into a vectorized phase and a sequential phase:
+
+- **vectorized** (amortized over B): proposal generation
+  (:meth:`~repro.proposals.base.Proposal.propose_many` → array RNG draws +
+  the ``delta_energy_*_many`` kernels of :mod:`repro.kernels`), bin lookup
+  (:meth:`EnergyGrid.index_array`), and the acceptance noise
+  ``ln u ~ log U(0,1)^B``;
+- **sequential** (cheap scalar loop): the accept/reject decision and the
+  ``ln g``/histogram commit, walker by walker.
+
+The commit **must** stay sequential: Wang-Landau acceptance compares ``ln
+g`` at the current and proposed bins, and walker ``b``'s decision has to
+see the ``ln f`` increments walkers ``0..b-1`` just deposited — committing
+the whole batch against a stale ``ln g`` snapshot is a different (biased)
+update rule.  Sequential commits make a super-step exactly equivalent to B
+round-robin scalar WL steps of a shared-``ln g`` team, which is the
+established multiple-walkers-per-window REWL scheme (Vogel et al. 2013), so
+the convergence guarantees carry over unchanged (E1-tested in
+``tests/test_batched_wl.py``).
+
+What batching changes is only *which* serial trajectory is realized: RNG
+draws are array-shaped (one draw per field per super-step) rather than the
+scalar sampler's per-step draw sequence.  ``batch_size=1`` therefore does
+not use this class at all — :func:`make_wang_landau` returns the plain
+scalar :class:`WangLandauSampler`, keeping single-walker runs bit-identical
+to the pre-kernel implementation.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import replace
+
+import numpy as np
+
+from repro.sampling.base import register_sampler
+from repro.sampling.wang_landau import (
+    WalkerCounters,
+    WangLandauResult,
+    WangLandauSampler,
+    WLConfig,
+    _resolve_wl_args,
+)
+from repro.util.rng import as_generator
+
+__all__ = ["BatchedWangLandauSampler", "make_wang_landau"]
+
+
+def make_wang_landau(*args, **kwargs):
+    """Construct the right WL sampler for ``config.batch_size``.
+
+    ``batch_size <= 1`` returns the scalar :class:`WangLandauSampler`
+    (bit-identical trajectories); ``batch_size = K > 1`` returns a
+    :class:`BatchedWangLandauSampler` stepping K walkers per super-step.
+    Accepts the same keyword (and deprecated positional) arguments as the
+    samplers themselves.
+    """
+    resolved, cfg = _resolve_wl_args("make_wang_landau", args, dict(kwargs))
+    initial = np.asarray(resolved["initial_config"])
+    if cfg.batch_size <= 1:
+        if initial.ndim == 2:
+            if initial.shape[0] != 1:
+                raise ValueError(
+                    f"batch_size=1 but initial_config has {initial.shape[0]} rows"
+                )
+            initial = initial[0]
+        return WangLandauSampler(
+            hamiltonian=resolved["hamiltonian"], proposal=resolved["proposal"],
+            grid=resolved["grid"], initial_config=initial,
+            rng=resolved.get("rng"), config=cfg,
+        )
+    return BatchedWangLandauSampler(
+        hamiltonian=resolved["hamiltonian"], proposal=resolved["proposal"],
+        grid=resolved["grid"], initial_config=initial,
+        rng=resolved.get("rng"), config=cfg,
+    )
+
+
+@register_sampler("batched_wang_landau")
+class BatchedWangLandauSampler:
+    """B walkers of one window sharing a single ``ln g`` estimate.
+
+    Keyword-only construction, mirroring :class:`WangLandauSampler`::
+
+        BatchedWangLandauSampler(
+            hamiltonian=ham, proposal=prop, grid=window_grid,
+            initial_config=configs,          # (B, n_sites) or (n_sites,)
+            rng=seed, config=WLConfig(batch_size=B),
+        )
+
+    A 1-D ``initial_config`` is tiled to ``config.batch_size`` rows; a 2-D
+    one fixes B directly.  All rows must start inside ``grid``.
+
+    The flatness/schedule surface (``is_flat``, ``advance_modification_
+    factor``, ``ln_f``, ``n_iterations``, ``histogram``, ``visited``,
+    ``counters``) matches the scalar sampler, so the REWL driver, health
+    monitor, and checkpoints treat a batched team as one walker-shaped
+    object; per-walker state is reached through the ``slot_*`` accessors
+    (replica exchange swaps individual slots).  ``n_steps`` counts *walker*
+    steps — one super-step adds B.
+    """
+
+    def __init__(self, *args, **kwargs):
+        kwargs, cfg = _resolve_wl_args(type(self).__name__, args, kwargs)
+        hamiltonian = kwargs["hamiltonian"]
+        grid = kwargs["grid"]
+        initial = np.asarray(kwargs["initial_config"])
+        if initial.ndim == 1:
+            configs = np.tile(initial, (max(1, cfg.batch_size), 1))
+        else:
+            configs = np.array(initial, copy=True)
+        if cfg.batch_size != configs.shape[0]:
+            cfg = replace(cfg, batch_size=configs.shape[0])
+        self.cfg = cfg
+        self.hamiltonian = hamiltonian
+        self.proposal = kwargs["proposal"]
+        self.grid = grid
+        self.rng = as_generator(kwargs.get("rng"))
+        for row in configs:
+            hamiltonian.validate_config(row)
+        self.configs = configs
+        self.energies = hamiltonian.energies(configs)
+        self.bins = grid.index_array(self.energies).astype(np.int64)
+        if (self.bins < 0).any():
+            bad = int(np.argmax(self.bins < 0))
+            raise ValueError(
+                f"initial energy {self.energies[bad]:.6g} (walker {bad}) lies "
+                f"outside the grid [{grid.e_min:.6g}, {grid.e_max:.6g}]; use "
+                "drive_into_range"
+            )
+        self.ln_f = float(cfg.ln_f_init)
+        self.ln_f_final = float(cfg.ln_f_final)
+        self.flatness = float(cfg.flatness)
+        self.schedule = cfg.schedule
+        self.check_interval = (
+            max(1000, 100 * grid.n_bins)
+            if cfg.check_interval is None
+            else int(cfg.check_interval)
+        )
+
+        n = grid.n_bins
+        self.ln_g = np.zeros(n)
+        self.histogram = np.zeros(n, dtype=np.int64)
+        self.visited = np.zeros(n, dtype=bool)
+        self.n_steps = 0
+        self.n_accepted = 0
+        self.n_iterations = 0
+        self.iteration_steps: list[int] = []
+        self._steps_this_iteration = 0
+        self.slot_accepted = np.zeros(self.n_slots, dtype=np.int64)
+        self.slot_steps = np.zeros(self.n_slots, dtype=np.int64)
+        self.counters = WalkerCounters()
+        self.profiler = None
+        if cfg.profile_sample_every:
+            from repro.obs.profile import SectionProfiler
+
+            self.enable_profiling(SectionProfiler(sample_every=cfg.profile_sample_every))
+
+    # ----------------------------------------------------------------- slots
+
+    @property
+    def n_slots(self) -> int:
+        """Number of walkers stepped per super-step."""
+        return int(self.configs.shape[0])
+
+    def slot_energy(self, k: int) -> float:
+        return float(self.energies[k])
+
+    def slot_bin(self, k: int) -> int:
+        return int(self.bins[k])
+
+    def slot_config(self, k: int) -> np.ndarray:
+        """Walker ``k``'s configuration (a view — copy before mutating)."""
+        return self.configs[k]
+
+    def set_slot(self, k: int, config: np.ndarray, energy: float, bin_index: int) -> None:
+        """Overwrite walker ``k``'s state (replica exchange)."""
+        self.configs[k] = config
+        self.energies[k] = energy
+        self.bins[k] = bin_index
+
+    def enable_profiling(self, profiler) -> None:
+        """Attach a section profiler (same contract as the scalar sampler)."""
+        if self.profiler is not None:
+            raise RuntimeError("profiling is already enabled on this walker")
+        self.profiler = profiler
+        self.hamiltonian = self.hamiltonian.profiled(profiler)
+        self.proposal = self.proposal.profiled(profiler)
+
+    # ----------------------------------------------------------------- step
+
+    def step_batch(self) -> int:
+        """One super-step: every walker takes one WL step.  Returns accepts.
+
+        Proposal generation, ΔE, bin lookup and the acceptance noise are
+        vectorized over walkers; the accept/reject + ln g commit runs
+        walker-by-walker so each decision sees every earlier commit (see
+        the module docstring for why that ordering is load-bearing).
+        """
+        n_rows = self.n_slots
+        batch = self.proposal.propose_many(
+            self.configs, self.hamiltonian, self.rng, current_energies=self.energies
+        )
+        new_energies = self.energies + batch.delta_energies
+        new_bins = self.grid.index_array(new_energies).tolist()
+        ln_u = np.log(self.rng.random(n_rows)).tolist()
+        log_q = batch.log_q_ratios.tolist()
+        valid = None if batch.valid is None else batch.valid.tolist()
+
+        prof = self.profiler
+        t0 = prof.start("wl.batch_commit") if prof is not None else None
+        # Scalar indexing dominates the sequential commit, so it runs on
+        # plain Python lists; array state is written back vectorized below.
+        ln_g = self.ln_g.tolist()
+        bins = self.bins.tolist()
+        ln_f = self.ln_f
+        accepted_rows: list[int] = []
+        n_null = n_out = 0
+        for b in range(n_rows):
+            if valid is not None and not valid[b]:
+                n_null += 1
+            else:
+                nb = new_bins[b]
+                if nb < 0:
+                    n_out += 1
+                else:
+                    cur = bins[b]
+                    log_alpha = ln_g[cur] - ln_g[nb] + log_q[b]
+                    if log_alpha >= 0.0 or ln_u[b] < log_alpha:
+                        bins[b] = nb
+                        accepted_rows.append(b)
+            # Update the (possibly unchanged) current bin — mandatory for WL.
+            cur = bins[b]
+            ln_g[cur] += ln_f
+        deposits = np.asarray(bins)  # each walker's post-decision bin
+        self.ln_g[:] = ln_g
+        self.bins = deposits
+        self.histogram += np.bincount(deposits, minlength=self.grid.n_bins)
+        self.visited[deposits] = True
+        accepted = len(accepted_rows)
+        if accepted:
+            acc = np.asarray(accepted_rows)
+            self.configs[acc[:, None], batch.sites[acc]] = batch.new_values[acc]
+            self.energies[acc] = new_energies[acc]
+            self.slot_accepted[acc] += 1
+        if prof is not None:
+            prof.stop("wl.batch_commit", t0)
+        counters = self.counters
+        counters.null_proposals += n_null
+        counters.proposals += n_rows - n_null
+        counters.out_of_grid += n_out
+        counters.accepted += accepted
+        self.n_accepted += accepted
+        self.n_steps += n_rows
+        self._steps_this_iteration += n_rows
+        self.slot_steps += 1
+        return accepted
+
+    def steps(self, n_steps_per_walker: int) -> None:
+        """Run ``n_steps_per_walker`` super-steps (the REWL advance phase)."""
+        for _ in range(n_steps_per_walker):
+            self.step_batch()
+
+    # ----------------------------------------------------------- iteration
+
+    def is_flat(self) -> bool:
+        """Histogram flatness over the reachable-bin set (shared histogram)."""
+        prof = self.profiler
+        t0 = prof.start("wl.flat_check") if prof is not None else None
+        mask = self.visited
+        flat = False
+        if np.any(mask):
+            h = self.histogram[mask]
+            if not np.any(h == 0):
+                flat = float(h.min()) >= self.flatness * float(h.mean())
+        if prof is not None:
+            prof.stop("wl.flat_check", t0)
+        if flat:
+            self.counters.flat_checks_passed += 1
+        else:
+            self.counters.flat_checks_failed += 1
+        return flat
+
+    def advance_modification_factor(self) -> None:
+        """Halve ln f (respecting the 1/t floor) and reset the histogram.
+
+        The 1/t floor uses *total* walker steps across slots — with a shared
+        histogram receiving B deposits per super-step, total steps is the
+        quantity the Belardinelli–Pereyra argument applies to.
+        """
+        self.n_iterations += 1
+        self.iteration_steps.append(self._steps_this_iteration)
+        self._steps_this_iteration = 0
+        new_ln_f = self.ln_f / 2.0
+        if self.schedule == "one_over_t":
+            sweeps = max(1.0, self.n_steps / max(1, self.hamiltonian.n_sites))
+            new_ln_f = max(new_ln_f, 1.0 / sweeps)
+            if new_ln_f >= self.ln_f:
+                new_ln_f = 1.0 / sweeps
+        self.ln_f = new_ln_f
+        self.histogram[:] = 0
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, max_steps: int | None = None, telemetry=None) -> WangLandauResult:
+        """Iterate until ``ln f ≤ ln_f_final`` or ``max_steps`` walker steps."""
+        from repro.obs.profile import contribute_profile, profile_from_env
+
+        if max_steps is None:
+            max_steps = self.cfg.max_steps
+        if self.profiler is None:
+            env_profiler = profile_from_env()
+            if env_profiler is not None:
+                self.enable_profiling(env_profiler)
+        profile_before = (
+            self.profiler.as_dict() if self.profiler is not None else None
+        )
+        span = telemetry.span("wl.run") if telemetry is not None else nullcontext()
+        steps_before = self.n_steps
+        n_rows = self.n_slots
+        with span:
+            while self.n_steps < max_steps and self.ln_f > self.ln_f_final:
+                budget = min(self.check_interval, max_steps - self.n_steps)
+                for _ in range(max(1, budget // n_rows)):
+                    self.step_batch()
+                if self.is_flat():
+                    self.advance_modification_factor()
+                    if telemetry is not None:
+                        telemetry.emit(
+                            "wl_iteration",
+                            iteration=self.n_iterations,
+                            ln_f=self.ln_f,
+                            steps=self.n_steps,
+                            iteration_steps=self.iteration_steps[-1],
+                        )
+                elif self.schedule == "one_over_t" and self.ln_f <= 1.0 / max(
+                    1.0, self.n_steps / max(1, self.hamiltonian.n_sites)
+                ):
+                    sweeps = max(1.0, self.n_steps / max(1, self.hamiltonian.n_sites))
+                    self.ln_f = 1.0 / sweeps
+        if telemetry is not None:
+            telemetry.metrics.inc("wl.steps", self.n_steps - steps_before)
+        if profile_before is not None:
+            contribute_profile(self.profiler.delta_since(profile_before))
+            if telemetry is not None:
+                self.profiler.publish(telemetry.metrics)
+        return self.result()
+
+    def result(self) -> WangLandauResult:
+        ln_g = self.ln_g.copy()
+        if np.any(self.visited):
+            ln_g -= ln_g[self.visited].min()
+        return WangLandauResult(
+            grid=self.grid,
+            ln_g=ln_g,
+            histogram=self.histogram.copy(),
+            visited=self.visited.copy(),
+            converged=self.ln_f <= self.ln_f_final,
+            n_steps=self.n_steps,
+            n_iterations=self.n_iterations,
+            final_ln_f=self.ln_f,
+            acceptance_rate=self.n_accepted / self.n_steps if self.n_steps else 0.0,
+            iteration_steps=list(self.iteration_steps),
+            counters=replace(self.counters),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedWangLandauSampler(n_slots={self.n_slots}, "
+            f"n_bins={self.grid.n_bins}, ln_f={self.ln_f:.3g})"
+        )

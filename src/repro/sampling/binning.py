@@ -105,13 +105,14 @@ class EnergyGrid:
         """Vectorized :meth:`index`."""
         energies = np.asarray(energies, dtype=np.float64)
         if self.is_levels:
-            k = np.searchsorted(self._levels, energies)
-            out = np.full(energies.shape, -1, dtype=np.int64)
-            for cand_off in (-1, 0):
-                cand = np.clip(k + cand_off, 0, len(self._levels) - 1)
-                hit = np.abs(self._levels[cand] - energies) <= self._tol
-                out = np.where((out == -1) & hit, cand, out)
-            return out
+            levels = self._levels
+            k = np.searchsorted(levels, energies)
+            lo = np.maximum(k - 1, 0)  # preferred candidate, as in index()
+            hi = np.minimum(k, len(levels) - 1)
+            return np.where(
+                np.abs(levels[lo] - energies) <= self._tol, lo,
+                np.where(np.abs(levels[hi] - energies) <= self._tol, hi, -1),
+            ).astype(np.int64, copy=False)
         out = np.searchsorted(self._edges, energies, side="right") - 1
         out = np.minimum(out, self.n_bins - 1)
         outside = (energies < self._edges[0]) | (energies > self._edges[-1])

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.hamiltonians.base import Hamiltonian
 from repro.proposals.base import Proposal
+from repro.sampling.base import register_sampler
 from repro.util.rng import BufferedDraws, as_generator
 
 __all__ = ["MetropolisSampler", "RunStats"]
@@ -37,6 +38,7 @@ class RunStats:
         return self.n_accepted / self.n_steps if self.n_steps else 0.0
 
 
+@register_sampler("metropolis")
 class MetropolisSampler:
     """Single-chain Metropolis–Hastings sampler.
 

@@ -21,6 +21,7 @@ import numpy as np
 from repro.hamiltonians.base import Hamiltonian
 from repro.proposals.base import Proposal
 from repro.sampling.binning import EnergyGrid
+from repro.sampling.base import register_sampler
 from repro.util.rng import BufferedDraws, as_generator
 
 __all__ = ["MulticanonicalSampler", "MulticanonicalResult"]
@@ -51,6 +52,7 @@ class MulticanonicalResult:
         return out
 
 
+@register_sampler("multicanonical")
 class MulticanonicalSampler:
     """Fixed-weight flat-energy-walk sampler.
 

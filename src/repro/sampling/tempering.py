@@ -21,6 +21,7 @@ import numpy as np
 from repro.hamiltonians.base import Hamiltonian
 from repro.proposals.base import Proposal
 from repro.sampling.metropolis import MetropolisSampler
+from repro.sampling.base import register_sampler
 from repro.util.rng import RngFactory
 
 __all__ = ["ParallelTempering", "TemperingResult"]
@@ -46,6 +47,7 @@ class TemperingResult:
             )
 
 
+@register_sampler("tempering")
 class ParallelTempering:
     """Replica-exchange Metropolis over a β ladder.
 

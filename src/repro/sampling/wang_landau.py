@@ -31,10 +31,77 @@ import numpy as np
 
 from repro.hamiltonians.base import Hamiltonian
 from repro.proposals.base import Proposal
+from repro.sampling.base import register_sampler
 from repro.sampling.binning import EnergyGrid
+from repro.util.deprecation import warn_once
 from repro.util.rng import BufferedDraws, as_generator
 
-__all__ = ["WangLandauSampler", "WangLandauResult", "WalkerCounters", "drive_into_range"]
+__all__ = [
+    "WLConfig",
+    "WangLandauSampler",
+    "WangLandauResult",
+    "WalkerCounters",
+    "drive_into_range",
+]
+
+
+@dataclass(frozen=True)
+class WLConfig:
+    """Tuning knobs for Wang-Landau sampling (mirrors ``REWLConfig``).
+
+    Passed as the keyword-only ``config=`` of :class:`WangLandauSampler`
+    (and of the batched stepper in :mod:`repro.sampling.batched`); loose
+    tuning keywords on the constructors are merged into this via
+    ``dataclasses.replace``, so a config object and ad-hoc overrides
+    compose.
+
+    ``batch_size`` selects batched multi-walker stepping through the
+    :func:`repro.sampling.batched.make_wang_landau` factory: 1 (default)
+    is the scalar sampler, K > 1 steps K walkers per super-step against a
+    shared ln g.  ``profile_sample_every`` > 0 attaches a
+    :class:`repro.obs.profile.SectionProfiler` with that sampling stride at
+    construction time.
+    """
+
+    ln_f_init: float = 1.0
+    ln_f_final: float = 1e-6
+    flatness: float = 0.8
+    check_interval: int | None = None
+    schedule: str = "halving"
+    max_steps: int = 50_000_000
+    batch_size: int = 1
+    profile_sample_every: int = 0
+
+    def __post_init__(self):
+        if self.schedule not in ("halving", "one_over_t"):
+            raise ValueError(f"unknown schedule {self.schedule!r}")
+        if not 0.0 < self.flatness < 1.0:
+            raise ValueError(f"flatness must be in (0, 1), got {self.flatness}")
+        if not 0.0 < self.ln_f_final < self.ln_f_init:
+            raise ValueError(
+                f"need 0 < ln_f_final < ln_f_init, got "
+                f"{self.ln_f_final}, {self.ln_f_init}"
+            )
+        if self.check_interval is not None and int(self.check_interval) < 1:
+            raise ValueError(f"check_interval must be >= 1, got {self.check_interval}")
+        if int(self.batch_size) < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if int(self.max_steps) < 1:
+            raise ValueError(f"max_steps must be >= 1, got {self.max_steps}")
+        if int(self.profile_sample_every) < 0:
+            raise ValueError(
+                f"profile_sample_every must be >= 0, got {self.profile_sample_every}"
+            )
+
+    def with_overrides(self, **overrides) -> "WLConfig":
+        """``dataclasses.replace`` with ``None`` values dropped.
+
+        The constructors funnel loose legacy tuning keywords through here;
+        an explicit ``check_interval=None`` is the field's default anyway,
+        so dropping Nones loses nothing.
+        """
+        overrides = {k: v for k, v in overrides.items() if v is not None}
+        return replace(self, **overrides) if overrides else self
 
 
 def drive_into_range(hamiltonian: Hamiltonian, proposal: Proposal, grid: EnergyGrid,
@@ -137,8 +204,83 @@ class WangLandauResult:
         return out
 
 
+#: Old positional parameter order, kept alive by the deprecation shim.
+_WL_POSITIONAL = (
+    "hamiltonian", "proposal", "grid", "initial_config", "rng",
+    "ln_f_init", "ln_f_final", "flatness", "check_interval", "schedule",
+)
+#: Legacy loose tuning keywords, merged into :class:`WLConfig`.
+_WL_TUNING = ("ln_f_init", "ln_f_final", "flatness", "check_interval", "schedule")
+
+
+def _resolve_wl_args(cls_name: str, args: tuple, kwargs: dict):
+    """Shared constructor-argument resolution for WL samplers.
+
+    Implements the migration contract: positional arguments and
+    ``config=<ndarray>`` (the old name of ``initial_config``) keep working
+    but warn (once per process per call shape); loose tuning keywords are
+    folded into the :class:`WLConfig`.  Returns ``(kwargs, cfg)`` with
+    ``kwargs`` holding only hamiltonian/proposal/grid/initial_config/rng.
+    """
+    if args:
+        if len(args) > len(_WL_POSITIONAL):
+            raise TypeError(
+                f"{cls_name} takes at most {len(_WL_POSITIONAL)} positional "
+                f"arguments ({len(args)} given)"
+            )
+        warn_once(
+            f"{cls_name}.positional",
+            f"positional {cls_name}(...) arguments are deprecated; pass "
+            "hamiltonian=, proposal=, grid=, initial_config=, rng= and a "
+            "config=WLConfig(...) instead",
+            stacklevel=4,
+        )
+        for name, value in zip(_WL_POSITIONAL, args):
+            if name in kwargs:
+                raise TypeError(f"{cls_name}() got multiple values for {name!r}")
+            kwargs[name] = value
+    cfg = kwargs.pop("config", None)
+    if cfg is not None and not isinstance(cfg, WLConfig):
+        # Pre-redesign name: ``config`` was the initial configuration array.
+        warn_once(
+            f"{cls_name}.config-array",
+            f"passing the initial configuration as {cls_name}(config=...) is "
+            "deprecated; use initial_config= (config= now takes a WLConfig)",
+            stacklevel=4,
+        )
+        if "initial_config" in kwargs:
+            raise TypeError(
+                f"{cls_name}() got both config=<array> and initial_config="
+            )
+        kwargs["initial_config"] = cfg
+        cfg = None
+    cfg = cfg if cfg is not None else WLConfig()
+    tuning = {k: kwargs.pop(k) for k in _WL_TUNING if k in kwargs}
+    cfg = cfg.with_overrides(**tuning)
+    unknown = set(kwargs) - {"hamiltonian", "proposal", "grid", "initial_config", "rng"}
+    if unknown:
+        raise TypeError(
+            f"{cls_name}() got unexpected keyword arguments {sorted(unknown)}"
+        )
+    missing = [
+        k for k in ("hamiltonian", "proposal", "grid", "initial_config")
+        if kwargs.get(k) is None
+    ]
+    if missing:
+        raise TypeError(f"{cls_name}() missing required arguments {missing}")
+    return kwargs, cfg
+
+
+@register_sampler("wang_landau")
 class WangLandauSampler:
     """Single-walker Wang–Landau sampler.
+
+    Keyword-only construction (see DESIGN.md §11 for migration notes)::
+
+        WangLandauSampler(
+            hamiltonian=ham, proposal=prop, grid=grid,
+            initial_config=cfg0, rng=seed, config=WLConfig(...),
+        )
 
     Parameters
     ----------
@@ -146,36 +288,33 @@ class WangLandauSampler:
     proposal : Proposal
     grid : EnergyGrid
         Energy window (global range, or one REWL window).
-    config : numpy.ndarray
+    initial_config : numpy.ndarray
         Initial configuration; its energy must lie inside ``grid`` (use
         :func:`drive_into_range` first otherwise).
     rng : seed or Generator
-    ln_f_init, ln_f_final : float
-        Initial and terminal modification factors.
-    flatness : float
-        Histogram flatness threshold (min/mean over reachable bins).
-    check_interval : int
-        Steps between flatness checks (default: 100·n_bins, floored at 1000).
-    schedule : {"halving", "one_over_t"}
+    config : WLConfig
+        Schedule/flatness/step tuning; loose ``ln_f_init=...``-style
+        keywords are still accepted and merged into it.
+
+    The pre-redesign positional signature keeps working for one release and
+    emits a ``DeprecationWarning`` once per process.  Note the attribute
+    ``self.config`` remains the *configuration array* (REWL exchange and
+    checkpoints rely on it); the tuning object is ``self.cfg``.
     """
 
-    def __init__(self, hamiltonian: Hamiltonian, proposal: Proposal, grid: EnergyGrid,
-                 config: np.ndarray, rng=None, ln_f_init: float = 1.0,
-                 ln_f_final: float = 1e-6, flatness: float = 0.8,
-                 check_interval: int | None = None, schedule: str = "halving"):
-        if schedule not in ("halving", "one_over_t"):
-            raise ValueError(f"unknown schedule {schedule!r}")
-        if not 0.0 < flatness < 1.0:
-            raise ValueError(f"flatness must be in (0, 1), got {flatness}")
-        if not 0.0 < ln_f_final < ln_f_init:
-            raise ValueError(
-                f"need 0 < ln_f_final < ln_f_init, got {ln_f_final}, {ln_f_init}"
-            )
+    def __init__(self, *args, **kwargs):
+        kwargs, cfg = _resolve_wl_args(type(self).__name__, args, kwargs)
+        hamiltonian = kwargs["hamiltonian"]
+        proposal = kwargs["proposal"]
+        grid = kwargs["grid"]
+        self.cfg = cfg
         self.hamiltonian = hamiltonian
         self.proposal = proposal
         self.grid = grid
-        self.rng = BufferedDraws(as_generator(rng))
-        self.config = hamiltonian.validate_config(np.array(config, copy=True))
+        self.rng = BufferedDraws(as_generator(kwargs.get("rng")))
+        self.config = hamiltonian.validate_config(
+            np.array(kwargs["initial_config"], copy=True)
+        )
         self.energy = float(hamiltonian.energy(self.config))
         self.current_bin = grid.index(self.energy)
         if self.current_bin < 0:
@@ -183,12 +322,14 @@ class WangLandauSampler:
                 f"initial energy {self.energy:.6g} lies outside the grid "
                 f"[{grid.e_min:.6g}, {grid.e_max:.6g}]; use drive_into_range"
             )
-        self.ln_f = float(ln_f_init)
-        self.ln_f_final = float(ln_f_final)
-        self.flatness = float(flatness)
-        self.schedule = schedule
+        self.ln_f = float(cfg.ln_f_init)
+        self.ln_f_final = float(cfg.ln_f_final)
+        self.flatness = float(cfg.flatness)
+        self.schedule = cfg.schedule
         self.check_interval = (
-            max(1000, 100 * grid.n_bins) if check_interval is None else int(check_interval)
+            max(1000, 100 * grid.n_bins)
+            if cfg.check_interval is None
+            else int(cfg.check_interval)
         )
 
         n = grid.n_bins
@@ -206,6 +347,10 @@ class WangLandauSampler:
         # Optional section profiler (repro.obs.profile); None keeps the hot
         # loop at a single attribute check.  Enable via enable_profiling().
         self.profiler = None
+        if cfg.profile_sample_every:
+            from repro.obs.profile import SectionProfiler
+
+            self.enable_profiling(SectionProfiler(sample_every=cfg.profile_sample_every))
 
     def enable_profiling(self, profiler) -> None:
         """Attach a :class:`repro.obs.profile.SectionProfiler` to this walker.
@@ -307,16 +452,19 @@ class WangLandauSampler:
         self.ln_f = new_ln_f
         self.histogram[:] = 0
 
-    def run(self, max_steps: int = 50_000_000, telemetry=None) -> WangLandauResult:
+    def run(self, max_steps: int | None = None, telemetry=None) -> WangLandauResult:
         """Iterate until ``ln f ≤ ln_f_final`` or ``max_steps`` is exhausted.
 
-        ``telemetry`` (a :class:`repro.obs.Telemetry`) is used per *WL
-        iteration*, never per step, and is deliberately not stored on the
-        sampler: walkers must stay cheaply picklable for process executors.
-        Enabling it changes no sampler state (bit-identity is tested).
+        ``max_steps`` defaults to ``self.cfg.max_steps``.  ``telemetry`` (a
+        :class:`repro.obs.Telemetry`) is used per *WL iteration*, never per
+        step, and is deliberately not stored on the sampler: walkers must
+        stay cheaply picklable for process executors.  Enabling it changes
+        no sampler state (bit-identity is tested).
         """
         from repro.obs.profile import contribute_profile, profile_from_env
 
+        if max_steps is None:
+            max_steps = self.cfg.max_steps
         if self.profiler is None:
             env_profiler = profile_from_env()
             if env_profiler is not None:

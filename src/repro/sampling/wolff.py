@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.hamiltonians.ising import IsingHamiltonian
+from repro.sampling.base import register_sampler
 from repro.util.rng import BufferedDraws, as_generator
 
 __all__ = ["WolffSampler", "WolffStats"]
@@ -37,6 +38,7 @@ class WolffStats:
         return self.total_flipped / self.n_clusters if self.n_clusters else 0.0
 
 
+@register_sampler("wolff")
 class WolffSampler:
     """Cluster-flip sampler for zero-field ferromagnetic Ising models.
 

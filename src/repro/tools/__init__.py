@@ -1,0 +1,11 @@
+"""Developer tooling: repo-hygiene checks run from CI.
+
+- :mod:`repro.tools.lint` — ``python -m repro tools lint-api`` greps the
+  tree for imports/calls of deprecated API paths so the deprecation shims
+  stay *external-facing only* (the repo itself must use the canonical
+  names).
+"""
+
+from repro.tools.lint import lint_api
+
+__all__ = ["lint_api"]

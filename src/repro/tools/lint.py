@@ -1,0 +1,93 @@
+"""API-deprecation lint: fail CI when the repo uses its own shims.
+
+Deprecation shims (``Hamiltonian.energy_batch``, positional sampler
+constructors, removed modules) exist for *downstream* callers; in-repo code
+must use the canonical spellings or the shims can never be retired.  This
+lint is a plain line-grep — fast, zero imports of the checked code — over
+``src/``, ``tests/``, ``benchmarks/`` and ``examples/``.
+
+A line may opt out with a trailing ``# lint-api: allow`` marker (used by
+the tests that exercise the shims themselves).
+
+Run as ``python -m repro tools lint-api [root]``; exits 1 on any hit.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+__all__ = ["DEPRECATED_PATTERNS", "lint_api", "main"]
+
+#: (compiled pattern, human-readable reason) — one entry per retired path.
+DEPRECATED_PATTERNS: list[tuple[re.Pattern[str], str]] = [
+    (
+        re.compile(r"repro\.util\.timers"),
+        "repro.util.timers was removed; import Timer/TimerRegistry from repro.obs.tracing",
+    ),
+    (
+        re.compile(r"\.energy_batch\("),
+        "Hamiltonian.energy_batch() is deprecated; call .energies()",
+    ),
+]
+
+#: Marker suppressing the lint for a single line.
+ALLOW_MARKER = "# lint-api: allow"
+
+#: Directories scanned, relative to the repo root.
+SCAN_DIRS = ("src", "tests", "benchmarks", "examples")
+
+#: Subtrees never scanned (the lint's own pattern table would match itself).
+EXCLUDE_PARTS = ("repro/tools", "egg-info", "__pycache__")
+
+
+def _iter_files(root: Path):
+    for base in SCAN_DIRS:
+        directory = root / base
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            if any(part in rel for part in EXCLUDE_PARTS):
+                continue
+            yield path
+
+
+def lint_api(root: str | Path = ".") -> list[tuple[str, int, str, str]]:
+    """Scan the tree; return ``(relpath, lineno, line, reason)`` violations."""
+    root = Path(root).resolve()
+    violations: list[tuple[str, int, str, str]] = []
+    for path in _iter_files(root):
+        rel = path.relative_to(root).as_posix()
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):  # unreadable file: not lintable
+            continue
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if ALLOW_MARKER in line:
+                continue
+            for pattern, reason in DEPRECATED_PATTERNS:
+                if pattern.search(line):
+                    violations.append((rel, lineno, line.strip(), reason))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(argv or [])
+    if argv and argv[0] in ("-h", "--help"):
+        print("usage: python -m repro tools lint-api [root]")
+        return 0
+    root = argv[0] if argv else "."
+    violations = lint_api(root)
+    for rel, lineno, line, reason in violations:
+        print(f"{rel}:{lineno}: {line}\n    ^ {reason}", file=sys.stderr)
+    if violations:
+        print(f"lint-api: {len(violations)} deprecated-API use(s)", file=sys.stderr)
+        return 1
+    print("lint-api: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

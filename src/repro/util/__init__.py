@@ -13,7 +13,7 @@ every other subpackage may depend on it.  It provides
   API entry points.
 
 Wall-clock instrumentation (``Timer``/``TimerRegistry``) lives in
-:mod:`repro.obs.tracing`; the :mod:`repro.util.timers` shim is deprecated.
+:mod:`repro.obs.tracing`.
 """
 
 from repro.util.numerics import (

@@ -1,0 +1,36 @@
+"""Warn-once deprecation helper.
+
+The API-migration contract (DESIGN.md §11) is that every deprecated entry
+point keeps working for one release and emits a ``DeprecationWarning``
+**exactly once per process** — loud enough to show up in logs, quiet enough
+not to drown a long REWL campaign that constructs thousands of walkers
+through a legacy call site.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_once", "reset_deprecation_warnings"]
+
+_WARNED: set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> bool:
+    """Emit ``DeprecationWarning(message)`` the first time ``key`` is seen.
+
+    Returns True when the warning fired (first call for this key).  The
+    default ``stacklevel`` points two frames above the deprecated entry
+    point — at the deprecated call site rather than the shim that detected
+    it; shims with an extra resolution frame pass a deeper level.
+    """
+    if key in _WARNED:
+        return False
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    return True
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which warnings fired (test isolation only)."""
+    _WARNED.clear()

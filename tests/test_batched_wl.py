@@ -1,0 +1,244 @@
+"""Batched multi-walker Wang-Landau: correctness and bit-identity.
+
+Three contracts from the kernels redesign:
+
+1. ``batch_size=1`` changes nothing — :func:`make_wang_landau` returns the
+   plain scalar sampler, so single-walker trajectories stay bit-identical
+   to the pre-kernel implementation (same RNG draw sequence and all).
+2. ``batch_size=K>1`` is a *different but correct* sampler: K walkers
+   sharing one ln g recover the exact 4x4 Ising density of states within
+   the same tolerance the scalar E1 validation uses.
+3. The REWL driver's ``batched_walkers`` mode converges, exchanges between
+   slots, stitches windows within tolerance, and round-trips through
+   checkpoints bit-identically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hamiltonians import IsingHamiltonian, enumerate_density_of_states
+from repro.lattice import square_lattice
+from repro.parallel import REWLConfig, REWLDriver
+from repro.parallel.checkpoint import load_checkpoint, save_checkpoint
+from repro.proposals import FlipProposal
+from repro.sampling import (
+    BatchedWangLandauSampler,
+    EnergyGrid,
+    WangLandauSampler,
+    WLConfig,
+    make_wang_landau,
+)
+
+
+@pytest.fixture(scope="module")
+def ising():
+    return IsingHamiltonian(square_lattice(4))
+
+
+@pytest.fixture(scope="module")
+def grid(ising):
+    return EnergyGrid.from_levels(ising.energy_levels())
+
+
+def exact_table(ising):
+    levels, degens = enumerate_density_of_states(ising)
+    return {float(e): float(np.log(d)) for e, d in zip(levels, degens)}
+
+
+def max_rel_error(result, exact):
+    centers = result.grid.centers
+    mg = result.masked_ln_g()
+    est, ex = [], []
+    for k in np.nonzero(result.visited)[0]:
+        e = float(centers[k])
+        if e in exact:
+            est.append(mg[k])
+            ex.append(exact[e])
+    est = np.array(est) - est[0]
+    ex = np.array(ex) - ex[0]
+    return np.abs(est - ex).max()
+
+
+class TestBatchSizeOneIsScalar:
+    def test_factory_returns_scalar_sampler(self, ising, grid):
+        wl = make_wang_landau(
+            hamiltonian=ising, proposal=FlipProposal(), grid=grid,
+            initial_config=np.zeros(16, dtype=np.int8), rng=0,
+            config=WLConfig(batch_size=1),
+        )
+        assert type(wl) is WangLandauSampler
+
+    def test_single_row_2d_initial_is_squeezed(self, ising, grid):
+        wl = make_wang_landau(
+            hamiltonian=ising, proposal=FlipProposal(), grid=grid,
+            initial_config=np.zeros((1, 16), dtype=np.int8), rng=0,
+        )
+        assert type(wl) is WangLandauSampler
+        assert wl.config.shape == (16,)
+
+    def test_multirow_initial_with_batch_one_raises(self, ising, grid):
+        with pytest.raises(ValueError, match="rows"):
+            make_wang_landau(
+                hamiltonian=ising, proposal=FlipProposal(), grid=grid,
+                initial_config=np.zeros((3, 16), dtype=np.int8), rng=0,
+                config=WLConfig(batch_size=1),
+            )
+
+    def test_trajectory_bit_identical_to_direct_scalar(self, ising, grid):
+        """Same seed through the factory and the class: identical runs."""
+        a = make_wang_landau(
+            hamiltonian=ising, proposal=FlipProposal(), grid=grid,
+            initial_config=np.zeros(16, dtype=np.int8), rng=7,
+            config=WLConfig(ln_f_final=1e-2),
+        )
+        b = WangLandauSampler(
+            hamiltonian=ising, proposal=FlipProposal(), grid=grid,
+            initial_config=np.zeros(16, dtype=np.int8), rng=7,
+            config=WLConfig(ln_f_final=1e-2),
+        )
+        res_a = a.run(max_steps=30_000)
+        res_b = b.run(max_steps=30_000)
+        assert res_a.n_steps == res_b.n_steps
+        assert np.array_equal(res_a.ln_g, res_b.ln_g)
+        assert np.array_equal(res_a.histogram, res_b.histogram)
+        assert np.array_equal(a.config, b.config)
+
+
+class TestBatchedSampler:
+    def test_factory_returns_batched_for_k_gt_1(self, ising, grid):
+        wl = make_wang_landau(
+            hamiltonian=ising, proposal=FlipProposal(), grid=grid,
+            initial_config=np.zeros(16, dtype=np.int8), rng=0,
+            config=WLConfig(batch_size=4),
+        )
+        assert type(wl) is BatchedWangLandauSampler
+        assert wl.n_slots == 4
+
+    def test_2d_initial_fixes_batch_size(self, ising, grid):
+        configs = np.zeros((3, 16), dtype=np.int8)
+        wl = BatchedWangLandauSampler(
+            hamiltonian=ising, proposal=FlipProposal(), grid=grid,
+            initial_config=configs, rng=0, config=WLConfig(batch_size=8),
+        )
+        assert wl.n_slots == 3
+        assert wl.cfg.batch_size == 3
+
+    def test_out_of_grid_initial_raises(self, ising):
+        narrow = EnergyGrid.uniform(-32.0, -20.0, 8)
+        with pytest.raises(ValueError, match="outside the grid"):
+            BatchedWangLandauSampler(
+                hamiltonian=ising, proposal=FlipProposal(), grid=narrow,
+                initial_config=np.eye(4, dtype=np.int8)[0].repeat(4),
+                rng=0, config=WLConfig(batch_size=4),
+            )
+
+    def test_step_batch_counts_walker_steps(self, ising, grid):
+        wl = BatchedWangLandauSampler(
+            hamiltonian=ising, proposal=FlipProposal(), grid=grid,
+            initial_config=np.zeros(16, dtype=np.int8), rng=0,
+            config=WLConfig(batch_size=5),
+        )
+        wl.step_batch()
+        assert wl.n_steps == 5
+        assert wl.histogram.sum() == 5  # one deposit per walker
+        wl.steps(3)
+        assert wl.n_steps == 20
+        assert np.array_equal(wl.slot_steps, np.full(5, 4))
+
+    def test_slot_accessors_roundtrip(self, ising, grid):
+        wl = BatchedWangLandauSampler(
+            hamiltonian=ising, proposal=FlipProposal(), grid=grid,
+            initial_config=np.zeros(16, dtype=np.int8), rng=0,
+            config=WLConfig(batch_size=2),
+        )
+        cfg = np.ones(16, dtype=np.int8)
+        e = ising.energy(cfg)
+        wl.set_slot(1, cfg, e, grid.index(e))
+        assert wl.slot_energy(1) == e
+        assert wl.slot_bin(1) == grid.index(e)
+        assert np.array_equal(wl.slot_config(1), cfg)
+        # slot 0 untouched
+        assert wl.slot_energy(0) == ising.energy(np.zeros(16, dtype=np.int8))
+
+    def test_k4_recovers_exact_dos(self, ising, grid):
+        """E1 validation at batch_size=4: same tolerance as the scalar test."""
+        wl = make_wang_landau(
+            hamiltonian=ising, proposal=FlipProposal(), grid=grid,
+            initial_config=np.zeros(16, dtype=np.int8), rng=0,
+            config=WLConfig(batch_size=4, ln_f_final=1e-5),
+        )
+        res = wl.run(max_steps=5_000_000)
+        assert res.converged
+        assert max_rel_error(res, exact_table(ising)) < 0.4
+
+
+class TestBatchedREWL:
+    @pytest.fixture(scope="class")
+    def batched_result(self):
+        ham = IsingHamiltonian(square_lattice(4))
+        grid = EnergyGrid.from_levels(ham.energy_levels())
+        driver = REWLDriver(
+            hamiltonian=ham, proposal_factory=lambda: FlipProposal(),
+            grid=grid, initial_config=np.zeros(16, dtype=np.int8),
+            config=REWLConfig(n_windows=3, walkers_per_window=2, overlap=0.6,
+                              exchange_interval=1500, ln_f_final=3e-4, seed=1,
+                              batched_walkers=True),
+        )
+        return driver.run()
+
+    def test_converges(self, batched_result):
+        assert batched_result.converged
+        assert all(it >= 10 for it in batched_result.window_iterations)
+
+    def test_stitched_matches_exact(self, batched_result):
+        ising = IsingHamiltonian(square_lattice(4))
+        exact = exact_table(ising)
+        stitched = batched_result.stitched()
+        pairs = [
+            (v, exact[float(e)])
+            for e, v in zip(stitched.energies(), stitched.values())
+            if float(e) in exact
+        ]
+        est = np.array([p[0] for p in pairs])
+        ex = np.array([p[1] for p in pairs])
+        err = np.abs((est - est[0]) - (ex - ex[0]))
+        assert err.max() < 0.5
+
+    def test_one_snapshot_per_slot(self, batched_result):
+        # 3 windows x 2 slots
+        assert len(batched_result.walkers) == 6
+        for snap in batched_result.walkers:
+            assert snap.n_steps > 0
+
+    def test_checkpoint_roundtrip_bit_identical(self, tmp_path):
+        """run(A+B) == run(A) -> checkpoint -> restore -> run(B), batched."""
+        ham = IsingHamiltonian(square_lattice(4))
+        grid = EnergyGrid.from_levels(ham.energy_levels())
+
+        def make_driver():
+            return REWLDriver(
+                hamiltonian=ham, proposal_factory=lambda: FlipProposal(),
+                grid=grid, initial_config=np.zeros(16, dtype=np.int8),
+                config=REWLConfig(n_windows=2, walkers_per_window=2,
+                                  overlap=0.6, exchange_interval=300,
+                                  ln_f_final=1e-6, seed=5,
+                                  batched_walkers=True),
+            )
+
+        straight = make_driver()
+        straight.run(max_rounds=6)
+        ref = straight.result()
+
+        first = make_driver()
+        first.run(max_rounds=3)
+        ckpt = save_checkpoint(first, tmp_path / "batched.ckpt")
+
+        resumed = make_driver()
+        load_checkpoint(resumed, ckpt)
+        resumed.run(max_rounds=6)
+        res = resumed.result()
+
+        assert res.rounds == ref.rounds
+        for a, b in zip(ref.window_ln_g, res.window_ln_g):
+            assert np.array_equal(a, b)
+        assert np.array_equal(ref.exchange_accepts, res.exchange_accepts)

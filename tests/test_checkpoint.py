@@ -26,8 +26,9 @@ def make_driver(seed=3, n_windows=2, walkers=2, checkpoint_path=None,
     ham = IsingHamiltonian(square_lattice(4))
     grid = EnergyGrid.from_levels(ham.energy_levels())
     return REWLDriver(
-        ham, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
-        REWLConfig(n_windows=n_windows, walkers_per_window=walkers,
+        hamiltonian=ham, proposal_factory=lambda: FlipProposal(), grid=grid,
+        initial_config=np.zeros(16, dtype=np.int8),
+        config=REWLConfig(n_windows=n_windows, walkers_per_window=walkers,
                    exchange_interval=300, ln_f_final=1e-6, seed=seed,
                    checkpoint_interval=checkpoint_interval),
         checkpoint_path=checkpoint_path,
@@ -111,10 +112,11 @@ class TestCheckpointValidation:
         ckpt = save_checkpoint(driver, tmp_path / "c.ckpt")
         ham = IsingHamiltonian(square_lattice(4))
         other = REWLDriver(
-            ham, lambda: FlipProposal(),
-            EnergyGrid.uniform(-40.0, 40.0, 12), np.zeros(16, dtype=np.int8),
-            REWLConfig(n_windows=2, walkers_per_window=2, exchange_interval=300,
-                       seed=3),
+            hamiltonian=ham, proposal_factory=lambda: FlipProposal(),
+            grid=EnergyGrid.uniform(-40.0, 40.0, 12),
+            initial_config=np.zeros(16, dtype=np.int8),
+            config=REWLConfig(n_windows=2, walkers_per_window=2,
+                              exchange_interval=300, seed=3),
         )
         with pytest.raises(ValueError, match="grid_n_bins"):
             load_checkpoint(other, ckpt)

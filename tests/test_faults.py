@@ -214,9 +214,10 @@ class TestREWLUnderChaos:
 
     def _run(self, ising, grid, executor=None):
         driver = REWLDriver(
-            ising, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
-            REWLConfig(n_windows=3, walkers_per_window=2, overlap=0.6,
-                       exchange_interval=800, ln_f_final=5e-3, seed=21),
+            hamiltonian=ising, proposal_factory=lambda: FlipProposal(),
+            grid=grid, initial_config=np.zeros(16, dtype=np.int8),
+            config=REWLConfig(n_windows=3, walkers_per_window=2, overlap=0.6,
+                              exchange_interval=800, ln_f_final=5e-3, seed=21),
             executor=executor,
         )
         return driver.run()
@@ -250,9 +251,10 @@ class TestREWLUnderChaos:
         tel = Telemetry()
         inj = FaultInjector(FaultConfig(crash=0.3, seed=1))
         driver = REWLDriver(
-            ising, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
-            REWLConfig(n_windows=2, walkers_per_window=1, exchange_interval=200,
-                       ln_f_final=5e-3, seed=3),
+            hamiltonian=ising, proposal_factory=lambda: FlipProposal(),
+            grid=grid, initial_config=np.zeros(16, dtype=np.int8),
+            config=REWLConfig(n_windows=2, walkers_per_window=1,
+                              exchange_interval=200, ln_f_final=5e-3, seed=3),
             executor=SerialExecutor(faults=inj, retry_backoff=0.0),
             telemetry=tel,
         )

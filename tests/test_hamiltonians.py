@@ -97,10 +97,10 @@ class TestIncrementalConsistency:
                 ham.delta_energy_swap(cfg, int(ii[k]), int(jj[k])), abs=1e-9
             )
 
-    def test_energy_batch_matches_scalar(self, any_ham):
+    def test_energies_matches_scalar(self, any_ham):
         ham = any_ham
         cfgs = np.stack([random_cfg(ham, s) for s in range(6)])
-        batch = ham.energy_batch(cfgs)
+        batch = ham.energies(cfgs)
         for k in range(6):
             assert batch[k] == pytest.approx(ham.energy(cfgs[k]))
 

@@ -1,0 +1,223 @@
+"""Property tests for repro.kernels: batched kernels == scalar kernels.
+
+The vectorized ``*_alternatives`` / ``*_many`` shapes must agree with the
+scalar ΔE/energy paths on every Hamiltonian — any divergence silently
+corrupts batched Wang-Landau sampling, so the agreement is property-tested
+over random configurations and move sets.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.hamiltonians import IsingHamiltonian, PairHamiltonian, PottsHamiltonian
+from repro.hamiltonians.base import Hamiltonian
+from repro.kernels import PairTables, ops
+from repro.lattice import square_lattice
+from repro.util.deprecation import reset_deprecation_warnings
+
+
+def random_cfg(ham, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, ham.n_species, ham.n_sites).astype(np.int8)
+
+
+@pytest.fixture
+def pair_2shell_field():
+    """Generic 2-shell pair model with an on-site field (3 species)."""
+    rng = np.random.default_rng(7)
+    mats = []
+    for _ in range(2):
+        m = rng.normal(size=(3, 3))
+        mats.append((m + m.T) / 2.0)
+    return PairHamiltonian(
+        square_lattice(4), mats, field=rng.normal(size=3), name="generic"
+    )
+
+
+@pytest.fixture(params=["ising", "potts", "hea", "generic"])
+def any_ham(request, ising_4x4, potts3_4x4, hea_small, pair_2shell_field):
+    return {
+        "ising": ising_4x4,
+        "potts": potts3_4x4,
+        "hea": hea_small,
+        "generic": pair_2shell_field,
+    }[request.param]
+
+
+class TestPairTables:
+    def test_table_shapes(self, pair_2shell_field):
+        ham = pair_2shell_field
+        t = ham.tables
+        assert t.n_species == 3
+        assert t.n_shells == 2
+        assert t.cat_table.shape == (ham.n_sites, t.n_neighbor_cols)
+        assert t.diff_rows.shape == (3, 3, 3 * 2)  # (S, S, S * n_shells)
+        assert t.corr_by_col.shape == (t.n_neighbor_cols, 3, 3)
+        assert t.shell_offsets.shape == (t.n_neighbor_cols,)
+        assert t.shell_of_col.shape == (t.n_neighbor_cols,)
+
+    def test_diff_rows_are_matrix_differences(self, pair_2shell_field):
+        t = pair_2shell_field.tables
+        S = t.n_species
+        for a in range(S):
+            for b in range(S):
+                for s, V in enumerate(t.shell_matrices):
+                    for c in range(S):
+                        assert t.diff_rows[a, b, c + s * S] == pytest.approx(
+                            V[b, c] - V[a, c]
+                        )
+
+    def test_bond_corr_identity(self, pair_2shell_field):
+        t = pair_2shell_field.tables
+        for s, V in enumerate(t.shell_matrices):
+            expected = (
+                np.diag(V)[:, None] + np.diag(V)[None, :] - 2.0 * V
+            )
+            np.testing.assert_allclose(t.bond_corr[s], expected)
+        for col in range(t.n_neighbor_cols):
+            np.testing.assert_array_equal(
+                t.corr_by_col[col], t.bond_corr[t.shell_of_col[col]]
+            )
+
+
+class TestEnergies:
+    def test_energies_matches_scalar(self, any_ham):
+        cfgs = np.stack([random_cfg(any_ham, s) for s in range(8)])
+        batch = any_ham.energies(cfgs)
+        assert batch.shape == (8,)
+        for k in range(8):
+            assert batch[k] == pytest.approx(any_ham.energy(cfgs[k]))
+
+    def test_energies_accepts_single_config(self, any_ham):
+        cfg = random_cfg(any_ham, 0)
+        batch = any_ham.energies(cfg)
+        assert batch.shape == (1,)
+        assert batch[0] == pytest.approx(any_ham.energy(cfg))
+
+
+class TestAlternativesKernels:
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_swap_alternatives_matches_scalar(self, any_ham, seed):
+        ham = any_ham
+        rng = np.random.default_rng(seed)
+        cfg = random_cfg(ham, seed)
+        ii = rng.integers(0, ham.n_sites, 25)
+        jj = rng.integers(0, ham.n_sites, 25)
+        batch = ham.delta_energy_swap_batch(cfg, ii, jj)
+        for k in range(25):
+            assert batch[k] == pytest.approx(
+                ham.delta_energy_swap(cfg, int(ii[k]), int(jj[k])), abs=1e-9
+            )
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_flip_alternatives_matches_scalar(self, any_ham, seed):
+        ham = any_ham
+        rng = np.random.default_rng(seed)
+        cfg = random_cfg(ham, seed)
+        sites = rng.integers(0, ham.n_sites, 25)
+        news = rng.integers(0, ham.n_species, 25)
+        batch = ham.delta_energy_flip_batch(cfg, sites, news)
+        for k in range(25):
+            assert batch[k] == pytest.approx(
+                ham.delta_energy_flip(cfg, int(sites[k]), int(news[k])), abs=1e-9
+            )
+
+
+class TestManyKernels:
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_swap_many_matches_scalar(self, any_ham, seed):
+        ham = any_ham
+        rng = np.random.default_rng(seed)
+        B = 12
+        cfgs = np.stack([random_cfg(ham, seed + k) for k in range(B)])
+        ii = rng.integers(0, ham.n_sites, B)
+        jj = rng.integers(0, ham.n_sites, B)
+        batch = ham.delta_energy_swap_many(cfgs, ii, jj)
+        assert batch.shape == (B,)
+        for b in range(B):
+            assert batch[b] == pytest.approx(
+                ham.delta_energy_swap(cfgs[b], int(ii[b]), int(jj[b])), abs=1e-9
+            )
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_flip_many_matches_scalar(self, any_ham, seed):
+        ham = any_ham
+        rng = np.random.default_rng(seed)
+        B = 12
+        cfgs = np.stack([random_cfg(ham, seed + k) for k in range(B)])
+        sites = rng.integers(0, ham.n_sites, B)
+        news = rng.integers(0, ham.n_species, B)
+        batch = ham.delta_energy_flip_many(cfgs, sites, news)
+        assert batch.shape == (B,)
+        for b in range(B):
+            assert batch[b] == pytest.approx(
+                ham.delta_energy_flip(cfgs[b], int(sites[b]), int(news[b])), abs=1e-9
+            )
+
+    def test_many_consistent_with_full_recompute(self, any_ham):
+        """Applying each row's move changes energies(configs) by ΔE_many."""
+        ham = any_ham
+        rng = np.random.default_rng(11)
+        B = 6
+        cfgs = np.stack([random_cfg(ham, 100 + k) for k in range(B)])
+        before = ham.energies(cfgs)
+        ii = rng.integers(0, ham.n_sites, B)
+        jj = rng.integers(0, ham.n_sites, B)
+        deltas = ham.delta_energy_swap_many(cfgs, ii, jj)
+        after_cfgs = cfgs.copy()
+        for b in range(B):
+            after_cfgs[b, ii[b]], after_cfgs[b, jj[b]] = (
+                after_cfgs[b, jj[b]], after_cfgs[b, ii[b]],
+            )
+        np.testing.assert_allclose(
+            ham.energies(after_cfgs), before + deltas, atol=1e-8
+        )
+
+
+class TestBaseClassDefaults:
+    """The Hamiltonian base-class loops must agree with the fast overrides."""
+
+    def test_default_many_loops_match_overrides(self, any_ham):
+        ham = any_ham
+        rng = np.random.default_rng(5)
+        B = 8
+        cfgs = np.stack([random_cfg(ham, 200 + k) for k in range(B)])
+        ii = rng.integers(0, ham.n_sites, B)
+        jj = rng.integers(0, ham.n_sites, B)
+        sites = rng.integers(0, ham.n_sites, B)
+        news = rng.integers(0, ham.n_species, B)
+        np.testing.assert_allclose(
+            Hamiltonian.delta_energy_swap_many(ham, cfgs, ii, jj),
+            ham.delta_energy_swap_many(cfgs, ii, jj), atol=1e-9,
+        )
+        np.testing.assert_allclose(
+            Hamiltonian.delta_energy_flip_many(ham, cfgs, sites, news),
+            ham.delta_energy_flip_many(cfgs, sites, news), atol=1e-9,
+        )
+        np.testing.assert_allclose(
+            Hamiltonian.energies(ham, cfgs), ham.energies(cfgs), atol=1e-9,
+        )
+
+
+class TestDeprecatedAlias:
+    def test_energy_batch_warns_exactly_once(self, ising_4x4):
+        reset_deprecation_warnings()
+        cfgs = np.stack([random_cfg(ising_4x4, s) for s in range(3)])
+        with pytest.warns(DeprecationWarning, match="energies"):
+            out = ising_4x4.energy_batch(cfgs)  # lint-api: allow
+        np.testing.assert_allclose(out, ising_4x4.energies(cfgs))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ising_4x4.energy_batch(cfgs)  # lint-api: allow — second call silent

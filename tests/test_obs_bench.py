@@ -27,8 +27,8 @@ from repro.sampling import EnergyGrid, WangLandauSampler
 def bench_tiny_wl(benchmark):
     ham = IsingHamiltonian(square_lattice(4))
     grid = EnergyGrid.from_levels(ham.energy_levels())
-    wl = WangLandauSampler(ham, FlipProposal(), grid,
-                           np.zeros(16, dtype=np.int8), rng=0)
+    wl = WangLandauSampler(hamiltonian=ham, proposal=FlipProposal(), grid=grid,
+                           initial_config=np.zeros(16, dtype=np.int8), rng=0)
     benchmark.extra_info["steps_per_round"] = 200
 
     def block():

@@ -28,8 +28,9 @@ def _driver(telemetry=None, **kwargs):
     ham = IsingHamiltonian(square_lattice(4))
     grid = EnergyGrid.from_levels(ham.energy_levels())
     return REWLDriver(
-        ham, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
-        REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
+        hamiltonian=ham, proposal_factory=lambda: FlipProposal(), grid=grid,
+        initial_config=np.zeros(16, dtype=np.int8),
+        config=REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
                    exchange_interval=200, ln_f_final=5e-2, seed=11),
         telemetry=telemetry, **kwargs,
     )

@@ -32,7 +32,8 @@ def _wl(seed=0, **kwargs):
     ham = _ising()
     grid = EnergyGrid.from_levels(ham.energy_levels())
     return WangLandauSampler(
-        ham, FlipProposal(), grid, np.zeros(16, dtype=np.int8),
+        hamiltonian=ham, proposal=FlipProposal(), grid=grid,
+        initial_config=np.zeros(16, dtype=np.int8),
         rng=seed, **kwargs,
     )
 

@@ -21,8 +21,9 @@ def _rewl_driver(telemetry=None, seed=3):
     ham = IsingHamiltonian(square_lattice(4))
     grid = EnergyGrid.from_levels(ham.energy_levels())
     return REWLDriver(
-        ham, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
-        REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
+        hamiltonian=ham, proposal_factory=lambda: FlipProposal(), grid=grid,
+        initial_config=np.zeros(16, dtype=np.int8),
+        config=REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
                    exchange_interval=500, ln_f_final=1e-2, seed=seed),
         telemetry=telemetry,
     )
@@ -53,9 +54,10 @@ class TestWalkerCounters:
     def test_wl_result_counters(self):
         ham = IsingHamiltonian(square_lattice(4))
         grid = EnergyGrid.from_levels(ham.energy_levels())
-        wl = WangLandauSampler(ham, FlipProposal(), grid,
-                               np.zeros(16, dtype=np.int8), rng=0,
-                               ln_f_final=0.25)
+        wl = WangLandauSampler(hamiltonian=ham, proposal=FlipProposal(),
+                               grid=grid,
+                               initial_config=np.zeros(16, dtype=np.int8),
+                               rng=0, ln_f_final=0.25)
         result = wl.run(max_steps=50_000)
         c = result.counters
         assert c.proposals + c.null_proposals == result.n_steps

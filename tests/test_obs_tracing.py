@@ -58,16 +58,15 @@ class TestTimerRegistry:
         for line in lines[1:]:
             assert line[calls_end - 1] == "1"
 
-    def test_compat_shim_import_warns(self):
+    def test_compat_shim_removed(self):
+        # The deprecated re-export module is gone; the canonical home is
+        # repro.obs.tracing (lint-api enforces no in-repo references).
         import importlib
         import sys
 
-        sys.modules.pop("repro.util.timers", None)
-        with pytest.warns(DeprecationWarning, match="repro.obs.tracing"):
-            shim = importlib.import_module("repro.util.timers")
-
-        assert shim.Timer is Timer
-        assert shim.TimerRegistry is TimerRegistry
+        sys.modules.pop("repro.util.timers", None)  # lint-api: allow
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.util.timers")  # lint-api: allow
 
 
 class TestSpans:

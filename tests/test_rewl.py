@@ -27,8 +27,9 @@ def run_driver(ising, grid, executor=None, seed=11, **cfg_kwargs):
     )
     defaults.update(cfg_kwargs)
     driver = REWLDriver(
-        ising, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
-        REWLConfig(**defaults), executor=executor,
+        hamiltonian=ising, proposal_factory=lambda: FlipProposal(), grid=grid,
+        initial_config=np.zeros(16, dtype=np.int8),
+        config=REWLConfig(**defaults), executor=executor,
     )
     return driver.run()
 
@@ -144,9 +145,10 @@ class TestREWLMechanics:
 
     def test_max_rounds_cutoff(self, ising, grid):
         driver = REWLDriver(
-            ising, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
-            REWLConfig(n_windows=2, walkers_per_window=1, exchange_interval=100,
-                       ln_f_final=1e-12, seed=0),
+            hamiltonian=ising, proposal_factory=lambda: FlipProposal(),
+            grid=grid, initial_config=np.zeros(16, dtype=np.int8),
+            config=REWLConfig(n_windows=2, walkers_per_window=1,
+                              exchange_interval=100, ln_f_final=1e-12, seed=0),
         )
         res = driver.run(max_rounds=3)
         assert not res.converged
@@ -156,8 +158,10 @@ class TestREWLMechanics:
         """Merging averages the *relative* ln g of each walker (offsets are
         arbitrary WL constants and must not leak into the mean)."""
         driver = REWLDriver(
-            ising, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
-            REWLConfig(n_windows=1, walkers_per_window=2, exchange_interval=100, seed=0),
+            hamiltonian=ising, proposal_factory=lambda: FlipProposal(),
+            grid=grid, initial_config=np.zeros(16, dtype=np.int8),
+            config=REWLConfig(n_windows=1, walkers_per_window=2,
+                              exchange_interval=100, seed=0),
         )
         team = driver.walkers[0]
         n = team[0].ln_g.shape[0]
@@ -174,8 +178,10 @@ class TestREWLMechanics:
 
     def test_merge_respects_visited(self, ising, grid):
         driver = REWLDriver(
-            ising, lambda: FlipProposal(), grid, np.zeros(16, dtype=np.int8),
-            REWLConfig(n_windows=1, walkers_per_window=2, exchange_interval=100, seed=0),
+            hamiltonian=ising, proposal_factory=lambda: FlipProposal(),
+            grid=grid, initial_config=np.zeros(16, dtype=np.int8),
+            config=REWLConfig(n_windows=1, walkers_per_window=2,
+                              exchange_interval=100, seed=0),
         )
         team = driver.walkers[0]
         team[0].ln_g[:] = 4.0

@@ -1,4 +1,4 @@
-"""Tests for repro.util rng / timers / tables / validation."""
+"""Tests for repro.util rng / tables / validation."""
 
 import time
 

@@ -41,7 +41,8 @@ class TestWangLandauIsing:
         ham = IsingHamiltonian(square_lattice(4))
         grid = EnergyGrid.from_levels(ham.energy_levels())
         wl = WangLandauSampler(
-            ham, FlipProposal(), grid, np.zeros(16, dtype=np.int8),
+            hamiltonian=ham, proposal=FlipProposal(), grid=grid,
+            initial_config=np.zeros(16, dtype=np.int8),
             rng=0, ln_f_final=1e-5,
         )
         return ham, wl.run(max_steps=5_000_000)
@@ -78,7 +79,9 @@ class TestWangLandauCanonical:
         levels, degen_counts = np.unique(np.round(energies, 9), return_counts=True)
         grid = EnergyGrid.from_levels(levels)
         cfg = random_configuration(16, counts, rng=1)
-        wl = WangLandauSampler(ising_4x4, SwapProposal(), grid, cfg, rng=2, ln_f_final=1e-5)
+        wl = WangLandauSampler(hamiltonian=ising_4x4, proposal=SwapProposal(),
+                               grid=grid, initial_config=cfg, rng=2,
+                               ln_f_final=1e-5)
         res = wl.run(max_steps=5_000_000)
         assert res.converged
         compare_to_exact(res, levels, degen_counts, atol=0.4)
@@ -90,14 +93,16 @@ class TestWangLandauMechanics:
         defaults = dict(rng=0, ln_f_final=1e-3)
         defaults.update(kwargs)
         return WangLandauSampler(
-            ising_4x4, FlipProposal(), grid, np.zeros(16, dtype=np.int8), **defaults
+            hamiltonian=ising_4x4, proposal=FlipProposal(), grid=grid,
+            initial_config=np.zeros(16, dtype=np.int8), **defaults
         )
 
     def test_out_of_range_initial_raises(self, ising_4x4):
         grid = EnergyGrid.uniform(-32.0, -20.0, 8)
         with pytest.raises(ValueError):
             WangLandauSampler(
-                ising_4x4, FlipProposal(), grid, np.eye(4, dtype=np.int8)[0].repeat(4), rng=0
+                hamiltonian=ising_4x4, proposal=FlipProposal(), grid=grid,
+                initial_config=np.eye(4, dtype=np.int8)[0].repeat(4), rng=0
             )
 
     def test_invalid_schedule_raises(self, ising_4x4):
@@ -137,7 +142,8 @@ class TestWangLandauMechanics:
     def test_one_over_t_converges(self, ising_4x4):
         grid = EnergyGrid.from_levels(ising_4x4.energy_levels())
         wl = WangLandauSampler(
-            ising_4x4, FlipProposal(), grid, np.zeros(16, dtype=np.int8),
+            hamiltonian=ising_4x4, proposal=FlipProposal(), grid=grid,
+            initial_config=np.zeros(16, dtype=np.int8),
             rng=3, ln_f_final=5e-4, schedule="one_over_t",
         )
         res = wl.run(max_steps=2_000_000)
