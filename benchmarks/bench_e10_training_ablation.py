@@ -4,6 +4,7 @@ import numpy as np
 
 from repro.lattice import one_hot, random_configuration
 from repro.nn import MADE, Adam, CategoricalVAE, MADEConfig, VAEConfig
+from repro.training import ReplayBuffer
 
 
 def _batch(n_sites, n_species, batch=64, seed=0):
@@ -42,6 +43,32 @@ def bench_vae_log_marginal_s16(benchmark):
 
     out = benchmark(model.log_marginal, x, 16, rng)
     assert np.isfinite(out[0])
+
+
+def bench_training_round_throughput(benchmark, throughput):
+    """One online-refresh round: buffer sample → one-hot encode → MADE step.
+
+    Exercises the vectorized ``ReplayBuffer.sample_one_hot`` encoding path
+    (single-scatter batch one-hot, no per-row Python loop) feeding a
+    gradient step — the per-refresh unit of the Phase-2 training loop;
+    steps/s counts training examples.
+    """
+    n_sites, n_species, batch = 54, 4, 64
+    buf = ReplayBuffer(capacity=512, n_sites=n_sites, n_species=n_species)
+    fill_rng = np.random.default_rng(6)
+    for _ in range(512):
+        buf.add(fill_rng.integers(0, n_species, n_sites).astype(np.int8))
+    model = MADE(MADEConfig(n_sites, n_species, hidden=(128,)), rng=0)
+    opt = Adam(model.parameters(), lr=1e-3)
+    rng = np.random.default_rng(7)
+    throughput(batch)
+
+    def round_():
+        data = buf.sample_one_hot(batch, rng)
+        return model.train_step(data, opt)
+
+    metrics = benchmark(round_)
+    assert np.isfinite(metrics["loss"])
 
 
 def bench_made_sampling(benchmark):

@@ -9,8 +9,22 @@ Wang-Landau stepping speedup delivered by the batched multi-walker mode
 
 import numpy as np
 
-from repro.proposals import FlipProposal, SwapProposal
+from repro.nn import MADE, MADEConfig
+from repro.proposals import FlipProposal, MADEProposal, SwapProposal
 from repro.sampling import EnergyGrid, MetropolisSampler, WLConfig, make_wang_landau
+
+
+def _made_proposal(hea):
+    """Small MADE proposal over the 54-site NbMoTaW system.
+
+    ``composition="free"`` keeps both benches on the one-forward-per-call
+    inference path (no reject/repair retries), so the scalar/batched pair
+    isolates exactly the per-walker model-call overhead the batched path
+    amortizes.
+    """
+    model = MADE(MADEConfig(n_sites=hea.n_sites, n_species=hea.n_species,
+                            hidden=(64,)), rng=0)
+    return MADEProposal(model, composition="free")
 
 
 def bench_delta_energy_swap(benchmark, hea, hea_config, throughput):
@@ -82,6 +96,49 @@ def bench_energies(benchmark, hea, hea_config, throughput):
 
     out = benchmark(hea.energies, configs)
     assert out.shape == (64,)
+
+
+def bench_dl_propose_scalar(benchmark, hea, hea_config, throughput):
+    """Per-walker DL proposal calls: 8 walkers, 8 model sampling passes.
+
+    The batch_size=1 reference for ``bench_dl_propose_batched`` — steps/s
+    counts proposals, directly comparable between the two.
+    """
+    prop = _made_proposal(hea)
+    rng = np.random.default_rng(7)
+    e0 = float(hea.energy(hea_config))
+    B = 8
+    throughput(B)
+
+    def block():
+        moves = [
+            prop.propose(hea_config, hea, rng, current_energy=e0)
+            for _ in range(B)
+        ]
+        return len(moves)
+
+    assert benchmark(block) == B
+
+
+def bench_dl_propose_batched(benchmark, hea, hea_config, throughput):
+    """Team-batched DL proposal inference: 8 walkers, ONE model sampling pass.
+
+    The tentpole path: one ``model.sample(8)`` decode, one cached current
+    ``log q`` lookup, one batched full-config energy evaluation
+    (DESIGN.md §12).
+    """
+    prop = _made_proposal(hea)
+    rng = np.random.default_rng(7)
+    B = 8
+    configs = np.tile(hea_config, (B, 1))
+    energies = hea.energies(configs)
+    throughput(B)
+
+    def block():
+        move = prop.propose_many(configs, hea, rng, current_energies=energies)
+        return move.batch_size
+
+    assert benchmark(block) == B
 
 
 def bench_wl_steps_scalar(benchmark, ising_4x4, throughput):

@@ -121,18 +121,32 @@ def composition_fractions(config: np.ndarray, n_species: int) -> np.ndarray:
 
 
 def one_hot(config: np.ndarray, n_species: int) -> np.ndarray:
-    """One-hot encode, shape (n_sites, n_species), dtype float64.
+    """One-hot encode, dtype float64.
+
+    A 1-D configuration encodes to ``(n_sites, n_species)``; a 2-D batch of
+    configurations encodes to ``(B, n_sites, n_species)`` with a single
+    fancy-indexed scatter (no per-row Python loop) — row ``b`` of the result
+    is bit-identical to ``one_hot(config[b], n_species)``.
 
     This is the input representation for the deep-learning proposals.
     """
     config = np.asarray(config, dtype=np.int64)
+    if config.ndim not in (1, 2):
+        raise ValueError(
+            f"expected a (n_sites,) configuration or (B, n_sites) batch, "
+            f"got shape {config.shape}"
+        )
     if config.size and (config.min() < 0 or config.max() >= n_species):
         raise ValueError(
             f"species indices out of range [0, {n_species}): "
             f"[{config.min()}, {config.max()}]"
         )
-    out = np.zeros((config.shape[0], n_species), dtype=np.float64)
-    out[np.arange(config.shape[0]), config] = 1.0
+    out = np.zeros(config.shape + (n_species,), dtype=np.float64)
+    if config.ndim == 1:
+        out[np.arange(config.shape[0]), config] = 1.0
+    else:
+        B, n_sites = config.shape
+        out[np.arange(B)[:, None], np.arange(n_sites)[None, :], config] = 1.0
     return out
 
 

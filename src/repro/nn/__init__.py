@@ -42,6 +42,7 @@ from repro.nn.models.vae import CategoricalVAE, VAEConfig
 from repro.nn.models.made import MADE, MADEConfig
 from repro.nn.models.cmade import ConditionalMADE, ConditionalMADEConfig
 from repro.nn.serialization import save_params, load_params
+from repro.nn.workspace import Workspace, encode_one_hot
 
 __all__ = [
     "glorot_uniform",
@@ -71,4 +72,6 @@ __all__ = [
     "ConditionalMADEConfig",
     "save_params",
     "load_params",
+    "Workspace",
+    "encode_one_hot",
 ]

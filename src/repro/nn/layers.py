@@ -53,9 +53,23 @@ class Parameter:
 class Layer:
     """Base layer: parameter registry + forward/backward contract."""
 
+    #: Optional :class:`repro.nn.workspace.Workspace` the layer routes its
+    #: intermediates through (None = allocate per call, the default).
+    _workspace = None
+
     def parameters(self) -> list[Parameter]:
         """All trainable parameters (subclasses with params override)."""
         return []
+
+    def bind_workspace(self, workspace) -> None:
+        """Route forward/backward intermediates through ``workspace``.
+
+        Binding never changes results — ``out=`` variants of the same ops
+        are bit-identical — only where they are written.  Buffers are
+        borrowed per pass: a layer's output is valid until its next forward
+        (see :mod:`repro.nn.workspace`).  Pass ``None`` to unbind.
+        """
+        self._workspace = workspace
 
     def zero_grad(self) -> None:
         for p in self.parameters():
@@ -106,11 +120,23 @@ class Dense(Layer):
     def parameters(self) -> list[Parameter]:
         return [self.weight] + ([self.bias] if self.bias is not None else [])
 
-    def effective_weight(self) -> np.ndarray:
-        return self.weight.value if self.mask is None else self.weight.value * self.mask
+    def effective_weight(self, workspace=None) -> np.ndarray:
+        if self.mask is None:
+            return self.weight.value
+        if workspace is None:
+            return self.weight.value * self.mask
+        buf = workspace.take((id(self), "eff_w"), self.weight.value.shape)
+        return np.multiply(self.weight.value, self.mask, out=buf)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._x = x
+        ws = self._workspace
+        if ws is not None and x.ndim == 2:
+            y = np.matmul(x, self.effective_weight(ws),
+                          out=ws.take((id(self), "y"), (x.shape[0], self.out_features)))
+            if self.bias is not None:
+                y += self.bias.value
+            return y
         y = x @ self.effective_weight()
         if self.bias is not None:
             y = y + self.bias.value
@@ -119,6 +145,17 @@ class Dense(Layer):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise RuntimeError("backward called before forward")
+        ws = self._workspace
+        if ws is not None and grad_out.ndim == 2 and self._x.ndim == 2:
+            gw = np.matmul(self._x.T, grad_out,
+                           out=ws.take((id(self), "gw"), self.weight.value.shape))
+            if self.mask is not None:
+                gw *= self.mask
+            self.weight.grad += gw
+            if self.bias is not None:
+                self.bias.grad += grad_out.sum(axis=0)
+            gx = ws.take((id(self), "gx"), (grad_out.shape[0], self.in_features))
+            return np.matmul(grad_out, self.effective_weight(ws).T, out=gx)
         gw = self._x.T @ grad_out
         if self.mask is not None:
             gw *= self.mask
@@ -139,10 +176,18 @@ class ReLU(_Activation):
     """max(0, x)."""
 
     def forward(self, x):
+        ws = self._workspace
+        if ws is not None:
+            self._cache = np.greater(x, 0, out=ws.take((id(self), "mask"), x.shape, bool))
+            return np.maximum(x, 0.0, out=ws.take((id(self), "y"), x.shape))
         self._cache = x > 0
         return np.where(self._cache, x, 0.0)
 
     def backward(self, grad_out):
+        ws = self._workspace
+        if ws is not None:
+            return np.multiply(grad_out, self._cache,
+                               out=ws.take((id(self), "gx"), grad_out.shape))
         return grad_out * self._cache
 
 
@@ -165,11 +210,21 @@ class Tanh(_Activation):
     """Hyperbolic tangent."""
 
     def forward(self, x):
-        y = np.tanh(x)
+        ws = self._workspace
+        if ws is not None:
+            y = np.tanh(x, out=ws.take((id(self), "y"), x.shape))
+        else:
+            y = np.tanh(x)
         self._cache = y
         return y
 
     def backward(self, grad_out):
+        ws = self._workspace
+        if ws is not None:
+            t = ws.take((id(self), "gx"), grad_out.shape)
+            np.multiply(self._cache, self._cache, out=t)
+            np.subtract(1.0, t, out=t)
+            return np.multiply(grad_out, t, out=t)
         return grad_out * (1.0 - self._cache**2)
 
 
@@ -218,6 +273,12 @@ class Sequential(Layer):
 
     def parameters(self) -> list[Parameter]:
         return [p for layer in self.layers for p in layer.parameters()]
+
+    def bind_workspace(self, workspace) -> None:
+        """Bind ``workspace`` to every child layer (recursively)."""
+        self._workspace = workspace
+        for layer in self.layers:
+            layer.bind_workspace(workspace)
 
     def forward(self, x):
         for layer in self.layers:

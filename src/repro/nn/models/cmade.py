@@ -116,6 +116,11 @@ class ConditionalMADE:
         for p in self.parameters():
             p.zero_grad()
 
+    def bind_workspace(self, workspace) -> None:
+        """Preallocate layer intermediates in ``workspace``
+        (see :mod:`repro.nn.workspace`)."""
+        self.net.bind_workspace(workspace)
+
     # -------------------------------------------------------------- helpers
 
     def _check_x(self, x_onehot: np.ndarray) -> np.ndarray:

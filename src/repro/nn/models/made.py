@@ -105,6 +105,15 @@ class MADE:
         for p in self.parameters():
             p.zero_grad()
 
+    def bind_workspace(self, workspace) -> None:
+        """Preallocate layer intermediates in ``workspace``.
+
+        Steady-state forwards (sampling, ``log_prob`` scoring, training)
+        then reuse pooled buffers instead of allocating per call — see
+        :mod:`repro.nn.workspace` for the borrowing contract.
+        """
+        self.net.bind_workspace(workspace)
+
     # -------------------------------------------------------------- forward
 
     def _check_input(self, x_onehot: np.ndarray) -> np.ndarray:

@@ -106,6 +106,13 @@ class CategoricalVAE:
         for p in self.parameters():
             p.zero_grad()
 
+    def bind_workspace(self, workspace) -> None:
+        """Preallocate encoder/decoder intermediates in ``workspace``
+        (see :mod:`repro.nn.workspace`)."""
+        self.encoder.bind_workspace(workspace)
+        self.enc_head.bind_workspace(workspace)
+        self.decoder.bind_workspace(workspace)
+
     # ------------------------------------------------------------- encoding
 
     def _check_input(self, x_onehot: np.ndarray) -> np.ndarray:

@@ -378,8 +378,10 @@ def main_compare(argv=None) -> int:
     parser.add_argument("--warn-only", action="store_true",
                         help="always exit 0 (CI smoke mode)")
     parser.add_argument("--gate-only", metavar="SUBSTR", default=None,
+                        action="append",
                         help="exit 1 only for regressions whose name contains "
-                             "SUBSTR; others are reported but don't gate")
+                             "SUBSTR; others are reported but don't gate "
+                             "(repeatable — any match gates)")
     args = parser.parse_args(argv)
 
     try:
@@ -392,7 +394,8 @@ def main_compare(argv=None) -> int:
     print(render_compare(diff), end="")
     gating = diff["regressions"]
     if args.gate_only is not None:
-        gating = [name for name in gating if args.gate_only in name]
+        gating = [name for name in gating
+                  if any(sub in name for sub in args.gate_only)]
         if gating:
             print(f"gated regression(s) matching {args.gate_only!r}: "
                   f"{', '.join(gating)}")

@@ -27,6 +27,7 @@ Composition:
 """
 
 from repro.proposals.base import BatchMove, Move, Proposal
+from repro.proposals.cache import CurrentLogQCache
 from repro.proposals.local import (
     SwapProposal,
     NeighborSwapProposal,
@@ -42,6 +43,7 @@ __all__ = [
     "BatchMove",
     "Move",
     "Proposal",
+    "CurrentLogQCache",
     "SwapProposal",
     "NeighborSwapProposal",
     "FlipProposal",

@@ -70,9 +70,16 @@ class BatchMove:
     Attributes
     ----------
     sites : numpy.ndarray of shape (B, k)
-        Per-row indices of the sites whose species change.
+        Per-row indices of the sites whose species change.  ``k`` is the
+        widest move in the batch; rows whose move touches fewer than ``k``
+        sites are **padded by repeating their first (site, value) pair** —
+        an idempotent re-write of a site the move already sets, so applying
+        a padded row is a plain gather-scatter with no mask.  Rows with
+        ``valid[b] == False`` carry all-zero padding and must not be
+        applied.  Consumers that need the true move width should not infer
+        it from ``k``; global proposals always use ``k == n_sites``.
     new_values : numpy.ndarray of shape (B, k)
-        New species at those sites.
+        New species at those sites (padded in lockstep with ``sites``).
     delta_energies : numpy.ndarray of shape (B,)
         ``H(x'_b) − H(x_b)`` per row.
     log_q_ratios : numpy.ndarray of shape (B,)
@@ -88,6 +95,27 @@ class BatchMove:
     delta_energies: np.ndarray
     log_q_ratios: np.ndarray
     valid: np.ndarray | None = None
+
+    @classmethod
+    def global_update(cls, configs: np.ndarray, candidates: np.ndarray,
+                      delta_energies: np.ndarray, log_q_ratios: np.ndarray,
+                      valid: np.ndarray | None = None) -> "BatchMove":
+        """Whole-configuration moves: every row rewrites every site.
+
+        The common shape of the batched DL proposals — ``sites`` is a
+        read-only broadcast of ``arange(n_sites)`` (zero storage per row),
+        ``new_values`` the candidate configurations.  Rows flagged invalid
+        should carry their *current* configuration as the candidate so an
+        accidental apply is a no-op.
+        """
+        B, n_sites = configs.shape
+        return cls(
+            sites=np.broadcast_to(np.arange(n_sites, dtype=np.int64), (B, n_sites)),
+            new_values=np.asarray(candidates).astype(configs.dtype, copy=False),
+            delta_energies=np.asarray(delta_energies, dtype=np.float64),
+            log_q_ratios=np.asarray(log_q_ratios, dtype=np.float64),
+            valid=None if valid is None or valid.all() else valid,
+        )
 
     @property
     def batch_size(self) -> int:
@@ -151,23 +179,33 @@ class Proposal(abc.ABC):
         """
         configs = np.atleast_2d(configs)
         n_rows = configs.shape[0]
-        moves = []
-        for b in range(n_rows):
-            e = None if current_energies is None else float(current_energies[b])
-            moves.append(self.propose(configs[b], hamiltonian, rng, current_energy=e))
-        k = max((m.sites.shape[0] for m in moves if m is not None), default=1)
+        # Single pass: each move is packed as it is proposed.  The padded
+        # width starts at 1 and grows when a wider move appears; grown
+        # columns are back-filled with each earlier row's first (site,
+        # value) pair, which is exactly that row's pad value (see the
+        # :class:`BatchMove` pad semantics), so no second pass is needed.
+        k = 1
         sites = np.zeros((n_rows, k), dtype=np.int64)
         new_values = np.zeros((n_rows, k), dtype=configs.dtype)
         delta = np.zeros(n_rows, dtype=np.float64)
         log_q = np.zeros(n_rows, dtype=np.float64)
         valid = np.zeros(n_rows, dtype=bool)
-        for b, m in enumerate(moves):
+        for b in range(n_rows):
+            e = None if current_energies is None else float(current_energies[b])
+            m = self.propose(configs[b], hamiltonian, rng, current_energy=e)
             if m is None:
                 continue
             valid[b] = True
             width = m.sites.shape[0]
-            # Pad narrow rows by repeating their first (site, value) pair —
-            # an idempotent re-write, so apply_row stays a plain gather.
+            if width > k:
+                grow = width - k
+                sites = np.concatenate(
+                    [sites, np.repeat(sites[:, :1], grow, axis=1)], axis=1
+                )
+                new_values = np.concatenate(
+                    [new_values, np.repeat(new_values[:, :1], grow, axis=1)], axis=1
+                )
+                k = width
             sites[b, :width] = m.sites
             sites[b, width:] = m.sites[0]
             new_values[b, :width] = m.new_values

@@ -29,7 +29,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["repair_composition", "matches_composition", "COMPOSITION_MODES"]
+__all__ = [
+    "repair_composition",
+    "matches_composition",
+    "composition_counts_rows",
+    "first_match_per_row",
+    "COMPOSITION_MODES",
+]
 
 COMPOSITION_MODES = ("free", "reject", "repair")
 
@@ -38,6 +44,37 @@ def matches_composition(config: np.ndarray, target_counts: np.ndarray) -> bool:
     """True when ``config`` has exactly the target species counts."""
     counts = np.bincount(np.asarray(config, dtype=np.int64), minlength=len(target_counts))
     return bool(np.array_equal(counts, np.asarray(target_counts, dtype=np.int64)))
+
+
+def composition_counts_rows(configs: np.ndarray, n_species: int) -> np.ndarray:
+    """Species counts per row: ``(..., n_sites) -> (..., n_species)``.
+
+    One flat ``bincount`` with per-row offsets — no Python loop over rows,
+    so the batched DL proposals can composition-check a whole candidate
+    pool at once.
+    """
+    configs = np.asarray(configs, dtype=np.int64)
+    lead_shape = configs.shape[:-1]
+    flat = configs.reshape(-1, configs.shape[-1])
+    n_rows = flat.shape[0]
+    offsets = np.arange(n_rows, dtype=np.int64)[:, None] * n_species
+    counts = np.bincount((flat + offsets).ravel(), minlength=n_rows * n_species)
+    return counts.reshape(lead_shape + (n_species,))
+
+
+def first_match_per_row(pool: np.ndarray, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """First composition-matching candidate per row of a ``(B, T, n)`` pool.
+
+    ``targets`` is the ``(B, n_species)`` per-row target counts.  Returns
+    ``(first_index, has_match)``: the column of row ``b``'s first match in
+    its T-candidate pool (0 where none), and whether one exists — the
+    batched analogue of the scalar reject-mode scan.
+    """
+    n_species = targets.shape[-1]
+    pool_counts = composition_counts_rows(pool, n_species)  # (B, T, S)
+    match = (pool_counts == np.asarray(targets)[:, None, :]).all(axis=-1)
+    has = match.any(axis=1)
+    return np.argmax(match, axis=1), has
 
 
 def repair_composition(config: np.ndarray, target_counts: np.ndarray,

@@ -25,9 +25,13 @@ import numpy as np
 from repro.hamiltonians.base import Hamiltonian
 from repro.lattice.configuration import one_hot
 from repro.nn.models.cmade import ConditionalMADE
-from repro.proposals.base import Move, Proposal
+from repro.nn.workspace import Workspace
+from repro.proposals.base import BatchMove, Move, Proposal
+from repro.proposals.cache import CurrentLogQCache
 from repro.proposals.composition import (
     COMPOSITION_MODES,
+    composition_counts_rows,
+    first_match_per_row,
     matches_composition,
     repair_composition,
 )
@@ -65,6 +69,16 @@ class ConditionalMADEProposal(Proposal):
         self.max_reject_tries = check_integer("max_reject_tries", max_reject_tries, minimum=1)
         self.preserves_composition = composition != "free"
         self.name = f"cmade({composition})"
+        # Keyed on (config, reverse-conditioning) bytes: with a
+        # state-independent conditioner the reverse conditioning is
+        # constant, so rejected steps hit the cache exactly like MADE; a
+        # state-dependent conditioner changes the key with every candidate
+        # and the cache degrades to correct misses.
+        self._logq_cache = CurrentLogQCache()
+        #: Pooled layer intermediates for the model's forwards
+        #: (semantics-preserving — see :mod:`repro.nn.workspace`).
+        self.workspace = Workspace()
+        self.model.bind_workspace(self.workspace)
 
     def propose(self, config, hamiltonian: Hamiltonian, rng, current_energy=None):
         c = np.asarray(config)
@@ -80,13 +94,96 @@ class ConditionalMADEProposal(Proposal):
         # Reverse move: drawn from the kernel conditioned on the *proposed*
         # state (identical to cond_fwd when the conditioner ignores state).
         cond_rev = np.asarray(self.conditioner(candidate, new_energy), dtype=np.float64)
-        logq_old = float(self.model.log_prob(one_hot(c, n_species)[None], cond_rev)[0])
+        key = CurrentLogQCache.key(c, CurrentLogQCache.key(cond_rev))
+        logq_old = self._logq_cache.get(key)
+        if logq_old is None:
+            logq_old = float(self.model.log_prob(one_hot(c[None], n_species), cond_rev)[0])
+            self._logq_cache.put(key, logq_old)
         return Move(
             sites=np.arange(hamiltonian.n_sites),
             new_values=candidate.astype(c.dtype),
             delta_energy=new_energy - float(current_energy),
             log_q_ratio=logq_old - logq_new,
         )
+
+    def propose_many(self, configs, hamiltonian: Hamiltonian, rng,
+                     current_energies=None) -> BatchMove:
+        """Batched conditional inference: one pool draw + one reverse scoring.
+
+        The conditioner itself stays a per-row Python call (it is arbitrary
+        user code), but every model evaluation is batched: the candidate
+        pool is one ``model.sample(B·tries)`` (or ``sample(B)``) pass with
+        per-row conditioning, and all reverse densities — conditioned on
+        each row's *proposed* state, as detailed balance requires — are one
+        ``log_prob`` forward.
+        """
+        configs = np.atleast_2d(np.asarray(configs))
+        B = configs.shape[0]
+        n_species = self.model.config.n_species
+        if current_energies is None:
+            current_energies = hamiltonian.energies(configs)
+        current_energies = np.asarray(current_energies, dtype=np.float64)
+        cond_fwd = np.stack([
+            np.asarray(self.conditioner(configs[b], float(current_energies[b])),
+                       dtype=np.float64)
+            for b in range(B)
+        ])
+
+        valid = None
+        if self.composition == "free":
+            candidates, logq_new = self.model.sample(B, cond_fwd, rng, return_log_prob=True)
+        else:
+            tries = self.max_reject_tries
+            pool, pool_lp = self.model.sample(
+                B * tries, np.repeat(cond_fwd, tries, axis=0), rng, return_log_prob=True
+            )
+            pool = pool.reshape(B, tries, -1)
+            pool_lp = pool_lp.reshape(B, tries)
+            targets = composition_counts_rows(configs, n_species)
+            first, has = first_match_per_row(pool, targets)
+            candidates = pool[np.arange(B), first]
+            logq_new = pool_lp[np.arange(B), first].copy()
+            miss = np.nonzero(~has)[0]
+            if self.composition == "reject":
+                if len(miss):
+                    valid = has
+                    candidates[miss] = configs[miss]  # no-op rows, never applied
+                    logq_new[miss] = 0.0
+            elif len(miss):
+                repaired = np.stack([
+                    repair_composition(pool[b, 0], targets[b], rng) for b in miss
+                ])
+                candidates[miss] = repaired
+                logq_new[miss] = self.model.log_prob(
+                    one_hot(repaired, n_species), cond_fwd[miss]
+                )
+
+        new_energies = hamiltonian.energies(candidates)
+        cond_rev = np.stack([
+            np.asarray(self.conditioner(candidates[b], float(new_energies[b])),
+                       dtype=np.float64)
+            if (valid is None or valid[b]) else cond_fwd[b]
+            for b in range(B)
+        ])
+        extras = [CurrentLogQCache.key(cond_rev[b]) for b in range(B)]
+        values, missing, keys = self._logq_cache.lookup_many(configs, extras=extras)
+        if missing.any():
+            fresh = self.model.log_prob(
+                one_hot(configs[missing], n_species), cond_rev[missing]
+            )
+            self._logq_cache.store_many(keys, missing, values, fresh)
+        logq_old = values
+
+        delta = new_energies - current_energies
+        log_q = logq_old - logq_new
+        if valid is not None:
+            delta[~valid] = 0.0
+            log_q[~valid] = 0.0
+        return BatchMove.global_update(configs, candidates, delta, log_q, valid=valid)
+
+    def invalidate_cache(self) -> None:
+        """Drop cached ``log q`` values (call after retraining the model)."""
+        self._logq_cache.invalidate()
 
     def _draw(self, config, cond, rng, n_species):
         if self.composition == "free":
@@ -102,5 +199,5 @@ class ConditionalMADEProposal(Proposal):
         if self.composition == "reject":
             return None, None
         repaired = repair_composition(batch[0], target, rng)
-        lp = float(self.model.log_prob(one_hot(repaired, n_species)[None], cond)[0])
+        lp = float(self.model.log_prob(one_hot(repaired[None], n_species), cond)[0])
         return repaired, lp

@@ -5,7 +5,18 @@ Metropolis–Hastings correction carries no estimator noise — this proposal is
 the exactness cross-check for :class:`~repro.proposals.dl_vae.VAEProposal`
 (on small exactly-enumerable systems the MADE-driven chain must reproduce
 the Boltzmann distribution to statistical tolerance; see
-``tests/test_dl_proposals.py``).
+``tests/test_dl_proposals.py`` and the batched variant in
+``tests/test_dl_batched.py``).
+
+Batched inference (:meth:`MADEProposal.propose_many`): a K-walker team
+costs **one** model sampling pass (``model.sample(K·tries)`` draws the whole
+candidate pool), one ``log_prob`` forward for the stale current rows, and
+one batched full-config energy evaluation — instead of K of each.  The
+current-configuration ``log q`` is cached per walker
+(:class:`~repro.proposals.cache.CurrentLogQCache`): rejected steps leave a
+walker's configuration unchanged, so its score is only recomputed after an
+accepted move (content key changes) or model retraining
+(:meth:`invalidate_cache`).
 """
 
 from __future__ import annotations
@@ -15,9 +26,13 @@ import numpy as np
 from repro.hamiltonians.base import Hamiltonian
 from repro.lattice.configuration import one_hot
 from repro.nn.models.made import MADE
-from repro.proposals.base import Move, Proposal
+from repro.nn.workspace import Workspace
+from repro.proposals.base import BatchMove, Move, Proposal
+from repro.proposals.cache import CurrentLogQCache
 from repro.proposals.composition import (
     COMPOSITION_MODES,
+    composition_counts_rows,
+    first_match_per_row,
     matches_composition,
     repair_composition,
 )
@@ -37,7 +52,7 @@ class MADEProposal(Proposal):
         cancels); ``"repair"`` trades exactness for acceptance like the VAE
         (see :mod:`repro.proposals.composition`).
     max_reject_tries : int
-        Batch size for ``"reject"`` draws.
+        Batch size for ``"reject"`` draws (per walker in the batched path).
     """
 
     is_global = True
@@ -52,6 +67,12 @@ class MADEProposal(Proposal):
         self.max_reject_tries = check_integer("max_reject_tries", max_reject_tries, minimum=1)
         self.preserves_composition = composition != "free"
         self.name = f"made({composition})"
+        self._logq_cache = CurrentLogQCache()
+        #: Pooled layer intermediates for the model's forwards (sampling,
+        #: scoring, and training all reuse the same shape-keyed buffers;
+        #: binding is semantics-preserving — see :mod:`repro.nn.workspace`).
+        self.workspace = Workspace()
+        self.model.bind_workspace(self.workspace)
 
     def propose(self, config, hamiltonian: Hamiltonian, rng, current_energy=None):
         c = np.asarray(config)
@@ -73,10 +94,10 @@ class MADEProposal(Proposal):
                     return None
                 candidate = repair_composition(batch[0], target, rng)
                 logq_new = float(
-                    self.model.log_prob(one_hot(candidate, n_species)[None])[0]
+                    self.model.log_prob(one_hot(candidate[None], n_species))[0]
                 )
 
-        logq_old = float(self.model.log_prob(one_hot(c, n_species)[None])[0])
+        logq_old = self._log_q_current(c)
         if current_energy is None:
             current_energy = hamiltonian.energy(c)
         new_energy = float(hamiltonian.energy(candidate))
@@ -86,3 +107,80 @@ class MADEProposal(Proposal):
             delta_energy=new_energy - float(current_energy),
             log_q_ratio=logq_old - logq_new,
         )
+
+    # ------------------------------------------------------------- batched
+
+    def propose_many(self, configs, hamiltonian: Hamiltonian, rng,
+                     current_energies=None) -> BatchMove:
+        """One candidate pool, one scoring forward, one energy pass for B rows.
+
+        Per composition mode the candidate pool is ``model.sample(B)``
+        (``"free"``/the repair base draws) or ``model.sample(B·tries)``
+        chunked ``tries`` per row with first-match assignment (``"reject"``,
+        and the repair fast path) — per-row semantics identical to the
+        scalar kernel, so ``B=1`` draws the very same candidate from the
+        same RNG stream.
+        """
+        configs = np.atleast_2d(np.asarray(configs))
+        B = configs.shape[0]
+        n_species = self.model.config.n_species
+        valid = None
+
+        if self.composition == "free":
+            candidates, logq_new = self.model.sample(B, rng, return_log_prob=True)
+        else:
+            tries = self.max_reject_tries
+            pool, pool_lp = self.model.sample(B * tries, rng, return_log_prob=True)
+            pool = pool.reshape(B, tries, -1)
+            pool_lp = pool_lp.reshape(B, tries)
+            targets = composition_counts_rows(configs, n_species)
+            first, has = first_match_per_row(pool, targets)
+            rows = np.arange(B)
+            candidates = pool[rows, first]
+            logq_new = pool_lp[rows, first].copy()
+            miss = np.nonzero(~has)[0]
+            if self.composition == "reject":
+                if len(miss):
+                    valid = has
+                    candidates[miss] = configs[miss]  # no-op rows, never applied
+                    logq_new[miss] = 0.0
+            elif len(miss):
+                repaired = np.stack([
+                    repair_composition(pool[b, 0], targets[b], rng) for b in miss
+                ])
+                candidates[miss] = repaired
+                logq_new[miss] = self.model.log_prob(one_hot(repaired, n_species))
+
+        logq_old = self._log_q_current_many(configs)
+        if current_energies is None:
+            current_energies = hamiltonian.energies(configs)
+        delta = hamiltonian.energies(candidates) - np.asarray(current_energies, dtype=np.float64)
+        log_q = logq_old - logq_new
+        if valid is not None:
+            delta[~valid] = 0.0
+            log_q[~valid] = 0.0
+        return BatchMove.global_update(configs, candidates, delta, log_q, valid=valid)
+
+    # ----------------------------------------------------------- internals
+
+    def _log_q_current(self, config: np.ndarray) -> float:
+        key = CurrentLogQCache.key(config)
+        value = self._logq_cache.get(key)
+        if value is None:
+            value = float(self.model.log_prob(one_hot(config[None],
+                                                      self.model.config.n_species))[0])
+            self._logq_cache.put(key, value)
+        return value
+
+    def _log_q_current_many(self, configs: np.ndarray) -> np.ndarray:
+        values, missing, keys = self._logq_cache.lookup_many(configs)
+        if missing.any():
+            fresh = self.model.log_prob(
+                one_hot(configs[missing], self.model.config.n_species)
+            )
+            self._logq_cache.store_many(keys, missing, values, fresh)
+        return values
+
+    def invalidate_cache(self) -> None:
+        """Drop cached ``log q`` values (call after retraining the model)."""
+        self._logq_cache.invalidate()

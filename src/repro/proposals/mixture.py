@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hamiltonians.base import Hamiltonian
-from repro.proposals.base import Move, Proposal
+from repro.proposals.base import BatchMove, Move, Proposal
 
 __all__ = ["MixtureProposal"]
 
@@ -48,6 +48,67 @@ class MixtureProposal(Proposal):
         k = int(rng.choice(len(self.proposals), p=self.weights))
         self.counts[k] += 1
         return self.proposals[k].propose(config, hamiltonian, rng, current_energy=current_energy)
+
+    def propose_many(self, configs, hamiltonian: Hamiltonian, rng,
+                     current_energies=None) -> BatchMove:
+        """Draw a component per row, dispatch each group to its batched path.
+
+        The component choice stays state-independent (one array draw up
+        front), so the random-scan reversibility argument is unchanged.  Rows
+        assigned the same component are proposed in **one** ``propose_many``
+        call on that component — a team of B walkers costs at most
+        ``len(self.proposals)`` batched sub-calls (and typically one DL
+        forward-pass group per DL component), not B scalar proposals.
+        """
+        configs = np.atleast_2d(np.asarray(configs))
+        B = configs.shape[0]
+        if current_energies is not None:
+            current_energies = np.asarray(current_energies, dtype=np.float64)
+        ks = rng.choice(len(self.proposals), size=B, p=self.weights)
+        self.counts += np.bincount(ks, minlength=len(self.proposals))
+
+        sub: list[tuple[np.ndarray, BatchMove]] = []
+        k_max = 1
+        for comp in range(len(self.proposals)):
+            rows = np.nonzero(ks == comp)[0]
+            if not len(rows):
+                continue
+            move = self.proposals[comp].propose_many(
+                configs[rows], hamiltonian, rng,
+                current_energies=None if current_energies is None
+                else current_energies[rows],
+            )
+            sub.append((rows, move))
+            k_max = max(k_max, move.sites.shape[1])
+
+        sites = np.zeros((B, k_max), dtype=np.int64)
+        new_values = np.zeros((B, k_max), dtype=configs.dtype)
+        delta = np.zeros(B, dtype=np.float64)
+        log_q = np.zeros(B, dtype=np.float64)
+        valid = np.zeros(B, dtype=bool)
+        for rows, move in sub:
+            width = move.sites.shape[1]
+            sites[rows, :width] = move.sites
+            new_values[rows, :width] = move.new_values
+            if width < k_max:
+                # Narrow sub-batches keep the documented pad semantics:
+                # repeat each row's first (site, value) pair.
+                sites[rows, width:] = move.sites[:, :1]
+                new_values[rows, width:] = move.new_values[:, :1]
+            delta[rows] = move.delta_energies
+            log_q[rows] = move.log_q_ratios
+            valid[rows] = True if move.valid is None else move.valid
+        return BatchMove(
+            sites=sites, new_values=new_values, delta_energies=delta,
+            log_q_ratios=log_q, valid=None if valid.all() else valid,
+        )
+
+    def invalidate_cache(self) -> None:
+        """Forward cache invalidation to components that keep one."""
+        for p in self.proposals:
+            inv = getattr(p, "invalidate_cache", None)
+            if inv is not None:
+                inv()
 
     def component_fractions(self) -> np.ndarray:
         """Empirical fraction of steps each component served so far."""

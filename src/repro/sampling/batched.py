@@ -28,6 +28,14 @@ scalar sampler's per-step draw sequence.  ``batch_size=1`` therefore does
 not use this class at all — :func:`make_wang_landau` returns the plain
 scalar :class:`WangLandauSampler`, keeping single-walker runs bit-identical
 to the pre-kernel implementation.
+
+The deep-learning proposals batch the same entry point: their
+``propose_many`` overrides (DESIGN.md §12) run one model sampling pass, one
+density-scoring forward and one batched full-config energy evaluation per
+walker team, so a DL-driven (or mixture) batched chain amortizes the model
+cost over B walkers exactly like the local kernels amortize ΔE — the
+``tests/test_dl_batched.py`` E1-style test pins that this path still
+reproduces exact enumeration.
 """
 
 from __future__ import annotations

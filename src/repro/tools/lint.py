@@ -20,15 +20,27 @@ from pathlib import Path
 
 __all__ = ["DEPRECATED_PATTERNS", "lint_api", "main"]
 
-#: (compiled pattern, human-readable reason) — one entry per retired path.
-DEPRECATED_PATTERNS: list[tuple[re.Pattern[str], str]] = [
+#: (compiled pattern, human-readable reason, path prefix) — one entry per
+#: retired path.  A non-empty prefix scopes the rule to files under that
+#: subtree (repo-relative, posix), so idioms can be banned where a faster
+#: canonical spelling exists without outlawing them repo-wide.
+DEPRECATED_PATTERNS: list[tuple[re.Pattern[str], str, str]] = [
     (
         re.compile(r"repro\.util\.timers"),
         "repro.util.timers was removed; import Timer/TimerRegistry from repro.obs.tracing",
+        "",
     ),
     (
         re.compile(r"\.energy_batch\("),
         "Hamiltonian.energy_batch() is deprecated; call .energies()",
+        "",
+    ),
+    (
+        re.compile(r"one_hot\([^()]*\)\s*\[None\]"),
+        "per-row one_hot(...)[None] in proposal code defeats the batched "
+        "encoder; encode the 2-D batch directly (one_hot(x[None], ...) or "
+        "repro.nn.encode_one_hot)",
+        "src/repro/proposals/",
     ),
 ]
 
@@ -67,7 +79,9 @@ def lint_api(root: str | Path = ".") -> list[tuple[str, int, str, str]]:
         for lineno, line in enumerate(text.splitlines(), start=1):
             if ALLOW_MARKER in line:
                 continue
-            for pattern, reason in DEPRECATED_PATTERNS:
+            for pattern, reason, prefix in DEPRECATED_PATTERNS:
+                if prefix and not rel.startswith(prefix):
+                    continue
                 if pattern.search(line):
                     violations.append((rel, lineno, line.strip(), reason))
     return violations

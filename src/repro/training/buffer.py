@@ -58,9 +58,13 @@ class ReplayBuffer:
         return self._data[idx].copy()
 
     def sample_one_hot(self, batch_size: int, rng=None) -> np.ndarray:
-        """Uniform sample, one-hot encoded (B, n_sites, n_species)."""
-        batch = self.sample(batch_size, rng)
-        return np.stack([one_hot(row, self.n_species) for row in batch])
+        """Uniform sample, one-hot encoded (B, n_sites, n_species).
+
+        Encoded with the batched :func:`~repro.lattice.configuration.one_hot`
+        gather — one scatter for the whole batch, bit-identical to stacking
+        per-row encodings.
+        """
+        return one_hot(self.sample(batch_size, rng), self.n_species)
 
     def contents(self) -> np.ndarray:
         """All stored configurations (oldest-first not guaranteed)."""

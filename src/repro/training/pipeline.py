@@ -25,7 +25,6 @@ import numpy as np
 
 from repro.hamiltonians.base import Hamiltonian
 from repro.proposals.base import Proposal
-from repro.proposals.dl_vae import VAEProposal
 from repro.proposals.mixture import MixtureProposal
 from repro.sampling.metropolis import MetropolisSampler
 from repro.training.buffer import ReplayBuffer
@@ -144,8 +143,12 @@ class OnlineLoop:
                 if (k + 1) % harvest_interval == 0:
                     self.trainer.buffer.add(self.sampler.config)
             metrics = self.trainer.train_steps(self.refresh_train_steps)
-            if isinstance(self.dl_proposal, VAEProposal):
-                self.dl_proposal.invalidate_cache()
+            # Every DL proposal caches log q(x_current); retraining changes
+            # the density, so the cache must be dropped (the contract all
+            # four DL proposals share — see repro.proposals.cache).
+            invalidate = getattr(self.dl_proposal, "invalidate_cache", None)
+            if invalidate is not None:
+                invalidate()
             result.dl_acceptance_history.append(
                 self._dl_accepts / self._dl_attempts if self._dl_attempts else float("nan")
             )

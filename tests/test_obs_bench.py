@@ -91,6 +91,39 @@ class TestCompare:
         assert "regression" in text and "a" in text
 
 
+class TestGateOnlyCli:
+    def _write(self, tmp_path, name, means):
+        path = tmp_path / name
+        path.write_text(json.dumps(_snapshot(means)))
+        return str(path)
+
+    def test_gate_only_scopes_the_exit_code(self, tmp_path, capsys):
+        from repro.obs.bench import main_compare
+
+        old = self._write(tmp_path, "old.json",
+                          {"e9_steps": 1.0, "dl_propose_batched": 1.0})
+        new = self._write(tmp_path, "new.json",
+                          {"e9_steps": 1.0, "dl_propose_batched": 3.0})
+        # The regression is outside the gated substring: reported, exit 0.
+        assert main_compare([old, new, "--gate-only", "e9_steps"]) == 0
+        capsys.readouterr()
+
+    def test_gate_only_is_repeatable(self, tmp_path, capsys):
+        from repro.obs.bench import main_compare
+
+        old = self._write(tmp_path, "old.json",
+                          {"e9_steps": 1.0, "dl_propose_batched": 1.0})
+        new = self._write(tmp_path, "new.json",
+                          {"e9_steps": 1.0, "dl_propose_batched": 3.0})
+        # Repeated --gate-only gates on ANY matching substring (the CI
+        # bench-smoke job gates e9 throughput + the DL proposal metric).
+        code = main_compare([
+            old, new, "--gate-only", "e9_steps", "--gate-only", "dl_propose",
+        ])
+        assert code == 1
+        assert "dl_propose_batched" in capsys.readouterr().out
+
+
 class TestSnapshotFiles:
     def test_next_snapshot_path_skips_taken_numbers(self, tmp_path):
         assert next_snapshot_path(tmp_path).name == "BENCH_1.json"
