@@ -11,7 +11,13 @@ Run: ``pytest benchmarks/bench_obs_overhead.py --benchmark-only``.
 
 import numpy as np
 
-from repro.obs import JsonlSink, SectionProfiler, Telemetry
+from repro.obs import (
+    ConvergenceConfig,
+    ConvergenceLedger,
+    JsonlSink,
+    SectionProfiler,
+    Telemetry,
+)
 from repro.obs.events import EventLog
 from repro.parallel import REWLConfig, REWLDriver
 from repro.proposals import FlipProposal
@@ -97,6 +103,34 @@ def bench_rewl_round_null_telemetry(benchmark, ising_4x4):
         driver.rounds += 1
         driver._exchange_phase()
         driver._sync_phase()
+        return driver.rounds
+
+    assert benchmark(one_round) >= 1
+
+
+def bench_rewl_round_ledger(benchmark, ising_4x4):
+    """One REWL round with the ConvergenceLedger sampling *every* round.
+
+    Worst-case diagnostics cost (production default strides every 10th
+    round); gated in CI against the baseline alongside the other
+    bench_obs_overhead entries.
+    """
+    grid = EnergyGrid.from_levels(ising_4x4.energy_levels())
+    driver = REWLDriver(
+        hamiltonian=ising_4x4, proposal_factory=lambda: FlipProposal(),
+        grid=grid, initial_config=np.zeros(16, dtype=np.int8),
+        config=REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
+                   exchange_interval=1_000, ln_f_final=1e-12, seed=0),
+        telemetry=Telemetry(),
+        convergence=ConvergenceLedger(ConvergenceConfig(sample_every=1)),
+    )
+
+    def one_round():
+        driver._advance_phase()
+        driver.rounds += 1
+        driver._exchange_phase()
+        driver._sync_phase()
+        driver.convergence.observe_round(driver)
         return driver.rounds
 
     assert benchmark(one_round) >= 1

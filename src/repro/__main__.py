@@ -7,7 +7,8 @@ Commands
 ``info``          print version, subsystem inventory, and environment checks
 ``obs``           observability tools: ``report`` (trace digest), ``bench`` /
                   ``bench-compare`` (BENCH snapshots), ``dash`` / ``tail``
-                  (live run-health views)
+                  (live run-health views), ``export-trace`` (merge worker
+                  JSONL traces into a Chrome trace-event timeline)
 ``tools``         repo hygiene: ``lint-api`` (grep for deprecated API paths)
 """
 
@@ -34,11 +35,13 @@ obs subcommands:
   obs bench-compare OLD NEW              diff snapshots, flag regressions
   obs dash trace.jsonl [--watch N]       status board for a running campaign
   obs tail trace.jsonl [-f]              follow a JSONL trace
+  obs export-trace TRACE... [-o OUT]     merge traces into Chrome trace JSON
 """
 
 _OBS_USAGE = """usage: python -m repro obs <subcommand> [options]
 
-subcommands: report, bench, bench-compare, dash, tail (see --help on each)
+subcommands: report, bench, bench-compare, dash, tail, export-trace
+(see --help on each)
 """
 
 
@@ -67,6 +70,10 @@ def _obs(argv: list[str]) -> int:
         from repro.obs.dash import main_tail
 
         return main_tail(rest)
+    if sub == "export-trace":
+        from repro.obs.chrometrace import main_export
+
+        return main_export(rest)
     print(f"unknown obs subcommand {sub!r}\n\n{_OBS_USAGE}", file=sys.stderr)
     return 2
 

@@ -78,14 +78,16 @@ class ExperimentResult:
     telemetry: dict = field(default_factory=dict)
 
     def print(self) -> None:
+        # This IS the human-facing final render (DESIGN.md §8) — the one
+        # place experiment code writes to stdout directly.
         header = f"=== {self.experiment_id}: {self.title} ({self.elapsed_s:.1f}s) ==="
-        print(header)
+        print(header)  # lint-api: allow
         for name in sorted(self.tables):
-            print(self.tables[name])
-            print()
-        print(f"paper claim : {self.paper_claim}")
-        print(f"measured    : {self.measured}")
-        print("=" * len(header))
+            print(self.tables[name])  # lint-api: allow
+            print()  # lint-api: allow
+        print(f"paper claim : {self.paper_claim}")  # lint-api: allow
+        print(f"measured    : {self.measured}")  # lint-api: allow
+        print("=" * len(header))  # lint-api: allow
 
     def save(self, directory: Path | None = None) -> Path:
         directory = results_dir() if directory is None else Path(directory)

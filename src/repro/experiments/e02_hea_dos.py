@@ -15,6 +15,7 @@ and E4 (short-range order).
 
 from __future__ import annotations
 
+import zipfile
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,6 +25,7 @@ from repro.dos.thermo import log_multinomial
 from repro.experiments.common import (
     ExperimentResult,
     default_hea_grid,
+    experiment_telemetry,
     hea_system,
     results_dir,
     timed,
@@ -79,14 +81,19 @@ def load_or_run_hea_dos(length: int = 3, seed: int = 0, quick: bool = True) -> H
     """REWL DoS of the NbMoTaW system, cached on disk."""
     path = _cache_path(length, seed)
     if path.exists():
-        with np.load(path, allow_pickle=False) as f:
-            grid = EnergyGrid.uniform(float(f["e_lo"]), float(f["e_hi"]), int(f["n_bins"]))
-            return HeaDos(
-                grid=grid, ln_g=f["ln_g"], visited=f["visited"].astype(bool),
-                span=float(f["span"]), steps=int(f["steps"]), rounds=int(f["rounds"]),
-                residual=float(f["residual"]), n_sites=int(f["n_sites"]),
-                converged=bool(f["converged"]),
-            )
+        # A truncated/corrupt cache (e.g. a killed writer) must not wedge
+        # the experiment — fall through and regenerate it.
+        try:
+            with np.load(path, allow_pickle=False) as f:
+                grid = EnergyGrid.uniform(float(f["e_lo"]), float(f["e_hi"]), int(f["n_bins"]))
+                return HeaDos(
+                    grid=grid, ln_g=f["ln_g"], visited=f["visited"].astype(bool),
+                    span=float(f["span"]), steps=int(f["steps"]), rounds=int(f["rounds"]),
+                    residual=float(f["residual"]), n_sites=int(f["n_sites"]),
+                    converged=bool(f["converged"]),
+                )
+        except (OSError, KeyError, ValueError, zipfile.BadZipFile):
+            path.unlink(missing_ok=True)
     ham, counts = hea_system(length)
     grid = default_hea_grid(ham, counts, n_bins=32 if quick else 96, rng=seed)
     cfg = REWLConfig(
@@ -103,13 +110,20 @@ def load_or_run_hea_dos(length: int = 3, seed: int = 0, quick: bool = True) -> H
     # interrupted run (job-time limit, injected fault) resume mid-campaign
     # bit-identically instead of restarting from scratch.
     ckpt = path.with_suffix(".ckpt")
+    # Same wiring convention as E11: the campaign driver gets its own
+    # REPRO_TRACE-honoring telemetry handle, so heartbeat/convergence
+    # events from this REWL run land in the campaign trace.
+    tel = experiment_telemetry(f"E2-rewl-L{length}")
     driver = REWLDriver(
         hamiltonian=ham, proposal_factory=lambda: SwapProposal(), grid=grid,
         initial_config=random_configuration(ham.n_sites, counts, rng=seed),
-        config=cfg, checkpoint_path=ckpt,
+        config=cfg, checkpoint_path=ckpt, telemetry=tel,
     )
     maybe_resume(driver, ckpt)
-    res = driver.run(max_rounds=4_000)
+    try:
+        res = driver.run(max_rounds=4_000)
+    finally:
+        tel.close()
     ckpt.unlink(missing_ok=True)
     previous_checkpoint_path(ckpt).unlink(missing_ok=True)
     stitched = res.stitched()

@@ -53,9 +53,21 @@ def _read_json(path) -> dict:
         return {}
 
 
+def _telemetry_manifest() -> dict:
+    """Where this campaign's traces land, recorded so post-hoc tooling
+    (``obs report`` / ``obs export-trace``) can find them from the manifest
+    alone."""
+    return {
+        "trace": os.environ.get("REPRO_TRACE") or None,
+        "trace_dir": os.environ.get("REPRO_TRACE_DIR") or None,
+        "convergence": os.environ.get("REPRO_CONVERGENCE") or None,
+    }
+
+
 def _load_campaign(path, mode: str, seed: int, resume: bool) -> dict:
     """The campaign manifest, or a fresh one when not resumable/compatible."""
-    fresh = {"mode": mode, "seed": seed, "completed": [], "failed": []}
+    fresh = {"mode": mode, "seed": seed, "completed": [], "failed": [],
+             "telemetry": _telemetry_manifest()}
     if not resume:
         return fresh
     campaign = _read_json(path)
@@ -63,6 +75,7 @@ def _load_campaign(path, mode: str, seed: int, resume: bool) -> dict:
         return fresh
     campaign.setdefault("completed", [])
     campaign.setdefault("failed", [])
+    campaign.setdefault("telemetry", _telemetry_manifest())
     return campaign
 
 

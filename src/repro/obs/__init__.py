@@ -20,7 +20,13 @@ layer wired through the sampling stack:
 - :mod:`repro.obs.bench` — BENCH_<n>.json benchmark snapshots and
   regression comparison (``python -m repro obs bench / bench-compare``),
 - :mod:`repro.obs.dash` — ``python -m repro obs dash / tail`` terminal
-  views over a live JSONL trace.
+  views over a live JSONL trace,
+- :mod:`repro.obs.convergence` — per-window/per-walker scientific
+  diagnostics (flatness, ln g drift, replica round trips, ETA) behind the
+  same deterministic-stride contract (``REPRO_CONVERGENCE``),
+- :mod:`repro.obs.chrometrace` — ``python -m repro obs export-trace``
+  merges per-worker JSONL traces (``REPRO_TRACE_DIR``) into one Chrome
+  trace-event timeline.
 
 :class:`Telemetry` bundles the three runtime pieces behind one handle that
 drivers accept as an optional argument.  The determinism contract: enabling
@@ -30,6 +36,13 @@ sampler state, so instrumented runs are bit-identical to bare ones.
 
 from __future__ import annotations
 
+from repro.obs.chrometrace import merge_traces, to_chrome
+from repro.obs.convergence import (
+    CONVERGENCE_ENV_VAR,
+    ConvergenceConfig,
+    ConvergenceLedger,
+    convergence_from_env,
+)
 from repro.obs.events import (
     ConsoleSink,
     EventLog,
@@ -39,9 +52,12 @@ from repro.obs.events import (
     MemorySink,
     NullSink,
     SCHEMA_VERSION,
+    TRACE_DIR_ENV_VAR,
     TRACE_ENV_VAR,
     TRACE_FSYNC_ENV_VAR,
+    event_field,
     from_env,
+    worker_log,
 )
 from repro.obs.health import (
     HEALTH_ENV_VAR,
@@ -84,9 +100,18 @@ __all__ = [
     "MemorySink",
     "NullSink",
     "SCHEMA_VERSION",
+    "TRACE_DIR_ENV_VAR",
     "TRACE_ENV_VAR",
     "TRACE_FSYNC_ENV_VAR",
+    "event_field",
     "from_env",
+    "worker_log",
+    "merge_traces",
+    "to_chrome",
+    "CONVERGENCE_ENV_VAR",
+    "ConvergenceConfig",
+    "ConvergenceLedger",
+    "convergence_from_env",
     "Telemetry",
     "HEALTH_ENV_VAR",
     "HealthConfig",

@@ -1,0 +1,204 @@
+"""Cross-process trace aggregation and Chrome trace-event export.
+
+A campaign run with ``REPRO_TRACE=trace.jsonl`` (driver-side events) and
+``REPRO_TRACE_DIR=traces/`` (one ``worker-<pid>.jsonl`` per worker process;
+see :func:`repro.obs.events.worker_log`) leaves a set of JSONL files.  This
+module merges them into one deterministic campaign timeline and exports it
+as Chrome trace-event JSON — loadable in ``chrome://tracing`` or Perfetto —
+via ``python -m repro obs export-trace``.
+
+Mapping (trace-event "phases"):
+
+- ``span`` / ``worker_span`` records become complete (``"X"``) events.
+  Span records carry their duration and are emitted at span *end*, so the
+  event start is ``ts − dur_s``.  ``pid`` comes from the record envelope;
+  the tid lane encodes ``(window, walker)`` when a worker span carries
+  them, so each walker renders as its own named row.
+- every other kind becomes an instant (``"i"``) event.
+- metadata (``"M"``) events name each process and walker lane.
+
+Merging is deterministic for a fixed input set: records sort by
+``(ts, pid, run, seq)``, so the merged timeline is independent of file
+enumeration order and worker count (tested in
+``tests/test_obs_chrometrace.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.events import event_field
+from repro.obs.report import load_trace
+
+__all__ = [
+    "iter_trace_files",
+    "merge_traces",
+    "to_chrome",
+    "main_export",
+]
+
+#: Envelope + span-shape keys excluded from a Chrome event's ``args``.
+_ENVELOPE = frozenset({"v", "run", "seq", "ts", "pid", "kind", "fields",
+                       "name", "path", "dur_s", "window", "walker", "rank"})
+
+#: tid for records with no walker lane (the process's main timeline).
+_MAIN_TID = 0
+
+
+def iter_trace_files(paths) -> list[Path]:
+    """Expand files and directories into a sorted list of ``.jsonl`` files."""
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.glob("*.jsonl")))
+        else:
+            out.append(path)
+    return out
+
+
+def _sort_key(record: dict):
+    ts = record.get("ts")
+    return (
+        float(ts) if isinstance(ts, (int, float)) else 0.0,
+        int(record.get("pid") or 0),
+        str(record.get("run", "")),
+        int(record.get("seq") or 0),
+    )
+
+
+def merge_traces(paths, run: str | None = None) -> list[dict]:
+    """One deterministic timeline from many per-process JSONL files.
+
+    Garbage/truncated lines are skipped (same tolerance as every other
+    trace consumer); the result is sorted by ``(ts, pid, run, seq)`` so it
+    does not depend on the order the files are listed or how the campaign's
+    events interleaved across processes.
+    """
+    records: list[dict] = []
+    for path in iter_trace_files(paths):
+        if not Path(path).exists():
+            continue
+        records.extend(load_trace(path, run=run))
+    records.sort(key=_sort_key)
+    return records
+
+
+def _lane(record: dict) -> tuple[int, str | None]:
+    """(tid, lane name) for one record; walker spans get their own lane."""
+    window = event_field(record, "window")
+    walker = event_field(record, "walker")
+    rank = event_field(record, "rank")
+    if isinstance(window, int):
+        slot = walker if isinstance(walker, int) else 0
+        return 1000 + window * 100 + slot, (
+            f"window {window}" + (f" walker {walker}"
+                                  if isinstance(walker, int) else "")
+        )
+    if isinstance(rank, int):
+        return 500 + rank, f"rank {rank}"
+    return _MAIN_TID, None
+
+
+def _args(record: dict) -> dict:
+    args = {k: v for k, v in record.items() if k not in _ENVELOPE}
+    nested = record.get("fields")
+    if isinstance(nested, dict):
+        for k, v in nested.items():
+            if k not in _ENVELOPE:
+                args.setdefault(k, v)
+    return args
+
+
+def to_chrome(records: list[dict]) -> dict:
+    """Render merged records as a Chrome trace-event JSON object."""
+    events: list[dict] = []
+    processes: dict[int, str] = {}
+    lanes: dict[tuple[int, int], str] = {}
+    for record in records:
+        kind = record.get("kind", "?")
+        pid = int(record.get("pid") or 0)
+        ts = record.get("ts")
+        if not isinstance(ts, (int, float)):
+            continue
+        run = str(record.get("run", "?"))
+        processes.setdefault(pid, f"{run} (pid {pid})")
+        tid, lane_name = _lane(record)
+        if lane_name is not None:
+            lanes.setdefault((pid, tid), lane_name)
+        if kind in ("span", "worker_span"):
+            dur_s = event_field(record, "dur_s", 0.0)
+            dur_us = max(0.0, float(dur_s)) * 1e6
+            name = event_field(
+                record, "path", event_field(record, "name", kind)
+            )
+            events.append({
+                "name": str(name),
+                "ph": "X",
+                "ts": float(ts) * 1e6 - dur_us,
+                "dur": dur_us,
+                "pid": pid,
+                "tid": tid,
+                "cat": kind,
+                "args": _args(record),
+            })
+        else:
+            events.append({
+                "name": str(kind),
+                "ph": "i",
+                "ts": float(ts) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "s": "p",
+                "cat": "event",
+                "args": _args(record),
+            })
+    meta: list[dict] = []
+    for pid, name in sorted(processes.items()):
+        meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                     "tid": _MAIN_TID, "args": {"name": name}})
+    for (pid, tid), name in sorted(lanes.items()):
+        meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                     "tid": tid, "args": {"name": name}})
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def main_export(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs export-trace",
+        description="Merge JSONL traces (files and/or REPRO_TRACE_DIR "
+                    "directories) into Chrome trace-event JSON.",
+    )
+    parser.add_argument("traces", nargs="+",
+                        help=".jsonl files or directories of worker-*.jsonl")
+    parser.add_argument("-o", "--output", default="trace.chrome.json",
+                        help="output path (default trace.chrome.json)")
+    parser.add_argument("--run", default=None,
+                        help="only include records from this run id")
+    args = parser.parse_args(argv)
+
+    files = [p for p in iter_trace_files(args.traces) if p.exists()]
+    if not files:
+        print("no trace files found under: "
+              + ", ".join(args.traces), file=sys.stderr)
+        return 1
+    records = merge_traces(files, run=args.run)
+    if not records:
+        print("no telemetry records in: "
+              + ", ".join(str(f) for f in files), file=sys.stderr)
+        return 1
+    trace = to_chrome(records)
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(trace), encoding="utf-8")
+    pids = {e["pid"] for e in trace["traceEvents"]}
+    print(f"wrote {out}: {len(trace['traceEvents'])} events from "
+          f"{len(records)} records across {len(pids)} process(es)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main_export())

@@ -30,7 +30,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro.obs.events import _render
+from repro.obs.events import _render, event_field
 from repro.obs.health import ALERT_KIND, HEARTBEAT_KIND
 from repro.obs.report import load_trace
 
@@ -78,18 +78,27 @@ def render_dash(records: list[dict], run: str | None = None,
     heartbeats = [r for r in records if r.get("kind") == HEARTBEAT_KIND]
     if heartbeats:
         hb = heartbeats[-1]
+        # Heartbeat payloads may ride flat next to the envelope or nested
+        # under "fields" — event_field reads both shapes.
         lines.append(
-            f"heartbeat #{len(heartbeats)} @ round {hb.get('round', '?')}: "
-            f"{hb.get('steps', 0):,} steps, "
-            f"{hb.get('converged_windows', 0)} window(s) converged, "
-            f"{hb.get('retries', 0)} retries since previous"
+            f"heartbeat #{len(heartbeats)} @ round {event_field(hb, 'round', '?')}: "
+            f"{event_field(hb, 'steps', 0):,} steps, "
+            f"{event_field(hb, 'converged_windows', 0)} window(s) converged, "
+            f"{event_field(hb, 'retries', 0)} retries since previous"
         )
+        eta = event_field(hb, "eta")
+        if isinstance(eta, dict):
+            seconds = eta.get("seconds")
+            wall = "unknown wall time" if seconds is None else f"~{seconds:,.0f}s"
+            lines.append(
+                f"ETA to convergence: {eta.get('rounds', '?')} round(s), {wall}"
+            )
         lines.append("")
         window_rows = [
             [w.get("window"), f"{w.get('ln_f', 0.0):.3g}", w.get("iteration"),
              f"{w.get('flatness', 0.0):.3f}",
              "yes" if w.get("converged") else "no"]
-            for w in hb.get("windows", [])
+            for w in event_field(hb, "windows", [])
         ]
         if window_rows:
             lines.append(format_table(
@@ -101,7 +110,7 @@ def render_dash(records: list[dict], run: str | None = None,
             [f"{p.get('pair')}-{p.get('pair', 0) + 1}", p.get("attempts"),
              p.get("accepts"),
              "-" if p.get("rate") is None else f"{p['rate']:.1%}"]
-            for p in hb.get("pairs", [])
+            for p in event_field(hb, "pairs", [])
         ]
         if pair_rows:
             lines.append(format_table(
@@ -118,8 +127,9 @@ def render_dash(records: list[dict], run: str | None = None,
         lines.append(f"ALERTS ({len(alerts)} total, newest last):")
         for alert in alerts[-max_alerts:]:
             lines.append(
-                f"  [{alert.get('alert', '?')}] round "
-                f"{alert.get('round', '?')}: {alert.get('detail', '')}"
+                f"  [{event_field(alert, 'alert', '?')}] round "
+                f"{event_field(alert, 'round', '?')}: "
+                f"{event_field(alert, 'detail', '')}"
             )
     else:
         lines.append("no health alerts")
@@ -128,10 +138,13 @@ def render_dash(records: list[dict], run: str | None = None,
 
 def render_record_line(record: dict) -> str:
     """One trace record as a ``[run:kind] key=value`` console line."""
-    skip = ("v", "ts", "seq", "run", "kind")
-    fields = " ".join(
-        f"{k}={_render(v)}" for k, v in record.items() if k not in skip
-    )
+    skip = ("v", "ts", "seq", "run", "kind", "pid", "fields")
+    items = {k: v for k, v in record.items() if k not in skip}
+    nested = record.get("fields")
+    if isinstance(nested, dict):  # newer shape: payload nested under "fields"
+        for k, v in nested.items():
+            items.setdefault(k, v)
+    fields = " ".join(f"{k}={_render(v)}" for k, v in items.items())
     return (f"[{record.get('run', '?')}:{record.get('kind', '?')}] "
             f"{fields}").rstrip()
 

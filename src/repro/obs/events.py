@@ -37,14 +37,34 @@ __all__ = [
     "FileSink",
     "ConsoleSink",
     "EventLog",
+    "event_field",
     "from_env",
+    "worker_log",
     "TRACE_ENV_VAR",
     "TRACE_FSYNC_ENV_VAR",
+    "TRACE_DIR_ENV_VAR",
 ]
 
 SCHEMA_VERSION = 1
 TRACE_ENV_VAR = "REPRO_TRACE"
 TRACE_FSYNC_ENV_VAR = "REPRO_TRACE_FSYNC"
+TRACE_DIR_ENV_VAR = "REPRO_TRACE_DIR"
+
+
+def event_field(record: dict, key: str, default=None):
+    """Read ``key`` from a trace record, flat or nested.
+
+    Event payloads historically rode flat next to the envelope
+    (``{"kind": ..., "round": 3}``); newer producers may nest them under a
+    ``"fields"`` dict.  Consumers (dash, report, trace export) must accept
+    both shapes — the flat spelling wins when both carry the key.
+    """
+    if key in record:
+        return record[key]
+    fields = record.get("fields")
+    if isinstance(fields, dict) and key in fields:
+        return fields[key]
+    return default
 
 
 def _json_default(obj):
@@ -146,7 +166,7 @@ class ConsoleSink(EventSink):
     """Human-readable one-liners: ``[run:kind] key=value ...``."""
 
     #: Envelope keys hidden from the rendered line.
-    _SKIP = frozenset({"v", "ts", "seq", "run", "kind"})
+    _SKIP = frozenset({"v", "ts", "seq", "run", "kind", "pid"})
 
     def __init__(self, stream=None):
         self._stream = stream if stream is not None else sys.stderr
@@ -189,6 +209,7 @@ class EventLog:
             "run": self.run_id,
             "seq": self._seq,
             "ts": time.time(),
+            "pid": os.getpid(),
             "kind": kind,
         }
         record.update(fields)
@@ -232,3 +253,35 @@ def from_env(run_id: str | None = None, env_var: str = TRACE_ENV_VAR,
         fsync = os.environ.get(TRACE_FSYNC_ENV_VAR, "").strip().lower()
         sinks.append(JsonlSink(value, fsync=fsync in ("1", "on", "true")))
     return EventLog(run_id=run_id, sinks=sinks)
+
+
+# Per-process worker log for the REPRO_TRACE_DIR knob, keyed by pid so a
+# forked/spawned worker never inherits its parent's open file handle.
+_worker_log: EventLog | None = None
+_worker_log_pid: int | None = None
+
+
+def worker_log() -> EventLog:
+    """This process's worker-side event log (``REPRO_TRACE_DIR`` knob).
+
+    When ``REPRO_TRACE_DIR`` names a directory, every process that calls
+    this gets a lazily opened :class:`EventLog` appending to
+    ``<dir>/worker-<pid>.jsonl`` — one file per worker process, merged into
+    a single campaign timeline by ``python -m repro obs export-trace``.
+    Unset → a disabled log (the usual zero-cost default).  The log is
+    rebuilt after a fork, so child processes write their own files.
+    """
+    global _worker_log, _worker_log_pid
+    pid = os.getpid()
+    if _worker_log is not None and _worker_log_pid == pid:
+        return _worker_log
+    if _worker_log is not None:
+        _worker_log = None  # forked child: drop the inherited handle unclosed
+    directory = os.environ.get(TRACE_DIR_ENV_VAR, "").strip()
+    if directory:
+        path = os.path.join(directory, f"worker-{pid}.jsonl")
+        _worker_log = EventLog(sinks=[JsonlSink(path)])
+    else:
+        _worker_log = EventLog()
+    _worker_log_pid = pid
+    return _worker_log

@@ -86,16 +86,28 @@ def team_flatness_ratio(team) -> float:
 
     0.0 when no walker has visited a bin yet; 1.0 is a perfectly flat
     histogram.  Pure read — never touches walker state.
+
+    ``team`` is a list of walker-shaped objects (anything carrying
+    ``histogram``/``visited``), a lone such object (e.g. a
+    :class:`~repro.sampling.batched.BatchedWangLandauSampler` window team,
+    whose K slots share one histogram), or a mix where a walker carries a
+    2-D ``(K, n_bins)`` per-slot histogram — the worst slot counts.
     """
+    if hasattr(team, "histogram"):
+        team = [team]
     worst = None
     for walker in team:
-        mask = walker.visited
-        if not np.any(mask):
-            return 0.0
-        h = walker.histogram[mask]
-        mean = float(h.mean())
-        ratio = float(h.min()) / mean if mean > 0 else 0.0
-        worst = ratio if worst is None else min(worst, ratio)
+        hist = np.asarray(walker.histogram)
+        mask = np.asarray(walker.visited)
+        rows = hist[None, :] if hist.ndim == 1 else hist
+        row_masks = mask[None, :] if mask.ndim == 1 else mask
+        for row, row_mask in zip(rows, row_masks):
+            if not np.any(row_mask):
+                return 0.0
+            h = row[row_mask]
+            mean = float(h.mean())
+            ratio = float(h.min()) / mean if mean > 0 else 0.0
+            worst = ratio if worst is None else min(worst, ratio)
     return worst if worst is not None else 0.0
 
 
@@ -149,12 +161,18 @@ class HealthMonitor:
             walker.n_steps for team in driver.walkers for walker in team
         )
 
+        # Campaign ETA from the convergence ledger, when one is attached
+        # (:mod:`repro.obs.convergence`); None until it has enough history.
+        ledger = getattr(driver, "convergence", None)
+        eta = ledger.eta(driver) if ledger is not None else None
+
         self.obs.metrics.inc("health.heartbeats")
         if self.obs.enabled:
             self.obs.emit(
                 HEARTBEAT_KIND, round=driver.rounds, windows=windows,
                 pairs=pairs, steps=total_steps, retries=retries_delta,
                 converged_windows=sum(bool(c) for c in driver.window_converged),
+                eta=eta,
             )
 
         self._detect_stall(driver, iterations, flatness)

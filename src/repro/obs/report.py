@@ -12,7 +12,10 @@ records written by :class:`repro.obs.events.JsonlSink` and prints
 - a profiled-sections table when ``profile`` events are present (emitted by
   :mod:`repro.obs.profile` via the REWL driver),
 - a run-health digest — heartbeat count plus ``health_alert`` events by
-  kind — when :mod:`repro.obs.health` monitored the run.
+  kind — when :mod:`repro.obs.health` monitored the run,
+- a "Convergence" table — per-window flatness/fill/ln g drift, walker-label
+  tunneling counts, and the ETA projection — when the run carried a
+  :class:`repro.obs.convergence.ConvergenceLedger`.
 
 This is the consumer side of the schema described in DESIGN.md §8/§10; the
 producer side is wired through :class:`repro.parallel.rewl.REWLDriver`,
@@ -27,6 +30,8 @@ import json
 import sys
 from collections import defaultdict
 from pathlib import Path
+
+from repro.obs.events import event_field
 
 __all__ = ["load_trace", "render_report", "main"]
 
@@ -201,16 +206,88 @@ def _health_lines(records: list[dict]) -> list[str]:
         return []
     by_kind: dict[str, int] = defaultdict(int)
     for a in alerts:
-        by_kind[str(a.get("alert", "?"))] += 1
+        # Alert payloads may ride flat next to the envelope or nested under
+        # "fields" — event_field reads both shapes.
+        by_kind[str(event_field(a, "alert", "?"))] += 1
     summary = ", ".join(f"{k}={v}" for k, v in sorted(by_kind.items()))
     lines = [
         f"run health: {heartbeats} heartbeat(s), {len(alerts)} alert(s)"
         + (f" ({summary})" if summary else "")
     ]
     for a in alerts:
-        lines.append(f"  [{a.get('alert', '?')}] round {a.get('round', '?')}: "
-                     f"{a.get('detail', '')}")
+        lines.append(f"  [{event_field(a, 'alert', '?')}] round "
+                     f"{event_field(a, 'round', '?')}: "
+                     f"{event_field(a, 'detail', '')}")
     lines.append("")
+    return lines
+
+
+def _convergence_lines(records: list[dict]) -> list[str]:
+    """"Convergence" section from ledger summary events (latest per run).
+
+    The driver emits one cumulative ``convergence`` event at run end (the
+    digest of :class:`repro.obs.convergence.ConvergenceLedger`), so per run
+    the newest event wins; the ETA shown is the freshest of the summary's
+    own projection and the last heartbeat's ``eta`` field.
+    """
+    from repro.util.tables import format_table
+
+    latest: dict[str, dict] = {}
+    for r in records:
+        if r.get("kind") != "convergence":
+            continue
+        windows = event_field(r, "windows")
+        if isinstance(windows, list):
+            latest[str(r.get("run", "?"))] = r
+    if not latest:
+        return []
+    heartbeat_eta = None
+    for r in records:
+        if r.get("kind") == "heartbeat":
+            eta = event_field(r, "eta")
+            if isinstance(eta, dict):
+                heartbeat_eta = eta
+    lines: list[str] = []
+    for run_id, summ in latest.items():
+        eta = event_field(summ, "eta") or heartbeat_eta
+        eta_by_window = {}
+        if isinstance(eta, dict):
+            for entry in eta.get("windows", []):
+                eta_by_window[entry.get("window")] = entry
+        rows = []
+        for w in event_field(summ, "windows", []):
+            flat = w.get("flatness") or []
+            traj = w.get("ln_f") or []
+            drift = w.get("ln_g_drift")
+            proj = eta_by_window.get(w.get("window"))
+            rows.append([
+                w.get("window"),
+                w.get("syncs", 0),
+                f"{traj[-1]:.3g}" if traj else "-",
+                f"{flat[-1]:.3f}" if flat else "-",
+                f"{w.get('fill', 0.0):.1%}",
+                "-" if drift is None else f"{drift:.3g}",
+                "flat" if proj is None else f"{proj.get('eta_rounds', '?')}",
+            ])
+        if rows:
+            lines.append(format_table(
+                ["window", "syncs", "ln f", "flatness", "fill",
+                 "ln g drift", "eta rounds"],
+                rows, title=f"Convergence (run {run_id})",
+            ))
+        attempts = sum(event_field(summ, "pair_attempts", []) or [])
+        accepts = sum(event_field(summ, "pair_accepts", []) or [])
+        detail = (
+            f"replica diffusion: {event_field(summ, 'tunnels', 0)} tunnel(s), "
+            f"{event_field(summ, 'round_trips', 0)} round trip(s); "
+            f"exchanges {accepts}/{attempts} accepted"
+        )
+        if isinstance(eta, dict) and eta.get("windows"):
+            seconds = eta.get("seconds")
+            wall = "" if seconds is None else f" (~{seconds:,.0f}s)"
+            detail += f"; ETA {eta.get('rounds', '?')} round(s){wall}"
+        lines.append(detail)
+        lines.append("")
     return lines
 
 
@@ -243,6 +320,7 @@ def render_report(records: list[dict]) -> str:
         if table is not None:
             lines.append(table)
             lines.append("")
+    lines.extend(_convergence_lines(records))
     lines.extend(_health_lines(records))
     lines.extend(_fault_lines(records))
     lines.extend(_training_lines(records))

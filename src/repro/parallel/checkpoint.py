@@ -88,6 +88,12 @@ def save_checkpoint(driver: "REWLDriver", path, keep_previous: bool = True,
         "exchange_accepts": driver.exchange_accepts,
         "rounds": driver.rounds,
         "exchange_rng": driver._exchange_rng,
+        # Convergence-ledger diagnostics ride along so --resume restores
+        # them losslessly; None when the ledger is disabled.
+        "convergence": (
+            driver.convergence.state_dict()
+            if getattr(driver, "convergence", None) is not None else None
+        ),
     }
     payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
     digest = hashlib.sha256(payload).digest()
@@ -192,6 +198,15 @@ def load_checkpoint(driver: "REWLDriver", path) -> "REWLDriver":
     driver.exchange_accepts = accepts
     driver.rounds = state["rounds"]
     driver._exchange_rng = state["exchange_rng"]
+    # Walkers from pre-observability checkpoints lack the (window, walker)
+    # tag worker-side spans rely on; re-derive it either way.
+    for w, team in enumerate(driver.walkers):
+        for k, walker in enumerate(team):
+            walker.obs_tag = (w, k if len(team) > 1 else None)
+    conv_state = state.get("convergence")
+    ledger = getattr(driver, "convergence", None)
+    if conv_state is not None and ledger is not None:
+        ledger.load_state(conv_state)
     driver.obs.metrics.inc("checkpoint.restored")
     if driver.obs.enabled:
         driver.obs.emit("checkpoint_restored", path=str(path), rounds=driver.rounds)

@@ -304,14 +304,22 @@ def run_spmd(fn: Callable[[Communicator], Any], n_ranks: int,
     When ``telemetry`` (a :class:`repro.obs.Telemetry`) is supplied, each
     rank's per-collective call counts and latency histograms are merged into
     ``telemetry.metrics`` after the ranks join, and one ``spmd`` event is
-    emitted with the world size and wall time.
+    emitted with the world size and wall time.  When ``REPRO_TRACE_DIR`` is
+    set, each rank additionally emits one rank-tagged ``worker_span`` record
+    to this process's worker JSONL file (see
+    :func:`repro.obs.events.worker_log`), so SPMD rank programs appear as
+    their own lanes in the ``repro obs export-trace`` campaign timeline.
     """
+    from repro.obs.events import worker_log
+
     if n_ranks < 1:
         raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
     t0 = time.perf_counter()
+    rank_durs: list[float | None] = [None] * n_ranks
     if n_ranks == 1:
         comm = SerialCommunicator()
         out = [fn(comm)]
+        rank_durs[0] = time.perf_counter() - t0
         comms = [comm]
     else:
         world = _World(n_ranks, timeout)
@@ -320,8 +328,10 @@ def run_spmd(fn: Callable[[Communicator], Any], n_ranks: int,
         errors: list[tuple[int, BaseException]] = []
 
         def target(rank: int) -> None:
+            rank_t0 = time.perf_counter()
             try:
                 results[rank] = fn(comms[rank])
+                rank_durs[rank] = time.perf_counter() - rank_t0
             except BaseException as exc:  # noqa: BLE001 - propagated below
                 errors.append((rank, exc))
                 world.barrier.abort()
@@ -343,4 +353,10 @@ def run_spmd(fn: Callable[[Communicator], Any], n_ranks: int,
         for comm in comms:
             telemetry.metrics.merge(comm.metrics)
         telemetry.emit("spmd", n_ranks=n_ranks, dur_s=time.perf_counter() - t0)
+    wlog = worker_log()
+    if wlog.enabled:
+        for rank, dur in enumerate(rank_durs):
+            if dur is not None:
+                wlog.emit("worker_span", name="spmd_rank", rank=rank,
+                          dur_s=dur, n_ranks=n_ranks)
     return out

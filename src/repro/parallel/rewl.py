@@ -23,12 +23,19 @@ stitched into a global density of states by :mod:`repro.dos.stitching`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.hamiltonians.base import Hamiltonian
 from repro.obs import Telemetry
+from repro.obs.convergence import (
+    ConvergenceConfig,
+    ConvergenceLedger,
+    convergence_from_env,
+)
+from repro.obs.events import worker_log
 from repro.obs.health import HealthConfig, HealthMonitor, health_from_env
 from repro.obs.profile import SectionProfiler, contribute_profile, profile_from_env
 from repro.parallel.executors import SerialExecutor
@@ -53,13 +60,27 @@ def _advance_walker(walker, n_steps: int):
 
     ``n_steps`` is per walker: a scalar walker takes ``n_steps`` WL steps, a
     batched team takes ``n_steps`` super-steps (one step per slot each).
+
+    When ``REPRO_TRACE_DIR`` is set, each task emits one ``worker_span``
+    record — tagged (pid, window, walker) via the walker's ``obs_tag`` — to
+    this process's worker JSONL file, so multiprocess campaigns can be
+    merged into one timeline by ``repro obs export-trace``.
     """
+    log = worker_log()
+    t0 = time.perf_counter() if log.enabled else 0.0
     batched = getattr(walker, "steps", None)
     if batched is not None:
         batched(n_steps)
-        return walker
-    for _ in range(n_steps):
-        walker.step()
+    else:
+        for _ in range(n_steps):
+            walker.step()
+    if log.enabled:
+        window, slot = getattr(walker, "obs_tag", (None, None))
+        log.emit(
+            "worker_span", name="advance", dur_s=time.perf_counter() - t0,
+            window=window, walker=slot,
+            steps=n_steps * int(getattr(walker, "n_slots", 1)),
+        )
     return walker
 
 
@@ -151,6 +172,7 @@ class REWLResult:
 _REWL_POSITIONAL = (
     "hamiltonian", "proposal_factory", "grid", "initial_config", "config",
     "executor", "telemetry", "checkpoint_path", "profiler", "health",
+    "convergence",
 )
 
 
@@ -197,6 +219,13 @@ class REWLDriver:
         Live run-health monitoring (heartbeats + stall/anomaly detection)
         through this driver's telemetry.  Defaults to the ``REPRO_HEALTH``
         environment knob.
+    convergence : repro.obs.convergence.ConvergenceLedger or
+        ConvergenceConfig, optional.  Scientific convergence diagnostics —
+        ln f trajectories, flatness/fill/ln g-drift series, exchange-
+        acceptance matrix, replica tunneling counters, and the live ETA
+        surfaced through heartbeats.  Defaults to the ``REPRO_CONVERGENCE``
+        environment knob; sampling is counter-strided, so an instrumented
+        run stays bit-identical.
     """
 
     def __init__(self, *args, **kwargs):
@@ -237,6 +266,7 @@ class REWLDriver:
         checkpoint_path = kwargs.get("checkpoint_path")
         profiler: SectionProfiler | None = kwargs.get("profiler")
         health = kwargs.get("health")
+        convergence = kwargs.get("convergence")
 
         self.hamiltonian = hamiltonian
         self.grid = grid
@@ -254,6 +284,15 @@ class REWLDriver:
             self.health = HealthMonitor(self.obs, health)
         else:
             self.health = health
+        if convergence is None:
+            conv_cfg = convergence_from_env()
+            self.convergence = (
+                ConvergenceLedger(conv_cfg) if conv_cfg is not None else None
+            )
+        elif isinstance(convergence, ConvergenceConfig):
+            self.convergence = ConvergenceLedger(convergence)
+        else:
+            self.convergence = convergence
         # Executors constructed without their own telemetry adopt ours, so
         # retry/fault/rebuild events land in this run's trace.
         bind = getattr(self.executor, "bind_telemetry", None)
@@ -312,12 +351,21 @@ class REWLDriver:
                     walker.enable_profiling(
                         SectionProfiler(sample_every=self.profiler.sample_every)
                     )
+        # (window, walker) identity rides on the walker objects themselves:
+        # executors pass the same extra args to every task, so this is how
+        # worker-side spans know which lane they belong to.  A batched team
+        # is one object covering all of its window's slots.
+        for w, team in enumerate(self.walkers):
+            for k, walker in enumerate(team):
+                walker.obs_tag = (w, k if len(team) > 1 else None)
         self.window_converged = [False] * len(self.windows)
         # One slot per *adjacent window pair*: zero-length for a single
         # window (no phantom pair with a NaN rate in the result).
         self.exchange_attempts = np.zeros(len(self.windows) - 1, dtype=np.int64)
         self.exchange_accepts = np.zeros_like(self.exchange_attempts)
         self.rounds = 0
+        if self.convergence is not None:
+            self.convergence.attach(self)
 
     # ------------------------------------------------------------- phases
 
@@ -356,12 +404,10 @@ class REWLDriver:
                 right = left + 1
                 if self.window_converged[left] or self.window_converged[right]:
                     continue
-                a = self.walkers[left][
-                    int(self._exchange_rng.integers(len(self.walkers[left])))
-                ]
-                b = self.walkers[right][
-                    int(self._exchange_rng.integers(len(self.walkers[right])))
-                ]
+                ia = int(self._exchange_rng.integers(len(self.walkers[left])))
+                ib = int(self._exchange_rng.integers(len(self.walkers[right])))
+                a = self.walkers[left][ia]
+                b = self.walkers[right][ib]
                 self.exchange_attempts[left] += 1
                 a.counters.exchange_attempts += 1
                 b.counters.exchange_attempts += 1
@@ -389,6 +435,10 @@ class REWLDriver:
                         b.counters.exchange_accepts += 1
                         self.obs.metrics.inc("rewl.exchange.accepts")
                         accepted = True
+                if self.convergence is not None:
+                    self.convergence.note_exchange(
+                        left, ia, right, ib, accepted, in_overlap
+                    )
                 if self.obs.enabled:
                     self.obs.emit("exchange_attempt", round=self.rounds, pair=left,
                                   accepted=accepted, in_overlap=in_overlap)
@@ -445,6 +495,10 @@ class REWLDriver:
                         team_b.counters.exchange_accepts += 1
                         self.obs.metrics.inc("rewl.exchange.accepts")
                         accepted = True
+                if self.convergence is not None:
+                    self.convergence.note_exchange(
+                        left, ka, right, kb, accepted, in_overlap
+                    )
                 if self.obs.enabled:
                     self.obs.emit("exchange_attempt", round=self.rounds, pair=left,
                                   accepted=accepted, in_overlap=in_overlap)
@@ -467,6 +521,11 @@ class REWLDriver:
                     walker.advance_modification_factor()
                 if team[0].ln_f <= self.cfg.ln_f_final:
                     self.window_converged[w] = True
+                if self.convergence is not None:
+                    self.convergence.note_sync(
+                        w, self.rounds, team[0].ln_f, team[0].n_iterations,
+                        self.window_converged[w],
+                    )
                 self.obs.metrics.inc("rewl.syncs")
                 if self.obs.enabled:
                     self.obs.emit(
@@ -535,6 +594,10 @@ class REWLDriver:
                 self.obs.metrics.inc("rewl.rounds")
                 self._exchange_phase()
                 self._sync_phase()
+                if self.convergence is not None:
+                    # Before the health monitor, whose heartbeats read the
+                    # ledger's ETA projection.
+                    self.convergence.observe_round(self)
                 if self.health is not None:
                     self.health.observe_round(self)
                 self._maybe_checkpoint()
@@ -544,6 +607,8 @@ class REWLDriver:
             contribute_profile(merged)
             if self.obs.enabled:
                 self.obs.emit("profile", sections=merged.as_dict())
+        if self.convergence is not None and self.obs.enabled:
+            self.obs.emit("convergence", **self.convergence.summary(self))
         result = self.result()
         self.obs.emit(
             "run_end", scope="rewl", rounds=self.rounds,
@@ -630,6 +695,8 @@ class REWLDriver:
             telemetry["profile"] = self.merged_profile().as_dict()
         if self.health is not None:
             telemetry["health"] = self.health.summary()
+        if self.convergence is not None:
+            telemetry["convergence"] = self.convergence.summary(self)
         return REWLResult(
             global_grid=self.grid,
             windows=self.windows,

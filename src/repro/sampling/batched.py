@@ -293,6 +293,24 @@ class BatchedWangLandauSampler:
             self.counters.flat_checks_failed += 1
         return flat
 
+    def flatness_fraction(self) -> float:
+        """min/mean of the shared visit histogram over visited bins.
+
+        Same continuous diagnostic as the scalar sampler's
+        :meth:`WangLandauSampler.flatness_fraction`; pure read, no counters.
+        """
+        mask = self.visited
+        if not np.any(mask):
+            return 0.0
+        h = self.histogram[mask]
+        mean = float(h.mean())
+        return float(h.min()) / mean if mean > 0 else 0.0
+
+    def fill_fraction(self) -> float:
+        """Fraction of this window's bins visited so far (pure read)."""
+        n = self.visited.shape[0]
+        return float(np.count_nonzero(self.visited)) / n if n else 0.0
+
     def advance_modification_factor(self) -> None:
         """Halve ln f (respecting the 1/t floor) and reset the histogram.
 

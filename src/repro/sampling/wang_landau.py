@@ -438,6 +438,25 @@ class WangLandauSampler:
             return False
         return float(h.min()) >= self.flatness * float(h.mean())
 
+    def flatness_fraction(self) -> float:
+        """min/mean of the visit histogram over visited bins (pure read).
+
+        The quantity the flatness criterion thresholds, exposed as a
+        continuous diagnostic for :mod:`repro.obs.convergence`; unlike
+        :meth:`is_flat` this touches no counters.
+        """
+        mask = self.visited
+        if not np.any(mask):
+            return 0.0
+        h = self.histogram[mask]
+        mean = float(h.mean())
+        return float(h.min()) / mean if mean > 0 else 0.0
+
+    def fill_fraction(self) -> float:
+        """Fraction of this window's bins visited so far (pure read)."""
+        n = self.visited.shape[0]
+        return float(np.count_nonzero(self.visited)) / n if n else 0.0
+
     def advance_modification_factor(self) -> None:
         """Halve ln f (respecting the 1/t floor) and reset the histogram."""
         self.n_iterations += 1

@@ -20,20 +20,24 @@ from pathlib import Path
 
 __all__ = ["DEPRECATED_PATTERNS", "lint_api", "main"]
 
-#: (compiled pattern, human-readable reason, path prefix) — one entry per
-#: retired path.  A non-empty prefix scopes the rule to files under that
-#: subtree (repo-relative, posix), so idioms can be banned where a faster
-#: canonical spelling exists without outlawing them repo-wide.
-DEPRECATED_PATTERNS: list[tuple[re.Pattern[str], str, str]] = [
+#: (compiled pattern, human-readable reason, path prefix, excluded prefixes)
+#: — one entry per retired path.  A non-empty prefix scopes the rule to
+#: files under that subtree (repo-relative, posix), so idioms can be banned
+#: where a faster canonical spelling exists without outlawing them
+#: repo-wide; excluded prefixes carve out subtrees where the idiom remains
+#: legitimate.
+DEPRECATED_PATTERNS: list[tuple[re.Pattern[str], str, str, tuple[str, ...]]] = [
     (
         re.compile(r"repro\.util\.timers"),
         "repro.util.timers was removed; import Timer/TimerRegistry from repro.obs.tracing",
         "",
+        (),
     ),
     (
         re.compile(r"\.energy_batch\("),
         "Hamiltonian.energy_batch() is deprecated; call .energies()",
         "",
+        (),
     ),
     (
         re.compile(r"one_hot\([^()]*\)\s*\[None\]"),
@@ -41,6 +45,18 @@ DEPRECATED_PATTERNS: list[tuple[re.Pattern[str], str, str]] = [
         "encoder; encode the 2-D batch directly (one_hot(x[None], ...) or "
         "repro.nn.encode_one_hot)",
         "src/repro/proposals/",
+        (),
+    ),
+    (
+        # Bare print() — not def print(...), not obj.print(...).  Library
+        # code must narrate through structured events (repro.obs) so output
+        # reaches traces/dashboards; stdout rendering is the job of the obs
+        # CLI tools and the __main__ entry point.
+        re.compile(r"(?<!def )(?<![\w.])print\("),
+        "bare print() in library code; emit structured events (repro.obs) "
+        "or mark the line '# lint-api: allow' for a final human render",
+        "src/repro/",
+        ("src/repro/obs/", "src/repro/tools/", "src/repro/__main__.py"),
     ),
 ]
 
@@ -79,8 +95,10 @@ def lint_api(root: str | Path = ".") -> list[tuple[str, int, str, str]]:
         for lineno, line in enumerate(text.splitlines(), start=1):
             if ALLOW_MARKER in line:
                 continue
-            for pattern, reason, prefix in DEPRECATED_PATTERNS:
+            for pattern, reason, prefix, excludes in DEPRECATED_PATTERNS:
                 if prefix and not rel.startswith(prefix):
+                    continue
+                if any(rel.startswith(ex) for ex in excludes):
                     continue
                 if pattern.search(line):
                     violations.append((rel, lineno, line.strip(), reason))

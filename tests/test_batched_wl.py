@@ -145,6 +145,21 @@ class TestBatchedSampler:
         assert wl.n_steps == 20
         assert np.array_equal(wl.slot_steps, np.full(5, 4))
 
+    def test_flatness_and_fill_fractions(self, ising, grid):
+        wl = BatchedWangLandauSampler(
+            hamiltonian=ising, proposal=FlipProposal(), grid=grid,
+            initial_config=np.zeros(16, dtype=np.int8), rng=0,
+            config=WLConfig(batch_size=4),
+        )
+        assert wl.flatness_fraction() == 0.0
+        assert wl.fill_fraction() == 0.0
+        wl.steps(100)
+        counts = wl.histogram[wl.visited]
+        assert wl.flatness_fraction() == pytest.approx(
+            counts.min() / counts.mean())
+        assert wl.fill_fraction() == pytest.approx(
+            np.count_nonzero(wl.visited) / wl.visited.shape[0])
+
     def test_slot_accessors_roundtrip(self, ising, grid):
         wl = BatchedWangLandauSampler(
             hamiltonian=ising, proposal=FlipProposal(), grid=grid,

@@ -116,3 +116,71 @@ class TestMainTail:
                           "--interval", "0.01", "--iterations", "1"]) == 0
         out = capsys.readouterr().out
         assert "[r1:heartbeat]" in out
+
+
+def _nest(record):
+    """The same record with its payload nested under a "fields" key."""
+    envelope = {k: record[k] for k in ("v", "run", "seq", "ts", "kind")}
+    payload = {k: v for k, v in record.items() if k not in envelope}
+    return {**envelope, "fields": payload}
+
+
+class TestNestedFieldsRegression:
+    """Records that nest their payload under "fields" must render with real
+    values, not '?' fallbacks (regression: dash/report only read flat keys)."""
+
+    def test_dash_reads_nested_heartbeat_and_alert(self):
+        board = render_dash([_nest(_HEARTBEAT), _nest(_ALERT)], now=105.0)
+        assert "round 10" in board and "round ?" not in board
+        assert "4,000 steps" in board
+        assert "windows (latest heartbeat)" in board
+        assert "[stall] round 30: no histogram progress" in board
+        assert "?" not in board.replace("run r1", "")
+
+    def test_dash_eta_line_from_heartbeat(self):
+        hb = dict(_HEARTBEAT)
+        hb["eta"] = {"rounds": 12.0, "seconds": 34.0, "windows": [
+            {"window": 1, "ln_f": 0.5, "halvings_left": 2, "eta_rounds": 12.0},
+        ]}
+        board = render_dash([_nest(hb)], now=105.0)
+        assert "ETA to convergence: 12.0 round(s), ~34s" in board
+
+    def test_record_line_flattens_nested_fields(self):
+        line = render_record_line(_nest(_ALERT))
+        assert "alert=stall" in line
+        assert "fields=" not in line
+
+    def test_report_reads_nested_alerts(self):
+        from repro.obs.report import render_report
+
+        report = render_report([_nest(_HEARTBEAT), _nest(_ALERT)])
+        assert "[stall] round 30: no histogram progress" in report
+        assert "stall=1" in report
+
+    def test_report_convergence_table(self):
+        from repro.obs.report import render_report
+
+        summary = {
+            "v": 1, "run": "r1", "seq": 9, "ts": 102.0, "kind": "convergence",
+            "n_windows": 2, "walkers_per_window": 2, "samples": 5,
+            "tunnels": 3, "round_trips": 1,
+            "pair_attempts": [8], "pair_accepts": [2],
+            "acceptance_matrix": [[None, 0.25], [0.25, None]],
+            "windows": [
+                {"window": 0, "syncs": 2, "ln_f": [1.0, 0.5],
+                 "flatness": [0.4, 0.9], "fill": 1.0, "ln_g_drift": 0.01},
+                {"window": 1, "syncs": 1, "ln_f": [1.0],
+                 "flatness": [0.55], "fill": 0.8, "ln_g_drift": None},
+            ],
+            "eta": {"rounds": 40.0, "seconds": 20.0, "windows": [
+                {"window": 1, "ln_f": 1.0, "halvings_left": 3,
+                 "eta_rounds": 40.0},
+            ]},
+        }
+        report = render_report([summary])
+        assert "Convergence (run r1)" in report
+        assert "3 tunnel(s), 1 round trip(s)" in report
+        assert "exchanges 2/8 accepted" in report
+        assert "ETA 40.0 round(s) (~20s)" in report
+        # Nested shape renders identically.
+        assert "Convergence (run r1)" in render_report([_nest(summary)])

@@ -105,6 +105,39 @@ class TestFlatnessRatio:
         team = [_FakeWalker([4, 4]), _FakeWalker([1, 7])]
         assert team_flatness_ratio(team) == pytest.approx(1 / 4)
 
+    def test_lone_walker_object_accepted(self):
+        # A bare walker (not wrapped in a list) is treated as a 1-team.
+        assert team_flatness_ratio(_FakeWalker([4, 4])) == pytest.approx(1.0)
+
+    def test_batched_team_slot_arrays(self):
+        # One BatchedWangLandauSampler-style object holding K walker slots
+        # as 2-D (K, n_bins) arrays: the worst slot wins.
+        batched = _FakeWalker([4, 4])
+        batched.histogram = np.array([[4, 4], [1, 7]], dtype=np.int64)
+        batched.visited = batched.histogram > 0
+        assert team_flatness_ratio([batched]) == pytest.approx(1 / 4)
+
+    def test_batched_team_on_real_sampler(self):
+        from repro.hamiltonians import IsingHamiltonian as _Ham
+        from repro.sampling import BatchedWangLandauSampler, WLConfig
+
+        ham = _Ham(square_lattice(4))
+        grid = EnergyGrid.from_levels(ham.energy_levels())
+        team = BatchedWangLandauSampler(
+            hamiltonian=ham, proposal=FlipProposal(), grid=grid,
+            initial_config=np.zeros(16, dtype=np.int8), rng=2,
+            config=WLConfig(batch_size=3))
+        team.run(max_steps=400)
+        ratio = team_flatness_ratio([team])
+        assert 0.0 <= ratio <= 1.0
+        # Matches the worst equivalent per-slot scalar computation.
+        per_slot = []
+        for hist, vis in zip(np.atleast_2d(team.histogram),
+                             np.atleast_2d(team.visited)):
+            counts = hist[vis]
+            per_slot.append(counts.min() / counts.mean() if counts.size else 0.0)
+        assert ratio == pytest.approx(min(per_slot))
+
 
 class TestDetectors:
     def test_heartbeat_cadence_and_fields(self):

@@ -149,6 +149,24 @@ class TestWangLandauMechanics:
         res = wl.run(max_steps=2_000_000)
         assert res.converged
 
+    def test_flatness_and_fill_fractions_are_pure_reads(self, ising_4x4):
+        wl = self.make_wl(ising_4x4)
+        assert wl.flatness_fraction() == 0.0
+        assert wl.fill_fraction() == 0.0
+        wl.run(max_steps=500)
+        hist_before = wl.histogram.copy()
+        steps_before = wl.n_steps
+        frac = wl.flatness_fraction()
+        fill = wl.fill_fraction()
+        assert 0.0 < frac <= 1.0
+        assert 0.0 < fill <= 1.0
+        counts = wl.histogram[wl.visited]
+        assert frac == pytest.approx(counts.min() / counts.mean())
+        assert fill == pytest.approx(np.count_nonzero(wl.visited)
+                                     / wl.visited.shape[0])
+        assert np.array_equal(wl.histogram, hist_before)
+        assert wl.n_steps == steps_before
+
     def test_max_steps_cuts_off(self, ising_4x4):
         wl = self.make_wl(ising_4x4, ln_f_final=1e-12)
         res = wl.run(max_steps=5_000)
