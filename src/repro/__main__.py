@@ -23,7 +23,8 @@ import repro
 _USAGE = """usage: python -m repro <command> [options]
 
 commands:
-  experiments [--full] [--only E1,E7] [--seed N]   regenerate tables/figures
+  experiments [--full] [--only E1,E7] [--seed N]
+              [--resume] [--resilience SPEC]        regenerate tables/figures
   report                                           rebuild EXPERIMENTS.md
   info                                             version + inventory
   obs <subcommand>                                 observability tools

@@ -9,18 +9,32 @@ so the join is smooth even when the two estimates disagree slightly.
 The alignment residual (RMS disagreement over the overlap after shifting)
 is reported per joint — it is the stitching quality metric printed by
 experiment E2 and checked in the integration tests.
+
+Best-effort partial stitching
+-----------------------------
+A degraded campaign (quarantined or missing windows, see
+:mod:`repro.resilience`) still deserves its surviving data.  With
+``skip=(...)`` and ``allow_gaps=True``, :func:`stitch_windows` stitches
+*around* the excluded windows: surviving neighbors that still share
+commonly visited bins are joined normally; where the chain breaks, a new
+**segment** starts with its own arbitrary additive constant, and the bins
+covered by no surviving window are recorded as ``coverage_gaps``.  The
+result is explicit about its incompleteness — ``StitchedDoS.complete`` is
+False, and cross-segment ln g differences are meaningless (each segment is
+only internally relative) — so a partial DoS can never masquerade as a
+complete one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.parallel.windows import WindowSpec
 from repro.sampling.binning import EnergyGrid
 
-__all__ = ["StitchedDoS", "stitch_windows", "join_pair"]
+__all__ = ["StitchedDoS", "stitch_windows", "join_pair", "coverage_gaps"]
 
 
 @dataclass
@@ -30,12 +44,22 @@ class StitchedDoS:
     ``ln_g`` is −inf at unvisited bins and shifted so the minimum visited
     value is 0; apply :func:`repro.dos.thermo.normalize_ln_g` for absolute
     normalization.
+
+    ``segments`` groups the included window indices into connected runs —
+    within a segment all pieces share one additive constant; *between*
+    segments the constants are unrelated.  ``coverage_gaps`` lists the
+    inclusive global-bin ranges covered by no included window, and
+    ``skipped`` the window indices excluded from the stitch.  A complete
+    stitch has one segment, no gaps, and nothing skipped.
     """
 
     grid: EnergyGrid
     ln_g: np.ndarray
     visited: np.ndarray
     joint_residuals: np.ndarray
+    segments: list[list[int]] = field(default_factory=list)
+    coverage_gaps: list[tuple[int, int]] = field(default_factory=list)
+    skipped: list[int] = field(default_factory=list)
 
     @property
     def span(self) -> float:
@@ -43,6 +67,11 @@ class StitchedDoS:
         is about this span at their system size)."""
         vals = self.ln_g[self.visited]
         return float(vals.max() - vals.min()) if vals.size else 0.0
+
+    @property
+    def complete(self) -> bool:
+        """True iff nothing was skipped and the stitch is one connected run."""
+        return not self.skipped and not self.coverage_gaps and len(self.segments) <= 1
 
     def energies(self) -> np.ndarray:
         """Centers of the visited bins."""
@@ -95,19 +124,72 @@ def join_pair(
     return shift, residual
 
 
+def coverage_gaps(
+    n_bins: int, windows: list[WindowSpec], included: list[int]
+) -> list[tuple[int, int]]:
+    """Inclusive global-bin runs covered by none of the ``included`` windows.
+
+    A pure function of the window *specs* (not of what was visited), so the
+    recorded gaps of a degraded run are deterministic.
+    """
+    covered = np.zeros(n_bins, dtype=bool)
+    for k in included:
+        spec = windows[k]
+        covered[spec.lo_bin : spec.hi_bin + 1] = True
+    gaps: list[tuple[int, int]] = []
+    b = 0
+    while b < n_bins:
+        if covered[b]:
+            b += 1
+            continue
+        start = b
+        while b < n_bins and not covered[b]:
+            b += 1
+        gaps.append((start, b - 1))
+    return gaps
+
+
 def stitch_windows(
     global_grid: EnergyGrid,
     windows: list[WindowSpec],
     pieces: list[np.ndarray],
     visited: list[np.ndarray],
+    skip: tuple[int, ...] | list[int] = (),
+    allow_gaps: bool = False,
 ) -> StitchedDoS:
-    """Assemble window pieces into a global ln g (see module docstring)."""
+    """Assemble window pieces into a global ln g (see module docstring).
+
+    ``skip`` excludes window indices (quarantined/missing); their ``pieces``
+    entries may be None.  Without ``allow_gaps`` any disconnection — a
+    skipped window whose surviving neighbors don't connect, or an overlap
+    with no commonly visited bins — raises ``ValueError`` exactly as
+    before; with it, the stitch continues in a new segment and the result
+    records its gaps.
+    """
     if not (len(windows) == len(pieces) == len(visited)):
         raise ValueError(
             f"length mismatch: {len(windows)} windows, {len(pieces)} pieces, "
             f"{len(visited)} visited masks"
         )
+    skipped = sorted(set(int(s) for s in skip))
+    for s in skipped:
+        if not 0 <= s < len(windows):
+            raise ValueError(f"skip index {s} out of range for {len(windows)} windows")
+    included = [k for k in range(len(windows)) if k not in skipped]
     n_bins = global_grid.n_bins
+    gaps = coverage_gaps(n_bins, windows, included)
+    if not included:
+        if not allow_gaps:
+            raise ValueError("all windows skipped and allow_gaps is False")
+        return StitchedDoS(
+            grid=global_grid,
+            ln_g=np.full(n_bins, -np.inf),
+            visited=np.zeros(n_bins, dtype=bool),
+            joint_residuals=np.asarray([]),
+            segments=[],
+            coverage_gaps=gaps,
+            skipped=skipped,
+        )
     out = np.full(n_bins, -np.inf)
     out_visited = np.zeros(n_bins, dtype=bool)
     residuals = []
@@ -115,6 +197,8 @@ def stitch_windows(
     # Expand each window piece onto global bins.
     def expand(k: int) -> tuple[np.ndarray, np.ndarray]:
         spec = windows[k]
+        if pieces[k] is None or visited[k] is None:
+            raise ValueError(f"window {k}: piece is missing but not skipped")
         if pieces[k].shape != (spec.n_bins,) or visited[k].shape != (spec.n_bins,):
             raise ValueError(
                 f"window {k}: piece/visited shape must be ({spec.n_bins},)"
@@ -126,17 +210,35 @@ def stitch_windows(
         g[~v] = -np.inf
         return g, v
 
-    g0, v0 = expand(0)
+    first = included[0]
+    g0, v0 = expand(first)
     out[v0] = g0[v0]
     out_visited |= v0
+    segments: list[list[int]] = [[first]]
 
-    for k in range(1, len(windows)):
+    for prev, k in zip(included, included[1:]):
         gk, vk = expand(k)
-        ov = windows[k - 1].overlap_bins(windows[k])
-        if ov is None:  # make_windows guarantees overlap; guard anyway
-            raise ValueError(f"windows {k - 1} and {k} do not overlap")
-        shift, residual = join_pair(out, out_visited, gk, vk, ov[0], ov[1])
-        residuals.append(residual)
+        ov = windows[prev].overlap_bins(windows[k])
+        shift = None
+        if ov is None:
+            # Surviving neighbors don't even share spec bins (a quarantine
+            # hole too wide to bridge).
+            if not allow_gaps:
+                raise ValueError(f"windows {prev} and {k} do not overlap")
+        else:
+            try:
+                shift, residual = join_pair(out, out_visited, gk, vk, ov[0], ov[1])
+            except ValueError:
+                if not allow_gaps:
+                    raise
+            else:
+                residuals.append(residual)
+        if shift is None:
+            # Disconnected: start a new segment with its own constant.
+            out[vk] = gk[vk]
+            out_visited |= vk
+            segments.append([k])
+            continue
         gk = gk + shift
         lo, hi = ov
         # Linear ramp across the overlap: weight of the left part 1 → 0.
@@ -153,6 +255,7 @@ def stitch_windows(
             else:
                 out[b] = gk[b]
         out_visited |= vk
+        segments[-1].append(k)
 
     if out_visited.any():
         out[out_visited] -= out[out_visited].min()
@@ -161,4 +264,7 @@ def stitch_windows(
         ln_g=out,
         visited=out_visited,
         joint_residuals=np.asarray(residuals),
+        segments=segments,
+        coverage_gaps=gaps,
+        skipped=skipped,
     )

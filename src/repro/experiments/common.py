@@ -66,6 +66,11 @@ class ExperimentResult:
     telemetry : dict
         Structured run telemetry (span aggregates, metrics, run id) stamped
         by the harness; lands in the saved JSON as a ``telemetry`` block.
+    degraded : bool
+        True when the experiment completed on *partial* data — e.g. a REWL
+        campaign that quarantined a window or hit a budget
+        (:mod:`repro.resilience`).  Propagated to ``campaign.json`` and the
+        run_all exit code so a degraded result can never pass silently.
     """
 
     experiment_id: str
@@ -76,11 +81,16 @@ class ExperimentResult:
     data: dict = field(default_factory=dict)
     elapsed_s: float = 0.0
     telemetry: dict = field(default_factory=dict)
+    degraded: bool = False
 
     def print(self) -> None:
         # This IS the human-facing final render (DESIGN.md §8) — the one
         # place experiment code writes to stdout directly.
-        header = f"=== {self.experiment_id}: {self.title} ({self.elapsed_s:.1f}s) ==="
+        tag = " [DEGRADED]" if self.degraded else ""
+        header = (
+            f"=== {self.experiment_id}: {self.title}{tag} "
+            f"({self.elapsed_s:.1f}s) ==="
+        )
         print(header)  # lint-api: allow
         for name in sorted(self.tables):
             print(self.tables[name])  # lint-api: allow
@@ -102,6 +112,7 @@ class ExperimentResult:
             "data": _jsonify(self.data),
             "elapsed_s": self.elapsed_s,
             "telemetry": _jsonify(self.telemetry),
+            "degraded": self.degraded,
         }
         path.write_text(json.dumps(payload, indent=2))
         return path

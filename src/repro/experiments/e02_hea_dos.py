@@ -61,6 +61,7 @@ class HeaDos:
     residual: float
     n_sites: int
     converged: bool
+    degraded: bool = False  # partial harvest (quarantine/budget; PR 7)
 
     @property
     def energies(self) -> np.ndarray:
@@ -91,6 +92,7 @@ def load_or_run_hea_dos(length: int = 3, seed: int = 0, quick: bool = True) -> H
                     span=float(f["span"]), steps=int(f["steps"]), rounds=int(f["rounds"]),
                     residual=float(f["residual"]), n_sites=int(f["n_sites"]),
                     converged=bool(f["converged"]),
+                    degraded=bool(f["degraded"]) if "degraded" in f else False,
                 )
         except (OSError, KeyError, ValueError, zipfile.BadZipFile):
             path.unlink(missing_ok=True)
@@ -138,13 +140,14 @@ def load_or_run_hea_dos(length: int = 3, seed: int = 0, quick: bool = True) -> H
         residual=float(np.max(stitched.joint_residuals)) if len(stitched.joint_residuals) else 0.0,
         n_sites=ham.n_sites,
         converged=res.converged,
+        degraded=res.degraded,
     )
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez(
         path, e_lo=grid.e_min, e_hi=grid.e_max, n_bins=grid.n_bins,
         ln_g=dos.ln_g, visited=dos.visited, span=dos.span, steps=dos.steps,
         rounds=dos.rounds, residual=dos.residual, n_sites=dos.n_sites,
-        converged=dos.converged,
+        converged=dos.converged, degraded=dos.degraded,
     )
     return dos
 
@@ -156,8 +159,10 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     lengths = [3] if quick else [3, 4]
     series_rows = []
     spans = []
+    degraded = False
     for length in lengths:
         dos = load_or_run_hea_dos(length, seed=seed, quick=quick)
+        degraded = degraded or dos.degraded
         _ham, counts = hea_system(length)
         total = log_multinomial(counts)
         spans.append((dos.n_sites, dos.span, total))
@@ -205,6 +210,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             "ln_g": main.values,
             "converged": main.converged,
         },
+        degraded=degraded or main.degraded,
     )
     return clock.stamp(result)
 

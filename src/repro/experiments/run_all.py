@@ -6,9 +6,19 @@ Options
 --only E3,E7  run a subset of experiment ids
 --seed N      root seed (default 0)
 --resume      continue an interrupted campaign: skip experiments already
-              recorded in ``results/campaign.json`` (same mode/seed), and
-              let REWL-driving experiments restore their own mid-run
-              checkpoints from the cache directory
+              recorded in ``results/campaign.json`` (same mode/seed; failed
+              and degraded ones are retried), and let REWL-driving
+              experiments restore their own mid-run checkpoints from the
+              cache directory
+--resilience SPEC
+              enable campaign self-healing (guards / rollback / window
+              quarantine / budgets) for every REWL-driving experiment;
+              SPEC is a ``REPRO_RESILIENCE`` value, e.g. ``1`` or
+              ``mode=quarantine,rollbacks=2,wall_s=3600``
+
+Exit codes: 0 all requested experiments succeeded; 1 some failed;
+3 all completed but at least one produced a *degraded* (partial) result —
+its ids are listed under ``degraded`` in ``results/campaign.json``.
 
 Each experiment prints its tables and writes ``results/<id>.json``; a
 summary manifest lands in ``results/summary.json`` and the paper-vs-measured
@@ -67,7 +77,7 @@ def _telemetry_manifest() -> dict:
 def _load_campaign(path, mode: str, seed: int, resume: bool) -> dict:
     """The campaign manifest, or a fresh one when not resumable/compatible."""
     fresh = {"mode": mode, "seed": seed, "completed": [], "failed": [],
-             "telemetry": _telemetry_manifest()}
+             "degraded": [], "telemetry": _telemetry_manifest()}
     if not resume:
         return fresh
     campaign = _read_json(path)
@@ -75,6 +85,7 @@ def _load_campaign(path, mode: str, seed: int, resume: bool) -> dict:
         return fresh
     campaign.setdefault("completed", [])
     campaign.setdefault("failed", [])
+    campaign.setdefault("degraded", [])
     campaign.setdefault("telemetry", _telemetry_manifest())
     return campaign
 
@@ -91,7 +102,20 @@ def main(argv=None) -> int:
     parser.add_argument("--resume", action="store_true",
                         help="skip experiments already completed by an "
                              "interrupted campaign with the same mode/seed")
+    parser.add_argument("--resilience", type=str, default="", metavar="SPEC",
+                        help="enable campaign self-healing for REWL-driving "
+                             "experiments (a REPRO_RESILIENCE value, e.g. "
+                             "'1' or 'mode=quarantine,wall_s=3600')")
     args = parser.parse_args(argv)
+
+    if args.resilience:
+        from repro.resilience import RESILIENCE_ENV_VAR, parse_resilience
+
+        try:
+            parse_resilience(args.resilience)  # fail fast on a bad spec
+        except ValueError as exc:
+            parser.error(str(exc))
+        os.environ[RESILIENCE_ENV_VAR] = args.resilience
 
     wanted = [e.strip().upper() for e in args.only.split(",") if e.strip()] or list(EXPERIMENTS)
     unknown = [e for e in wanted if e not in EXPERIMENTS]
@@ -116,6 +140,9 @@ def main(argv=None) -> int:
         if (
             args.resume
             and exp_id in campaign["completed"]
+            # Degraded results are retried on resume, like failures: a
+            # partial harvest is not a completed experiment to build on.
+            and exp_id not in campaign["degraded"]
             and (results_dir() / f"{exp_id.lower()}.json").exists()
         ):
             with experiment_telemetry(exp_id, extra_sinks=[console]) as tel:
@@ -153,7 +180,8 @@ def main(argv=None) -> int:
             path = result.save()
             tel.emit("experiment_end", experiment=exp_id,
                      elapsed_s=result.elapsed_s, file=str(path),
-                     measured=result.measured)
+                     measured=result.measured,
+                     degraded=bool(getattr(result, "degraded", False)))
         summary[exp_id] = {
             "title": result.title,
             "paper_claim": result.paper_claim,
@@ -165,6 +193,14 @@ def main(argv=None) -> int:
             campaign["completed"].append(exp_id)
         if exp_id in campaign["failed"]:
             campaign["failed"].remove(exp_id)
+        # A degraded (partial-harvest) result is *completed* but flagged, so
+        # the campaign exit code and manifest can never report it as clean;
+        # a clean rerun of the same experiment clears the flag.
+        if getattr(result, "degraded", False):
+            if exp_id not in campaign["degraded"]:
+                campaign["degraded"].append(exp_id)
+        elif exp_id in campaign["degraded"]:
+            campaign["degraded"].remove(exp_id)
         _atomic_write_json(campaign_path, campaign)
         ordered = {k: summary[k] for k in EXPERIMENTS if k in summary}
         _atomic_write_json(summary_path, ordered)
@@ -173,8 +209,10 @@ def main(argv=None) -> int:
     _atomic_write_json(summary_path, ordered)
     with experiment_telemetry("run_all", extra_sinks=[console]) as tel:
         tel.emit("summary", file=str(summary_path), experiments=len(ordered),
-                 failures=failures)
-    return 1 if failures else 0
+                 failures=failures, degraded=list(campaign["degraded"]))
+    if failures:
+        return 1
+    return 3 if campaign["degraded"] else 0
 
 
 if __name__ == "__main__":

@@ -24,12 +24,24 @@ Fault kinds
   ``BrokenProcessPool`` rebuild path); degrades to ``crash`` in-process,
 - ``corrupt`` — checkpoint I/O faults: flip a payload byte (caught by the
   SHA-256 integrity check) or die between the tmp write and the atomic
-  rename (the previous snapshot must survive).
+  rename (the previous snapshot must survive),
+- ``nan``  — *silent numerical corruption*: the task body runs normally,
+  then the returned walker is deterministically poisoned (a non-finite
+  ``ln g`` entry or walker energy).  Nothing raises — exactly the failure
+  mode only the :mod:`repro.resilience` guard rails can catch,
+- ``slow`` — a seeded fixed delay (``slow_s``) before the task body; the
+  task then *succeeds*, exercising stall detection and wall-clock budgets
+  without perturbing any walker state.
+
+``window`` (default −1 = everywhere) restricts task faults to tasks whose
+walker belongs to one REWL window — the knob behind "permanently kill
+window 1 and watch the campaign degrade gracefully" chaos tests.
 
 Activation: pass a :class:`FaultInjector` explicitly, or set the
 ``REPRO_FAULTS`` environment knob, e.g.::
 
     REPRO_FAULTS="crash=0.1,hang=0.05,hang_s=0.02,seed=3"
+    REPRO_FAULTS="nan=1.0,window=1,seed=0"   # poison window 1, every round
 
 and every supervised executor and checkpoint write picks it up.
 """
@@ -75,28 +87,41 @@ class InjectedHang(InjectedFault):
 class FaultConfig:
     """Per-site fault probabilities plus the injector seed.
 
-    ``crash``/``hang``/``kill`` apply per task *attempt* (their sum must be
-    <= 1); ``corrupt`` applies per checkpoint write.  ``hang_s`` is the
-    simulated hang duration in seconds.
+    ``crash``/``hang``/``kill``/``nan``/``slow`` apply per task *attempt*
+    (their sum must be <= 1); ``corrupt`` applies per checkpoint write.
+    ``hang_s``/``slow_s`` are the simulated hang/delay durations in
+    seconds.  ``window >= 0`` restricts task faults to walkers of that REWL
+    window (checkpoint faults are campaign-wide and unaffected).
     """
 
     crash: float = 0.0
     hang: float = 0.0
     kill: float = 0.0
+    nan: float = 0.0
+    slow: float = 0.0
     corrupt: float = 0.0
     hang_s: float = 0.05
+    slow_s: float = 0.02
     seed: int = 0
+    window: int = -1
 
     def __post_init__(self):
-        for name in ("crash", "hang", "kill", "corrupt"):
+        for name in ("crash", "hang", "kill", "nan", "slow", "corrupt"):
             check_probability(name, getattr(self, name))
-        check_probability("crash + hang + kill", self.crash + self.hang + self.kill)
+        check_probability(
+            "crash + hang + kill + nan + slow",
+            self.crash + self.hang + self.kill + self.nan + self.slow,
+        )
         if self.hang_s < 0:
             raise ValueError(f"hang_s must be >= 0, got {self.hang_s!r}")
+        if self.slow_s < 0:
+            raise ValueError(f"slow_s must be >= 0, got {self.slow_s!r}")
+        if self.window < -1:
+            raise ValueError(f"window must be >= -1, got {self.window!r}")
 
     @property
     def any_task_faults(self) -> bool:
-        return (self.crash + self.hang + self.kill) > 0.0
+        return (self.crash + self.hang + self.kill + self.nan + self.slow) > 0.0
 
     @property
     def any_checkpoint_faults(self) -> bool:
@@ -129,17 +154,27 @@ class FaultInjector:
     # ------------------------------------------------------------ decisions
 
     def decide_task(self, key: int, attempt: int) -> str | None:
-        """``"crash"`` / ``"hang"`` / ``"kill"`` / None for one task attempt."""
+        """``"crash"``/``"hang"``/``"kill"``/``"nan"``/``"slow"``/None for
+        one task attempt."""
         cfg = self.cfg
         if not cfg.any_task_faults:
             return None
         u = _draw(cfg, "task", key, attempt)
-        if u < cfg.crash:
+        band = cfg.crash
+        if u < band:
             return "crash"
-        if u < cfg.crash + cfg.hang:
+        band += cfg.hang
+        if u < band:
             return "hang"
-        if u < cfg.crash + cfg.hang + cfg.kill:
+        band += cfg.kill
+        if u < band:
             return "kill"
+        band += cfg.nan
+        if u < band:
+            return "nan"
+        band += cfg.slow
+        if u < band:
+            return "slow"
         return None
 
     def decide_checkpoint(self, key: int) -> str | None:
@@ -186,6 +221,13 @@ class _FaultyCall:
 
     def __call__(self, *args, **kwargs):
         action = FaultInjector(self.cfg).decide_task(self.key, self.attempt)
+        if action is not None and self.cfg.window >= 0:
+            # Window targeting: only walkers tagged with the configured
+            # window fault; everything else runs clean.  The decision draw
+            # is stateless, so gating after it changes nothing else.
+            tag = getattr(args[0], "obs_tag", None) if args else None
+            if tag is None or tag[0] != self.cfg.window:
+                action = None
         if action == "kill":
             if os.getpid() != self.origin_pid:
                 os._exit(13)  # real worker death -> BrokenProcessPool upstream
@@ -200,7 +242,32 @@ class _FaultyCall:
             raise InjectedCrash(
                 f"injected crash (task {self.key}, attempt {self.attempt})"
             )
-        return self.fn(*args, **kwargs)
+        if action == "slow":
+            # Seeded fixed delay, then a *successful* run: stall/budget
+            # paths get exercised with zero effect on walker state.
+            time.sleep(self.cfg.slow_s)
+        result = self.fn(*args, **kwargs)
+        if action == "nan":
+            _poison_walker(self.cfg, result, self.key, self.attempt)
+        return result
+
+
+def _poison_walker(cfg: FaultConfig, walker, key: int, attempt: int) -> None:
+    """Silent numerical corruption of a completed task's walker.
+
+    Deterministically (secondary draw on its own site) either drops a NaN
+    into the middle of ``ln g`` or blows up the walker energy — the two
+    corruption shapes the resilience guards must catch.  No exception is
+    raised; the caller believes the task succeeded.
+    """
+    u = _draw(cfg, "nan-mode", key, attempt)
+    ln_g = getattr(walker, "ln_g", None)
+    if u < 0.5 and ln_g is not None and len(ln_g):
+        ln_g[len(ln_g) // 2] = np.nan
+    elif hasattr(walker, "energies"):  # batched team
+        walker.energies[0] = np.inf
+    else:
+        walker.energy = float("inf")
 
 
 _FIELD_TYPES = {f.name: f.type for f in fields(FaultConfig)}
@@ -222,7 +289,7 @@ def parse_faults(spec: str) -> FaultConfig:
                 f"key in {{{known}}}"
             )
         try:
-            kwargs[key] = int(value) if key == "seed" else float(value)
+            kwargs[key] = int(value) if key in ("seed", "window") else float(value)
         except ValueError as exc:
             raise ValueError(f"bad {FAULTS_ENV_VAR} value for {key!r}: {value!r}") from exc
     return FaultConfig(**kwargs)

@@ -71,6 +71,7 @@ QUICK_BENCHES = (
     "bench_e9_throughput.py",
     "bench_e12_systems_table.py",
     "bench_obs_overhead.py",
+    "bench_resilience_overhead.py",
 )
 
 

@@ -80,11 +80,19 @@ def render_dash(records: list[dict], run: str | None = None,
         hb = heartbeats[-1]
         # Heartbeat payloads may ride flat next to the envelope or nested
         # under "fields" — event_field reads both shapes.
+        quarantined = event_field(hb, "quarantined_windows", 0)
+        budget = event_field(hb, "budget")
+        resilience_bits = ""
+        if quarantined:
+            resilience_bits += f", {quarantined} window(s) QUARANTINED"
+        if isinstance(budget, dict) and budget.get("exhausted"):
+            resilience_bits += f", budget exhausted ({budget.get('trigger')})"
         lines.append(
             f"heartbeat #{len(heartbeats)} @ round {event_field(hb, 'round', '?')}: "
             f"{event_field(hb, 'steps', 0):,} steps, "
             f"{event_field(hb, 'converged_windows', 0)} window(s) converged, "
             f"{event_field(hb, 'retries', 0)} retries since previous"
+            + resilience_bits
         )
         eta = event_field(hb, "eta")
         if isinstance(eta, dict):
@@ -97,7 +105,8 @@ def render_dash(records: list[dict], run: str | None = None,
         window_rows = [
             [w.get("window"), f"{w.get('ln_f', 0.0):.3g}", w.get("iteration"),
              f"{w.get('flatness', 0.0):.3f}",
-             "yes" if w.get("converged") else "no"]
+             "quarantined" if w.get("quarantined")
+             else ("yes" if w.get("converged") else "no")]
             for w in event_field(hb, "windows", [])
         ]
         if window_rows:

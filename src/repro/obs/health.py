@@ -143,6 +143,9 @@ class HealthMonitor:
         windows = []
         iterations = []
         flatness = []
+        quarantined = list(getattr(
+            driver, "window_quarantined", [False] * len(driver.walkers)
+        ))
         for w, team in enumerate(driver.walkers):
             ratio = team_flatness_ratio(team)
             iterations.append(team[0].n_iterations)
@@ -153,6 +156,7 @@ class HealthMonitor:
                 "iteration": team[0].n_iterations,
                 "flatness": round(ratio, 6),
                 "converged": bool(driver.window_converged[w]),
+                "quarantined": bool(quarantined[w]),
             })
 
         pairs, collapsed = self._exchange_deltas(driver)
@@ -166,12 +170,19 @@ class HealthMonitor:
         ledger = getattr(driver, "convergence", None)
         eta = ledger.eta(driver) if ledger is not None else None
 
+        # Resilience posture rides on the heartbeat so the live dash shows
+        # quarantines/budget without a second event stream.
+        supervisor = getattr(driver, "supervisor", None)
+        budget = dict(supervisor.budget_status) if supervisor is not None else None
+
         self.obs.metrics.inc("health.heartbeats")
         if self.obs.enabled:
             self.obs.emit(
                 HEARTBEAT_KIND, round=driver.rounds, windows=windows,
                 pairs=pairs, steps=total_steps, retries=retries_delta,
                 converged_windows=sum(bool(c) for c in driver.window_converged),
+                quarantined_windows=sum(bool(q) for q in quarantined),
+                budget=budget,
                 eta=eta,
             )
 
@@ -230,7 +241,15 @@ class HealthMonitor:
             )
             or sum(bool(c) for c in driver.window_converged) > self._last_converged
         )
-        if progressed or all(driver.window_converged):
+        # A quarantined window is settled, not stalled: only windows still
+        # expected to progress count toward the stall detector.
+        quarantined = getattr(
+            driver, "window_quarantined", [False] * len(driver.window_converged)
+        )
+        settled = all(
+            c or q for c, q in zip(driver.window_converged, quarantined)
+        )
+        if progressed or settled:
             self._stall_streak = 0
             return
         self._stall_streak += 1

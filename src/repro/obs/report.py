@@ -15,7 +15,11 @@ records written by :class:`repro.obs.events.JsonlSink` and prints
   kind — when :mod:`repro.obs.health` monitored the run,
 - a "Convergence" table — per-window flatness/fill/ln g drift, walker-label
   tunneling counts, and the ETA projection — when the run carried a
-  :class:`repro.obs.convergence.ConvergenceLedger`.
+  :class:`repro.obs.convergence.ConvergenceLedger`,
+- a "Resilience" table — per-window disposition (healthy / retrying /
+  rolled-back / quarantined), guard trips, rollbacks, plus budget status
+  and an explicit DEGRADED banner — when the run carried a
+  :class:`repro.resilience.CampaignSupervisor`.
 
 This is the consumer side of the schema described in DESIGN.md §8/§10; the
 producer side is wired through :class:`repro.parallel.rewl.REWLDriver`,
@@ -291,6 +295,77 @@ def _convergence_lines(records: list[dict]) -> list[str]:
     return lines
 
 
+def _resilience_lines(records: list[dict]) -> list[str]:
+    """"Resilience" section: disposition table + guard/budget digest.
+
+    The driver emits one cumulative ``resilience`` event at run end (the
+    digest of :class:`repro.resilience.CampaignSupervisor`); per run the
+    newest event wins.  Incremental ``guard_trip`` / ``window_rollback`` /
+    ``window_quarantine`` / ``budget_exhausted`` events are counted as a
+    cross-check even when no summary made it out (e.g. an aborted run).
+    """
+    from repro.util.tables import format_table
+
+    latest: dict[str, dict] = {}
+    for r in records:
+        if r.get("kind") != "resilience":
+            continue
+        if isinstance(event_field(r, "windows"), list):
+            latest[str(r.get("run", "?"))] = r
+    trips = sum(1 for r in records if r.get("kind") == "guard_trip")
+    rollbacks = sum(1 for r in records if r.get("kind") == "window_rollback")
+    quarantines = sum(1 for r in records if r.get("kind") == "window_quarantine")
+    budget_events = [r for r in records if r.get("kind") == "budget_exhausted"]
+    if not latest and not (trips or rollbacks or quarantines or budget_events):
+        return []
+    lines: list[str] = []
+    for run_id, summ in latest.items():
+        rows = []
+        for w in event_field(summ, "windows", []) or []:
+            rows.append([
+                w.get("window"),
+                w.get("disposition", "?"),
+                w.get("guard_trips", 0),
+                w.get("rollbacks", 0),
+                w.get("task_failures", 0),
+                (w.get("reason") or "-")[:48],
+            ])
+        if rows:
+            lines.append(format_table(
+                ["window", "disposition", "guard trips", "rollbacks",
+                 "task failures", "reason"],
+                rows, title=f"Resilience (run {run_id}, "
+                            f"mode {event_field(summ, 'mode', '?')})",
+            ))
+        budget = event_field(summ, "budget") or {}
+        status = (
+            f"budget exhausted ({budget.get('trigger')})"
+            if budget.get("exhausted") else "budget ok"
+        )
+        flag = "DEGRADED" if event_field(summ, "degraded") else "complete"
+        lines.append(
+            f"campaign {flag}: {event_field(summ, 'guard_trips', 0)} guard "
+            f"trip(s), {event_field(summ, 'rollbacks', 0)} rollback(s), "
+            f"{len(event_field(summ, 'quarantined', []) or [])} "
+            f"quarantine(s); {status}"
+        )
+        lines.append("")
+    if not latest:
+        parts = []
+        if trips:
+            parts.append(f"{trips} guard trip(s)")
+        if rollbacks:
+            parts.append(f"{rollbacks} rollback(s)")
+        if quarantines:
+            parts.append(f"{quarantines} quarantine(s)")
+        for b in budget_events:
+            parts.append(f"budget exhausted ({event_field(b, 'trigger', '?')})")
+        lines.append("resilience: " + "; ".join(parts)
+                     + " (no run summary — campaign aborted?)")
+        lines.append("")
+    return lines
+
+
 def _training_lines(records: list[dict]) -> list[str]:
     losses = [float(r["loss"]) for r in records
               if r.get("kind") == "train_step" and "loss" in r]
@@ -321,6 +396,7 @@ def render_report(records: list[dict]) -> str:
             lines.append(table)
             lines.append("")
     lines.extend(_convergence_lines(records))
+    lines.extend(_resilience_lines(records))
     lines.extend(_health_lines(records))
     lines.extend(_fault_lines(records))
     lines.extend(_training_lines(records))

@@ -40,7 +40,7 @@ from repro.parallel.executors import (
     ThreadExecutor,
     ProcessExecutor,
 )
-from repro.parallel.windows import WindowSpec, make_windows
+from repro.parallel.windows import WindowSpec, make_windows, surviving_pairs
 from repro.parallel.rewl import REWLDriver, REWLConfig, REWLResult, WalkerSnapshot
 from repro.parallel.tempering import distributed_parallel_tempering
 from repro.parallel.checkpoint import (
@@ -62,6 +62,7 @@ __all__ = [
     "ProcessExecutor",
     "WindowSpec",
     "make_windows",
+    "surviving_pairs",
     "REWLDriver",
     "REWLConfig",
     "REWLResult",

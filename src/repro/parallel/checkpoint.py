@@ -22,7 +22,13 @@ Crash consistency (format version 2):
 - **chaos hooks** — checkpoint writes consult the active
   :class:`repro.faults.FaultInjector` (``corrupt`` probability), which can
   flip a payload byte or kill the save between tmp write and rename; both
-  paths are recovered by the integrity check + rotation.
+  paths are recovered by the integrity check + rotation;
+- **logical validation** — SHA-256 only proves the bytes are the bytes
+  that were written; it cannot catch *bad values written before the
+  crash* (a NaN ln g poisoned in memory and then faithfully persisted).
+  Restores therefore run the :mod:`repro.resilience` numerical guards
+  over every walker before any driver state is touched, and a logically
+  corrupt snapshot falls back to ``.prev`` like a torn one.
 
 Legacy version-1 checkpoints (raw pickles) are still readable.
 
@@ -93,6 +99,15 @@ def save_checkpoint(driver: "REWLDriver", path, keep_previous: bool = True,
         "convergence": (
             driver.convergence.state_dict()
             if getattr(driver, "convergence", None) is not None else None
+        ),
+        # Quarantine flags + supervisor ledger: a resumed degraded campaign
+        # keeps its dispositions (rollback snapshots are re-taken live).
+        "window_quarantined": list(getattr(
+            driver, "window_quarantined", [False] * len(driver.windows)
+        )),
+        "resilience": (
+            driver.supervisor.state_dict()
+            if getattr(driver, "supervisor", None) is not None else None
         ),
     }
     payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
@@ -180,6 +195,22 @@ def load_checkpoint(driver: "REWLDriver", path) -> "REWLDriver":
                 f"checkpoint mismatch: {key} is {state[key]} in the file but "
                 f"{current} in the driver"
             )
+    # Logical validation (the sha256 frame already proved the bytes are
+    # what was written — now prove the *values* are sane): every restored
+    # walker must pass the numerical guards before the driver is mutated.
+    from repro.resilience.guards import check_team
+
+    problems = [
+        f"window {w}: {violation}"
+        for w, team in enumerate(state["walkers"])
+        for violation in check_team(team)
+    ]
+    if problems:
+        raise ValueError(
+            f"checkpoint {path} failed logical validation: "
+            + "; ".join(problems[:4])
+            + (f" (+{len(problems) - 4} more)" if len(problems) > 4 else "")
+        )
     n_pairs = len(driver.windows) - 1
     attempts = np.asarray(state["exchange_attempts"])
     accepts = np.asarray(state["exchange_accepts"])
@@ -207,6 +238,13 @@ def load_checkpoint(driver: "REWLDriver", path) -> "REWLDriver":
     ledger = getattr(driver, "convergence", None)
     if conv_state is not None and ledger is not None:
         ledger.load_state(conv_state)
+    driver.window_quarantined = list(
+        state.get("window_quarantined", [False] * len(driver.windows))
+    )
+    res_state = state.get("resilience")
+    supervisor = getattr(driver, "supervisor", None)
+    if res_state is not None and supervisor is not None:
+        supervisor.load_state_dict(res_state)
     driver.obs.metrics.inc("checkpoint.restored")
     if driver.obs.enabled:
         driver.obs.emit("checkpoint_restored", path=str(path), rounds=driver.rounds)

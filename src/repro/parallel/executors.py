@@ -40,6 +40,17 @@ Retries/timeouts/rebuilds are counted and emitted through ``repro.obs``
 (metrics ``task.retries``, ``task.timeouts``, ``executor.pool_rebuilds``,
 ``fault.injected``; event ``task_retry``).  ``close()`` is idempotent and
 ``map`` after ``close`` raises ``RuntimeError``.
+
+Partial completion
+------------------
+``map`` is all-or-nothing: one task exhausting its retry budget aborts the
+whole phase.  ``map_partial`` instead returns
+``(results, failures: dict[index, Exception])`` with ``None`` in the result
+slot of each failed task, so a campaign supervisor
+(:mod:`repro.resilience`) can quarantine the failing window while the rest
+of the fleet keeps its completed work.  Both paths share one retry loop and
+one ``(index, attempt)`` fault-key space, so a run that never exhausts a
+budget is bit-identical under either entry point.
 """
 
 from __future__ import annotations
@@ -104,6 +115,15 @@ class _Supervisor:
                 error=f"{type(exc).__name__}: {exc}" if exc is not None else None,
             )
 
+    def _note_exhausted(self, index: int, exc) -> None:
+        """A task burned its whole retry budget in partial mode."""
+        self.obs.metrics.inc("task.failures")
+        if self.obs.enabled:
+            self.obs.emit(
+                "task_failed", executor=type(self).__name__, index=index,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
     def _backoff(self, attempt: int) -> None:
         if self.retry_backoff > 0:
             time.sleep(self.retry_backoff * (2 ** max(attempt - 1, 0)))
@@ -118,6 +138,15 @@ class SerialExecutor(_Supervisor):
     """
 
     def map(self, fn, walkers, *args) -> list:
+        return self._map_impl(fn, walkers, args, failures=None)
+
+    def map_partial(self, fn, walkers, *args) -> tuple[list, dict]:
+        """Like ``map``, but failed tasks yield ``None`` + an entry in the
+        returned ``{index: exception}`` dict instead of aborting the phase."""
+        failures: dict[int, Exception] = {}
+        return self._map_impl(fn, walkers, args, failures=failures), failures
+
+    def _map_impl(self, fn, walkers, args, failures) -> list:
         out = []
         for index, walker in enumerate(walkers):
             attempt = 0
@@ -128,7 +157,12 @@ class SerialExecutor(_Supervisor):
                 except Exception as exc:  # noqa: BLE001 - supervised retry
                     attempt += 1
                     if attempt > self.max_retries:
-                        raise
+                        if failures is None:
+                            raise
+                        failures[index] = exc
+                        out.append(None)
+                        self._note_exhausted(index, exc)
+                        break
                     self._note_retry(index, attempt, "error", exc)
                     self._backoff(attempt)
         return out
@@ -157,6 +191,15 @@ class _PoolExecutor(_Supervisor):
         raise NotImplementedError
 
     def map(self, fn, walkers, *args) -> list:
+        return self._map_impl(fn, walkers, args, failures=None)
+
+    def map_partial(self, fn, walkers, *args) -> tuple[list, dict]:
+        """Like ``map``, but failed tasks yield ``None`` + an entry in the
+        returned ``{index: exception}`` dict instead of aborting the phase."""
+        failures: dict[int, Exception] = {}
+        return self._map_impl(fn, walkers, args, failures=failures), failures
+
+    def _map_impl(self, fn, walkers, args, failures) -> list:
         if self._pool is None:
             raise RuntimeError(f"{type(self).__name__} is closed")
         items = list(walkers)
@@ -179,27 +222,38 @@ class _PoolExecutor(_Supervisor):
                     results[i] = futures[i].result(timeout=self.timeout)
                     done[i] = True
                 except cf.BrokenExecutor as exc:
-                    self._recover_pool(exc, submit, futures, results, done, attempts)
+                    self._recover_pool(
+                        exc, submit, futures, results, done, attempts, failures
+                    )
                 except cf.TimeoutError as exc:
-                    self._retry(i, attempts, "timeout", exc, submit)
+                    self._retry(i, attempts, "timeout", exc, submit, done, failures)
                 except Exception as exc:  # noqa: BLE001 - supervised retry
-                    self._retry(i, attempts, "error", exc, submit)
+                    self._retry(i, attempts, "error", exc, submit, done, failures)
         return results
 
-    def _retry(self, i: int, attempts: list[int], reason: str, exc, submit) -> None:
+    def _retry(self, i: int, attempts: list[int], reason: str, exc, submit,
+               done, failures) -> None:
         attempts[i] += 1
         if attempts[i] > self.max_retries:
+            final: Exception = exc
             if reason == "timeout":
-                raise TimeoutError(
+                final = TimeoutError(
                     f"task {i} timed out {attempts[i]} times "
                     f"(timeout={self.timeout}s, max_retries={self.max_retries})"
-                ) from exc
-            raise exc
+                )
+                final.__cause__ = exc
+            if failures is None:
+                raise final
+            failures[i] = final
+            done[i] = True
+            self._note_exhausted(i, final)
+            return
         self._note_retry(i, attempts[i], reason, exc)
         self._backoff(attempts[i])
         submit(i)
 
-    def _recover_pool(self, exc, submit, futures, results, done, attempts) -> None:
+    def _recover_pool(self, exc, submit, futures, results, done, attempts,
+                      failures) -> None:
         """Rebuild a poisoned pool; harvest finished work, resubmit the rest."""
         self.obs.metrics.inc("executor.pool_rebuilds")
         if self.obs.enabled:
@@ -216,10 +270,17 @@ class _PoolExecutor(_Supervisor):
                 continue
             attempts[j] += 1
             if attempts[j] > self.max_retries:
-                raise RuntimeError(
+                final = RuntimeError(
                     f"task {j} exceeded max_retries={self.max_retries} "
                     f"across pool failures"
-                ) from exc
+                )
+                final.__cause__ = exc
+                if failures is None:
+                    raise final
+                failures[j] = final
+                done[j] = True
+                self._note_exhausted(j, final)
+                continue
             self._note_retry(j, attempts[j], "pool_broken", exc)
             submit(j)
 

@@ -39,7 +39,12 @@ from repro.obs.events import worker_log
 from repro.obs.health import HealthConfig, HealthMonitor, health_from_env
 from repro.obs.profile import SectionProfiler, contribute_profile, profile_from_env
 from repro.parallel.executors import SerialExecutor
-from repro.parallel.windows import WindowSpec, make_windows
+from repro.parallel.windows import WindowSpec, make_windows, surviving_pairs
+from repro.resilience.supervisor import (
+    CampaignSupervisor,
+    ResilienceConfig,
+    resilience_from_env,
+)
 from repro.sampling.batched import BatchedWangLandauSampler
 from repro.sampling.binning import EnergyGrid
 from repro.sampling.wang_landau import (
@@ -149,6 +154,9 @@ class REWLResult:
     exchange_accepts: np.ndarray
     walkers: list[WalkerSnapshot] = field(default_factory=list)
     telemetry: dict = field(default_factory=dict)
+    degraded: bool = False
+    quarantined: list[int] = field(default_factory=list)
+    window_dispositions: list[dict] = field(default_factory=list)
 
     @property
     def exchange_rates(self) -> np.ndarray:
@@ -159,12 +167,23 @@ class REWLResult:
                 np.nan,
             )
 
-    def stitched(self):
-        """Global ln g stitched over windows (see :mod:`repro.dos`)."""
+    def stitched(self, allow_gaps: bool | None = None):
+        """Global ln g stitched over windows (see :mod:`repro.dos`).
+
+        Quarantined windows are stitched *around* (skipped, with gap
+        bookkeeping on the returned :class:`~repro.dos.stitching.
+        StitchedDoS`); ``allow_gaps`` defaults to True exactly when some
+        window was quarantined, so complete runs keep the strict
+        everything-must-connect behavior.
+        """
         from repro.dos.stitching import stitch_windows
 
+        if allow_gaps is None:
+            allow_gaps = bool(self.quarantined)
         return stitch_windows(
-            self.global_grid, self.windows, self.window_ln_g, self.window_visited
+            self.global_grid, self.windows, self.window_ln_g,
+            self.window_visited, skip=tuple(self.quarantined),
+            allow_gaps=allow_gaps,
         )
 
 
@@ -172,7 +191,7 @@ class REWLResult:
 _REWL_POSITIONAL = (
     "hamiltonian", "proposal_factory", "grid", "initial_config", "config",
     "executor", "telemetry", "checkpoint_path", "profiler", "health",
-    "convergence",
+    "convergence", "resilience",
 )
 
 
@@ -226,6 +245,14 @@ class REWLDriver:
         surfaced through heartbeats.  Defaults to the ``REPRO_CONVERGENCE``
         environment knob; sampling is counter-strided, so an instrumented
         run stays bit-identical.
+    resilience : repro.resilience.CampaignSupervisor or ResilienceConfig,
+        optional.  Campaign self-healing — numerical guard rails at
+        super-step boundaries, bounded rollback to last-good in-memory
+        snapshots, window quarantine with exchange re-pairing, and
+        wall-clock/round/step budgets with clean terminate-and-harvest
+        (DESIGN.md §14).  Defaults to the ``REPRO_RESILIENCE`` environment
+        knob; guards draw no random numbers, so a guarded run that never
+        trips is bit-identical to an unguarded one.
     """
 
     def __init__(self, *args, **kwargs):
@@ -267,6 +294,7 @@ class REWLDriver:
         profiler: SectionProfiler | None = kwargs.get("profiler")
         health = kwargs.get("health")
         convergence = kwargs.get("convergence")
+        resilience = kwargs.get("resilience")
 
         self.hamiltonian = hamiltonian
         self.grid = grid
@@ -293,6 +321,16 @@ class REWLDriver:
             self.convergence = ConvergenceLedger(convergence)
         else:
             self.convergence = convergence
+        if resilience is None:
+            res_cfg = resilience_from_env()
+            self.supervisor = (
+                CampaignSupervisor(res_cfg, self.obs)
+                if res_cfg is not None else None
+            )
+        elif isinstance(resilience, ResilienceConfig):
+            self.supervisor = CampaignSupervisor(resilience, self.obs)
+        else:
+            self.supervisor = resilience
         # Executors constructed without their own telemetry adopt ours, so
         # retry/fault/rebuild events land in this run's trace.
         bind = getattr(self.executor, "bind_telemetry", None)
@@ -355,10 +393,10 @@ class REWLDriver:
         # executors pass the same extra args to every task, so this is how
         # worker-side spans know which lane they belong to.  A batched team
         # is one object covering all of its window's slots.
-        for w, team in enumerate(self.walkers):
-            for k, walker in enumerate(team):
-                walker.obs_tag = (w, k if len(team) > 1 else None)
+        for w in range(len(self.walkers)):
+            self._retag_window(w)
         self.window_converged = [False] * len(self.windows)
+        self.window_quarantined = [False] * len(self.windows)
         # One slot per *adjacent window pair*: zero-length for a single
         # window (no phantom pair with a NaN rate in the result).
         self.exchange_attempts = np.zeros(len(self.windows) - 1, dtype=np.int64)
@@ -366,6 +404,51 @@ class REWLDriver:
         self.rounds = 0
         if self.convergence is not None:
             self.convergence.attach(self)
+        if self.supervisor is not None:
+            self.supervisor.bind(self)
+
+    # ------------------------------------------------------------- helpers
+
+    def _retag_window(self, w: int) -> None:
+        """(Re-)stamp ``obs_tag`` identities onto window ``w``'s walkers
+        (needed after walker objects are replaced, e.g. a rollback)."""
+        team = self.walkers[w]
+        for k, walker in enumerate(team):
+            walker.obs_tag = (w, k if len(team) > 1 else None)
+
+    def _settled(self) -> bool:
+        """True when every window is either converged or quarantined."""
+        return all(
+            c or q
+            for c, q in zip(self.window_converged, self.window_quarantined)
+        )
+
+    def total_steps(self) -> int:
+        """WL steps taken so far across all walkers (budget accounting)."""
+        total = 0
+        for team in self.walkers:
+            for walker in team:
+                slot_steps = getattr(walker, "slot_steps", None)
+                total += (
+                    int(slot_steps.sum()) if slot_steps is not None
+                    else int(walker.n_steps)
+                )
+        return total
+
+    def _exchange_pairs(self) -> list[tuple[int, int]]:
+        """The round's exchange pair schedule.
+
+        Adjacent neighbors normally; with quarantined windows the surviving
+        neighbors are re-paired around the holes (when their specs still
+        overlap).  Pair statistics live in ``exchange_attempts[left]`` —
+        slot ``left`` means "the pair whose left member is window *left*",
+        which coincides with the adjacent pair when nothing is quarantined
+        and reuses the dead slot after window ``left + 1`` is removed.
+        """
+        if self.supervisor is None or not any(self.window_quarantined):
+            return [(w, w + 1) for w in range(len(self.windows) - 1)]
+        alive = [not q for q in self.window_quarantined]
+        return surviving_pairs(self.windows, alive)
 
     # ------------------------------------------------------------- phases
 
@@ -374,20 +457,35 @@ class REWLDriver:
             (w, k)
             for w, team in enumerate(self.walkers)
             for k in range(len(team))
-            if not self.window_converged[w]
+            if not self.window_converged[w] and not self.window_quarantined[w]
         ]
         steps = len(tasks) * self.cfg.exchange_interval
         prof = self.profiler
         t0 = prof.start_always("rewl.advance") if prof is not None else None
         with self.obs.span("advance", round=self.rounds, walkers=len(tasks),
                            steps=steps):
-            moved = self.executor.map(
-                _advance_walker,
-                [self.walkers[w][k] for w, k in tasks],
-                self.cfg.exchange_interval,
-            )
-            for (w, k), walker in zip(tasks, moved):
-                self.walkers[w][k] = walker
+            payload = [self.walkers[w][k] for w, k in tasks]
+            if self.supervisor is not None:
+                # Partial completion: a window whose tasks exhaust their
+                # retry budget is handed to the supervisor (rollback /
+                # quarantine) instead of aborting the whole campaign.
+                moved, failures = self.executor.map_partial(
+                    _advance_walker, payload, self.cfg.exchange_interval
+                )
+                for (w, k), walker in zip(tasks, moved):
+                    if walker is not None:
+                        self.walkers[w][k] = walker
+                failed: dict[int, Exception] = {}
+                for idx, exc in failures.items():
+                    failed.setdefault(tasks[idx][0], exc)
+                for w in sorted(failed):
+                    self.supervisor.on_window_failure(self, w, failed[w])
+            else:
+                moved = self.executor.map(
+                    _advance_walker, payload, self.cfg.exchange_interval
+                )
+                for (w, k), walker in zip(tasks, moved):
+                    self.walkers[w][k] = walker
         if prof is not None:
             prof.stop("rewl.advance", t0)
         self.obs.metrics.inc("rewl.steps", steps)
@@ -400,8 +498,10 @@ class REWLDriver:
         t0 = prof.start_always("rewl.exchange_round") if prof is not None else None
         with self.obs.span("exchange", round=self.rounds):
             start = self.rounds % 2
-            for left in range(start, len(self.windows) - 1, 2):
-                right = left + 1
+            # pairs[start::2] over adjacent pairs reproduces the classic
+            # odd/even alternation exactly; with quarantined windows the
+            # schedule is the surviving re-paired topology instead.
+            for left, right in self._exchange_pairs()[start::2]:
                 if self.window_converged[left] or self.window_converged[right]:
                     continue
                 ia = int(self._exchange_rng.integers(len(self.walkers[left])))
@@ -457,8 +557,7 @@ class REWLDriver:
         t0 = prof.start_always("rewl.exchange_round") if prof is not None else None
         with self.obs.span("exchange", round=self.rounds):
             start = self.rounds % 2
-            for left in range(start, len(self.windows) - 1, 2):
-                right = left + 1
+            for left, right in self._exchange_pairs()[start::2]:
                 if self.window_converged[left] or self.window_converged[right]:
                     continue
                 team_a = self.walkers[left][0]
@@ -510,7 +609,7 @@ class REWLDriver:
         t0 = prof.start_always("rewl.sync") if prof is not None else None
         with self.obs.span("synchronize", round=self.rounds):
             for w, team in enumerate(self.walkers):
-                if self.window_converged[w]:
+                if self.window_converged[w] or self.window_quarantined[w]:
                     continue
                 if not all(walker.is_flat() for walker in team):
                     continue
@@ -587,11 +686,25 @@ class REWLDriver:
             ln_f_final=self.cfg.ln_f_final, seed=self.cfg.seed,
             n_bins=self.grid.n_bins, max_rounds=limit,
         )
+        if self.supervisor is not None:
+            # Round-0 baseline snapshots: a failure in the very first round
+            # still has a guard-clean state to roll back to.
+            self.supervisor.snapshot(self)
         with self.obs.span("rewl"):
-            while not all(self.window_converged) and self.rounds < limit:
+            while not self._settled() and self.rounds < limit:
+                if self.supervisor is not None and self.supervisor.budget_exceeded(self):
+                    # Clean terminate-and-harvest: break out and report
+                    # whatever converged, instead of dying to the job
+                    # scheduler's SIGKILL with nothing.
+                    break
                 self._advance_phase()
                 self.rounds += 1
                 self.obs.metrics.inc("rewl.rounds")
+                if self.supervisor is not None:
+                    # Guards run before exchange, so corrupted ln g never
+                    # feeds an acceptance decision of a healthy neighbor.
+                    self.supervisor.guard_round(self)
+                    self.supervisor.snapshot(self)
                 self._exchange_phase()
                 self._sync_phase()
                 if self.convergence is not None:
@@ -609,12 +722,15 @@ class REWLDriver:
                 self.obs.emit("profile", sections=merged.as_dict())
         if self.convergence is not None and self.obs.enabled:
             self.obs.emit("convergence", **self.convergence.summary(self))
+        if self.supervisor is not None and self.obs.enabled:
+            self.obs.emit("resilience", **self.supervisor.summary())
         result = self.result()
         self.obs.emit(
             "run_end", scope="rewl", rounds=self.rounds,
             converged=result.converged, total_steps=result.total_steps,
             exchange_attempts=int(self.exchange_attempts.sum()),
             exchange_accepts=int(self.exchange_accepts.sum()),
+            degraded=result.degraded, quarantined=result.quarantined,
         )
         return result
 
@@ -697,6 +813,15 @@ class REWLDriver:
             telemetry["health"] = self.health.summary()
         if self.convergence is not None:
             telemetry["convergence"] = self.convergence.summary(self)
+        if self.supervisor is not None:
+            telemetry["resilience"] = self.supervisor.summary()
+        quarantined = [
+            w for w, q in enumerate(self.window_quarantined) if q
+        ]
+        degraded = (
+            self.supervisor.degraded if self.supervisor is not None
+            else bool(quarantined)
+        )
         return REWLResult(
             global_grid=self.grid,
             windows=self.windows,
@@ -710,4 +835,10 @@ class REWLDriver:
             exchange_accepts=self.exchange_accepts.copy(),
             walkers=snapshots,
             telemetry=telemetry,
+            degraded=degraded,
+            quarantined=quarantined,
+            window_dispositions=(
+                self.supervisor.dispositions()
+                if self.supervisor is not None else []
+            ),
         )

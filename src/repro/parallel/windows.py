@@ -22,7 +22,7 @@ import numpy as np
 from repro.sampling.binning import EnergyGrid
 from repro.util.validation import check_in_range, check_integer
 
-__all__ = ["WindowSpec", "make_windows"]
+__all__ = ["WindowSpec", "make_windows", "surviving_pairs"]
 
 
 @dataclass(frozen=True)
@@ -116,6 +116,33 @@ def make_windows(grid: EnergyGrid, n_windows: int, overlap: float = 0.5) -> list
     ]
     _validate(out, n_bins)
     return out
+
+
+def surviving_pairs(
+    windows: list[WindowSpec], alive: list[bool]
+) -> list[tuple[int, int]]:
+    """Exchange pair schedule over the non-quarantined windows.
+
+    When every window is alive this is exactly the adjacent-neighbor
+    schedule ``[(0, 1), (1, 2), ...]``.  When a window is quarantined its
+    neighbors are re-paired *around the hole* — but only if their specs
+    still share at least one bin (with generous overlaps, e.g. 0.6+, the
+    next-nearest windows usually do); pairs with no shared bins are dropped
+    because the REWL acceptance rule needs both energies inside both
+    windows.  A dropped pair splits the replica-diffusion path — recorded
+    by the campaign supervisor as a topology gap, mirrored by a stitching
+    segment boundary.
+    """
+    if len(alive) != len(windows):
+        raise ValueError(
+            f"alive has {len(alive)} entries for {len(windows)} windows"
+        )
+    live = [w for w, ok in enumerate(alive) if ok]
+    return [
+        (a, b)
+        for a, b in zip(live, live[1:])
+        if windows[a].overlap_bins(windows[b]) is not None
+    ]
 
 
 def _validate(windows: list[WindowSpec], n_bins: int) -> None:

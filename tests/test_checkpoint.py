@@ -288,3 +288,95 @@ class TestPeriodicCheckpoints:
         driver = make_driver(checkpoint_path=path)  # interval stays 0
         driver.run(max_rounds=3)
         assert not path.exists()
+
+
+class TestLogicalValidation:
+    """Restore-time guard checks: a checkpoint whose *values* are corrupt
+    (written by a poisoned run, not damaged on disk) must not load."""
+
+    def test_poisoned_checkpoint_rejected(self, tmp_path):
+        driver = make_driver()
+        driver.run(max_rounds=2)
+        driver.walkers[0][0].ln_g[2] = np.nan
+        ckpt = save_checkpoint(driver, tmp_path / "rewl.ckpt")
+        with pytest.raises(ValueError, match="logical validation"):
+            load_checkpoint(make_driver(), ckpt)
+
+    def test_bad_ln_f_rejected(self, tmp_path):
+        driver = make_driver()
+        driver.run(max_rounds=2)
+        driver.walkers[1][0].ln_f = float("inf")
+        ckpt = save_checkpoint(driver, tmp_path / "rewl.ckpt")
+        with pytest.raises(ValueError, match="logical validation"):
+            load_checkpoint(make_driver(), ckpt)
+
+    def test_fallback_to_prev_on_logical_damage(self, tmp_path):
+        """A poisoned primary falls back to the rotated clean snapshot,
+        exactly like a torn write does."""
+        path = tmp_path / "rewl.ckpt"
+        driver = make_driver()
+        driver.run(max_rounds=2)
+        save_checkpoint(driver, path)  # clean snapshot
+        driver.run(max_rounds=2)
+        driver.walkers[0][0].ln_g[1] = np.nan
+        save_checkpoint(driver, path)  # rotates clean -> .prev, writes poison
+
+        restored = make_driver()
+        used = load_latest_checkpoint(restored, path)
+        assert used == previous_checkpoint_path(path)
+        assert restored.rounds == 2
+        assert np.isfinite(restored.walkers[0][0].ln_g).all()
+
+        fresh = make_driver()
+        assert maybe_resume(fresh, path)
+        assert fresh.rounds == 2
+
+
+class TestResilienceRideAlong:
+    """Supervisor state and quarantine flags persist through checkpoints."""
+
+    def _driver(self, seed=3):
+        from repro.resilience import GuardPolicy, ResilienceConfig
+
+        ham = IsingHamiltonian(square_lattice(4))
+        grid = EnergyGrid.from_levels(ham.energy_levels())
+        return REWLDriver(
+            hamiltonian=ham, proposal_factory=lambda: FlipProposal(),
+            grid=grid, initial_config=np.zeros(16, dtype=np.int8),
+            config=REWLConfig(n_windows=2, walkers_per_window=1,
+                              exchange_interval=300, ln_f_final=1e-6,
+                              seed=seed),
+            resilience=ResilienceConfig(guards=GuardPolicy(max_rollbacks=0)),
+        )
+
+    def test_quarantine_survives_restore(self, tmp_path):
+        driver = self._driver()
+        driver.run(max_rounds=2)
+        driver.supervisor.on_window_failure(driver, 0, RuntimeError("boom"))
+        assert driver.window_quarantined == [True, False]
+        ckpt = save_checkpoint(driver, tmp_path / "rewl.ckpt")
+
+        restored = self._driver()
+        load_checkpoint(restored, ckpt)
+        assert restored.window_quarantined == [True, False]
+        rows = {r["window"]: r for r in restored.supervisor.dispositions()}
+        assert rows[0]["disposition"] == "quarantined"
+        assert rows[0]["task_failures"] == 1
+
+    def test_unsupervised_driver_tolerates_resilient_checkpoint(self, tmp_path):
+        """Resilience state in the file is optional on both sides."""
+        driver = self._driver()
+        driver.run(max_rounds=2)
+        ckpt = save_checkpoint(driver, tmp_path / "rewl.ckpt")
+        plain = make_driver(n_windows=2, walkers=1)
+        load_checkpoint(plain, ckpt)  # no supervisor: state is ignored
+        assert plain.rounds == 2
+
+    def test_legacy_checkpoint_without_resilience_state(self, tmp_path):
+        plain = make_driver(n_windows=2, walkers=1)
+        plain.run(max_rounds=2)
+        ckpt = save_checkpoint(plain, tmp_path / "rewl.ckpt")
+        restored = self._driver()
+        load_checkpoint(restored, ckpt)
+        assert restored.window_quarantined == [False, False]
+        assert restored.supervisor.quarantined == []

@@ -133,3 +133,53 @@ class TestReportRender:
         for exp_id in EXPERIMENTS:
             assert f"## {exp_id}" in out
         assert "Pending" in out
+
+
+class TestObsReportResilience:
+    """The PR-7 Resilience section: disposition table and degradation banner."""
+
+    _SUMMARY = {
+        "run": "r", "ts": 5.0, "kind": "resilience", "mode": "quarantine",
+        "degraded": True, "guard_trips": 3, "task_failures": 2, "rollbacks": 2,
+        "quarantined": [1],
+        "budget": {"exhausted": False, "trigger": None},
+        "windows": [
+            {"window": 0, "disposition": "healthy", "guard_trips": 0,
+             "rollbacks": 0, "task_failures": 0, "reason": ""},
+            {"window": 1, "disposition": "quarantined", "guard_trips": 3,
+             "rollbacks": 2, "task_failures": 2,
+             "reason": "guard: non-finite ln_g (first at bin 7)"},
+        ],
+    }
+
+    def test_disposition_table_and_banner(self):
+        report = render_report([self._SUMMARY])
+        assert "Resilience (run r, mode quarantine)" in report
+        assert "quarantined" in report and "non-finite ln_g" in report
+        assert "campaign DEGRADED: 3 guard trip(s), 2 rollback(s), " \
+               "1 quarantine(s); budget ok" in report
+
+    def test_budget_exhaustion_in_banner(self):
+        summary = dict(self._SUMMARY, degraded=True, quarantined=[],
+                       budget={"exhausted": True,
+                               "trigger": "rounds (5 >= 5)"})
+        report = render_report([summary])
+        assert "budget exhausted (rounds (5 >= 5))" in report
+
+    def test_incremental_events_without_summary(self):
+        """An aborted campaign leaves only the incremental events."""
+        records = [
+            {"run": "r", "ts": 1.0, "kind": "guard_trip", "window": 1},
+            {"run": "r", "ts": 2.0, "kind": "window_rollback", "window": 1},
+            {"run": "r", "ts": 3.0, "kind": "budget_exhausted",
+             "trigger": "wall clock (10.0s >= 10.0s)"},
+        ]
+        report = render_report(records)
+        assert "1 guard trip(s); 1 rollback(s); " \
+               "budget exhausted (wall clock (10.0s >= 10.0s))" in report
+        assert "campaign aborted?" in report
+
+    def test_clean_trace_has_no_resilience_section(self):
+        records = [{"run": "r", "ts": 1.0, "kind": "span",
+                    "path": "advance", "dur_s": 0.5}]
+        assert "Resilience" not in render_report(records)

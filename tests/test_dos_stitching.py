@@ -116,3 +116,90 @@ class TestStitchWindows:
             visited[1][b - windows[1].lo_bin] = False
         with pytest.raises(ValueError):
             stitch_windows(grid, windows, pieces, visited)
+
+
+class TestPartialStitching:
+    """Best-effort stitching around skipped (quarantined) windows."""
+
+    def test_complete_stitch_reports_complete(self):
+        grid, windows, pieces, visited, _ = synthetic_pieces(80, 3, 0.5, seed=1)
+        stitched = stitch_windows(grid, windows, pieces, visited)
+        assert stitched.complete
+        assert stitched.segments == [[0, 1, 2]]
+        assert stitched.coverage_gaps == [] and stitched.skipped == []
+
+    def test_skip_connected_neighbors_stays_one_segment(self):
+        """At overlap 0.6 windows 0 and 2 still share bins: skipping the
+        middle keeps the stitch connected, but never complete."""
+        grid, windows, pieces, visited, truth = synthetic_pieces(
+            100, 3, 0.6, seed=2
+        )
+        assert windows[0].overlap_bins(windows[2]) is not None
+        stitched = stitch_windows(grid, windows, pieces, visited, skip=(1,),
+                                  allow_gaps=True)
+        assert stitched.skipped == [1]
+        assert stitched.segments == [[0, 2]]
+        assert stitched.coverage_gaps == []
+        assert not stitched.complete
+        rel_est = stitched.ln_g - stitched.ln_g[0]
+        rel_truth = truth - truth[0]
+        assert np.abs(rel_est - rel_truth).max() < 1e-9
+
+    def test_skip_with_hole_starts_new_segment(self):
+        grid, windows, pieces, visited, _ = synthetic_pieces(100, 4, 0.3, seed=3)
+        assert windows[0].overlap_bins(windows[2]) is None
+        stitched = stitch_windows(grid, windows, pieces, visited, skip=(1,),
+                                  allow_gaps=True)
+        assert stitched.segments == [[0], [2, 3]]
+        lo, hi = windows[0].hi_bin + 1, windows[2].lo_bin - 1
+        assert stitched.coverage_gaps == [(lo, hi)]
+        assert not stitched.visited[lo : hi + 1].any()
+        assert stitched.visited[: lo].any() and stitched.visited[hi + 1 :].any()
+
+    def test_hole_without_allow_gaps_raises(self):
+        grid, windows, pieces, visited, _ = synthetic_pieces(100, 4, 0.3, seed=3)
+        with pytest.raises(ValueError, match="do not overlap"):
+            stitch_windows(grid, windows, pieces, visited, skip=(1,))
+
+    def test_skipped_piece_may_be_none(self):
+        grid, windows, pieces, visited, _ = synthetic_pieces(100, 3, 0.6, seed=4)
+        pieces[1] = None
+        visited[1] = None
+        stitched = stitch_windows(grid, windows, pieces, visited, skip=(1,),
+                                  allow_gaps=True)
+        assert stitched.segments == [[0, 2]]
+
+    def test_missing_piece_not_skipped_raises(self):
+        grid, windows, pieces, visited, _ = synthetic_pieces(100, 3, 0.6, seed=4)
+        pieces[1] = None
+        with pytest.raises(ValueError, match="missing but not skipped"):
+            stitch_windows(grid, windows, pieces, visited, allow_gaps=True)
+
+    def test_all_windows_skipped(self):
+        grid, windows, pieces, visited, _ = synthetic_pieces(60, 2, 0.5)
+        stitched = stitch_windows(grid, windows, pieces, visited, skip=(0, 1),
+                                  allow_gaps=True)
+        assert not stitched.visited.any()
+        assert stitched.segments == []
+        assert stitched.coverage_gaps == [(0, 59)]
+        assert stitched.span == 0.0
+        with pytest.raises(ValueError, match="all windows skipped"):
+            stitch_windows(grid, windows, pieces, visited, skip=(0, 1))
+
+    def test_skip_index_out_of_range(self):
+        grid, windows, pieces, visited, _ = synthetic_pieces(60, 2, 0.5)
+        with pytest.raises(ValueError, match="out of range"):
+            stitch_windows(grid, windows, pieces, visited, skip=(5,),
+                           allow_gaps=True)
+
+    def test_disconnected_overlap_with_allow_gaps_degrades(self):
+        """An overlap with no commonly visited bins raises strictly, but
+        degrades to a new segment when gaps are allowed."""
+        grid, windows, pieces, visited, _ = synthetic_pieces(60, 2, 0.5)
+        lo, hi = windows[0].overlap_bins(windows[1])
+        for b in range(lo, hi + 1):
+            visited[1][b - windows[1].lo_bin] = False
+        stitched = stitch_windows(grid, windows, pieces, visited,
+                                  allow_gaps=True)
+        assert stitched.segments == [[0], [1]]
+        assert not stitched.complete

@@ -260,3 +260,89 @@ class TestREWLUnderChaos:
         )
         driver.run(max_rounds=5)
         assert tel.metrics.as_dict()["task.retries"]["value"] > 0
+
+
+class _PoisonTarget:
+    """Walker-shaped object for nan-poisoning tests."""
+
+    def __init__(self):
+        self.ln_g = np.zeros(8)
+        self.energy = 0.0
+        self.obs_tag = (0, None)
+
+
+def _identity(walker):
+    return walker
+
+
+class TestSilentAndSlowFaults:
+    """The PR-7 fault kinds: nan (silent corruption) and slow (delay)."""
+
+    def test_parse_new_fields(self):
+        cfg = parse_faults("nan=0.2,slow=0.1,slow_s=0.5,window=1")
+        assert cfg.nan == 0.2 and cfg.slow == 0.1
+        assert cfg.slow_s == 0.5 and cfg.window == 1
+
+    def test_sum_includes_new_kinds(self):
+        with pytest.raises(ValueError, match="nan \\+ slow"):
+            FaultConfig(crash=0.5, nan=0.4, slow=0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="slow_s"):
+            FaultConfig(slow_s=-1.0)
+        with pytest.raises(ValueError, match="window"):
+            FaultConfig(window=-2)
+
+    def test_decisions(self):
+        assert all(
+            FaultInjector(FaultConfig(nan=1.0)).decide_task(k, 0) == "nan"
+            for k in range(10)
+        )
+        assert all(
+            FaultInjector(FaultConfig(slow=1.0)).decide_task(k, 0) == "slow"
+            for k in range(10)
+        )
+
+    def test_slow_task_still_succeeds(self):
+        inj = FaultInjector(FaultConfig(slow=1.0, slow_s=0.0, seed=0))
+        target = _PoisonTarget()
+        assert inj.wrap(_identity, 0, 0)(target) is target
+        assert np.isfinite(target.ln_g).all() and target.energy == 0.0
+
+    def test_nan_poisons_after_the_body_runs(self):
+        """The task succeeds and returns — the corruption is silent."""
+        inj = FaultInjector(FaultConfig(nan=1.0, seed=0))
+        poisoned = [inj.wrap(_identity, key, 0)(_PoisonTarget())
+                    for key in range(20)]
+        assert all(
+            not np.isfinite(w.ln_g).all() or not np.isfinite(w.energy)
+            for w in poisoned
+        )
+        # The secondary mode draw exercises both corruption shapes.
+        assert any(not np.isfinite(w.ln_g).all() for w in poisoned)
+        assert any(not np.isfinite(w.energy) for w in poisoned)
+
+    def test_nan_poison_is_deterministic(self):
+        for key in range(10):
+            a = FaultInjector(FaultConfig(nan=1.0, seed=3)).wrap(
+                _identity, key, 0)(_PoisonTarget())
+            b = FaultInjector(FaultConfig(nan=1.0, seed=3)).wrap(
+                _identity, key, 0)(_PoisonTarget())
+            assert np.array_equal(a.ln_g, b.ln_g, equal_nan=True)
+            assert a.energy == b.energy or (
+                np.isnan(a.energy) and np.isnan(b.energy)
+            )
+
+    def test_window_targeting(self):
+        """Faults gated to window 1 leave other windows' walkers clean."""
+        inj = FaultInjector(FaultConfig(crash=1.0, window=1, seed=0))
+        safe = _PoisonTarget()  # obs_tag window 0
+        assert inj.wrap(_identity, 0, 0)(safe) is safe
+        hit = _PoisonTarget()
+        hit.obs_tag = (1, None)
+        with pytest.raises(InjectedCrash):
+            inj.wrap(_identity, 0, 0)(hit)
+
+    def test_window_targeting_untagged_is_safe(self):
+        inj = FaultInjector(FaultConfig(crash=1.0, window=2, seed=0))
+        assert inj.wrap(_double, 0, 0)(21) == 42  # no obs_tag -> no fault

@@ -184,3 +184,25 @@ class TestNestedFieldsRegression:
         assert "ETA 40.0 round(s) (~20s)" in report
         # Nested shape renders identically.
         assert "Convergence (run r1)" in render_report([_nest(summary)])
+
+
+class TestResilienceOnTheBoard:
+    """Quarantine and budget state surface on the dash heartbeat line."""
+
+    def test_quarantined_window_and_budget_flag(self):
+        hb = dict(_HEARTBEAT)
+        hb["quarantined_windows"] = 1
+        hb["budget"] = {"exhausted": True, "trigger": "rounds (5 >= 5)"}
+        hb["windows"] = [
+            dict(_HEARTBEAT["windows"][0]),
+            dict(_HEARTBEAT["windows"][1], quarantined=True),
+        ]
+        board = render_dash([hb], now=105.0)
+        assert "1 window(s) QUARANTINED" in board
+        assert "budget exhausted (rounds (5 >= 5))" in board
+        assert "quarantined" in board  # windows table disposition column
+
+    def test_healthy_heartbeat_stays_clean(self):
+        board = render_dash([_HEARTBEAT], now=105.0)
+        assert "QUARANTINED" not in board
+        assert "budget exhausted" not in board

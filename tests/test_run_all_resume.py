@@ -16,8 +16,9 @@ import repro.experiments.run_all as run_all
 from repro.experiments.common import ExperimentResult
 
 
-def _fake_module(name, exp_id, counter, fail_flag=None):
-    """A module whose run() bumps a call counter and optionally fails."""
+def _fake_module(name, exp_id, counter, fail_flag=None, degrade_flag=None):
+    """A module whose run() bumps a call counter and optionally fails or
+    reports a degraded (partial-harvest) result."""
 
     def run(quick=True, seed=0):
         counter.write_text(str(int(counter.read_text() or 0) + 1)
@@ -27,6 +28,7 @@ def _fake_module(name, exp_id, counter, fail_flag=None):
         return ExperimentResult(
             experiment_id=exp_id, title=f"fake {exp_id}",
             paper_claim="n/a", measured="ok",
+            degraded=degrade_flag is not None and degrade_flag.exists(),
         )
 
     mod = types.ModuleType(name)
@@ -40,8 +42,10 @@ def campaign_env(tmp_path, monkeypatch):
     exists) wired into run_all, with results redirected to tmp_path."""
     counts = {"E1": tmp_path / "e1.calls", "E2": tmp_path / "e2.calls"}
     flag = tmp_path / "e2.fail"
+    degrade = tmp_path / "e1.degrade"
     monkeypatch.setitem(sys.modules, "fake_exp_e1",
-                        _fake_module("fake_exp_e1", "E1", counts["E1"]))
+                        _fake_module("fake_exp_e1", "E1", counts["E1"],
+                                     degrade_flag=degrade))
     monkeypatch.setitem(sys.modules, "fake_exp_e2",
                         _fake_module("fake_exp_e2", "E2", counts["E2"], flag))
     registry = {"E1": "fake_exp_e1", "E2": "fake_exp_e2"}
@@ -55,7 +59,8 @@ def campaign_env(tmp_path, monkeypatch):
         path = counts[exp_id]
         return int(path.read_text()) if path.exists() else 0
 
-    return types.SimpleNamespace(results=results, flag=flag, calls=calls)
+    return types.SimpleNamespace(results=results, flag=flag, degrade=degrade,
+                                 calls=calls)
 
 
 class TestCampaignManifest:
@@ -113,3 +118,47 @@ class TestResume:
         (campaign_env.results / "e1.json").unlink()
         assert run_all.main(["--resume"]) == 0
         assert campaign_env.calls("E1") == 2
+
+
+class TestDegradedCampaigns:
+    """Degraded (partial-harvest) results: manifest flag + exit code 3."""
+
+    def test_degraded_recorded_and_rc_3(self, campaign_env, capsys):
+        campaign_env.degrade.touch()
+        assert run_all.main([]) == 3
+        campaign = json.loads((campaign_env.results / "campaign.json").read_text())
+        assert campaign["completed"] == ["E1", "E2"]
+        assert campaign["failed"] == []
+        assert campaign["degraded"] == ["E1"]
+        saved = json.loads((campaign_env.results / "e1.json").read_text())
+        assert saved["degraded"] is True
+        assert "[DEGRADED]" in capsys.readouterr().out
+
+    def test_clean_rerun_clears_the_flag(self, campaign_env, capsys):
+        campaign_env.degrade.touch()
+        assert run_all.main([]) == 3
+        campaign_env.degrade.unlink()  # "fix" E1
+        assert run_all.main(["--resume"]) == 0
+        campaign = json.loads((campaign_env.results / "campaign.json").read_text())
+        assert campaign["degraded"] == []
+
+    def test_failures_trump_degraded_in_the_exit_code(self, campaign_env, capsys):
+        campaign_env.degrade.touch()
+        campaign_env.flag.touch()
+        assert run_all.main([]) == 1
+        campaign = json.loads((campaign_env.results / "campaign.json").read_text())
+        assert campaign["degraded"] == ["E1"] and campaign["failed"] == ["E2"]
+
+    def test_resilience_flag_sets_the_env_knob(self, campaign_env, capsys,
+                                               monkeypatch):
+        import os
+
+        from repro.resilience import RESILIENCE_ENV_VAR
+
+        monkeypatch.setenv(RESILIENCE_ENV_VAR, "")  # restore at teardown
+        assert run_all.main(["--resilience", "mode=quarantine,rounds=5"]) == 0
+        assert os.environ[RESILIENCE_ENV_VAR] == "mode=quarantine,rounds=5"
+
+    def test_bad_resilience_spec_is_a_usage_error(self, campaign_env, capsys):
+        with pytest.raises(SystemExit):
+            run_all.main(["--resilience", "mode=panic"])
