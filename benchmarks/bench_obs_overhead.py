@@ -134,3 +134,43 @@ def bench_rewl_round_ledger(benchmark, ising_4x4):
         return driver.rounds
 
     assert benchmark(one_round) >= 1
+
+
+def bench_rewl_round_timeseries_served(benchmark, ising_4x4):
+    """One REWL round with the TimeSeriesRecorder sampling *every* round
+    while the HTTP status server is up and scraped once per round.
+
+    Worst-case live-telemetry cost: the production default strides every
+    5th round and Prometheus scrapes every 15-60 s, which amortizes this
+    to ≤2% of ``bench_rewl_round_null_telemetry``.  Gated in CI against
+    the baseline with the other bench_obs_overhead entries.
+    """
+    import urllib.request
+
+    from repro.obs.server import StatusServer
+    from repro.obs.timeseries import TimeSeriesConfig, TimeSeriesRecorder
+
+    grid = EnergyGrid.from_levels(ising_4x4.energy_levels())
+    recorder = TimeSeriesRecorder(TimeSeriesConfig(sample_every=1))
+    driver = REWLDriver(
+        hamiltonian=ising_4x4, proposal_factory=lambda: FlipProposal(),
+        grid=grid, initial_config=np.zeros(16, dtype=np.int8),
+        config=REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
+                   exchange_interval=1_000, ln_f_final=1e-12, seed=0),
+        telemetry=Telemetry(), timeseries=recorder,
+    )
+    server = StatusServer(port=0).start()
+    server.board.publish_recorder(recorder)
+
+    def one_round():
+        driver._advance_phase()
+        driver.rounds += 1
+        driver._exchange_phase()
+        driver._sync_phase()
+        driver.timeseries.observe_round(driver)
+        with urllib.request.urlopen(server.url + "/metrics", timeout=5) as r:
+            r.read()
+        return driver.rounds
+
+    assert benchmark(one_round) >= 1
+    server.stop()

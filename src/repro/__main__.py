@@ -8,7 +8,10 @@ Commands
 ``obs``           observability tools: ``report`` (trace digest), ``bench`` /
                   ``bench-compare`` (BENCH snapshots), ``dash`` / ``tail``
                   (live run-health views), ``export-trace`` (merge worker
-                  JSONL traces into a Chrome trace-event timeline)
+                  JSONL traces into a Chrome trace-event timeline); live
+                  HTTP serving is ``experiments --serve PORT`` (or
+                  ``REPRO_OBS_PORT``) — /metrics, /healthz, /campaign,
+                  /events
 ``tools``         repo hygiene: ``lint-api`` (grep for deprecated API paths)
 """
 
@@ -24,7 +27,10 @@ _USAGE = """usage: python -m repro <command> [options]
 
 commands:
   experiments [--full] [--only E1,E7] [--seed N]
-              [--resume] [--resilience SPEC]        regenerate tables/figures
+              [--resume] [--resilience SPEC]
+              [--serve PORT]                        regenerate tables/figures
+                                                   (--serve: live /metrics,
+                                                   /healthz, /campaign HTTP)
   report                                           rebuild EXPERIMENTS.md
   info                                             version + inventory
   obs <subcommand>                                 observability tools

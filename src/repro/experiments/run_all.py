@@ -15,6 +15,12 @@ Options
               quarantine / budgets) for every REWL-driving experiment;
               SPEC is a ``REPRO_RESILIENCE`` value, e.g. ``1`` or
               ``mode=quarantine,rollbacks=2,wall_s=3600``
+--serve PORT  serve live campaign telemetry over HTTP while experiments
+              run: ``/metrics`` (OpenMetrics), ``/healthz``, ``/campaign``
+              (manifest + live per-window status), ``/events`` (trace
+              tail).  Port 0 binds an ephemeral port (printed at startup).
+              Equivalent to setting ``REPRO_OBS_PORT``; serving is
+              read-only and never perturbs sampling (DESIGN.md §15)
 
 Exit codes: 0 all requested experiments succeeded; 1 some failed;
 3 all completed but at least one produced a *degraded* (partial) result —
@@ -106,7 +112,25 @@ def main(argv=None) -> int:
                         help="enable campaign self-healing for REWL-driving "
                              "experiments (a REPRO_RESILIENCE value, e.g. "
                              "'1' or 'mode=quarantine,wall_s=3600')")
+    parser.add_argument("--serve", type=int, default=None, metavar="PORT",
+                        help="serve live telemetry over HTTP on PORT "
+                             "(/metrics, /healthz, /campaign, /events; "
+                             "0 = ephemeral port, printed at startup)")
     args = parser.parse_args(argv)
+
+    server = None
+    if args.serve is not None:
+        from repro.obs.server import OBS_PORT_ENV_VAR, get_board, start_server
+
+        server = start_server(port=args.serve)
+        # Drivers constructed below see the knob and attach their recorders
+        # to the (already running) singleton board.
+        os.environ[OBS_PORT_ENV_VAR] = str(server.port)
+        print(f"serving live telemetry on {server.url} "  # lint-api: allow
+              f"(/metrics /healthz /campaign /events)")
+        trace = os.environ.get("REPRO_TRACE", "").strip()
+        if trace and trace not in ("stderr", "-"):
+            get_board().publish_trace(trace)
 
     if args.resilience:
         from repro.resilience import RESILIENCE_ENV_VAR, parse_resilience
@@ -129,7 +153,17 @@ def main(argv=None) -> int:
     mode = "full" if args.full else "quick"
     campaign_path = results_dir() / "campaign.json"
     campaign = _load_campaign(campaign_path, mode, args.seed, args.resume)
-    _atomic_write_json(campaign_path, campaign)
+
+    def save_campaign() -> None:
+        _atomic_write_json(campaign_path, campaign)
+        if server is not None:
+            # Mirror every manifest update onto the status board, so
+            # /campaign always serves the same state the file records.
+            from repro.obs.server import get_board
+
+            get_board().publish_campaign(campaign)
+
+    save_campaign()
 
     # Harness narration goes through the structured event logger (console
     # lines on stdout, plus a JSONL sink when REPRO_TRACE is set); the
@@ -163,7 +197,7 @@ def main(argv=None) -> int:
                 failures.append(exp_id)
                 if exp_id not in campaign["failed"]:
                     campaign["failed"].append(exp_id)
-                _atomic_write_json(campaign_path, campaign)
+                save_campaign()
                 continue
             # Merge rather than overwrite: experiments that created their own
             # telemetry handle (e.g. E11's REWL driver) already put span/
@@ -201,7 +235,7 @@ def main(argv=None) -> int:
                 campaign["degraded"].append(exp_id)
         elif exp_id in campaign["degraded"]:
             campaign["degraded"].remove(exp_id)
-        _atomic_write_json(campaign_path, campaign)
+        save_campaign()
         ordered = {k: summary[k] for k in EXPERIMENTS if k in summary}
         _atomic_write_json(summary_path, ordered)
 

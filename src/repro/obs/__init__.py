@@ -26,7 +26,17 @@ layer wired through the sampling stack:
   same deterministic-stride contract (``REPRO_CONVERGENCE``),
 - :mod:`repro.obs.chrometrace` — ``python -m repro obs export-trace``
   merges per-worker JSONL traces (``REPRO_TRACE_DIR``) into one Chrome
-  trace-event timeline.
+  trace-event timeline,
+- :mod:`repro.obs.timeseries` — deterministic ring-buffered live series
+  sampled at round boundaries (``REPRO_TIMESERIES``), plus the
+  cross-process worker-series aggregator,
+- :mod:`repro.obs.promexport` — OpenMetrics/Prometheus text exposition of
+  a metrics snapshot,
+- :mod:`repro.obs.server` — read-only HTTP status server (``/metrics``,
+  ``/healthz``, ``/campaign``, ``/events``; ``REPRO_OBS_PORT`` /
+  ``run_all --serve``),
+- :mod:`repro.obs.costattr` — wall-clock cost attribution: profiler
+  sections folded into the propose/ΔE/commit/exchange/... phase tree.
 
 :class:`Telemetry` bundles the three runtime pieces behind one handle that
 drivers accept as an optional argument.  The determinism contract: enabling
@@ -37,6 +47,7 @@ sampler state, so instrumented runs are bit-identical to bare ones.
 from __future__ import annotations
 
 from repro.obs.chrometrace import merge_traces, to_chrome
+from repro.obs.costattr import attribute_cost, format_cost_line, publish_cost
 from repro.obs.convergence import (
     CONVERGENCE_ENV_VAR,
     ConvergenceConfig,
@@ -79,6 +90,24 @@ from repro.obs.profile import (
     SectionProfiler,
     SectionStat,
     profile_from_env,
+)
+from repro.obs.promexport import render_openmetrics
+from repro.obs.server import (
+    OBS_PORT_ENV_VAR,
+    StatusBoard,
+    StatusServer,
+    get_board,
+    server_from_env,
+    start_server,
+    stop_server,
+)
+from repro.obs.timeseries import (
+    TIMESERIES_ENV_VAR,
+    SeriesBuffer,
+    TimeSeriesConfig,
+    TimeSeriesRecorder,
+    aggregate_worker_series,
+    timeseries_from_env,
 )
 from repro.obs.tracing import Span, Timer, TimerRegistry, Tracer
 
@@ -123,6 +152,23 @@ __all__ = [
     "SectionProfiler",
     "SectionStat",
     "profile_from_env",
+    "TIMESERIES_ENV_VAR",
+    "SeriesBuffer",
+    "TimeSeriesConfig",
+    "TimeSeriesRecorder",
+    "aggregate_worker_series",
+    "timeseries_from_env",
+    "render_openmetrics",
+    "OBS_PORT_ENV_VAR",
+    "StatusBoard",
+    "StatusServer",
+    "get_board",
+    "server_from_env",
+    "start_server",
+    "stop_server",
+    "attribute_cost",
+    "format_cost_line",
+    "publish_cost",
 ]
 
 

@@ -7,10 +7,14 @@ without touching the run:
 - ``python -m repro obs dash trace.jsonl`` renders a one-screen status
   board from the most recent records: per-window ln f / WL iteration /
   flatness ratio from the latest ``heartbeat`` event, per-pair exchange
-  acceptance, recent ``health_alert`` events, and trace staleness (how long
-  since the last record — a crude liveness check for the producer).
-  ``--watch N`` re-renders every N seconds; ``--iterations`` bounds the
-  loop (tests use 1).
+  acceptance, the latest wall-clock cost attribution (``cost`` events),
+  recent ``health_alert`` events, and trace staleness (how long since the
+  last record — a crude liveness check for the producer).  ``--watch N``
+  re-renders every N seconds; ``--iterations`` bounds the loop (tests
+  use 1).  The watch loop tails the trace *incrementally* through a
+  :class:`repro.obs.events.JsonlFollower` — a byte offset persists between
+  refreshes, and truncation/rotation resets the board — so the per-tick
+  cost stays proportional to new records, not campaign length.
 - ``python -m repro obs tail trace.jsonl`` prints trailing records as
   human one-liners (same rendering as :class:`repro.obs.events.ConsoleSink`)
   and with ``--follow`` keeps polling for new lines, again bounded by
@@ -25,14 +29,13 @@ leaves at most one partial line; see the fsync notes in
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
 
-from repro.obs.events import _render, event_field
+from repro.obs.costattr import COST_KIND, format_cost_line
+from repro.obs.events import JsonlFollower, _render, event_field
 from repro.obs.health import ALERT_KIND, HEARTBEAT_KIND
-from repro.obs.report import load_trace
 
 __all__ = [
     "render_dash",
@@ -131,6 +134,16 @@ def render_dash(records: list[dict], run: str | None = None,
         lines.append("(no heartbeat events yet — is REPRO_HEALTH set?)")
         lines.append("")
 
+    costs = [r for r in records if r.get("kind") == COST_KIND
+             and isinstance(event_field(r, "phases"), dict)]
+    if costs:
+        cost = {
+            "total_s": event_field(costs[-1], "total_s", 0.0),
+            "phases": event_field(costs[-1], "phases", {}),
+        }
+        lines.append(format_cost_line(cost))
+        lines.append("")
+
     alerts = [r for r in records if r.get("kind") == ALERT_KIND]
     if alerts:
         lines.append(f"ALERTS ({len(alerts)} total, newest last):")
@@ -173,12 +186,25 @@ def main_dash(argv=None) -> int:
     args = parser.parse_args(argv)
 
     path = Path(args.trace)
+    if not path.exists():
+        print(f"no such trace file: {path}", file=sys.stderr)
+        return 1
+    # Incremental tail: the follower keeps a byte offset between refreshes,
+    # so each tick parses only new records; a truncated/rotated trace resets
+    # the accumulated board state.
+    follower = JsonlFollower(path)
+    records: list[dict] = []
     rendered = 0
     while True:
         if not path.exists():
             print(f"no such trace file: {path}", file=sys.stderr)
             return 1
-        board = render_dash(load_trace(path), run=args.run)
+        resets = follower.truncations
+        fresh = follower.poll()
+        if follower.truncations != resets:
+            records = []
+        records.extend(fresh)
+        board = render_dash(records, run=args.run)
         if rendered:
             print("\n" + "=" * 60 + "\n")
         print(board, end="")
@@ -209,14 +235,8 @@ def main_tail(argv=None) -> int:
         print(f"no such trace file: {path}", file=sys.stderr)
         return 1
 
-    pos = 0
-    tail: list[dict] = []
-    with path.open("r", encoding="utf-8") as fh:
-        for line in fh:
-            record = _parse_line(line)
-            if record is not None:
-                tail.append(record)
-        pos = fh.tell()
+    follower = JsonlFollower(path)
+    tail = follower.poll()
     for record in tail[-args.lines:] if args.lines else tail:
         print(render_record_line(record))
 
@@ -226,29 +246,8 @@ def main_tail(argv=None) -> int:
     while not args.iterations or polls < args.iterations:
         time.sleep(args.interval)
         polls += 1
-        try:
-            with path.open("r", encoding="utf-8") as fh:
-                fh.seek(pos)
-                chunk = fh.read()
-        except OSError:
-            return 1
-        # Only consume complete lines; a partial trailing line is re-read
-        # on the next poll once the writer finishes it.
-        consumed = chunk.rfind("\n") + 1
-        for line in chunk[:consumed].splitlines():
-            record = _parse_line(line)
-            if record is not None:
-                print(render_record_line(record), flush=True)
-        pos += len(chunk[:consumed].encode("utf-8"))
+        # The follower only consumes complete lines; a partial trailing
+        # line is re-read on the next poll once the writer finishes it.
+        for record in follower.poll():
+            print(render_record_line(record), flush=True)
     return 0
-
-
-def _parse_line(line: str) -> dict | None:
-    line = line.strip()
-    if not line:
-        return None
-    try:
-        record = json.loads(line)
-    except json.JSONDecodeError:
-        return None
-    return record if isinstance(record, dict) else None

@@ -34,6 +34,7 @@ __all__ = [
     "NullSink",
     "MemorySink",
     "JsonlSink",
+    "JsonlFollower",
     "FileSink",
     "ConsoleSink",
     "EventLog",
@@ -160,6 +161,62 @@ class JsonlSink(EventSink):
 
 #: Historical name for the JSONL file sink.
 FileSink = JsonlSink
+
+
+class JsonlFollower:
+    """Incremental reader of a growing JSONL trace file.
+
+    Persists a byte offset between :meth:`poll` calls, so consumers that
+    refresh repeatedly (``obs dash --watch``, the live time-series
+    aggregator) pay for *new* records only instead of re-parsing the whole
+    file every tick.  Semantics:
+
+    - only complete lines are consumed: a partial trailing line (a writer
+      crash or an in-flight ``write``) is left at the offset and re-read on
+      the next poll once finished,
+    - malformed/garbage lines are skipped (same tolerance as every other
+      trace consumer),
+    - truncation or rotation — the file shrinking below the stored offset —
+      is detected and resets the follower to the start of the (new) file;
+      :attr:`truncations` counts the resets so consumers can drop state
+      accumulated from the old incarnation,
+    - a missing file simply yields no records (and does not reset).
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self.pos = 0
+        self.truncations = 0
+
+    def poll(self) -> list[dict]:
+        """Parse and return records appended since the previous poll."""
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return []
+        if size < self.pos:
+            self.pos = 0
+            self.truncations += 1
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(self.pos)
+                chunk = fh.read()
+        except OSError:
+            return []
+        consumed = chunk.rfind(b"\n") + 1
+        self.pos += consumed
+        records: list[dict] = []
+        for raw in chunk[:consumed].splitlines():
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+        return records
 
 
 class ConsoleSink(EventSink):

@@ -11,8 +11,11 @@ surfaces those conditions as structured telemetry:
   window, the flatness ratio (min/mean of the visit histogram over visited
   bins, minimum across the walker team), ``ln f``, and the WL iteration
   count; per adjacent window pair, the exchange attempts/accepts/rate since
-  the previous heartbeat; and the task-retry delta from the metrics
-  registry,
+  the previous heartbeat; the task-retry delta from the metrics registry;
+  and the heartbeat interval + walker throughput measured on
+  ``time.monotonic()`` — internal timing deliberately never reads the wall
+  clock, so stall/rate math survives NTP steps and DST jumps on multi-day
+  campaigns (the envelope ``ts`` stays wall time for log correlation),
 - **health_alert** events from three detectors:
   ``stall`` (no window advanced an iteration, improved its flatness ratio,
   or converged for ``stall_heartbeats`` consecutive heartbeats),
@@ -36,6 +39,7 @@ monitor to any REWL entry point without new flags.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -133,6 +137,10 @@ class HealthMonitor:
         self._last_attempts: np.ndarray | None = None
         self._last_accepts: np.ndarray | None = None
         self._last_retries = 0
+        # Monotonic clock only: interval/throughput math must survive
+        # wall-clock jumps (NTP, DST) on long campaigns.
+        self._last_mono: float | None = None
+        self._last_steps = 0
 
     # -------------------------------------------------------------- observe
 
@@ -164,6 +172,15 @@ class HealthMonitor:
         total_steps = sum(
             walker.n_steps for team in driver.walkers for walker in team
         )
+        now_mono = time.monotonic()
+        interval_s = (
+            None if self._last_mono is None else now_mono - self._last_mono
+        )
+        steps_per_s = None
+        if interval_s and interval_s > 0 and total_steps > self._last_steps:
+            steps_per_s = (total_steps - self._last_steps) / interval_s
+        self._last_mono = now_mono
+        self._last_steps = total_steps
 
         # Campaign ETA from the convergence ledger, when one is attached
         # (:mod:`repro.obs.convergence`); None until it has enough history.
@@ -184,6 +201,12 @@ class HealthMonitor:
                 quarantined_windows=sum(bool(q) for q in quarantined),
                 budget=budget,
                 eta=eta,
+                interval_s=(
+                    None if interval_s is None else round(interval_s, 4)
+                ),
+                steps_per_s=(
+                    None if steps_per_s is None else round(steps_per_s, 2)
+                ),
             )
 
         self._detect_stall(driver, iterations, flatness)

@@ -11,6 +11,9 @@ records written by :class:`repro.obs.events.JsonlSink` and prints
 - a training summary when trainer events are present,
 - a profiled-sections table when ``profile`` events are present (emitted by
   :mod:`repro.obs.profile` via the REWL driver),
+- a "Cost attribution" table — profiler sections folded into the
+  propose/ΔE/commit/exchange/... phase tree of
+  :mod:`repro.obs.costattr` — when ``cost`` events are present,
 - a run-health digest — heartbeat count plus ``health_alert`` events by
   kind — when :mod:`repro.obs.health` monitored the run,
 - a "Convergence" table — per-window flatness/fill/ln g drift, walker-label
@@ -200,6 +203,54 @@ def _profile_table(records: list[dict]) -> str | None:
         ["section", "calls", "timed", "est_total_s", "mean_us"],
         rows, title="profiled sections",
     )
+
+
+def _cost_lines(records: list[dict]) -> list[str]:
+    """"Cost attribution" table from ``cost`` events (latest per run).
+
+    The driver emits one cumulative ``cost`` event at run end (the phase
+    tree built by :func:`repro.obs.costattr.attribute_cost` from the merged
+    profile), so per run the newest event wins.
+    """
+    from repro.obs.costattr import COST_KIND, PHASES
+    from repro.util.tables import format_table
+
+    latest: dict[str, dict] = {}
+    for r in records:
+        if r.get("kind") != COST_KIND:
+            continue
+        if isinstance(event_field(r, "phases"), dict):
+            latest[str(r.get("run", "?"))] = r
+    if not latest:
+        return []
+    lines: list[str] = []
+    for run_id, summ in latest.items():
+        phases = event_field(summ, "phases", {})
+        rows = []
+        for phase in PHASES:
+            bucket = phases.get(phase)
+            if not bucket:
+                continue
+            sections = bucket.get("sections", {})
+            rows.append([
+                phase,
+                f"{bucket.get('seconds', 0.0):.4f}",
+                f"{bucket.get('share', 0.0):.1%}",
+                ", ".join(sorted(sections))[:56] or "-",
+            ])
+        if rows:
+            lines.append(format_table(
+                ["phase", "est_total_s", "share", "sections"],
+                rows, title=f"Cost attribution (run {run_id})",
+            ))
+        total = event_field(summ, "total_s", 0.0)
+        unattributed = event_field(summ, "unattributed_s", 0.0)
+        detail = f"attributed wall-clock: {total:.4f}s"
+        if unattributed:
+            detail += f" (+{unattributed:.4f}s in unmapped sections)"
+        lines.append(detail)
+        lines.append("")
+    return lines
 
 
 def _health_lines(records: list[dict]) -> list[str]:
@@ -395,6 +446,7 @@ def render_report(records: list[dict]) -> str:
         if table is not None:
             lines.append(table)
             lines.append("")
+    lines.extend(_cost_lines(records))
     lines.extend(_convergence_lines(records))
     lines.extend(_resilience_lines(records))
     lines.extend(_health_lines(records))

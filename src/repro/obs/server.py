@@ -1,0 +1,295 @@
+"""HTTP status server: live ``/metrics``, ``/healthz``, ``/campaign``,
+``/events`` for a running campaign.
+
+A long unattended REWL campaign should be observable *while it runs*
+without attaching a debugger or waiting for ``obs report``.  This module
+serves the plain-data views the :class:`~repro.obs.timeseries.TimeSeriesRecorder`
+maintains at round boundaries, over a stdlib ``http.server`` thread:
+
+====================  =======================================================
+endpoint              serves
+====================  =======================================================
+``/metrics``          OpenMetrics text (:mod:`repro.obs.promexport`) of the
+                      newest registry snapshot — campaign counters, per-window
+                      ln f / flatness / fill gauges, phase cost gauges
+``/healthz``          JSON liveness: 200 while healthy, 503 once any window
+                      is quarantined / the supervisor is degraded or the
+                      failure budget is exhausted (scrape-friendly paging)
+``/campaign``         campaign manifest (what ``run_all`` published) plus the
+                      per-run live status JSON: windows, dispositions, ETA,
+                      cost attribution, ring-buffer series
+``/events``           trailing records of the JSONL trace (``?n=`` lines,
+                      default 50) as ``application/jsonl``
+====================  =======================================================
+
+Read-only guarantee: the handler thread renders exclusively from
+:class:`StatusBoard` state — plain-data copies published by the driver
+thread under the recorder's lock — and never touches live walkers,
+registries, or RNG streams.  Serving therefore cannot change a single
+sampled number; ``tests/test_obs_server.py`` proves bit-identity of a
+seeded campaign run with and without ``--serve``.
+
+Wiring: ``run_all --serve PORT`` or ``REPRO_OBS_PORT=PORT`` (port ``0``
+binds an ephemeral port, which tests use).  The module keeps one process
+singleton (:func:`get_board` / :func:`start_server`) so the driver, the
+experiment harness, and tests all talk about the same board.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.promexport import CONTENT_TYPE, render_openmetrics
+
+__all__ = [
+    "OBS_PORT_ENV_VAR",
+    "StatusBoard",
+    "StatusServer",
+    "get_board",
+    "start_server",
+    "stop_server",
+    "server_from_env",
+]
+
+OBS_PORT_ENV_VAR = "REPRO_OBS_PORT"
+
+
+class StatusBoard:
+    """Thread-safe bulletin board the HTTP handlers render from.
+
+    Producers (driver thread, ``run_all``) publish plain-data snapshots;
+    the handler thread only reads.  Nothing here refers back into live
+    sampler objects.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._recorders: dict[str, object] = {}
+        self._campaign: dict | None = None
+        self._trace_path: str | None = None
+
+    # -------------------------------------------------------- publishers
+
+    def publish_recorder(self, recorder, run: str | None = None) -> None:
+        """Attach a :class:`TimeSeriesRecorder` (latest per run id wins)."""
+        with self._lock:
+            key = run or recorder.latest.get("run") or "current"
+            self._recorders[str(key)] = recorder
+            self._recorders["current"] = recorder
+
+    def publish_campaign(self, manifest: dict) -> None:
+        """Publish the campaign manifest (``run_all``'s campaign dict)."""
+        with self._lock:
+            self._campaign = json.loads(json.dumps(manifest, default=str))
+
+    def publish_trace(self, path) -> None:
+        """Register the JSONL trace file ``/events`` should tail."""
+        with self._lock:
+            self._trace_path = os.fspath(path)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._recorders.clear()
+            self._campaign = None
+            self._trace_path = None
+
+    # ----------------------------------------------------------- readers
+
+    def _recorder(self):
+        with self._lock:
+            return self._recorders.get("current")
+
+    def metrics_text(self) -> str:
+        recorder = self._recorder()
+        snapshot = recorder.metrics_view() if recorder is not None else {}
+        return render_openmetrics(snapshot)
+
+    def health(self) -> tuple[int, dict]:
+        """``/healthz`` payload and status code (200 healthy, 503 not)."""
+        recorder = self._recorder()
+        if recorder is None:
+            return 200, {"status": "idle", "reason": "no recorder attached"}
+        status = recorder.status()
+        budget = status.get("budget") or {}
+        if budget.get("exhausted"):
+            return 503, {
+                "status": "budget_exhausted",
+                "trigger": budget.get("trigger"),
+                "round": status.get("round"),
+            }
+        if status.get("degraded") or status.get("quarantined"):
+            return 503, {
+                "status": "degraded",
+                "quarantined_windows": status.get("quarantined", []),
+                "round": status.get("round"),
+            }
+        return 200, {
+            "status": "ok",
+            "round": status.get("round"),
+            "steps": status.get("steps"),
+            "converged": status.get("converged"),
+        }
+
+    def campaign_view(self) -> dict:
+        recorder = self._recorder()
+        with self._lock:
+            out = {"campaign": self._campaign}
+        if recorder is not None:
+            out["live"] = recorder.status()
+        return out
+
+    def events_tail(self, n: int = 50) -> list[str]:
+        with self._lock:
+            path = self._trace_path
+        if not path:
+            return []
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except OSError:
+            return []
+        lines = [
+            line.decode("utf-8", errors="replace")
+            for line in raw.splitlines()
+            if line.strip()
+        ]
+        return lines[-n:] if n else lines
+
+
+_board = StatusBoard()
+_server: "StatusServer | None" = None
+_server_lock = threading.Lock()
+
+
+def get_board() -> StatusBoard:
+    """The process-wide status board (what servers and drivers share)."""
+    return _board
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Render-only request handler; never writes to board or campaign."""
+
+    server_version = "repro-obs/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        return None  # keep campaign stdout/stderr clean
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, payload) -> None:
+        body = json.dumps(payload, indent=2, default=str).encode("utf-8")
+        self._send(code, body, "application/json; charset=utf-8")
+
+    def do_GET(self):  # noqa: N802 - stdlib hook name
+        board: StatusBoard = self.server.board
+        url = urlparse(self.path)
+        try:
+            if url.path in ("/metrics", "/metrics/"):
+                self._send(200, board.metrics_text().encode("utf-8"),
+                           CONTENT_TYPE)
+            elif url.path in ("/healthz", "/health", "/healthz/"):
+                code, payload = board.health()
+                self._send_json(code, payload)
+            elif url.path in ("/campaign", "/campaign/"):
+                self._send_json(200, board.campaign_view())
+            elif url.path in ("/events", "/events/"):
+                query = parse_qs(url.query)
+                try:
+                    n = int(query.get("n", ["50"])[0])
+                except ValueError:
+                    n = 50
+                body = "".join(line + "\n" for line in board.events_tail(n))
+                self._send(200, body.encode("utf-8"),
+                           "application/jsonl; charset=utf-8")
+            elif url.path == "/":
+                self._send_json(200, {
+                    "endpoints": ["/metrics", "/healthz", "/campaign",
+                                  "/events"],
+                })
+            else:
+                self._send_json(404, {"error": f"no such endpoint {url.path}"})
+        except BrokenPipeError:
+            pass  # scraper went away mid-response; nothing to clean up
+
+
+class StatusServer:
+    """A ``ThreadingHTTPServer`` on a daemon thread, bound to ``board``."""
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1",
+                 board: StatusBoard | None = None):
+        self.board = board if board is not None else get_board()
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.board = self.board
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-obs-server:{self.port}",
+            daemon=True,
+        )
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "StatusServer":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+
+
+def start_server(port: int = 0, host: str = "127.0.0.1") -> StatusServer:
+    """Start (or return) the process singleton server.
+
+    Idempotent: a second call returns the running server (ports are not
+    rebound mid-campaign).  Use :func:`stop_server` between tests.
+    """
+    global _server
+    with _server_lock:
+        if _server is not None:
+            return _server
+        _server = StatusServer(port=port, host=host).start()
+        return _server
+
+
+def stop_server() -> None:
+    """Stop and forget the singleton server (no-op when none runs)."""
+    global _server
+    with _server_lock:
+        server, _server = _server, None
+    if server is not None:
+        server.stop()
+
+
+def server_from_env(env_var: str = OBS_PORT_ENV_VAR) -> StatusServer | None:
+    """Start the singleton server from ``REPRO_OBS_PORT``, or None if unset.
+
+    ``"0"`` is a valid value (ephemeral port); an empty/missing variable
+    disables serving.  Malformed values raise ``ValueError`` loudly rather
+    than silently not serving.
+    """
+    value = os.environ.get(env_var, "").strip()
+    if not value:
+        return None
+    try:
+        port = int(value)
+    except ValueError as exc:
+        raise ValueError(
+            f"bad {env_var} value {value!r}; expected an integer port"
+        ) from exc
+    return start_server(port=port)

@@ -1,0 +1,447 @@
+"""Deterministic in-process time series for live campaign telemetry.
+
+Everything observability built before this module is either *cumulative*
+(metrics registry, profiler) or *post-hoc* (JSONL traces digested after the
+run).  :class:`TimeSeriesRecorder` is the live middle: at round boundaries
+it samples the quantities an operator of a long unattended campaign watches
+— per-window ln f / flatness / fill, campaign step counters, the
+:class:`~repro.obs.convergence.ConvergenceLedger` ETA, HealthMonitor
+heartbeat rates, and resilience dispositions — into fixed-capacity
+:class:`SeriesBuffer` rings, and republishes the latest values as *labeled*
+gauges in the metrics registry so the OpenMetrics exposition
+(:mod:`repro.obs.promexport`) and the HTTP status server
+(:mod:`repro.obs.server`) can serve them without touching sampler state.
+
+Determinism contract (same as the ledger and profiler): sampling is chosen
+by a plain round-counter stride, draws no random numbers, and writes only
+into the recorder and the metrics registry — a recorded (or served) run is
+bit-identical to a bare one (tested in ``tests/test_obs_server.py``).
+
+Ring buffers use the ConvergenceLedger's every-other decimation: past
+``max_samples`` every other *old* sample is dropped, keeping the newest, so
+long campaigns retain a coarse full-history view at fixed memory, and the
+decimation points are a pure function of the append count (resumed runs
+decimate identically).
+
+Cross-process aggregation: when ``REPRO_TRACE_DIR`` is set, worker
+processes append ``worker_span`` records to per-pid JSONL files
+(:func:`repro.obs.events.worker_log`).  The recorder tails those files
+incrementally (:class:`repro.obs.events.JsonlFollower`) and folds them into
+campaign-level series keyed by ``(window, walker)`` — advance seconds and
+walker throughput per lane;  :func:`aggregate_worker_series` is the
+standalone post-hoc spelling of the same fold.
+
+Environment wiring: ``REPRO_TIMESERIES=1`` (or ``"every=5,max=512"``)
+attaches a recorder to any REWL entry point; serving (``REPRO_OBS_PORT`` /
+``run_all --serve``) implies one.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.obs.events import TRACE_DIR_ENV_VAR, JsonlFollower, event_field
+from repro.util.validation import check_integer
+
+__all__ = [
+    "TIMESERIES_ENV_VAR",
+    "SeriesBuffer",
+    "TimeSeriesConfig",
+    "TimeSeriesRecorder",
+    "aggregate_worker_series",
+    "parse_timeseries",
+    "timeseries_from_env",
+]
+
+TIMESERIES_ENV_VAR = "REPRO_TIMESERIES"
+
+
+@dataclass(frozen=True)
+class TimeSeriesConfig:
+    """Sampling cadence and retention for :class:`TimeSeriesRecorder`.
+
+    ``sample_every`` is a round stride; ``max_samples`` bounds every series
+    (every-other decimation on overflow, the ConvergenceLedger scheme).
+    """
+
+    sample_every: int = 5
+    max_samples: int = 512
+
+    def __post_init__(self):
+        check_integer("sample_every", self.sample_every, minimum=1)
+        check_integer("max_samples", self.max_samples, minimum=4)
+
+
+class SeriesBuffer:
+    """Fixed-capacity ``(x, value)`` series with every-other decimation.
+
+    ``x`` is whatever the producer samples against (round number here).
+    Appends past ``capacity`` drop every other old sample, keeping the
+    newest — deterministic in the append count alone, so two runs that
+    append the same values decimate to the same retained set.
+    """
+
+    __slots__ = ("capacity", "samples")
+
+    def __init__(self, capacity: int = 512):
+        check_integer("capacity", capacity, minimum=4)
+        self.capacity = int(capacity)
+        self.samples: list[tuple] = []
+
+    def append(self, x, value) -> None:
+        self.samples.append((x, value))
+        if len(self.samples) > self.capacity:
+            # Drop every other old sample, keeping the newest (mirrors
+            # ConvergenceLedger._decimate).
+            del self.samples[-2::-2]
+
+    def last(self):
+        """The newest ``(x, value)`` pair, or None when empty."""
+        return self.samples[-1] if self.samples else None
+
+    def values(self) -> list:
+        return [v for _, v in self.samples]
+
+    def as_list(self) -> list[list]:
+        return [[x, v] for x, v in self.samples]
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+def _labels_key(labels: dict | None) -> tuple:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _series_name(name: str, labels: tuple) -> str:
+    if not labels:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+class TimeSeriesRecorder:
+    """Round-boundary sampler feeding the live-telemetry surface.
+
+    The driver owns the hookup (like the ledger): construction, then
+    :meth:`observe_round` once per round; :meth:`note_cost` lands the
+    end-of-run cost attribution.  All mutable state is guarded by a lock so
+    the HTTP server thread can render a consistent view while the campaign
+    is mid-round — the server only ever reads the recorder's own plain-data
+    copies, never live sampler state.
+    """
+
+    def __init__(self, config: TimeSeriesConfig | None = None):
+        self.cfg = config or TimeSeriesConfig()
+        self._lock = threading.Lock()
+        self.samples = 0
+        self.series: dict[tuple[str, tuple], SeriesBuffer] = {}
+        self.latest: dict = {}
+        self.metrics_snapshot: dict = {}
+        self.cost: dict | None = None
+        self.workers: dict[tuple, dict] = {}
+        self._followers: dict[str, JsonlFollower] = {}
+        self._mono_samples: list[tuple[int, float, int]] = []
+
+    # ------------------------------------------------------------- series
+
+    def series_buffer(self, name: str, labels: dict | None = None) -> SeriesBuffer:
+        key = (name, _labels_key(labels))
+        buf = self.series.get(key)
+        if buf is None:
+            buf = self.series[key] = SeriesBuffer(self.cfg.max_samples)
+        return buf
+
+    def _record(self, name: str, x, value, labels: dict | None = None) -> None:
+        self.series_buffer(name, labels).append(x, value)
+
+    # ------------------------------------------------------------ observe
+
+    def observe_round(self, driver, force: bool = False) -> None:
+        """Stride-sampled snapshot of one REWL driver round.
+
+        Reads driver state (driver thread only), publishes labeled gauges
+        into ``driver.obs.metrics``, appends ring-buffer samples, folds any
+        worker trace files, and refreshes the plain-data view the status
+        server renders from.  Pure reads + own-state writes: no RNG, no
+        float accumulation into walkers.
+        """
+        if not force and driver.rounds % self.cfg.sample_every != 0:
+            return
+        from repro.obs.convergence import _team_fill
+        from repro.obs.health import team_flatness_ratio
+
+        metrics = driver.obs.metrics
+        rounds = driver.rounds
+        windows = []
+        quarantined = list(getattr(
+            driver, "window_quarantined", [False] * len(driver.walkers)
+        ))
+        for w, team in enumerate(driver.walkers):
+            ln_f = float(team[0].ln_f)
+            iteration = int(team[0].n_iterations)
+            flatness = team_flatness_ratio(team)
+            fill = _team_fill(team)
+            windows.append({
+                "window": w,
+                "ln_f": ln_f,
+                "iteration": iteration,
+                "flatness": round(flatness, 6),
+                "fill": round(fill, 6),
+                "converged": bool(driver.window_converged[w]),
+                "quarantined": bool(quarantined[w]),
+            })
+        total_steps = driver.total_steps()
+        eta = None
+        if driver.convergence is not None:
+            eta = driver.convergence.eta(driver)
+        budget = None
+        degraded = bool(any(quarantined))
+        dispositions: list[dict] = []
+        supervisor = getattr(driver, "supervisor", None)
+        if supervisor is not None:
+            budget = dict(supervisor.budget_status)
+            degraded = bool(supervisor.degraded)
+            dispositions = supervisor.dispositions()
+        health = getattr(driver, "health", None)
+
+        now_mono = time.monotonic()
+        self._mono_samples.append((rounds, now_mono, total_steps))
+        if len(self._mono_samples) > self.cfg.max_samples:
+            del self._mono_samples[-2::-2]
+        steps_per_s = None
+        if len(self._mono_samples) >= 2:
+            (r0, t0, s0), (r1, t1, s1) = (
+                self._mono_samples[0], self._mono_samples[-1]
+            )
+            if t1 > t0 and s1 > s0:
+                steps_per_s = (s1 - s0) / (t1 - t0)
+
+        worker_lanes = self._fold_workers()
+
+        with self._lock:
+            self.samples += 1
+            for entry in windows:
+                labels = {"window": entry["window"]}
+                self._record("rewl.window.ln_f", rounds, entry["ln_f"], labels)
+                self._record("rewl.window.flatness", rounds,
+                             entry["flatness"], labels)
+                self._record("rewl.window.fill", rounds, entry["fill"], labels)
+                self._record("rewl.window.iteration", rounds,
+                             entry["iteration"], labels)
+                metrics.set("rewl.window.ln_f", entry["ln_f"], labels=labels)
+                metrics.set("rewl.window.flatness", entry["flatness"],
+                            labels=labels)
+                metrics.set("rewl.window.fill", entry["fill"], labels=labels)
+                metrics.set("rewl.window.iteration", entry["iteration"],
+                            labels=labels)
+            self._record("rewl.steps_total", rounds, total_steps)
+            self._record("rewl.converged_windows", rounds,
+                         sum(bool(c) for c in driver.window_converged))
+            self._record("rewl.quarantined_windows", rounds,
+                         sum(bool(q) for q in quarantined))
+            if steps_per_s is not None:
+                self._record("rewl.steps_per_s", rounds, round(steps_per_s, 3))
+                metrics.set("rewl.steps_per_s", steps_per_s)
+            if isinstance(eta, dict):
+                self._record("rewl.eta_rounds", rounds, eta.get("rounds"))
+                metrics.set("rewl.eta_rounds", float(eta.get("rounds") or 0))
+                if eta.get("seconds") is not None:
+                    self._record("rewl.eta_seconds", rounds, eta["seconds"])
+                    metrics.set("rewl.eta_seconds", float(eta["seconds"]))
+            for (w, k), lane in worker_lanes:
+                labels = {"window": w, "walker": "-" if k is None else k}
+                self._record("rewl.worker.advance_s", rounds,
+                             round(lane["seconds"], 6), labels)
+                metrics.set("rewl.worker.advance_s", lane["seconds"],
+                            labels=labels)
+                if lane["seconds"] > 0 and lane["steps"]:
+                    metrics.set("rewl.worker.steps_per_s",
+                                lane["steps"] / lane["seconds"], labels=labels)
+            self.latest = {
+                "run": driver.obs.events.run_id,
+                "round": rounds,
+                "updated_ts": time.time(),
+                "updated_mono": now_mono,
+                "steps": total_steps,
+                "converged": bool(all(driver.window_converged)),
+                "degraded": degraded,
+                "budget": budget,
+                "eta": eta,
+                "windows": windows,
+                "dispositions": dispositions,
+                "quarantined": [w for w, q in enumerate(quarantined) if q],
+                "heartbeats": getattr(health, "heartbeats", 0),
+                "alerts": len(getattr(health, "alerts", ())),
+            }
+            self.metrics_snapshot = metrics.as_dict()
+
+    # ---------------------------------------------------- worker traces
+
+    def _fold_workers(self) -> list[tuple[tuple, dict]]:
+        """Incrementally fold ``REPRO_TRACE_DIR`` worker files into lanes.
+
+        Returns the ``((window, walker), lane)`` pairs that changed this
+        fold, so the caller republishes only fresh gauges.
+        """
+        directory = os.environ.get(TRACE_DIR_ENV_VAR, "").strip()
+        if not directory or not os.path.isdir(directory):
+            return []
+        changed: dict[tuple, dict] = {}
+        for entry in sorted(os.listdir(directory)):
+            if not entry.endswith(".jsonl"):
+                continue
+            path = os.path.join(directory, entry)
+            follower = self._followers.get(path)
+            if follower is None:
+                follower = self._followers[path] = JsonlFollower(path)
+            for record in follower.poll():
+                lane = _fold_worker_record(self.workers, record)
+                if lane is not None:
+                    changed[lane] = self.workers[lane]
+        return sorted(changed.items(), key=lambda item: (
+            -1 if item[0][0] is None else item[0][0],
+            -1 if item[0][1] is None else item[0][1],
+        ))
+
+    # ----------------------------------------------------------- cost hook
+
+    def note_cost(self, cost: dict) -> None:
+        """Land the end-of-run wall-clock cost attribution (plain data)."""
+        with self._lock:
+            self.cost = cost
+
+    # ------------------------------------------------------------- render
+
+    def status(self) -> dict:
+        """JSON-ready live view (what ``/campaign`` serves per run)."""
+        with self._lock:
+            out = dict(self.latest)
+            out["samples"] = self.samples
+            out["series"] = {
+                _series_name(name, labels): buf.as_list()
+                for (name, labels), buf in sorted(self.series.items())
+            }
+            if self.cost is not None:
+                out["cost"] = self.cost
+            if self.workers:
+                out["workers"] = {
+                    f"{w}:{'-' if k is None else k}": dict(lane)
+                    for (w, k), lane in sorted(
+                        self.workers.items(),
+                        key=lambda item: (
+                            -1 if item[0][0] is None else item[0][0],
+                            -1 if item[0][1] is None else item[0][1],
+                        ),
+                    )
+                }
+            return out
+
+    def metrics_view(self) -> dict:
+        """The newest metrics-registry snapshot (``/metrics`` input)."""
+        with self._lock:
+            return dict(self.metrics_snapshot)
+
+    def summary(self) -> dict:
+        """Compact digest for ``REWLResult.telemetry["timeseries"]``."""
+        with self._lock:
+            return {
+                "samples": self.samples,
+                "series": sorted(
+                    _series_name(name, labels)
+                    for name, labels in self.series
+                ),
+                "points": sum(len(buf) for buf in self.series.values()),
+                "workers": len(self.workers),
+            }
+
+
+def _fold_worker_record(lanes: dict[tuple, dict], record: dict):
+    """Fold one worker-trace record into the lane table; returns the lane
+    key when the record contributed, else None."""
+    if record.get("kind") != "worker_span":
+        return None
+    dur = event_field(record, "dur_s")
+    if not isinstance(dur, (int, float)):
+        return None
+    window = event_field(record, "window")
+    walker = event_field(record, "walker")
+    key = (window, walker)
+    lane = lanes.get(key)
+    if lane is None:
+        lane = lanes[key] = {"seconds": 0.0, "steps": 0, "spans": 0}
+    lane["seconds"] += float(dur)
+    lane["spans"] += 1
+    steps = event_field(record, "steps")
+    if isinstance(steps, (int, float)):
+        lane["steps"] += int(steps)
+    return key
+
+
+def aggregate_worker_series(paths, run: str | None = None) -> dict[tuple, dict]:
+    """Post-hoc cross-process fold: worker JSONL files → per-lane totals.
+
+    ``paths`` is any mix of ``.jsonl`` files and directories of
+    ``worker-*.jsonl`` (a ``REPRO_TRACE_DIR``).  Returns ``{(window,
+    walker): {"seconds", "steps", "spans"}}`` — the same fold the live
+    recorder applies incrementally, usable standalone after a campaign.
+    """
+    from repro.obs.chrometrace import iter_trace_files
+    from repro.obs.report import load_trace
+
+    lanes: dict[tuple, dict] = {}
+    for path in iter_trace_files(paths):
+        if not path.exists():
+            continue
+        for record in load_trace(path, run=run):
+            _fold_worker_record(lanes, record)
+    return lanes
+
+
+# ------------------------------------------------------------- env activation
+
+_TS_KEYS = {
+    "every": "sample_every",
+    "sample_every": "sample_every",
+    "max": "max_samples",
+    "max_samples": "max_samples",
+}
+
+
+def parse_timeseries(spec: str) -> TimeSeriesConfig:
+    """Parse a ``REPRO_TIMESERIES`` value: ``"1"`` or ``"every=5,max=512"``."""
+    value = spec.strip().lower()
+    if value in ("1", "on", "true"):
+        return TimeSeriesConfig()
+    kwargs = {}
+    for part in value.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, raw = part.partition("=")
+        field = _TS_KEYS.get(key.strip())
+        if not sep or field is None:
+            known = ", ".join(sorted(set(_TS_KEYS)))
+            raise ValueError(
+                f"bad {TIMESERIES_ENV_VAR} entry {part!r}; expected 1/on or "
+                f"key=value with key in {{{known}}}"
+            )
+        try:
+            kwargs[field] = int(raw)
+        except ValueError as exc:
+            raise ValueError(
+                f"bad {TIMESERIES_ENV_VAR} value for {key!r}: {raw!r}"
+            ) from exc
+    return TimeSeriesConfig(**kwargs)
+
+
+def timeseries_from_env(env_var: str = TIMESERIES_ENV_VAR) -> TimeSeriesConfig | None:
+    """A :class:`TimeSeriesConfig` from the environment, or None when off."""
+    value = os.environ.get(env_var, "").strip()
+    if value.lower() in ("", "0", "off", "false"):
+        return None
+    return parse_timeseries(value)

@@ -23,6 +23,7 @@ stitched into a global density of states by :mod:`repro.dos.stitching`.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field, replace
 
@@ -35,9 +36,15 @@ from repro.obs.convergence import (
     ConvergenceLedger,
     convergence_from_env,
 )
-from repro.obs.events import worker_log
+from repro.obs.costattr import COST_KIND, attribute_cost, publish_cost
+from repro.obs.events import TRACE_ENV_VAR, worker_log
 from repro.obs.health import HealthConfig, HealthMonitor, health_from_env
 from repro.obs.profile import SectionProfiler, contribute_profile, profile_from_env
+from repro.obs.timeseries import (
+    TimeSeriesConfig,
+    TimeSeriesRecorder,
+    timeseries_from_env,
+)
 from repro.parallel.executors import SerialExecutor
 from repro.parallel.windows import WindowSpec, make_windows, surviving_pairs
 from repro.resilience.supervisor import (
@@ -180,18 +187,40 @@ class REWLResult:
 
         if allow_gaps is None:
             allow_gaps = bool(self.quarantined)
-        return stitch_windows(
+        t0 = time.perf_counter()
+        out = stitch_windows(
             self.global_grid, self.windows, self.window_ln_g,
             self.window_visited, skip=tuple(self.quarantined),
             allow_gaps=allow_gaps,
         )
+        self._note_stitch_cost(time.perf_counter() - t0)
+        return out
+
+    def _note_stitch_cost(self, seconds: float) -> None:
+        """Fold stitch wall time into this result's cost attribution.
+
+        Stitching happens after the driver's profile was harvested, so the
+        ``rewl.stitch`` section is appended to the profile dict here and
+        the attribution recomputed — only when profiling was on (the run
+        carries a profile) and only for the first stitch (repeat calls on
+        the same result would inflate the section).
+        """
+        profile = self.telemetry.get("profile")
+        if not isinstance(profile, dict) or "rewl.stitch" in profile:
+            return
+        seconds = float(seconds)
+        profile["rewl.stitch"] = {
+            "calls": 1, "timed": 1, "total_s": seconds, "mean_s": seconds,
+            "est_total_s": seconds, "min_s": seconds, "max_s": seconds,
+        }
+        self.telemetry["cost"] = attribute_cost(profile)
 
 
 #: Old positional parameter order, kept alive by the deprecation shim.
 _REWL_POSITIONAL = (
     "hamiltonian", "proposal_factory", "grid", "initial_config", "config",
     "executor", "telemetry", "checkpoint_path", "profiler", "health",
-    "convergence", "resilience",
+    "convergence", "resilience", "timeseries",
 )
 
 
@@ -253,6 +282,14 @@ class REWLDriver:
         (DESIGN.md §14).  Defaults to the ``REPRO_RESILIENCE`` environment
         knob; guards draw no random numbers, so a guarded run that never
         trips is bit-identical to an unguarded one.
+    timeseries : repro.obs.timeseries.TimeSeriesRecorder or
+        TimeSeriesConfig, optional.  Live telemetry — ring-buffered
+        per-window/per-campaign series sampled at round boundaries and
+        published to the HTTP status board (:mod:`repro.obs.server`).
+        Defaults to the ``REPRO_TIMESERIES`` environment knob; setting
+        ``REPRO_OBS_PORT`` implies a recorder (and starts the server).
+        The recorder draws no RNG and writes only into its own buffers and
+        the metrics registry, so a served run stays bit-identical.
     """
 
     def __init__(self, *args, **kwargs):
@@ -295,6 +332,7 @@ class REWLDriver:
         health = kwargs.get("health")
         convergence = kwargs.get("convergence")
         resilience = kwargs.get("resilience")
+        timeseries = kwargs.get("timeseries")
 
         self.hamiltonian = hamiltonian
         self.grid = grid
@@ -331,6 +369,27 @@ class REWLDriver:
             self.supervisor = CampaignSupervisor(resilience, self.obs)
         else:
             self.supervisor = resilience
+        if timeseries is None:
+            ts_cfg = timeseries_from_env()
+            if ts_cfg is None and os.environ.get("REPRO_OBS_PORT", "").strip():
+                # Serving implies sampling: a live /metrics endpoint with
+                # nothing behind it would only report an idle board.
+                ts_cfg = TimeSeriesConfig()
+            self.timeseries = (
+                TimeSeriesRecorder(ts_cfg) if ts_cfg is not None else None
+            )
+        elif isinstance(timeseries, TimeSeriesConfig):
+            self.timeseries = TimeSeriesRecorder(timeseries)
+        else:
+            self.timeseries = timeseries
+        if self.timeseries is not None:
+            from repro.obs.server import get_board, server_from_env
+
+            server_from_env()  # starts the singleton iff REPRO_OBS_PORT set
+            get_board().publish_recorder(self.timeseries)
+            trace = os.environ.get(TRACE_ENV_VAR, "").strip()
+            if trace and trace not in ("stderr", "-"):
+                get_board().publish_trace(trace)
         # Executors constructed without their own telemetry adopt ours, so
         # retry/fault/rebuild events land in this run's trace.
         bind = getattr(self.executor, "bind_telemetry", None)
@@ -672,7 +731,11 @@ class REWLDriver:
             return
         from repro.parallel.checkpoint import save_checkpoint
 
+        prof = self.profiler
+        t0 = prof.start_always("rewl.checkpoint") if prof is not None else None
         save_checkpoint(self, self.checkpoint_path)
+        if prof is not None:
+            prof.stop("rewl.checkpoint", t0)
 
     # ----------------------------------------------------------------- run
 
@@ -703,8 +766,15 @@ class REWLDriver:
                 if self.supervisor is not None:
                     # Guards run before exchange, so corrupted ln g never
                     # feeds an acceptance decision of a healthy neighbor.
+                    prof = self.profiler
+                    tg = (
+                        prof.start_always("rewl.guard")
+                        if prof is not None else None
+                    )
                     self.supervisor.guard_round(self)
                     self.supervisor.snapshot(self)
+                    if prof is not None:
+                        prof.stop("rewl.guard", tg)
                 self._exchange_phase()
                 self._sync_phase()
                 if self.convergence is not None:
@@ -713,13 +783,24 @@ class REWLDriver:
                     self.convergence.observe_round(self)
                 if self.health is not None:
                     self.health.observe_round(self)
+                if self.timeseries is not None:
+                    self.timeseries.observe_round(self)
                 self._maybe_checkpoint()
         if self.profiler is not None:
             merged = self.merged_profile()
             merged.publish(self.obs.metrics)
+            cost = attribute_cost(merged.as_dict())
+            publish_cost(cost, self.obs.metrics)
+            if self.timeseries is not None:
+                self.timeseries.note_cost(cost)
             contribute_profile(merged)
             if self.obs.enabled:
                 self.obs.emit("profile", sections=merged.as_dict())
+                self.obs.emit(COST_KIND, **cost)
+        if self.timeseries is not None:
+            # Final forced sample so the served view reflects the end state
+            # (converged flags, final cost gauges) even off-stride.
+            self.timeseries.observe_round(self, force=True)
         if self.convergence is not None and self.obs.enabled:
             self.obs.emit("convergence", **self.convergence.summary(self))
         if self.supervisor is not None and self.obs.enabled:
@@ -809,12 +890,15 @@ class REWLDriver:
         telemetry = self.obs.summary()
         if self.profiler is not None:
             telemetry["profile"] = self.merged_profile().as_dict()
+            telemetry["cost"] = attribute_cost(telemetry["profile"])
         if self.health is not None:
             telemetry["health"] = self.health.summary()
         if self.convergence is not None:
             telemetry["convergence"] = self.convergence.summary(self)
         if self.supervisor is not None:
             telemetry["resilience"] = self.supervisor.summary()
+        if self.timeseries is not None:
+            telemetry["timeseries"] = self.timeseries.summary()
         quarantined = [
             w for w, q in enumerate(self.window_quarantined) if q
         ]

@@ -8,6 +8,7 @@ from repro.obs.dash import (
     render_dash,
     render_record_line,
 )
+from repro.obs.events import JsonlFollower
 
 _HEARTBEAT = {
     "v": 1, "run": "r1", "seq": 3, "ts": 100.0, "kind": "heartbeat",
@@ -67,6 +68,68 @@ class TestRecordLine:
         assert line.startswith("[r1:health_alert]")
         assert "alert=stall" in line
         assert "seq=" not in line and "ts=" not in line
+
+
+class TestJsonlFollower:
+    """Incremental tailing: byte offsets, partial lines, truncation."""
+
+    def test_incremental_polls_return_only_new_records(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path, [_HEARTBEAT])
+        follower = JsonlFollower(path)
+        assert [r["kind"] for r in follower.poll()] == ["heartbeat"]
+        assert follower.poll() == []  # nothing new
+        with path.open("a") as fh:
+            fh.write(json.dumps(_ALERT) + "\n")
+        assert [r["kind"] for r in follower.poll()] == ["health_alert"]
+
+    def test_partial_trailing_line_left_for_next_poll(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        full = json.dumps(_HEARTBEAT) + "\n"
+        partial = json.dumps(_ALERT)  # no newline: writer mid-record
+        path.write_text(full + partial[:10])
+        follower = JsonlFollower(path)
+        assert len(follower.poll()) == 1
+        with path.open("a") as fh:
+            fh.write(partial[10:] + "\n")
+        assert [r["kind"] for r in follower.poll()] == ["health_alert"]
+
+    def test_truncation_detected_and_reset(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path, [_HEARTBEAT, _ALERT])
+        follower = JsonlFollower(path)
+        assert len(follower.poll()) == 2
+        _write_trace(path, [_ALERT])  # rotated: shorter than the offset
+        assert follower.truncations == 0
+        records = follower.poll()
+        assert follower.truncations == 1
+        assert [r["kind"] for r in records] == ["health_alert"]
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        follower = JsonlFollower(tmp_path / "never.jsonl")
+        assert follower.poll() == []
+        assert follower.truncations == 0
+
+    def test_garbage_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("{bad json\n" + json.dumps(_ALERT) + "\n[1,2]\n")
+        records = JsonlFollower(path).poll()
+        assert [r["kind"] for r in records] == ["health_alert"]
+
+
+class TestCostLine:
+    def test_dash_shows_cost_attribution(self):
+        cost = {
+            "v": 1, "run": "r1", "seq": 9, "ts": 102.0, "kind": "cost",
+            "total_s": 2.0,
+            "phases": {
+                "propose": {"seconds": 1.5, "share": 0.75, "sections": {}},
+                "sync": {"seconds": 0.5, "share": 0.25, "sections": {}},
+            },
+        }
+        board = render_dash([_HEARTBEAT, cost])
+        assert "cost attribution:" in board
+        assert "propose 75%" in board
 
 
 class TestMainDash:

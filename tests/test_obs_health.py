@@ -220,6 +220,34 @@ class TestDetectors:
         mon.observe_round(fake)
         assert len([a for a in mon.alerts if a["alert"] == "retry_burst"]) == 1
 
+    def test_heartbeat_interval_uses_monotonic_clock(self, monkeypatch):
+        """Interval/throughput math reads time.monotonic, never time.time:
+        a wall-clock jump between heartbeats must not distort them."""
+        import time as time_mod
+
+        mono = iter([100.0, 102.0])
+        monkeypatch.setattr(time_mod, "monotonic", lambda: next(mono))
+        # Wall clock jumps a day backwards between the two heartbeats (NTP
+        # step); reading it would give a negative interval.
+        wall = iter([1e9, 1e9 - 86400.0] + [1e9] * 50)
+        monkeypatch.setattr(time_mod, "time", lambda: next(wall))
+        tel, sink = _memory_telemetry()
+        mon = HealthMonitor(tel, HealthConfig(heartbeat_rounds=1))
+        fake = _FakeDriver()
+        fake.rounds = 1
+        mon.observe_round(fake)
+        fake.rounds = 2
+        fake.walkers[0][0].n_steps = 500
+        fake.walkers[0][0].n_iterations = 1
+        mon.observe_round(fake)
+        beats = [r for r in sink.records if r["kind"] == HEARTBEAT_KIND]
+        assert beats[0]["interval_s"] is None  # no baseline yet
+        assert beats[1]["interval_s"] == pytest.approx(2.0)
+        assert beats[1]["steps_per_s"] == pytest.approx(500 / 2.0)
+        # The envelope ts *is* wall time (log correlation), jump and all.
+        assert beats[0]["ts"] == 1e9
+        assert beats[1]["ts"] == 1e9 - 86400.0
+
     def test_summary_is_json_ready(self):
         import json
 

@@ -118,6 +118,64 @@ class TestMetricsRegistry:
         assert merged.as_dict() == reg.as_dict()
 
 
+class TestLabels:
+    """Labeled series: one family, many label sets, guarded cardinality."""
+
+    def test_labeled_series_are_distinct(self):
+        reg = MetricsRegistry()
+        reg.set("window.ln_f", 0.5, labels={"window": 0})
+        reg.set("window.ln_f", 0.25, labels={"window": 1})
+        assert reg.gauge("window.ln_f", labels={"window": 0}).value == 0.5
+        assert reg.gauge("window.ln_f", labels={"window": 1}).value == 0.25
+        assert len(reg) == 2
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.inc("m", labels={"a": 1, "b": 2})
+        reg.inc("m", labels={"b": 2, "a": 1})
+        assert reg.counter("m", labels={"a": 1, "b": 2}).value == 2
+
+    def test_labeled_round_trip_and_pickle(self):
+        reg = MetricsRegistry()
+        reg.inc("m", 3, labels={"w": 1})
+        reg.set("g", 0.5, labels={"w": 2})
+        reg.observe("h", 0.25, buckets=(1.0,), labels={"w": 3})
+        clone = MetricsRegistry.from_dict(reg.as_dict())
+        assert clone.as_dict() == reg.as_dict()
+        assert pickle.loads(pickle.dumps(reg)).as_dict() == reg.as_dict()
+
+    def test_cardinality_guard_warns_once_and_folds_to_other(self):
+        reg = MetricsRegistry(max_label_sets=2)
+        reg.inc("m", labels={"w": 0})
+        reg.inc("m", labels={"w": 1})
+        with pytest.warns(RuntimeWarning, match="label sets"):
+            reg.inc("m", labels={"w": 2})
+            reg.inc("m", labels={"w": 3})  # second overflow: no new warning
+        assert reg.counter("m", labels={"w": "other"}).value == 2
+        # Existing label sets keep working past the cap.
+        reg.inc("m", labels={"w": 0})
+        assert reg.counter("m", labels={"w": 0}).value == 2
+
+    def test_merge_routes_through_guard(self):
+        left = MetricsRegistry(max_label_sets=1)
+        right = MetricsRegistry()
+        right.inc("m", 5, labels={"w": 0})
+        right.inc("m", 7, labels={"w": 1})
+        with pytest.warns(RuntimeWarning):
+            left.merge(right)
+        assert left.counter("m", labels={"w": 0}).value == 5
+        assert left.counter("m", labels={"w": "other"}).value == 7
+
+    def test_merge_labeled_series(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("m", 1, labels={"w": 0})
+        b.inc("m", 2, labels={"w": 0})
+        b.inc("m", 4, labels={"w": 1})
+        a.merge(b)
+        assert a.counter("m", labels={"w": 0}).value == 3
+        assert a.counter("m", labels={"w": 1}).value == 4
+
+
 class TestExecutorReduction:
     """Per-walker registries survive executor round trips and reduce equal."""
 

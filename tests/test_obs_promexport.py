@@ -1,0 +1,128 @@
+"""Tests for repro.obs.promexport: OpenMetrics exposition validity."""
+
+import re
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promexport import (
+    CONTENT_TYPE,
+    render_openmetrics,
+    sanitize_metric_name,
+)
+
+
+def _sample_lines(text: str) -> list[str]:
+    return [l for l in text.splitlines() if l and not l.startswith("#")]
+
+
+class TestNameSanitization:
+    def test_dotted_names_fold_to_underscores(self):
+        assert sanitize_metric_name("rewl.window.ln_f") == "rewl_window_ln_f"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_already_valid_untouched(self):
+        assert sanitize_metric_name("task_retries_total") == "task_retries_total"
+
+
+class TestExposition:
+    def test_counter_gets_total_suffix_and_type_line(self):
+        reg = MetricsRegistry()
+        reg.inc("rewl.steps", 42)
+        text = render_openmetrics(reg.as_dict())
+        assert "# TYPE rewl_steps counter" in text
+        assert "rewl_steps_total 42" in text
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        reg.set("rewl.eta_rounds", 12.5)
+        text = render_openmetrics(reg.as_dict())
+        assert "# TYPE rewl_eta_rounds gauge" in text
+        assert "rewl_eta_rounds 12.5" in text
+
+    def test_histogram_cumulative_buckets_count_sum(self):
+        reg = MetricsRegistry()
+        for v in (0.05, 0.5, 5.0):
+            reg.observe("span.s", v, buckets=(0.1, 1.0))
+        text = render_openmetrics(reg.as_dict())
+        assert "# TYPE span_s histogram" in text
+        assert 'span_s_bucket{le="0.1"} 1' in text
+        assert 'span_s_bucket{le="1"} 2' in text
+        assert 'span_s_bucket{le="+Inf"} 3' in text
+        assert "span_s_count 3" in text
+        assert "span_s_sum 5.55" in text
+
+    def test_labels_rendered_and_escaped(self):
+        reg = MetricsRegistry()
+        reg.set("g", 1.0, labels={"path": 'a\\b"c\nd'})
+        text = render_openmetrics(reg.as_dict())
+        assert 'g{path="a\\\\b\\"c\\nd"} 1' in text
+
+    def test_one_type_line_per_family_series_contiguous(self):
+        reg = MetricsRegistry()
+        for w in range(3):
+            reg.set("window.ln_f", 1.0 / (w + 1), labels={"window": w})
+        text = render_openmetrics(reg.as_dict())
+        assert text.count("# TYPE window_ln_f gauge") == 1
+        # The three series lines follow the TYPE line with nothing between.
+        lines = text.splitlines()
+        i = lines.index("# TYPE window_ln_f gauge")
+        family = lines[i + 1:i + 4]
+        assert all(l.startswith("window_ln_f{window=") for l in family)
+
+    def test_ends_with_eof(self):
+        assert render_openmetrics({}).rstrip().endswith("# EOF")
+
+    def test_every_sample_line_is_well_formed(self):
+        reg = MetricsRegistry()
+        reg.inc("a.b", 1)
+        reg.set("c.d", -2.5, labels={"k": "v"})
+        reg.observe("e.f", 0.2, buckets=(1.0,))
+        pattern = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+="[^"]*"'
+            r'(,[a-zA-Z0-9_]+="[^"]*")*\})? \S+$'
+        )
+        for line in _sample_lines(render_openmetrics(reg.as_dict())):
+            assert pattern.match(line), line
+
+    def test_counter_monotonic_across_snapshots(self):
+        reg = MetricsRegistry()
+        reg.inc("steps", 10)
+        first = render_openmetrics(reg.as_dict())
+        reg.inc("steps", 5)
+        second = render_openmetrics(reg.as_dict())
+
+        def value(text):
+            for line in _sample_lines(text):
+                if line.startswith("steps_total"):
+                    return float(line.split()[-1])
+            raise AssertionError("steps_total missing")
+
+        assert value(second) >= value(first)
+        assert value(second) == 15
+
+    def test_nan_and_inf_values(self):
+        text = render_openmetrics({
+            "g": {"kind": "gauge", "value": float("nan")},
+            "h": {"kind": "gauge", "value": float("inf")},
+        })
+        assert "g NaN" in text
+        assert "h +Inf" in text
+
+    def test_prefix(self):
+        reg = MetricsRegistry()
+        reg.inc("steps")
+        text = render_openmetrics(reg.as_dict(), prefix="repro.")
+        assert "repro_steps_total 1" in text
+
+    def test_content_type_is_prometheus_text(self):
+        assert CONTENT_TYPE.startswith("text/plain")
+
+    def test_pure_function_no_registry_mutation(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 2, labels={"w": 0})
+        before = reg.as_dict()
+        render_openmetrics(before)
+        assert reg.as_dict() == before
