@@ -1,8 +1,19 @@
-"""E8 bench (Fig 8): weak-scaling curve generation (machine model)."""
+"""E8 bench (Fig 8): weak scaling — machine-model curves plus a real fused
+campaign round at doubled window count (constant work *per window*, so the
+per-step cost against ``bench_campaign_fused`` is the measured weak-scaling
+efficiency of the fused super-step)."""
 
+from bench_e7_strong_scaling import campaign_driver, _campaign_steps
 from repro.machine import WorkloadSpec, crusher_mi250x, summit_v100, weak_scaling
 
 GPU_COUNTS = [6, 12, 24, 48, 96, 192, 384, 768, 1536, 3000]
+
+
+def bench_campaign_fused_weak(benchmark, throughput):
+    """One fused advance round at 2x the windows of ``bench_campaign_fused``."""
+    drv = campaign_driver(backend="fused", n_windows=4)
+    throughput(_campaign_steps(n_windows=4))
+    benchmark(drv._advance_phase)
 
 
 def bench_weak_scaling_both_machines(benchmark):

@@ -14,6 +14,7 @@ import numpy as np
 from repro.obs import (
     ConvergenceConfig,
     ConvergenceLedger,
+    Instrumentation,
     JsonlSink,
     SectionProfiler,
     Telemetry,
@@ -95,7 +96,7 @@ def bench_rewl_round_null_telemetry(benchmark, ising_4x4):
         grid=grid, initial_config=np.zeros(16, dtype=np.int8),
         config=REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
                    exchange_interval=1_000, ln_f_final=1e-12, seed=0),
-        telemetry=Telemetry(),
+        instrumentation=Instrumentation(telemetry=Telemetry()),
     )
 
     def one_round():
@@ -121,8 +122,10 @@ def bench_rewl_round_ledger(benchmark, ising_4x4):
         grid=grid, initial_config=np.zeros(16, dtype=np.int8),
         config=REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
                    exchange_interval=1_000, ln_f_final=1e-12, seed=0),
-        telemetry=Telemetry(),
-        convergence=ConvergenceLedger(ConvergenceConfig(sample_every=1)),
+        instrumentation=Instrumentation(
+            telemetry=Telemetry(),
+            convergence=ConvergenceLedger(ConvergenceConfig(sample_every=1)),
+        ),
     )
 
     def one_round():
@@ -157,7 +160,8 @@ def bench_rewl_round_timeseries_served(benchmark, ising_4x4):
         grid=grid, initial_config=np.zeros(16, dtype=np.int8),
         config=REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
                    exchange_interval=1_000, ln_f_final=1e-12, seed=0),
-        telemetry=Telemetry(), timeseries=recorder,
+        instrumentation=Instrumentation(telemetry=Telemetry(),
+                                        timeseries=recorder),
     )
     server = StatusServer(port=0).start()
     server.board.publish_recorder(recorder)

@@ -31,6 +31,7 @@ from repro.experiments.common import (
     timed,
 )
 from repro.lattice import random_configuration
+from repro.obs import Instrumentation
 from repro.parallel import (
     REWLConfig,
     REWLDriver,
@@ -119,7 +120,8 @@ def load_or_run_hea_dos(length: int = 3, seed: int = 0, quick: bool = True) -> H
     driver = REWLDriver(
         hamiltonian=ham, proposal_factory=lambda: SwapProposal(), grid=grid,
         initial_config=random_configuration(ham.n_sites, counts, rng=seed),
-        config=cfg, checkpoint_path=ckpt, telemetry=tel,
+        config=cfg, checkpoint_path=ckpt,
+        instrumentation=Instrumentation(telemetry=tel),
     )
     maybe_resume(driver, ckpt)
     try:

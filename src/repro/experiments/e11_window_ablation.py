@@ -17,6 +17,7 @@ from repro.dos import exact_ising_dos_bruteforce
 from repro.experiments.common import ExperimentResult, experiment_telemetry, timed
 from repro.hamiltonians import IsingHamiltonian
 from repro.lattice import square_lattice
+from repro.obs import Instrumentation
 from repro.parallel import REWLConfig, REWLDriver
 from repro.proposals import FlipProposal
 from repro.sampling import EnergyGrid
@@ -57,7 +58,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                 n_windows=n_windows, walkers_per_window=2, overlap=0.6,
                 exchange_interval=1_000, ln_f_final=ln_f_final, seed=seed,
             ),
-            telemetry=tel,
+            instrumentation=Instrumentation(telemetry=tel),
         )
         res = driver.run(max_rounds=5_000)
         max_walker_steps = max(s.n_steps for s in res.walkers)

@@ -67,16 +67,6 @@ class Hamiltonian(abc.ABC):
         configs = np.atleast_2d(configs)
         return np.array([self.energy(c) for c in configs], dtype=np.float64)
 
-    def energy_batch(self, configs: np.ndarray) -> np.ndarray:
-        """Deprecated alias of :meth:`energies` (pre-kernel-layer name)."""
-        from repro.util.deprecation import warn_once
-
-        warn_once(
-            "Hamiltonian.energy_batch",
-            "Hamiltonian.energy_batch() is deprecated; call energies() instead",  # lint-api: allow
-        )
-        return self.energies(configs)
-
     def delta_energy_swap_batch(self, config: np.ndarray, ii, jj) -> np.ndarray:
         """ΔE for many *independent alternative* swaps on the same config.
 

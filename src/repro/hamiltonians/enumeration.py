@@ -3,7 +3,7 @@
 Brute-force ground truth: every sampler correctness test ultimately reduces
 to "does the sampled/estimated distribution match exact enumeration on a
 system small enough to enumerate?".  Works for ``n_species ** n_sites`` up to
-~10⁷ states (chunked, vectorized through ``energy_batch``).
+~10⁷ states (chunked, vectorized through ``energies``).
 """
 
 from __future__ import annotations

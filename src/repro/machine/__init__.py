@@ -27,6 +27,7 @@ from repro.machine.specs import (
     summit_v100,
     crusher_mi250x,
 )
+from repro.machine.autotune import CampaignPlan, plan_campaign
 from repro.machine.perf_model import WorkloadSpec, RoundCostModel
 from repro.machine.scaling import (
     ScalingPoint,
@@ -36,6 +37,8 @@ from repro.machine.scaling import (
 )
 
 __all__ = [
+    "CampaignPlan",
+    "plan_campaign",
     "DeviceSpec",
     "InterconnectSpec",
     "MachineSpec",

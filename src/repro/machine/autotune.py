@@ -1,0 +1,117 @@
+"""Campaign-shape auto-tuning backed by the machine performance model.
+
+The fused/shm campaign backends expose worker-count-shaped knobs
+(``n_windows``, ``walkers_per_window``, ``overlap``) that users otherwise
+guess.  :func:`plan_campaign` picks them from first principles:
+
+- **overlap** defaults to 0.75 — the replica-exchange Wang-Landau
+  literature's standard choice (Vogel et al. 2013 use 75% overlap for
+  robust exchange acceptance); narrower overlaps starve the exchange
+  phase, wider ones waste sampling on redundant bins;
+- **n_windows** is bounded above by the available workers (more windows
+  than workers just serialize) and by the grid (each window needs enough
+  bins to be a meaningful sub-problem), then chosen to maximize the
+  modeled aggregate MC throughput of one round
+  (:class:`~repro.machine.perf_model.RoundCostModel` — compute shrinks
+  with window count while exchange/merge costs grow, so the argmax is the
+  classic scaling knee);
+- **walkers_per_window** comes from the same sweep: co-resident walkers
+  amortize gather/merge costs until they serialize the device.
+
+The returned :class:`CampaignPlan` is a plain record; ``REWLConfig``
+fields left as ``None`` are resolved through :func:`plan_campaign` by the
+driver (see :class:`~repro.parallel.rewl.REWLDriver`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from repro.machine.perf_model import RoundCostModel, WorkloadSpec
+from repro.machine.specs import MachineSpec, summit_v100
+
+__all__ = ["CampaignPlan", "plan_campaign"]
+
+#: Literature-default window overlap (fraction of a window's bins shared
+#: with each neighbor).
+DEFAULT_OVERLAP = 0.75
+
+#: Smallest window worth its exchange/merge overhead, in bins.
+_MIN_WINDOW_BINS = 8
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """An auto-tuned campaign shape plus the model's throughput forecast."""
+
+    n_windows: int
+    walkers_per_window: int
+    overlap: float
+    n_workers: int
+    predicted_round_s: float
+    predicted_steps_per_s: float
+
+
+def _window_bins(n_bins: int, n_windows: int, overlap: float) -> int:
+    """Common window width for ``n_windows`` overlapping windows (the same
+    arithmetic as :func:`repro.parallel.windows.make_windows`)."""
+    if n_windows == 1:
+        return n_bins
+    span = 1.0 + (n_windows - 1) * (1.0 - overlap)
+    return max(1, round(n_bins / span))
+
+
+def plan_campaign(*, n_bins: int, n_sites: int, n_workers: int | None = None,
+                  machine: MachineSpec | None = None,
+                  walkers_per_window: int | None = None,
+                  overlap: float | None = None,
+                  steps_per_round: int = 2_000) -> CampaignPlan:
+    """Pick (n_windows, walkers_per_window, overlap) for a campaign.
+
+    ``n_workers`` defaults to the local CPU count minus one (the shm
+    controller rank); ``machine`` defaults to the Summit-class V100 spec —
+    only relative costs matter for the argmax, and the model's compute/
+    communication split is machine-shape-stable.  Fixing
+    ``walkers_per_window`` or ``overlap`` restricts the sweep to the free
+    knobs.
+    """
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins!r}")
+    if n_sites < 1:
+        raise ValueError(f"n_sites must be >= 1, got {n_sites!r}")
+    if n_workers is None:
+        n_workers = max(1, (os.cpu_count() or 2) - 1)
+    if machine is None:
+        machine = summit_v100()
+    ov = DEFAULT_OVERLAP if overlap is None else float(overlap)
+
+    max_windows = max(1, min(int(n_workers), n_bins // _MIN_WINDOW_BINS))
+    walker_choices = (
+        (1, 2, 4) if walkers_per_window is None else (int(walkers_per_window),)
+    )
+    base = WorkloadSpec(
+        n_sites=int(n_sites), n_bins=n_bins, steps_per_round=steps_per_round
+    )
+    best = None
+    for n_windows in range(1, max_windows + 1):
+        width = _window_bins(n_bins, n_windows, ov)
+        if width < _MIN_WINDOW_BINS and n_windows > 1:
+            continue
+        for k in walker_choices:
+            workload = replace(
+                base, n_bins=width, walkers_per_window=k
+            )
+            model = RoundCostModel(machine, workload)
+            round_s = model.round_time(walkers_on_gpu=k)
+            # Aggregate campaign throughput: every window's K walkers step
+            # steps_per_round each round, windows run concurrently.
+            agg = n_windows * k * workload.steps_per_round / round_s
+            if best is None or agg > best[0]:
+                best = (agg, n_windows, k, round_s)
+    agg, n_windows, k, round_s = best
+    return CampaignPlan(
+        n_windows=n_windows, walkers_per_window=k, overlap=ov,
+        n_workers=int(n_workers), predicted_round_s=float(round_s),
+        predicted_steps_per_s=float(agg),
+    )

@@ -70,6 +70,7 @@ from repro.obs.events import (
     from_env,
     worker_log,
 )
+from repro.obs.instrumentation import Instrumentation
 from repro.obs.health import (
     HEALTH_ENV_VAR,
     HealthConfig,
@@ -141,6 +142,7 @@ __all__ = [
     "ConvergenceConfig",
     "ConvergenceLedger",
     "convergence_from_env",
+    "Instrumentation",
     "Telemetry",
     "HEALTH_ENV_VAR",
     "HealthConfig",

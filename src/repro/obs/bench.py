@@ -68,6 +68,8 @@ DEFAULT_THRESHOLD = 0.25
 #: The fast subset for CI smoke runs (micro-kernels + setup costs; the long
 #: convergence benches stay out so the job finishes in a couple of minutes).
 QUICK_BENCHES = (
+    "bench_e7_strong_scaling.py",
+    "bench_e8_weak_scaling.py",
     "bench_e9_throughput.py",
     "bench_e12_systems_table.py",
     "bench_obs_overhead.py",

@@ -8,13 +8,16 @@ campaign's wall-clock go".  :func:`attribute_cost` folds a merged profile
 ==========  ==================================================================
 phase       profiler sections
 ==========  ==================================================================
-propose     ``proposal.*`` (move generation, incl. DL proposal inference)
-delta_e     ``hamiltonian.*`` (energy / ΔE kernels)
-commit      ``wl.histogram_update``, ``wl.batch_commit``, ``wl.flat_check``
-advance     the *unattributed* remainder of ``rewl.advance`` — driver-side
-            advance time not explained by the walker sections above
-            (executor dispatch, pickling, scheduling)
-exchange    ``rewl.exchange_round``
+propose       ``proposal.*`` (move generation, incl. DL proposal inference)
+delta_e       ``hamiltonian.*`` (energy / ΔE kernels)
+fused_gather  ``rewl.fused_gather`` — the fused backends' stacked cross-
+              window ΔE gather (campaign-wide kernel time that per-window
+              ``hamiltonian.*`` sections can't see)
+commit        ``wl.histogram_update``, ``wl.batch_commit``, ``wl.flat_check``
+advance       the *unattributed* remainder of ``rewl.advance`` — driver-side
+              advance time not explained by the walker sections above
+              (executor dispatch, pickling, scheduling)
+exchange      ``rewl.exchange_round``
 sync        ``rewl.sync``
 checkpoint  ``rewl.checkpoint``
 guard       ``rewl.guard``
@@ -44,14 +47,15 @@ __all__ = ["COST_KIND", "PHASES", "attribute_cost", "publish_cost",
 COST_KIND = "cost"
 
 #: Phase order for rendering (biggest conceptual pipeline order, not size).
-PHASES = ("propose", "delta_e", "commit", "advance", "exchange", "sync",
-          "checkpoint", "guard", "stitch")
+PHASES = ("propose", "delta_e", "fused_gather", "commit", "advance",
+          "exchange", "sync", "checkpoint", "guard", "stitch")
 
 #: Exact-section → phase mapping (prefix rules handled in _phase_of).
 _EXACT = {
     "wl.histogram_update": "commit",
     "wl.batch_commit": "commit",
     "wl.flat_check": "commit",
+    "rewl.fused_gather": "fused_gather",
     "rewl.exchange_round": "exchange",
     "rewl.sync": "sync",
     "rewl.checkpoint": "checkpoint",
@@ -100,7 +104,7 @@ def attribute_cost(profile: dict) -> dict:
         bucket = phases.setdefault(phase, {"seconds": 0.0, "sections": {}})
         bucket["seconds"] += seconds
         bucket["sections"][section] = round(seconds, 6)
-        if phase in ("propose", "delta_e", "commit"):
+        if phase in ("propose", "delta_e", "fused_gather", "commit"):
             inside_advance += seconds
     remainder = max(0.0, advance_total - inside_advance)
     if remainder > 0.0:

@@ -1,0 +1,53 @@
+"""The driver-facing instrumentation bundle.
+
+:class:`~repro.parallel.rewl.REWLDriver` grew one observability keyword per
+subsystem (telemetry, profiler, health, convergence, timeseries) — five
+knobs that always travel together.  :class:`Instrumentation` folds them
+into one value::
+
+    REWLDriver(..., instrumentation=Instrumentation(telemetry=Telemetry()))
+
+Each field accepts exactly what the old keyword accepted (an instance, a
+config object where the driver supported one, or None for the environment
+default), and the driver resolves environment defaults per field exactly
+as before — an empty bundle is indistinguishable from passing nothing.
+The old per-field keywords keep working for one release behind a
+``DeprecationWarning`` (:func:`repro.util.deprecation.warn_once`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any
+
+__all__ = ["Instrumentation"]
+
+
+@dataclass
+class Instrumentation:
+    """Observability wiring for a campaign driver, as one bundle.
+
+    Fields mirror the (deprecated) per-field ``REWLDriver`` keywords:
+
+    - ``telemetry`` — :class:`repro.obs.Telemetry`,
+    - ``profiler`` — :class:`repro.obs.profile.SectionProfiler`,
+    - ``health`` — :class:`repro.obs.health.HealthMonitor` or
+      ``HealthConfig``,
+    - ``convergence`` — :class:`repro.obs.convergence.ConvergenceLedger`
+      or ``ConvergenceConfig``,
+    - ``timeseries`` — :class:`repro.obs.timeseries.TimeSeriesRecorder`
+      or ``TimeSeriesConfig``.
+
+    ``None`` fields fall back to the corresponding environment knobs
+    (``REPRO_PROFILE``, ``REPRO_HEALTH``, …) inside the driver.
+    """
+
+    telemetry: Any = None
+    profiler: Any = None
+    health: Any = None
+    convergence: Any = None
+    timeseries: Any = None
+
+    @classmethod
+    def field_names(cls) -> tuple[str, ...]:
+        return tuple(f.name for f in fields(cls))

@@ -367,6 +367,14 @@ class ProfiledProposal:
         prof.stop(section, t0)
         return out
 
+    def draw_fields(self, configs, hamiltonian, rng):
+        prof = self.profiler
+        section = self._section + ".fields"
+        t0 = prof.start(section)
+        out = self.inner.draw_fields(configs, hamiltonian, rng)
+        prof.stop(section, t0)
+        return out
+
     def __getattr__(self, name):
         if name in ("inner", "profiler", "_section"):  # unpickling guard
             raise AttributeError(name)

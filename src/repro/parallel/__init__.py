@@ -5,8 +5,11 @@ with MPI.  Here the same algorithm runs at laptop scale over two layers:
 
 - :mod:`repro.parallel.comm` — an MPI-like communicator (mpi4py-shaped API:
   ``send/recv/sendrecv``, ``barrier``, ``bcast``, ``gather``, ``allgather``,
-  ``allreduce``) with a serial single-rank backend and a threaded SPMD
-  backend.  The distributed parallel-tempering rank program
+  ``allreduce``) behind a runtime-checkable protocol and a backend registry
+  (``comm.get("serial"|"thread"|"shm")``): a serial single-rank backend, a
+  threaded SPMD backend, and a zero-copy ``multiprocessing.shared_memory``
+  backend whose ndarray messages move through shared segments instead of
+  pickles.  The distributed parallel-tempering rank program
   (:mod:`repro.parallel.tempering`) is written against it and asserted
   bit-identical to the serial reference.
 - :mod:`repro.parallel.executors` — bulk-synchronous walker executors
@@ -30,18 +33,38 @@ On top sits the REWL driver:
 """
 
 from repro.parallel.comm import (
+    COMMUNICATORS,
     Communicator,
     SerialCommunicator,
+    SharedMemoryCommunicator,
+    ShmWorld,
     ThreadCommunicator,
+    get as get_communicator,
+    register_communicator,
     run_spmd,
 )
 from repro.parallel.executors import (
+    EXECUTORS,
     SerialExecutor,
     ThreadExecutor,
     ProcessExecutor,
+    make_executor,
 )
 from repro.parallel.windows import WindowSpec, make_windows, surviving_pairs
-from repro.parallel.rewl import REWLDriver, REWLConfig, REWLResult, WalkerSnapshot
+from repro.parallel.rewl import (
+    BACKENDS,
+    REWLDriver,
+    REWLConfig,
+    REWLResult,
+    WalkerSnapshot,
+)
+from repro.parallel.fused import (
+    FusedCampaignState,
+    FusedEngine,
+    FusedTeam,
+    ShmEngine,
+    fused_advance,
+)
 from repro.parallel.tempering import distributed_parallel_tempering
 from repro.parallel.checkpoint import (
     CHECKPOINT_VERSION,
@@ -53,20 +76,33 @@ from repro.parallel.checkpoint import (
 )
 
 __all__ = [
+    "COMMUNICATORS",
     "Communicator",
     "SerialCommunicator",
+    "SharedMemoryCommunicator",
+    "ShmWorld",
     "ThreadCommunicator",
+    "get_communicator",
+    "register_communicator",
     "run_spmd",
+    "EXECUTORS",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "make_executor",
     "WindowSpec",
     "make_windows",
     "surviving_pairs",
+    "BACKENDS",
     "REWLDriver",
     "REWLConfig",
     "REWLResult",
     "WalkerSnapshot",
+    "FusedCampaignState",
+    "FusedEngine",
+    "FusedTeam",
+    "ShmEngine",
+    "fused_advance",
     "distributed_parallel_tempering",
     "CHECKPOINT_VERSION",
     "save_checkpoint",

@@ -230,10 +230,10 @@ def load_checkpoint(driver: "REWLDriver", path) -> "REWLDriver":
     driver.rounds = state["rounds"]
     driver._exchange_rng = state["exchange_rng"]
     # Walkers from pre-observability checkpoints lack the (window, walker)
-    # tag worker-side spans rely on; re-derive it either way.
-    for w, team in enumerate(driver.walkers):
-        for k, walker in enumerate(team):
-            walker.obs_tag = (w, k if len(team) > 1 else None)
+    # tag worker-side spans rely on; re-derive it either way.  _retag_window
+    # also rebinds the restored teams into a fused engine's campaign arrays.
+    for w in range(len(driver.walkers)):
+        driver._retag_window(w)
     conv_state = state.get("convergence")
     ledger = getattr(driver, "convergence", None)
     if conv_state is not None and ledger is not None:

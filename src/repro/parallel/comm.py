@@ -6,20 +6,35 @@ point-to-point ``send/recv/sendrecv`` and the collectives ``barrier``,
 ``bcast``, ``gather``, ``allgather``, ``reduce``, ``allreduce``,
 ``scatter``.
 
+:class:`Communicator` is a runtime-checkable :class:`typing.Protocol`;
+backends register themselves in the :data:`COMMUNICATORS` registry (the
+same stable-name → class shape as ``repro.sampling.SAMPLERS``) and are
+looked up with :func:`get`.  All backend constructors are keyword-only.
+
 Backends:
 
-- :class:`SerialCommunicator` — a size-1 world; every collective is an
-  identity.  Lets rank programs run unmodified in a single process.
-- :class:`ThreadCommunicator` — an N-rank world inside one process, built on
-  per-pair queues and a shared barrier.  :func:`run_spmd` launches one
-  thread per rank running the same function (SPMD), propagating the first
-  exception.
+- ``"serial"`` :class:`SerialCommunicator` — a size-1 world; every
+  collective is an identity.  Lets rank programs run unmodified in a
+  single process.
+- ``"thread"`` :class:`ThreadCommunicator` — an N-rank world inside one
+  process, built on per-pair queues and a shared barrier.
+- ``"shm"`` :class:`SharedMemoryCommunicator` — an N-rank world across
+  *processes* built on :mod:`multiprocessing.shared_memory`.  Control
+  messages travel over per-rank queues, but ndarray payloads move through
+  a double-buffered shared-memory mailbox: the bytes are written once by
+  the sender and mapped directly by the receiver — no pickling.  A
+  :class:`ShmWorld` also hands out named shared arrays
+  (:meth:`ShmWorld.alloc_array`) that several ranks map simultaneously —
+  the zero-copy substrate under the fused REWL campaign
+  (:mod:`repro.parallel.fused`).
+
+:func:`run_spmd` launches one rank per thread (``backend="thread"``) or
+per spawned process (``backend="shm"``) running the same function (SPMD),
+propagating the first exception.
 
 The threaded backend is a *correctness* substrate, not a speed one (the
-GIL serializes pure-Python sections); the REWL speed path uses the process
-executors in :mod:`repro.parallel.executors`.  What the communicator buys is
-the ability to express rank programs — like distributed parallel tempering —
-exactly as they would be written for mpi4py.
+GIL serializes pure-Python sections); the shm backend is the speed path —
+its array traffic never crosses a pickle.
 """
 
 from __future__ import annotations
@@ -27,13 +42,26 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Any, Callable
+import weakref
+from typing import Any, Callable, Protocol, runtime_checkable
+
+import numpy as np
 
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["Communicator", "SerialCommunicator", "ThreadCommunicator", "run_spmd"]
+__all__ = [
+    "COMMUNICATORS",
+    "Communicator",
+    "SerialCommunicator",
+    "SharedMemoryCommunicator",
+    "ShmWorld",
+    "ThreadCommunicator",
+    "get",
+    "register_communicator",
+    "run_spmd",
+]
 
-_DEFAULT_TIMEOUT = 60.0  # deadlock guard for the threaded backend
+_DEFAULT_TIMEOUT = 60.0  # deadlock guard for the multi-rank backends
 
 #: Histogram bucket upper bounds for collective/point-to-point latencies.
 _LATENCY_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
@@ -50,8 +78,9 @@ _REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
 }
 
 
-class Communicator:
-    """Abstract communicator (see module docstring for semantics).
+@runtime_checkable
+class Communicator(Protocol):
+    """Communicator protocol (see module docstring for semantics).
 
     Every backend carries a per-rank :class:`~repro.obs.metrics.MetricsRegistry`
     under ``self.metrics`` recording ``comm.<op>.calls`` counters and
@@ -64,54 +93,89 @@ class Communicator:
     size: int
     metrics: MetricsRegistry
 
+    # -- point to point ----------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None: ...
+
+    def recv(self, source: int, tag: int = 0) -> Any: ...
+
+    def sendrecv(self, obj: Any, partner: int, tag: int = 0) -> Any:
+        """Exchange objects with ``partner`` (deadlock-free pairwise swap)."""
+        ...
+
+    # -- collectives --------------------------------------------------------
+
+    def barrier(self) -> None: ...
+
+    def bcast(self, obj: Any, root: int = 0) -> Any: ...
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None: ...
+
+    def allgather(self, obj: Any) -> list[Any]: ...
+
+    def scatter(self, objs: list[Any] | None, root: int = 0) -> Any: ...
+
+    def reduce(self, obj: Any, op: str = "sum", root: int = 0) -> Any | None: ...
+
+    def allreduce(self, obj: Any, op: str = "sum") -> Any: ...
+
+
+#: Stable-name → communicator-class registry (populated by
+#: ``register_communicator``); mirrors ``repro.sampling.SAMPLERS``.
+COMMUNICATORS: dict[str, type] = {}
+
+
+def register_communicator(name: str):
+    """Class decorator adding a backend to :data:`COMMUNICATORS`."""
+
+    def deco(cls: type) -> type:
+        existing = COMMUNICATORS.get(name)
+        if existing is not None and existing is not cls:
+            raise ValueError(f"communicator name {name!r} already registered")
+        COMMUNICATORS[name] = cls
+        cls.backend_name = name
+        return cls
+
+    return deco
+
+
+def get(name: str) -> type:
+    """Resolve a registered communicator class by stable name."""
+    try:
+        return COMMUNICATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown communicator {name!r}; registered: {sorted(COMMUNICATORS)}"
+        ) from None
+
+
+class _CommBase:
+    """Shared latency-recording and peer validation for all backends."""
+
+    rank: int
+    size: int
+    metrics: MetricsRegistry
+
     def _record(self, op: str, t0: float) -> None:
         dt = time.perf_counter() - t0
         self.metrics.inc(f"comm.{op}.calls")
         self.metrics.observe(f"comm.{op}.seconds", dt, buckets=_LATENCY_BUCKETS)
 
-    # -- point to point ----------------------------------------------------
-
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        raise NotImplementedError
-
-    def recv(self, source: int, tag: int = 0) -> Any:
-        raise NotImplementedError
-
-    def sendrecv(self, obj: Any, partner: int, tag: int = 0) -> Any:
-        """Exchange objects with ``partner`` (deadlock-free pairwise swap)."""
-        raise NotImplementedError
-
-    # -- collectives --------------------------------------------------------
-
-    def barrier(self) -> None:
-        raise NotImplementedError
-
-    def bcast(self, obj: Any, root: int = 0) -> Any:
-        raise NotImplementedError
-
-    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
-        raise NotImplementedError
-
-    def allgather(self, obj: Any) -> list[Any]:
-        raise NotImplementedError
-
-    def scatter(self, objs: list[Any] | None, root: int = 0) -> Any:
-        raise NotImplementedError
-
-    def reduce(self, obj: Any, op: str = "sum", root: int = 0) -> Any | None:
-        raise NotImplementedError
-
-    def allreduce(self, obj: Any, op: str = "sum") -> Any:
-        raise NotImplementedError
+    def _check_peer(self, peer: int, what: str) -> None:
+        if not 0 <= peer < self.size:
+            raise ValueError(f"{what} rank {peer} out of range [0, {self.size})")
+        if peer == self.rank:
+            raise ValueError(f"{what} to self (rank {peer}) is not allowed")
 
 
-class SerialCommunicator(Communicator):
+@register_communicator("serial")
+class SerialCommunicator(_CommBase):
     """The trivial single-rank world."""
 
     rank = 0
     size = 1
 
-    def __init__(self, metrics: MetricsRegistry | None = None):
+    def __init__(self, *, metrics: MetricsRegistry | None = None):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     def send(self, obj, dest, tag=0):
@@ -174,10 +238,11 @@ class _World:
         self.gather_box: list[Any] = [None] * size
 
 
-class ThreadCommunicator(Communicator):
+@register_communicator("thread")
+class ThreadCommunicator(_CommBase):
     """One rank of a threaded SPMD world (created by :func:`run_spmd`)."""
 
-    def __init__(self, world: _World, rank: int,
+    def __init__(self, *, world: _World, rank: int,
                  metrics: MetricsRegistry | None = None):
         self._world = world
         self.rank = rank
@@ -185,12 +250,6 @@ class ThreadCommunicator(Communicator):
         # Per-rank registry: threads never share one (MetricsRegistry is
         # not locked); run_spmd merges them after the ranks join.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-
-    def _check_peer(self, peer: int, what: str) -> None:
-        if not 0 <= peer < self.size:
-            raise ValueError(f"{what} rank {peer} out of range [0, {self.size})")
-        if peer == self.rank:
-            raise ValueError(f"{what} to self (rank {peer}) is not allowed")
 
     # -- point to point ----------------------------------------------------
 
@@ -294,9 +353,497 @@ class ThreadCommunicator(Communicator):
         return acc
 
 
+# --------------------------------------------------------------------------
+# Shared-memory (multi-process) world
+# --------------------------------------------------------------------------
+
+
+def _unlink_segments(names: list[str]) -> None:
+    """Best-effort unlink of named segments (finalizer — must not raise)."""
+    from multiprocessing import shared_memory
+
+    for name in list(names):
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except (FileNotFoundError, OSError):
+            continue
+        try:
+            seg.close()
+            seg.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+    names.clear()
+
+
+def _attach_segment(name: str):
+    """Attach an existing segment without adopting unlink responsibility.
+
+    Python ≤3.11 registers *attached* segments with the resource tracker,
+    which would then unlink them when the attaching process exits — pulling
+    live segments out from under the other ranks.  Suppressing the
+    registration during attach restores the create-side-owns-unlink
+    discipline (what 3.13 spells ``track=False``).
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    orig_register = resource_tracker.register
+
+    def _no_shm_register(name_, rtype):
+        if rtype != "shared_memory":
+            orig_register(name_, rtype)
+
+    resource_tracker.register = _no_shm_register
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig_register
+    return seg
+
+
+class _ShmWorldHandle:
+    """Picklable-through-``Process`` descriptor of a :class:`ShmWorld`.
+
+    Carries the queues/barrier (inherited through process spawn) plus the
+    *names* of every shared segment; child ranks attach by name.
+    """
+
+    def __init__(self, size, timeout, slot_bytes, inboxes, barrier,
+                 mailbox_name, arrays):
+        self.size = size
+        self.timeout = timeout
+        self.slot_bytes = slot_bytes
+        self.inboxes = inboxes
+        self.barrier = barrier
+        self.mailbox_name = mailbox_name
+        self.arrays = arrays  # name → (segment name, shape, dtype str)
+
+
+class ShmWorld:
+    """Host-owned lifecycle of a process-based shared-memory world.
+
+    Owns every segment: the point-to-point mailbox plus any named arrays
+    allocated with :meth:`alloc_array`.  :meth:`close` terminates
+    still-running child ranks and unlinks all segments; a ``weakref``
+    finalizer does the same at interpreter exit, so a crashed campaign
+    cannot leak ``/dev/shm`` entries (asserted in
+    ``tests/test_shm_lifecycle.py``).
+    """
+
+    def __init__(self, size: int, *, slot_bytes: int = 1 << 20,
+                 timeout: float = _DEFAULT_TIMEOUT):
+        import multiprocessing as mp
+        from multiprocessing import shared_memory
+
+        if size < 1:
+            raise ValueError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self.timeout = timeout
+        self.slot_bytes = int(slot_bytes)
+        self.ctx = mp.get_context("spawn")
+        self.inboxes = [self.ctx.Queue() for _ in range(size)]
+        self.barrier = self.ctx.Barrier(size)
+        n_slots = 2 * size * size
+        self._mailbox = shared_memory.SharedMemory(
+            create=True, size=max(1, n_slots * self.slot_bytes)
+        )
+        self._segments = [self._mailbox]
+        self._segment_names = [self._mailbox.name]
+        self._arrays: dict[str, tuple[str, tuple, str]] = {}
+        self.procs: list = []
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _unlink_segments, self._segment_names
+        )
+
+    # ------------------------------------------------------------- arrays
+
+    def alloc_array(self, name: str, shape, dtype) -> np.ndarray:
+        """Create a named shared array; returns the host's zero-copy view.
+
+        Child ranks map the same bytes via
+        :meth:`SharedMemoryCommunicator.shared_array`.
+        """
+        from multiprocessing import shared_memory
+
+        if name in self._arrays:
+            raise ValueError(f"shared array {name!r} already allocated")
+        shape = tuple(int(s) for s in shape)
+        dt = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape)) * dt.itemsize)
+        seg = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._segments.append(seg)
+        self._segment_names.append(seg.name)
+        self._arrays[name] = (seg.name, shape, dt.str)
+        return np.ndarray(shape, dtype=dt, buffer=seg.buf)
+
+    @property
+    def segment_names(self) -> list[str]:
+        return list(self._segment_names)
+
+    def handle(self) -> _ShmWorldHandle:
+        return _ShmWorldHandle(
+            self.size, self.timeout, self.slot_bytes, self.inboxes,
+            self.barrier, self._mailbox.name, dict(self._arrays),
+        )
+
+    # ---------------------------------------------------------- lifecycle
+
+    def spawn(self, target, args_per_rank: list[tuple]) -> None:
+        """Start one daemon process per args tuple (appended to ``procs``)."""
+        for args in args_per_rank:
+            p = self.ctx.Process(target=target, args=args, daemon=True)
+            p.start()
+            self.procs.append(p)
+
+    def close(self) -> None:
+        """Terminate child ranks, then close + unlink every segment."""
+        if self._closed:
+            return
+        self._closed = True
+        for p in self.procs:
+            if p.is_alive():
+                p.terminate()
+            p.join(timeout=5.0)
+        for q in self.inboxes:
+            try:
+                q.close()
+            except Exception:
+                pass
+        for seg in self._segments:
+            try:
+                seg.close()
+            except Exception:
+                pass
+            try:
+                seg.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+        self._segment_names.clear()
+        self._finalizer.detach()
+
+
+@register_communicator("shm")
+class SharedMemoryCommunicator(_CommBase):
+    """One rank of a shared-memory SPMD world.
+
+    Control messages (pickled objects, collectives, acks) travel over the
+    rank's inbox queue; ndarray point-to-point payloads take the zero-copy
+    path — written into a double-buffered per-(src, dst) mailbox slot and
+    mapped directly by the receiver.  ``recv`` returns a **read-only view**
+    of the slot, valid until the sender's next-but-one send to this rank;
+    copy it (``np.array(view)``) to retain the data longer.  Arrays larger
+    than ``slot_bytes`` fall back to the pickle path transparently.
+    """
+
+    def __init__(self, *, world, rank: int,
+                 metrics: MetricsRegistry | None = None):
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._mail = None
+        self._attached: dict[str, Any] = {}
+        self._stash: list[tuple] = []
+        self._send_seq: dict[int, int] = {}
+        self._acked: dict[int, int] = {}
+
+    # ---------------------------------------------------------- segments
+
+    def _mailbox(self):
+        if self._mail is None:
+            self._mail = self._attach(self._world.mailbox_name)
+        return self._mail
+
+    def _attach(self, name: str):
+        seg = self._attached.get(name)
+        if seg is None:
+            seg = _attach_segment(name)
+            self._attached[name] = seg
+        return seg
+
+    def shared_array(self, name: str) -> np.ndarray:
+        """Map a named world array (see :meth:`ShmWorld.alloc_array`)."""
+        try:
+            seg_name, shape, dtype = self._world.arrays[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown shared array {name!r}; "
+                f"allocated: {sorted(self._world.arrays)}"
+            ) from None
+        seg = self._attach(seg_name)
+        return np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
+
+    def close(self) -> None:
+        """Detach this rank's segment mappings (never unlinks)."""
+        for seg in self._attached.values():
+            try:
+                seg.close()
+            except Exception:
+                pass
+        self._attached.clear()
+        self._mail = None
+
+    # ----------------------------------------------------------- inbox
+
+    def _slot(self, src: int, dst: int, seq: int) -> int:
+        pair = src * self.size + dst
+        return (2 * pair + seq % 2) * self._world.slot_bytes
+
+    def _pump(self, match, timeout: float | None = None):
+        """Return the first stashed/arriving message satisfying ``match``.
+
+        Ack messages are folded into the sender-side bookkeeping instead of
+        being stashed, so a pure producer still drains its acks while
+        blocked in a send.
+        """
+        for i, msg in enumerate(self._stash):
+            if match(msg):
+                return self._stash.pop(i)
+        deadline = time.monotonic() + (
+            self._world.timeout if timeout is None else timeout
+        )
+        inbox = self._world.inboxes[self.rank]
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"rank {self.rank}: timed out waiting for a message"
+                )
+            try:
+                msg = inbox.get(timeout=remaining)
+            except queue.Empty:
+                continue  # deadline check above raises the TimeoutError
+            if msg[0] == "ack":
+                _, src, seq = msg
+                self._acked[src] = max(self._acked.get(src, -1), seq)
+                continue
+            if match(msg):
+                return msg
+            self._stash.append(msg)
+
+    def _await_ack(self, dest: int, seq: int) -> None:
+        if self._acked.get(dest, -1) >= seq:
+            return
+        # Drain the inbox (stashing real messages) until the ack arrives.
+        deadline = time.monotonic() + self._world.timeout
+        inbox = self._world.inboxes[self.rank]
+        while self._acked.get(dest, -1) < seq:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"rank {self.rank}: timed out waiting for ack from {dest}"
+                )
+            try:
+                msg = inbox.get(timeout=remaining)
+            except queue.Empty:
+                continue
+            if msg[0] == "ack":
+                _, src, got = msg
+                self._acked[src] = max(self._acked.get(src, -1), got)
+            else:
+                self._stash.append(msg)
+
+    # -- point to point ----------------------------------------------------
+
+    def send(self, obj, dest, tag=0):
+        t0 = time.perf_counter()
+        self._check_peer(dest, "send")
+        if (
+            isinstance(obj, np.ndarray)
+            and obj.dtype != object
+            and obj.nbytes <= self._world.slot_bytes
+        ):
+            seq = self._send_seq.get(dest, 0)
+            if seq >= 2:
+                # Double buffer: slot seq reuses slot seq-2's bytes.
+                self._await_ack(dest, seq - 2)
+            off = self._slot(self.rank, dest, seq)
+            view = np.ndarray(obj.shape, dtype=obj.dtype,
+                              buffer=self._mailbox().buf, offset=off)
+            view[...] = obj
+            self._world.inboxes[dest].put(
+                ("shm", self.rank, tag, obj.shape, obj.dtype.str, seq)
+            )
+            self._send_seq[dest] = seq + 1
+            self.metrics.inc("comm.send.zero_copy")
+        else:
+            self._world.inboxes[dest].put(("obj", self.rank, tag, obj))
+        self._record("send", t0)
+
+    def recv(self, source, tag=0):
+        t0 = time.perf_counter()
+        self._check_peer(source, "recv")
+        msg = self._pump(
+            lambda m: m[0] in ("obj", "shm") and m[1] == source and m[2] == tag
+        )
+        if msg[0] == "obj":
+            out = msg[3]
+        else:
+            _, src, _, shape, dtype, seq = msg
+            off = self._slot(src, self.rank, seq)
+            out = np.ndarray(shape, dtype=np.dtype(dtype),
+                             buffer=self._mailbox().buf, offset=off)
+            out.flags.writeable = False
+            self._world.inboxes[src].put(("ack", self.rank, seq))
+        self._record("recv", t0)
+        return out
+
+    def sendrecv(self, obj, partner, tag=0):
+        t0 = time.perf_counter()
+        self._check_peer(partner, "sendrecv")
+        self.send(obj, partner, tag)
+        out = self.recv(partner, tag)
+        self._record("sendrecv", t0)
+        return out
+
+    def recv_any(self, tag: int = 0,
+                 timeout: float | None = None) -> tuple[int, Any]:
+        """Receive from whichever rank sends next → ``(source, obj)``.
+
+        The wildcard receive the non-blocking REWL drain loop is built on
+        (windows finish their super-steps in whatever order the workers
+        do); not part of the :class:`Communicator` protocol.  ``timeout``
+        overrides the world default so drain loops can poll for worker
+        liveness between waits.
+        """
+        t0 = time.perf_counter()
+        msg = self._pump(
+            lambda m: m[0] in ("obj", "shm") and m[2] == tag, timeout=timeout
+        )
+        src = msg[1]
+        if msg[0] == "obj":
+            out = msg[3]
+        else:
+            _, _, _, shape, dtype, seq = msg
+            off = self._slot(src, self.rank, seq)
+            out = np.ndarray(shape, dtype=np.dtype(dtype),
+                             buffer=self._mailbox().buf, offset=off)
+            out.flags.writeable = False
+            self._world.inboxes[src].put(("ack", self.rank, seq))
+        self._record("recv", t0)
+        return src, out
+
+    # -- collectives --------------------------------------------------------
+    #
+    # Collectives move pickled objects over the queues (they are control
+    # plane, not bulk data; the bulk path is shared_array / the mailbox).
+
+    def barrier(self):
+        t0 = time.perf_counter()
+        self._world.barrier.wait(timeout=self._world.timeout)
+        self._record("barrier", t0)
+
+    def bcast(self, obj, root=0):
+        t0 = time.perf_counter()
+        if self.rank == root:
+            for r in range(self.size):
+                if r != root:
+                    self._world.inboxes[r].put(("coll", root, "bcast", obj))
+            out = obj
+        else:
+            msg = self._pump(
+                lambda m: m[0] == "coll" and m[1] == root and m[2] == "bcast"
+            )
+            out = msg[3]
+        self._record("bcast", t0)
+        return out
+
+    def gather(self, obj, root=0):
+        t0 = time.perf_counter()
+        if self.rank == root:
+            out = []
+            for r in range(self.size):
+                if r == root:
+                    out.append(obj)
+                    continue
+                msg = self._pump(
+                    lambda m, r=r: m[0] == "coll" and m[1] == r
+                    and m[2] == "gather"
+                )
+                out.append(msg[3])
+        else:
+            self._world.inboxes[root].put(("coll", self.rank, "gather", obj))
+            out = None
+        self._record("gather", t0)
+        return out
+
+    def allgather(self, obj):
+        t0 = time.perf_counter()
+        gathered = self.gather(obj, root=0)
+        out = self.bcast(gathered, root=0)
+        self._record("allgather", t0)
+        return out
+
+    def scatter(self, objs, root=0):
+        t0 = time.perf_counter()
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError(f"scatter needs exactly {self.size} objects at root")
+            for r in range(self.size):
+                if r != root:
+                    self._world.inboxes[r].put(
+                        ("coll", root, "scatter", objs[r])
+                    )
+            out = objs[root]
+        else:
+            msg = self._pump(
+                lambda m: m[0] == "coll" and m[1] == root and m[2] == "scatter"
+            )
+            out = msg[3]
+        self._record("scatter", t0)
+        return out
+
+    def reduce(self, obj, op="sum", root=0):
+        t0 = time.perf_counter()
+        if op not in _REDUCE_OPS:
+            raise ValueError(f"unknown reduce op {op!r}")
+        gathered = self.gather(obj, root=root)
+        self._record("reduce", t0)
+        if self.rank != root:
+            return None
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = _REDUCE_OPS[op](acc, item)
+        return acc
+
+    def allreduce(self, obj, op="sum"):
+        t0 = time.perf_counter()
+        if op not in _REDUCE_OPS:
+            raise ValueError(f"unknown reduce op {op!r}")
+        gathered = self.allgather(obj)
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = _REDUCE_OPS[op](acc, item)
+        self._record("allreduce", t0)
+        return acc
+
+
+def _shm_spmd_main(handle, rank, fn, result_q):
+    """Child-process entry of a ``backend="shm"`` SPMD world."""
+    t0 = time.perf_counter()
+    comm = SharedMemoryCommunicator(world=handle, rank=rank)
+    try:
+        out = fn(comm)
+        result_q.put(
+            (rank, True, out, comm.metrics, time.perf_counter() - t0)
+        )
+    except BaseException as exc:  # noqa: BLE001 - reported to the host
+        result_q.put(
+            (rank, False, repr(exc), comm.metrics, time.perf_counter() - t0)
+        )
+    finally:
+        comm.close()
+
+
 def run_spmd(fn: Callable[[Communicator], Any], n_ranks: int,
-             timeout: float = _DEFAULT_TIMEOUT, telemetry=None) -> list[Any]:
-    """Run ``fn(comm)`` on ``n_ranks`` threads; return per-rank results.
+             timeout: float = _DEFAULT_TIMEOUT, telemetry=None,
+             backend: str = "thread") -> list[Any]:
+    """Run ``fn(comm)`` on ``n_ranks`` ranks; return per-rank results.
+
+    ``backend="thread"`` runs one thread per rank in-process;
+    ``backend="shm"`` spawns one process per rank over a :class:`ShmWorld`
+    (``fn`` must then be picklable — a module-level function).  A single
+    rank always gets the :class:`SerialCommunicator`.
 
     The first exception raised by any rank is re-raised in the caller (other
     ranks are abandoned — acceptable for a test/teaching substrate).
@@ -314,16 +861,48 @@ def run_spmd(fn: Callable[[Communicator], Any], n_ranks: int,
 
     if n_ranks < 1:
         raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    if backend not in ("thread", "shm"):
+        raise ValueError(f"unknown spmd backend {backend!r}")
     t0 = time.perf_counter()
     rank_durs: list[float | None] = [None] * n_ranks
+    rank_metrics: list[MetricsRegistry] = []
     if n_ranks == 1:
         comm = SerialCommunicator()
         out = [fn(comm)]
         rank_durs[0] = time.perf_counter() - t0
-        comms = [comm]
+        rank_metrics = [comm.metrics]
+    elif backend == "shm":
+        world = ShmWorld(n_ranks, timeout=timeout)
+        try:
+            result_q = world.ctx.Queue()
+            world.spawn(
+                _shm_spmd_main,
+                [(world.handle(), r, fn, result_q) for r in range(n_ranks)],
+            )
+            out = [None] * n_ranks
+            deadline = time.monotonic() + timeout * 4
+            for _ in range(n_ranks):
+                remaining = max(0.1, deadline - time.monotonic())
+                try:
+                    rank, ok, payload, metrics, dur = result_q.get(
+                        timeout=remaining
+                    )
+                except queue.Empty:
+                    raise RuntimeError(
+                        "shm spmd ranks did not finish (deadlock or crash?)"
+                    ) from None
+                if not ok:
+                    raise RuntimeError(f"rank {rank} failed: {payload}")
+                out[rank] = payload
+                rank_durs[rank] = dur
+                rank_metrics.append(metrics)
+            for p in world.procs:
+                p.join(timeout=timeout)
+        finally:
+            world.close()
     else:
         world = _World(n_ranks, timeout)
-        comms = [ThreadCommunicator(world, r) for r in range(n_ranks)]
+        comms = [ThreadCommunicator(world=world, rank=r) for r in range(n_ranks)]
         results: list[Any] = [None] * n_ranks
         errors: list[tuple[int, BaseException]] = []
 
@@ -349,9 +928,10 @@ def run_spmd(fn: Callable[[Communicator], Any], n_ranks: int,
         if alive:
             raise RuntimeError(f"{len(alive)} ranks did not finish (deadlock?)")
         out = results
+        rank_metrics = [c.metrics for c in comms]
     if telemetry is not None:
-        for comm in comms:
-            telemetry.metrics.merge(comm.metrics)
+        for metrics in rank_metrics:
+            telemetry.metrics.merge(metrics)
         telemetry.emit("spmd", n_ranks=n_ranks, dur_s=time.perf_counter() - t0)
     wlog = worker_log()
     if wlog.enabled:

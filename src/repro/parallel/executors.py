@@ -63,7 +63,8 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from repro.faults import FaultInjector, InjectedFault, faults_from_env
 from repro.obs import Telemetry
 
-__all__ = ["SerialExecutor", "ThreadExecutor", "ProcessExecutor"]
+__all__ = ["SerialExecutor", "ThreadExecutor", "ProcessExecutor",
+           "EXECUTORS", "make_executor"]
 
 
 class _Supervisor:
@@ -325,3 +326,25 @@ class ProcessExecutor(_PoolExecutor):
     def _make_pool(self):
         ctx = mp.get_context("spawn")
         return ProcessPoolExecutor(max_workers=self.n_workers, mp_context=ctx)
+
+
+#: Executor registry for :class:`~repro.parallel.rewl.REWLConfig`'s
+#: ``backend=`` knob (the fused/shm backends bypass executors entirely and
+#: are wired by the driver itself).
+EXECUTORS = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def make_executor(name: str, **kwargs):
+    """Construct a registered advance-phase executor by name."""
+    try:
+        cls = EXECUTORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown executor backend {name!r}; "
+            f"registered: {sorted(EXECUTORS)}"
+        ) from None
+    return cls(**kwargs)

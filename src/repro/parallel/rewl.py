@@ -30,7 +30,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.hamiltonians.base import Hamiltonian
-from repro.obs import Telemetry
+from repro.obs import Instrumentation, Telemetry
 from repro.obs.convergence import (
     ConvergenceConfig,
     ConvergenceLedger,
@@ -45,7 +45,7 @@ from repro.obs.timeseries import (
     TimeSeriesRecorder,
     timeseries_from_env,
 )
-from repro.parallel.executors import SerialExecutor
+from repro.parallel.executors import SerialExecutor, make_executor
 from repro.parallel.windows import WindowSpec, make_windows, surviving_pairs
 from repro.resilience.supervisor import (
     CampaignSupervisor,
@@ -96,6 +96,13 @@ def _advance_walker(walker, n_steps: int):
     return walker
 
 
+#: Advance backends ``REWLConfig.backend`` accepts: executor-driven
+#: per-window stepping ("serial"/"thread"/"process") or the fused SPMD
+#: campaign super-step, in-process ("fused") or multiprocess over
+#: shared-memory segments ("shm"); see :mod:`repro.parallel.fused`.
+BACKENDS = ("serial", "thread", "process", "fused", "shm")
+
+
 @dataclass(frozen=True)
 class REWLConfig:
     """Tuning knobs for :class:`REWLDriver`.
@@ -105,11 +112,23 @@ class REWLConfig:
     walker slots per super-step against a shared ln g (the within-window
     throughput mode; see :mod:`repro.sampling.batched`).  Default off —
     scalar teams remain bit-identical to previous releases.
+
+    ``backend`` selects how the campaign advances: ``"serial"`` /
+    ``"thread"`` / ``"process"`` build the matching executor
+    (:data:`repro.parallel.executors.EXECUTORS`), while ``"fused"`` and
+    ``"shm"`` step all windows as one SPMD array program
+    (:mod:`repro.parallel.fused`; both imply ``batched_walkers``).
+    ``shm_ranks`` caps the worker ranks of the shm backend (default: one
+    per window, bounded by the CPU count).
+
+    ``n_windows`` / ``walkers_per_window`` / ``overlap`` accept ``None``
+    to be auto-tuned from the machine performance model at driver
+    construction (:func:`repro.machine.autotune.plan_campaign`).
     """
 
-    n_windows: int = 4
-    walkers_per_window: int = 2
-    overlap: float = 0.5
+    n_windows: int | None = 4
+    walkers_per_window: int | None = 2
+    overlap: float | None = 0.5
     exchange_interval: int = 2_000
     ln_f_init: float = 1.0
     ln_f_final: float = 1e-6
@@ -120,17 +139,30 @@ class REWLConfig:
     drive_max_steps: int = 2_000_000
     checkpoint_interval: int = 0  # rounds between snapshots (0 = off)
     batched_walkers: bool = False
+    backend: str = "serial"
+    shm_ranks: int | None = None
 
     def __post_init__(self):
-        check_integer("n_windows", self.n_windows, minimum=1)
-        check_integer("walkers_per_window", self.walkers_per_window, minimum=1)
+        if self.n_windows is not None:
+            check_integer("n_windows", self.n_windows, minimum=1)
+        if self.walkers_per_window is not None:
+            check_integer(
+                "walkers_per_window", self.walkers_per_window, minimum=1
+            )
         check_integer("exchange_interval", self.exchange_interval, minimum=1)
         check_probability("flatness", self.flatness)
         # Fail here rather than deep inside make_windows / drive_into_range.
-        check_in_range("overlap", self.overlap, 0.1, 0.9)
+        if self.overlap is not None:
+            check_in_range("overlap", self.overlap, 0.1, 0.9)
         check_integer("max_rounds", self.max_rounds, minimum=1)
         check_integer("drive_max_steps", self.drive_max_steps, minimum=1)
         check_integer("checkpoint_interval", self.checkpoint_interval, minimum=0)
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.shm_ranks is not None:
+            check_integer("shm_ranks", self.shm_ranks, minimum=1)
 
 
 @dataclass
@@ -216,20 +248,10 @@ class REWLResult:
         self.telemetry["cost"] = attribute_cost(profile)
 
 
-#: Old positional parameter order, kept alive by the deprecation shim.
-_REWL_POSITIONAL = (
-    "hamiltonian", "proposal_factory", "grid", "initial_config", "config",
-    "executor", "telemetry", "checkpoint_path", "profiler", "health",
-    "convergence", "resilience", "timeseries",
-)
-
-
 class REWLDriver:
     """Windows × walkers replica-exchange Wang-Landau.
 
-    Keyword-only construction (the pre-redesign positional signature keeps
-    working for one release behind a ``DeprecationWarning``; see DESIGN.md
-    §11)::
+    Keyword-only construction::
 
         REWLDriver(
             hamiltonian=ham, proposal_factory=make_prop, grid=grid,
@@ -241,39 +263,38 @@ class REWLDriver:
     hamiltonian : Hamiltonian
     proposal_factory : callable
         ``proposal_factory() -> Proposal``; called once per walker so
-        stateful proposals (DL caches) are never shared.
+        stateful proposals (DL caches) are never shared.  Must be
+        picklable for ``backend="shm"`` (worker ranks build their own
+        proposals from it — module-level factories qualify, lambdas don't;
+        the driver calls it in-process and ships the instances).
     grid : EnergyGrid
         The global energy grid.
     initial_config : numpy.ndarray
         A valid configuration; each walker gets an independently shuffled
         copy driven into its window.
     config : REWLConfig
+        Campaign shape and backend (``backend="serial"|"thread"|"process"``
+        builds the matching executor; ``"fused"``/``"shm"`` step the whole
+        campaign as one SPMD super-step — :mod:`repro.parallel.fused`).
     executor : executor, optional
-        Advance-phase executor (default serial).
-    telemetry : repro.obs.Telemetry, optional
-        Metrics/spans/events handle.  The default is a disabled bundle;
-        either way sampler outputs are bit-identical to an uninstrumented
-        run (telemetry draws no random numbers and accumulates no floats
-        into walker state).
+        Explicit advance-phase executor; overrides the ``config.backend``
+        executor choice.  Rejected for the fused/shm backends, which manage
+        their own stepping.
+    instrumentation : repro.obs.Instrumentation, optional
+        Observability bundle — ``telemetry`` (metrics/spans/events handle),
+        ``profiler`` (sampling section profiler), ``health`` (heartbeats +
+        stall/anomaly detection), ``convergence`` (scientific diagnostics
+        ledger), and ``timeseries`` (live status-board recorder) in one
+        value.  Every field falls back to its environment knob
+        (``REPRO_PROFILE``, ``REPRO_HEALTH``, ``REPRO_CONVERGENCE``,
+        ``REPRO_TIMESERIES`` — and ``REPRO_OBS_PORT`` implies a recorder);
+        none of them draw RNG, so an instrumented run stays bit-identical.
+        The pre-bundle per-field keywords (``telemetry=``, ``profiler=``,
+        ``health=``, ``convergence=``, ``timeseries=``) keep working for
+        one release behind a ``DeprecationWarning``.
     checkpoint_path : path-like, optional
         Where periodic snapshots land when ``config.checkpoint_interval``
         is set; resume with :func:`repro.parallel.checkpoint.maybe_resume`.
-    profiler : repro.obs.profile.SectionProfiler, optional
-        Enables the sampling section profiler: round phases are timed here
-        and every walker gets an independent profiler (same stride) wrapped
-        around its proposal/ΔE kernels.  Defaults to the ``REPRO_PROFILE``
-        environment knob; either way sampling stays bit-identical.
-    health : repro.obs.health.HealthMonitor or HealthConfig, optional
-        Live run-health monitoring (heartbeats + stall/anomaly detection)
-        through this driver's telemetry.  Defaults to the ``REPRO_HEALTH``
-        environment knob.
-    convergence : repro.obs.convergence.ConvergenceLedger or
-        ConvergenceConfig, optional.  Scientific convergence diagnostics —
-        ln f trajectories, flatness/fill/ln g-drift series, exchange-
-        acceptance matrix, replica tunneling counters, and the live ETA
-        surfaced through heartbeats.  Defaults to the ``REPRO_CONVERGENCE``
-        environment knob; sampling is counter-strided, so an instrumented
-        run stays bit-identical.
     resilience : repro.resilience.CampaignSupervisor or ResilienceConfig,
         optional.  Campaign self-healing — numerical guard rails at
         super-step boundaries, bounded rollback to last-good in-memory
@@ -281,63 +302,94 @@ class REWLDriver:
         wall-clock/round/step budgets with clean terminate-and-harvest
         (DESIGN.md §14).  Defaults to the ``REPRO_RESILIENCE`` environment
         knob; guards draw no random numbers, so a guarded run that never
-        trips is bit-identical to an unguarded one.
-    timeseries : repro.obs.timeseries.TimeSeriesRecorder or
-        TimeSeriesConfig, optional.  Live telemetry — ring-buffered
-        per-window/per-campaign series sampled at round boundaries and
-        published to the HTTP status board (:mod:`repro.obs.server`).
-        Defaults to the ``REPRO_TIMESERIES`` environment knob; setting
-        ``REPRO_OBS_PORT`` implies a recorder (and starts the server).
-        The recorder draws no RNG and writes only into its own buffers and
-        the metrics registry, so a served run stays bit-identical.
+        trips is bit-identical to an unguarded one.  Under the fused/shm
+        backends, guard trips mask *rows* of the campaign arrays (rollback
+        rebinds the window's slots in place; quarantine drops the window
+        from the schedule) — worker processes are never killed.
     """
 
-    def __init__(self, *args, **kwargs):
-        if args:
-            if len(args) > len(_REWL_POSITIONAL):
-                raise TypeError(
-                    f"REWLDriver takes at most {len(_REWL_POSITIONAL)} "
-                    f"positional arguments ({len(args)} given)"
-                )
-            warn_once(
-                "REWLDriver.positional",
-                "positional REWLDriver(...) arguments are deprecated; pass "
-                "hamiltonian=, proposal_factory=, grid=, initial_config= and "
-                "config=REWLConfig(...) instead",
-            )
-            for name, value in zip(_REWL_POSITIONAL, args):
-                if name in kwargs:
-                    raise TypeError(f"REWLDriver() got multiple values for {name!r}")
-                kwargs[name] = value
-        unknown = set(kwargs) - set(_REWL_POSITIONAL)
+    def __init__(self, *, hamiltonian=None, proposal_factory=None, grid=None,
+                 initial_config=None, config=None, executor=None,
+                 instrumentation=None, checkpoint_path=None, resilience=None,
+                 **legacy):
+        inst_fields = Instrumentation.field_names()
+        unknown = set(legacy) - set(inst_fields)
         if unknown:
             raise TypeError(
                 f"REWLDriver() got unexpected keyword arguments {sorted(unknown)}"
             )
+        if legacy:
+            if instrumentation is not None:
+                raise TypeError(
+                    "REWLDriver() got both instrumentation= and deprecated "
+                    f"per-field keywords {sorted(legacy)}; pass everything "
+                    "through Instrumentation(...)"
+                )
+            warn_once(
+                "REWLDriver.instrumentation",
+                "the per-field REWLDriver observability keywords (telemetry=, "
+                "profiler=, health=, convergence=, timeseries=) are "
+                "deprecated; pass instrumentation=Instrumentation(...) instead",
+            )
+            instrumentation = Instrumentation(**legacy)
+        inst = instrumentation if instrumentation is not None else Instrumentation()
         missing = [
-            k for k in ("hamiltonian", "proposal_factory", "grid", "initial_config")
-            if kwargs.get(k) is None
+            k for k, v in (
+                ("hamiltonian", hamiltonian),
+                ("proposal_factory", proposal_factory),
+                ("grid", grid),
+                ("initial_config", initial_config),
+            )
+            if v is None
         ]
         if missing:
             raise TypeError(f"REWLDriver() missing required arguments {missing}")
-        hamiltonian: Hamiltonian = kwargs["hamiltonian"]
-        proposal_factory = kwargs["proposal_factory"]
-        grid: EnergyGrid = kwargs["grid"]
-        initial_config = kwargs["initial_config"]
-        config: REWLConfig | None = kwargs.get("config")
-        executor = kwargs.get("executor")
-        telemetry: Telemetry | None = kwargs.get("telemetry")
-        checkpoint_path = kwargs.get("checkpoint_path")
-        profiler: SectionProfiler | None = kwargs.get("profiler")
-        health = kwargs.get("health")
-        convergence = kwargs.get("convergence")
-        resilience = kwargs.get("resilience")
-        timeseries = kwargs.get("timeseries")
+        telemetry: Telemetry | None = inst.telemetry
+        profiler: SectionProfiler | None = inst.profiler
+        health = inst.health
+        convergence = inst.convergence
+        timeseries = inst.timeseries
 
         self.hamiltonian = hamiltonian
         self.grid = grid
-        self.cfg = config or REWLConfig()
+        self.proposal_factory = proposal_factory
+        cfg = config or REWLConfig()
+        if (
+            cfg.n_windows is None or cfg.walkers_per_window is None
+            or cfg.overlap is None
+        ):
+            from repro.machine.autotune import plan_campaign
+
+            plan = plan_campaign(
+                n_bins=grid.n_bins, n_sites=hamiltonian.n_sites,
+                walkers_per_window=cfg.walkers_per_window,
+                overlap=cfg.overlap,
+            )
+            cfg = replace(
+                cfg,
+                n_windows=(
+                    plan.n_windows if cfg.n_windows is None else cfg.n_windows
+                ),
+                walkers_per_window=(
+                    plan.walkers_per_window
+                    if cfg.walkers_per_window is None
+                    else cfg.walkers_per_window
+                ),
+                overlap=plan.overlap if cfg.overlap is None else cfg.overlap,
+            )
+        if cfg.backend in ("fused", "shm") and not cfg.batched_walkers:
+            # The fused super-step is defined on batched window teams.
+            cfg = replace(cfg, batched_walkers=True)
+        self.cfg = cfg
+        if executor is not None and cfg.backend in ("fused", "shm"):
+            raise TypeError(
+                f"backend={cfg.backend!r} manages its own stepping; "
+                "drop the executor= argument"
+            )
+        if executor is None and cfg.backend in ("thread", "process"):
+            executor = make_executor(cfg.backend)
         self.executor = executor or SerialExecutor()
+        self._engine = None
         self.obs = telemetry if telemetry is not None else Telemetry()
         self.checkpoint_path = checkpoint_path
         self.profiler = profiler if profiler is not None else profile_from_env()
@@ -440,18 +492,30 @@ class REWLDriver:
                     for driven, rng in driven_rows
                 ]
             self.walkers.append(team)
-        if self.profiler is not None:
+        if self.profiler is not None and self.cfg.backend != "shm":
             # One independent profiler per walker (picklable; ships through
-            # the executors and merges back in result()).
+            # the executors and merges back in result()).  shm workers build
+            # their own profilers rank-side (the engine ships the stride) and
+            # return samples with each round's reply.
             for team in self.walkers:
                 for walker in team:
                     walker.enable_profiling(
                         SectionProfiler(sample_every=self.profiler.sample_every)
                     )
+        if self.cfg.backend == "fused":
+            from repro.parallel.fused import FusedEngine
+
+            self._engine = FusedEngine(self)
+        elif self.cfg.backend == "shm":
+            from repro.parallel.fused import ShmEngine
+
+            self._engine = ShmEngine(self, n_ranks=self.cfg.shm_ranks)
         # (window, walker) identity rides on the walker objects themselves:
         # executors pass the same extra args to every task, so this is how
         # worker-side spans know which lane they belong to.  A batched team
-        # is one object covering all of its window's slots.
+        # is one object covering all of its window's slots.  With a fused
+        # engine the same loop also binds each team's rows into the campaign
+        # arrays (see _retag_window).
         for w in range(len(self.walkers)):
             self._retag_window(w)
         self.window_converged = [False] * len(self.windows)
@@ -470,10 +534,31 @@ class REWLDriver:
 
     def _retag_window(self, w: int) -> None:
         """(Re-)stamp ``obs_tag`` identities onto window ``w``'s walkers
-        (needed after walker objects are replaced, e.g. a rollback)."""
+        (needed after walker objects are replaced, e.g. a rollback).
+
+        This is also the fused backends' rebind hook: whenever a window's
+        team object is replaced (rollback restores a pickled snapshot, a
+        checkpoint load swaps teams in), the engine re-adopts it so its rows
+        of the campaign arrays track the new state — masked-row recovery
+        instead of process restarts.
+        """
         team = self.walkers[w]
         for k, walker in enumerate(team):
             walker.obs_tag = (w, k if len(team) > 1 else None)
+        if self._engine is not None:
+            self._engine.bind_window(self, w)
+
+    def close(self) -> None:
+        """Release backend resources (idempotent).
+
+        Required after a ``backend="shm"`` run: worker ranks are stopped and
+        joined, and the shared-memory segments unlinked.  Teams are detached
+        back onto private arrays first, so ``result()`` and checkpoints
+        taken after ``close()`` stay valid.  A no-op for executor backends.
+        """
+        if self._engine is not None:
+            self._engine.close(self)
+            self._engine = None
 
     def _settled(self) -> bool:
         """True when every window is either converged or quarantined."""
@@ -512,6 +597,24 @@ class REWLDriver:
     # ------------------------------------------------------------- phases
 
     def _advance_phase(self) -> None:
+        if self._engine is not None:
+            # Fused SPMD super-step: all active windows advance as rows of
+            # one campaign array program (one stacked ΔE gather per step).
+            active = [
+                w for w in range(len(self.walkers))
+                if not self.window_converged[w]
+                and not self.window_quarantined[w]
+            ]
+            steps = len(active) * self.cfg.exchange_interval
+            prof = self.profiler
+            t0 = prof.start_always("rewl.advance") if prof is not None else None
+            with self.obs.span("advance", round=self.rounds,
+                               walkers=len(active), steps=steps):
+                self._engine.advance(self, active, self.cfg.exchange_interval)
+            if prof is not None:
+                prof.stop("rewl.advance", t0)
+            self.obs.metrics.inc("rewl.steps", steps)
+            return
         tasks: list[tuple[int, int]] = [
             (w, k)
             for w, team in enumerate(self.walkers)
@@ -617,82 +720,106 @@ class REWLDriver:
         with self.obs.span("exchange", round=self.rounds):
             start = self.rounds % 2
             for left, right in self._exchange_pairs()[start::2]:
-                if self.window_converged[left] or self.window_converged[right]:
-                    continue
-                team_a = self.walkers[left][0]
-                team_b = self.walkers[right][0]
-                ka = int(self._exchange_rng.integers(team_a.n_slots))
-                kb = int(self._exchange_rng.integers(team_b.n_slots))
-                self.exchange_attempts[left] += 1
-                team_a.counters.exchange_attempts += 1
-                team_b.counters.exchange_attempts += 1
-                self.obs.metrics.inc("rewl.exchange.attempts")
-                accepted = False
-                in_overlap = True
-                bin_a_in_b = team_b.grid.index(team_a.slot_energy(ka))
-                bin_b_in_a = team_a.grid.index(team_b.slot_energy(kb))
-                if bin_a_in_b < 0 or bin_b_in_a < 0:
-                    in_overlap = False  # not both in the overlap
-                else:
-                    log_alpha = (
-                        team_a.ln_g[team_a.slot_bin(ka)]
-                        - team_a.ln_g[bin_b_in_a]
-                        + team_b.ln_g[team_b.slot_bin(kb)]
-                        - team_b.ln_g[bin_a_in_b]
-                    )
-                    if log_alpha >= 0.0 or np.log(self._exchange_rng.random()) < log_alpha:
-                        cfg_a = team_a.slot_config(ka).copy()
-                        e_a = team_a.slot_energy(ka)
-                        team_a.set_slot(
-                            ka, team_b.slot_config(kb), team_b.slot_energy(kb),
-                            bin_b_in_a,
-                        )
-                        team_b.set_slot(kb, cfg_a, e_a, bin_a_in_b)
-                        self.exchange_accepts[left] += 1
-                        team_a.counters.exchange_accepts += 1
-                        team_b.counters.exchange_accepts += 1
-                        self.obs.metrics.inc("rewl.exchange.accepts")
-                        accepted = True
-                if self.convergence is not None:
-                    self.convergence.note_exchange(
-                        left, ka, right, kb, accepted, in_overlap
-                    )
-                if self.obs.enabled:
-                    self.obs.emit("exchange_attempt", round=self.rounds, pair=left,
-                                  accepted=accepted, in_overlap=in_overlap)
+                self._exchange_pair_batched(left, right)
         if prof is not None:
             prof.stop("rewl.exchange_round", t0)
+
+    def _exchange_pair_batched(self, left: int, right: int) -> None:
+        """One batched exchange attempt between windows ``left``/``right``.
+
+        The unit the overlapped shm round drives directly (pairs settle as
+        their windows finish stepping, in strict schedule order, so the
+        exchange RNG stream matches the phase-at-a-time loop draw-for-draw).
+        Converged or quarantined endpoints make the attempt a silent no-op —
+        same draw-skipping as the classic phase's ``continue``.
+        """
+        if self.window_converged[left] or self.window_converged[right]:
+            return
+        if self.window_quarantined[left] or self.window_quarantined[right]:
+            # Only reachable when quarantine lands mid-round (overlapped
+            # engine); the phase schedule already excludes these pairs.
+            return
+        team_a = self.walkers[left][0]
+        team_b = self.walkers[right][0]
+        ka = int(self._exchange_rng.integers(team_a.n_slots))
+        kb = int(self._exchange_rng.integers(team_b.n_slots))
+        self.exchange_attempts[left] += 1
+        team_a.counters.exchange_attempts += 1
+        team_b.counters.exchange_attempts += 1
+        self.obs.metrics.inc("rewl.exchange.attempts")
+        accepted = False
+        in_overlap = True
+        bin_a_in_b = team_b.grid.index(team_a.slot_energy(ka))
+        bin_b_in_a = team_a.grid.index(team_b.slot_energy(kb))
+        if bin_a_in_b < 0 or bin_b_in_a < 0:
+            in_overlap = False  # not both in the overlap
+        else:
+            log_alpha = (
+                team_a.ln_g[team_a.slot_bin(ka)]
+                - team_a.ln_g[bin_b_in_a]
+                + team_b.ln_g[team_b.slot_bin(kb)]
+                - team_b.ln_g[bin_a_in_b]
+            )
+            if log_alpha >= 0.0 or np.log(self._exchange_rng.random()) < log_alpha:
+                cfg_a = team_a.slot_config(ka).copy()
+                e_a = team_a.slot_energy(ka)
+                team_a.set_slot(
+                    ka, team_b.slot_config(kb), team_b.slot_energy(kb),
+                    bin_b_in_a,
+                )
+                team_b.set_slot(kb, cfg_a, e_a, bin_a_in_b)
+                self.exchange_accepts[left] += 1
+                team_a.counters.exchange_accepts += 1
+                team_b.counters.exchange_accepts += 1
+                self.obs.metrics.inc("rewl.exchange.accepts")
+                accepted = True
+        if self.convergence is not None:
+            self.convergence.note_exchange(
+                left, ka, right, kb, accepted, in_overlap
+            )
+        if self.obs.enabled:
+            self.obs.emit("exchange_attempt", round=self.rounds, pair=left,
+                          accepted=accepted, in_overlap=in_overlap)
 
     def _sync_phase(self) -> None:
         prof = self.profiler
         t0 = prof.start_always("rewl.sync") if prof is not None else None
         with self.obs.span("synchronize", round=self.rounds):
-            for w, team in enumerate(self.walkers):
-                if self.window_converged[w] or self.window_quarantined[w]:
-                    continue
-                if not all(walker.is_flat() for walker in team):
-                    continue
-                merged, union = self._merge_window(team)
-                for walker in team:
-                    walker.ln_g[...] = merged
-                    walker.visited[...] = union
-                    walker.advance_modification_factor()
-                if team[0].ln_f <= self.cfg.ln_f_final:
-                    self.window_converged[w] = True
-                if self.convergence is not None:
-                    self.convergence.note_sync(
-                        w, self.rounds, team[0].ln_f, team[0].n_iterations,
-                        self.window_converged[w],
-                    )
-                self.obs.metrics.inc("rewl.syncs")
-                if self.obs.enabled:
-                    self.obs.emit(
-                        "sync", round=self.rounds, window=w,
-                        ln_f=team[0].ln_f, iteration=team[0].n_iterations,
-                        converged=self.window_converged[w],
-                    )
+            for w in range(len(self.walkers)):
+                self._sync_window(w)
         if prof is not None:
             prof.stop("rewl.sync", t0)
+
+    def _sync_window(self, w: int) -> None:
+        """Merge/advance window ``w`` if its whole team is flat.
+
+        The unit the overlapped shm round drives directly — a window syncs
+        as soon as its exchange pairs have settled, which reads and writes
+        exactly the state the phase-at-a-time loop would."""
+        if self.window_converged[w] or self.window_quarantined[w]:
+            return
+        team = self.walkers[w]
+        if not all(walker.is_flat() for walker in team):
+            return
+        merged, union = self._merge_window(team)
+        for walker in team:
+            walker.ln_g[...] = merged
+            walker.visited[...] = union
+            walker.advance_modification_factor()
+        if team[0].ln_f <= self.cfg.ln_f_final:
+            self.window_converged[w] = True
+        if self.convergence is not None:
+            self.convergence.note_sync(
+                w, self.rounds, team[0].ln_f, team[0].n_iterations,
+                self.window_converged[w],
+            )
+        self.obs.metrics.inc("rewl.syncs")
+        if self.obs.enabled:
+            self.obs.emit(
+                "sync", round=self.rounds, window=w,
+                ln_f=team[0].ln_f, iteration=team[0].n_iterations,
+                converged=self.window_converged[w],
+            )
 
     @staticmethod
     def _merge_window(team: list) -> tuple[np.ndarray, np.ndarray]:
@@ -760,23 +887,30 @@ class REWLDriver:
                     # whatever converged, instead of dying to the job
                     # scheduler's SIGKILL with nothing.
                     break
-                self._advance_phase()
-                self.rounds += 1
-                self.obs.metrics.inc("rewl.rounds")
-                if self.supervisor is not None:
-                    # Guards run before exchange, so corrupted ln g never
-                    # feeds an acceptance decision of a healthy neighbor.
-                    prof = self.profiler
-                    tg = (
-                        prof.start_always("rewl.guard")
-                        if prof is not None else None
-                    )
-                    self.supervisor.guard_round(self)
-                    self.supervisor.snapshot(self)
-                    if prof is not None:
-                        prof.stop("rewl.guard", tg)
-                self._exchange_phase()
-                self._sync_phase()
+                if self._engine is not None and self._engine.overlapped:
+                    # Non-blocking replica exchange: the engine drains
+                    # worker replies as windows finish stepping, settling
+                    # exchange pairs and syncs per window instead of
+                    # barriering the whole campaign between phases.
+                    self._engine.run_round(self)
+                else:
+                    self._advance_phase()
+                    self.rounds += 1
+                    self.obs.metrics.inc("rewl.rounds")
+                    if self.supervisor is not None:
+                        # Guards run before exchange, so corrupted ln g never
+                        # feeds an acceptance decision of a healthy neighbor.
+                        prof = self.profiler
+                        tg = (
+                            prof.start_always("rewl.guard")
+                            if prof is not None else None
+                        )
+                        self.supervisor.guard_round(self)
+                        self.supervisor.snapshot(self)
+                        if prof is not None:
+                            prof.stop("rewl.guard", tg)
+                    self._exchange_phase()
+                    self._sync_phase()
                 if self.convergence is not None:
                     # Before the health monitor, whose heartbeats read the
                     # ledger's ETA projection.
@@ -831,6 +965,12 @@ class REWLDriver:
             for walker in team:
                 if walker.profiler is not None:
                     merged.merge(walker.profiler)
+                shm_prof = getattr(walker, "_shm_profiler", None)
+                if shm_prof is not None:
+                    # Rank-side profile shipped back with the last shm round
+                    # reply (the walker's own .profiler stays None under
+                    # backend="shm").
+                    merged.merge(shm_prof)
         return merged
 
     def result(self) -> REWLResult:

@@ -26,7 +26,14 @@ Composition:
   (the paper mixes local refinement with global DL moves).
 """
 
-from repro.proposals.base import BatchMove, Move, Proposal
+from repro.proposals.base import (
+    BatchMove,
+    FusedFields,
+    Move,
+    Proposal,
+    assemble_move,
+    price_fields,
+)
 from repro.proposals.cache import CurrentLogQCache
 from repro.proposals.local import (
     SwapProposal,
@@ -41,8 +48,11 @@ from repro.proposals.mixture import MixtureProposal
 
 __all__ = [
     "BatchMove",
+    "FusedFields",
     "Move",
     "Proposal",
+    "assemble_move",
+    "price_fields",
     "CurrentLogQCache",
     "SwapProposal",
     "NeighborSwapProposal",

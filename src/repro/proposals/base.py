@@ -25,7 +25,8 @@ import numpy as np
 
 from repro.hamiltonians.base import Hamiltonian
 
-__all__ = ["Move", "BatchMove", "Proposal"]
+__all__ = ["Move", "BatchMove", "FusedFields", "Proposal", "assemble_move",
+           "price_fields"]
 
 
 @dataclass
@@ -126,6 +127,74 @@ class BatchMove:
         config[self.sites[b]] = self.new_values[b]
 
 
+@dataclass
+class FusedFields:
+    """The random fields of a vectorized local proposal, before pricing.
+
+    Splitting :meth:`Proposal.propose_many` into a *draw* half (RNG only,
+    per walker team, shape ``(B,)`` fields) and a *price* half (pure ΔE
+    kernels, no RNG) lets the fused REWL super-step draw fields per window
+    — preserving each window's independent RNG stream bit-for-bit — and
+    then price every window's rows with **one** stacked
+    ``delta_energy_*_many`` gather.  The per-row kernels in
+    :mod:`repro.kernels.ops` reduce along ``axis=1`` only, so the stacked
+    call is bitwise identical to per-window calls.
+
+    Attributes
+    ----------
+    kind : str
+        ``"swap"`` (``a``/``b`` are the two site columns) or ``"flip"``
+        (``a`` is the site column, ``b`` the new species column).
+    a, b : numpy.ndarray of shape (B,)
+        The drawn fields, meaning per ``kind`` as above.
+    """
+
+    kind: str
+    a: np.ndarray
+    b: np.ndarray
+
+
+def assemble_move(fields: FusedFields, configs: np.ndarray,
+                  delta_energies: np.ndarray) -> BatchMove:
+    """Pack priced fields into a :class:`BatchMove`.
+
+    Produces exactly the arrays the monolithic ``propose_many`` overrides
+    used to build, so the split path is bit-identical to the fused one.
+    """
+    n_rows = configs.shape[0]
+    rows = np.arange(n_rows)
+    if fields.kind == "swap":
+        ii, jj = fields.a, fields.b
+        return BatchMove(
+            sites=np.stack([ii, jj], axis=1),
+            new_values=np.stack(
+                [configs[rows, jj], configs[rows, ii]], axis=1
+            ).astype(configs.dtype, copy=False),
+            delta_energies=delta_energies,
+            log_q_ratios=np.zeros(n_rows),
+        )
+    if fields.kind == "flip":
+        return BatchMove(
+            sites=fields.a[:, None],
+            new_values=fields.b[:, None].astype(configs.dtype, copy=False),
+            delta_energies=delta_energies,
+            log_q_ratios=np.zeros(n_rows),
+        )
+    raise ValueError(f"unknown fused-field kind {fields.kind!r}")
+
+
+def price_fields(fields: FusedFields, configs: np.ndarray,
+                 hamiltonian: Hamiltonian) -> BatchMove:
+    """Price drawn fields with the matching ``delta_energy_*_many`` kernel."""
+    if fields.kind == "swap":
+        delta = hamiltonian.delta_energy_swap_many(configs, fields.a, fields.b)
+    elif fields.kind == "flip":
+        delta = hamiltonian.delta_energy_flip_many(configs, fields.a, fields.b)
+    else:
+        raise ValueError(f"unknown fused-field kind {fields.kind!r}")
+    return assemble_move(fields, configs, delta)
+
+
 class Proposal(abc.ABC):
     """Transition-kernel factory.
 
@@ -216,6 +285,22 @@ class Proposal(abc.ABC):
             sites=sites, new_values=new_values, delta_energies=delta,
             log_q_ratios=log_q, valid=None if valid.all() else valid,
         )
+
+    def draw_fields(
+        self,
+        configs: np.ndarray,
+        hamiltonian: Hamiltonian,
+        rng: np.random.Generator,
+    ) -> FusedFields | None:
+        """Draw the per-row random fields of a vectorized local kernel.
+
+        Returns ``None`` when the proposal has no draw/price split (the
+        default); the fused super-step then falls back to that team's
+        monolithic :meth:`propose_many`.  Overrides must consume the RNG in
+        exactly the order the matching ``propose_many`` did, so either path
+        yields the same trajectory.
+        """
+        return None
 
     def profiled(self, profiler) -> "Proposal":
         """Profiled view of this kernel: ``propose`` calls are section-timed

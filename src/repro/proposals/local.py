@@ -22,7 +22,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hamiltonians.base import Hamiltonian
-from repro.proposals.base import BatchMove, Move, Proposal
+from repro.proposals.base import (
+    BatchMove,
+    FusedFields,
+    Move,
+    Proposal,
+    price_fields,
+)
 from repro.util.validation import check_integer
 
 __all__ = ["SwapProposal", "NeighborSwapProposal", "FlipProposal", "MultiSwapProposal"]
@@ -66,13 +72,13 @@ class SwapProposal(Proposal):
             log_q_ratio=0.0,
         )
 
-    def propose_many(self, configs, hamiltonian: Hamiltonian, rng,
-                     current_energies=None) -> BatchMove:
-        """Vectorized per-row swaps: array site draws + ``delta_energy_swap_many``.
+    def draw_fields(self, configs, hamiltonian: Hamiltonian, rng):
+        """Array site-pair draws with the bounded distinct-pair resample.
 
-        The bounded resampling loop reruns only the rows that still hold an
-        identity pair, mirroring the scalar kernel's distinct-pair semantics
-        (and its fallback to a possibly-identity pair on exhaustion).
+        The resampling loop reruns only the rows that still hold an
+        identity pair, mirroring the scalar kernel's distinct-pair
+        semantics (and its fallback to a possibly-identity pair on
+        exhaustion).
         """
         configs = np.atleast_2d(configs)
         n_rows = configs.shape[0]
@@ -89,15 +95,14 @@ class SwapProposal(Proposal):
             n_bad = int(bad.sum())
             ii[bad] = rng.integers(n, size=n_bad)
             jj[bad] = rng.integers(n, size=n_bad)
-        delta = hamiltonian.delta_energy_swap_many(configs, ii, jj)
-        return BatchMove(
-            sites=np.stack([ii, jj], axis=1),
-            new_values=np.stack(
-                [configs[rows, jj], configs[rows, ii]], axis=1
-            ).astype(configs.dtype, copy=False),
-            delta_energies=delta,
-            log_q_ratios=np.zeros(n_rows),
-        )
+        return FusedFields(kind="swap", a=ii, b=jj)
+
+    def propose_many(self, configs, hamiltonian: Hamiltonian, rng,
+                     current_energies=None) -> BatchMove:
+        """Vectorized per-row swaps: array site draws + ``delta_energy_swap_many``."""
+        configs = np.atleast_2d(configs)
+        fields = self.draw_fields(configs, hamiltonian, rng)
+        return price_fields(fields, configs, hamiltonian)
 
 
 class NeighborSwapProposal(Proposal):
@@ -161,9 +166,8 @@ class FlipProposal(Proposal):
             log_q_ratio=0.0,
         )
 
-    def propose_many(self, configs, hamiltonian: Hamiltonian, rng,
-                     current_energies=None) -> BatchMove:
-        """Vectorized per-row flips: array draws + ``delta_energy_flip_many``."""
+    def draw_fields(self, configs, hamiltonian: Hamiltonian, rng):
+        """Array site + species-shift draws for per-row flips."""
         configs = np.atleast_2d(configs)
         n_rows = configs.shape[0]
         rows = np.arange(n_rows)
@@ -171,13 +175,14 @@ class FlipProposal(Proposal):
         old = configs[rows, sites]
         shift = 1 + rng.integers(hamiltonian.n_species - 1, size=n_rows)
         new = (old + shift) % hamiltonian.n_species
-        delta = hamiltonian.delta_energy_flip_many(configs, sites, new)
-        return BatchMove(
-            sites=sites[:, None],
-            new_values=new[:, None].astype(configs.dtype, copy=False),
-            delta_energies=delta,
-            log_q_ratios=np.zeros(n_rows),
-        )
+        return FusedFields(kind="flip", a=sites, b=new)
+
+    def propose_many(self, configs, hamiltonian: Hamiltonian, rng,
+                     current_energies=None) -> BatchMove:
+        """Vectorized per-row flips: array draws + ``delta_energy_flip_many``."""
+        configs = np.atleast_2d(configs)
+        fields = self.draw_fields(configs, hamiltonian, rng)
+        return price_fields(fields, configs, hamiltonian)
 
 
 class MultiSwapProposal(Proposal):

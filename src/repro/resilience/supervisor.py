@@ -193,6 +193,20 @@ class CampaignSupervisor:
                 continue
             self._snapshots[w] = pickle.dumps(driver.walkers[w])
 
+    def snapshot_window(self, driver, w: int) -> None:
+        """Per-window snapshot for the overlapped (shm) drain loop.
+
+        Called after :meth:`guard_window` but *before* the round's
+        :meth:`end_guard_round`, so the cadence check uses the round about
+        to be accounted (``_rounds_guarded + 1``) — the same rounds are
+        snapshotted as in the barriered guard→snapshot sequence.
+        """
+        if (self._rounds_guarded + 1) % self.cfg.guards.snapshot_interval != 0:
+            return
+        if self.windows[w].disposition == "quarantined":
+            return
+        self._snapshots[w] = pickle.dumps(driver.walkers[w])
+
     def _restore(self, driver, w: int) -> bool:
         blob = self._snapshots[w]
         if blob is None:
@@ -212,27 +226,42 @@ class CampaignSupervisor:
 
     def guard_round(self, driver) -> None:
         """Validate every live window post-advance; escalate violations."""
-        for w, state in enumerate(self.windows):
-            if state.disposition == "quarantined":
-                continue
-            violations = check_team(
-                driver.walkers[w], last_ln_f=state.last_ln_f
+        for w in range(len(self.windows)):
+            self.guard_window(driver, w)
+        self.end_guard_round()
+
+    def guard_window(self, driver, w: int) -> None:
+        """Validate one window post-advance; escalate violations.
+
+        The per-window half of :meth:`guard_round`, used by the overlapped
+        shm drain loop to guard each window the moment its super-step
+        lands (instead of barriering the whole round first).  Callers must
+        finish the round with :meth:`end_guard_round`.
+        """
+        state = self.windows[w]
+        if state.disposition == "quarantined":
+            return
+        violations = check_team(
+            driver.walkers[w], last_ln_f=state.last_ln_f
+        )
+        if violations:
+            state.guard_trips += 1
+            self._emit(
+                "guard_trip", round=driver.rounds, window=w,
+                violations=violations,
             )
-            if violations:
-                state.guard_trips += 1
-                self._emit(
-                    "guard_trip", round=driver.rounds, window=w,
-                    violations=violations,
-                )
-                self._escalate(driver, w, f"guard: {violations[0]}")
-            elif w not in self._round_tripped:
-                # Clean round: record ln f high-water mark for the
-                # monotone check and forgive the rollback streak.
-                walker = driver.walkers[w][0]
-                state.last_ln_f = float(walker.ln_f)
-                state.rollback_streak = 0
-                if state.disposition in ("retrying", "rolled-back"):
-                    state.disposition = "healthy"
+            self._escalate(driver, w, f"guard: {violations[0]}")
+        elif w not in self._round_tripped:
+            # Clean round: record ln f high-water mark for the
+            # monotone check and forgive the rollback streak.
+            walker = driver.walkers[w][0]
+            state.last_ln_f = float(walker.ln_f)
+            state.rollback_streak = 0
+            if state.disposition in ("retrying", "rolled-back"):
+                state.disposition = "healthy"
+
+    def end_guard_round(self) -> None:
+        """Close a round of per-window guards (streak/round bookkeeping)."""
         self._round_tripped.clear()
         self._rounds_guarded += 1
 

@@ -64,8 +64,7 @@ def make_wang_landau(*args, **kwargs):
     ``batch_size <= 1`` returns the scalar :class:`WangLandauSampler`
     (bit-identical trajectories); ``batch_size = K > 1`` returns a
     :class:`BatchedWangLandauSampler` stepping K walkers per super-step.
-    Accepts the same keyword (and deprecated positional) arguments as the
-    samplers themselves.
+    Accepts the same keyword arguments as the samplers themselves.
     """
     resolved, cfg = _resolve_wl_args("make_wang_landau", args, dict(kwargs))
     initial = np.asarray(resolved["initial_config"])
@@ -209,10 +208,22 @@ class BatchedWangLandauSampler:
         walker-by-walker so each decision sees every earlier commit (see
         the module docstring for why that ordering is load-bearing).
         """
-        n_rows = self.n_slots
         batch = self.proposal.propose_many(
             self.configs, self.hamiltonian, self.rng, current_energies=self.energies
         )
+        return self.commit_batch(batch)
+
+    def commit_batch(self, batch) -> int:
+        """Decide and commit a prepared :class:`BatchMove`.  Returns accepts.
+
+        The back half of :meth:`step_batch`, split out so the fused REWL
+        super-step (:mod:`repro.parallel.fused`) can price many teams' moves
+        with one stacked gather and still commit each team here.  This draws
+        the acceptance noise from ``self.rng`` — after the proposal's own
+        field draws, exactly where :meth:`step_batch` drew it — so the fused
+        and per-window paths consume each team's stream identically.
+        """
+        n_rows = self.n_slots
         new_energies = self.energies + batch.delta_energies
         new_bins = self.grid.index_array(new_energies).tolist()
         ln_u = np.log(self.rng.random(n_rows)).tolist()
@@ -246,7 +257,7 @@ class BatchedWangLandauSampler:
             ln_g[cur] += ln_f
         deposits = np.asarray(bins)  # each walker's post-decision bin
         self.ln_g[:] = ln_g
-        self.bins = deposits
+        self.bins[:] = deposits  # in place: fused teams hold views here
         self.histogram += np.bincount(deposits, minlength=self.grid.n_bins)
         self.visited[deposits] = True
         accepted = len(accepted_rows)

@@ -33,7 +33,6 @@ from repro.hamiltonians.base import Hamiltonian
 from repro.proposals.base import Proposal
 from repro.sampling.base import register_sampler
 from repro.sampling.binning import EnergyGrid
-from repro.util.deprecation import warn_once
 from repro.util.rng import BufferedDraws, as_generator
 
 __all__ = [
@@ -204,11 +203,6 @@ class WangLandauResult:
         return out
 
 
-#: Old positional parameter order, kept alive by the deprecation shim.
-_WL_POSITIONAL = (
-    "hamiltonian", "proposal", "grid", "initial_config", "rng",
-    "ln_f_init", "ln_f_final", "flatness", "check_interval", "schedule",
-)
 #: Legacy loose tuning keywords, merged into :class:`WLConfig`.
 _WL_TUNING = ("ln_f_init", "ln_f_final", "flatness", "check_interval", "schedule")
 
@@ -216,44 +210,24 @@ _WL_TUNING = ("ln_f_init", "ln_f_final", "flatness", "check_interval", "schedule
 def _resolve_wl_args(cls_name: str, args: tuple, kwargs: dict):
     """Shared constructor-argument resolution for WL samplers.
 
-    Implements the migration contract: positional arguments and
-    ``config=<ndarray>`` (the old name of ``initial_config``) keep working
-    but warn (once per process per call shape); loose tuning keywords are
-    folded into the :class:`WLConfig`.  Returns ``(kwargs, cfg)`` with
-    ``kwargs`` holding only hamiltonian/proposal/grid/initial_config/rng.
+    Construction is keyword-only (the pre-redesign positional and
+    ``config=<ndarray>`` shims completed their deprecation cycle and now
+    raise ``TypeError``); loose tuning keywords are folded into the
+    :class:`WLConfig`.  Returns ``(kwargs, cfg)`` with ``kwargs`` holding
+    only hamiltonian/proposal/grid/initial_config/rng.
     """
     if args:
-        if len(args) > len(_WL_POSITIONAL):
-            raise TypeError(
-                f"{cls_name} takes at most {len(_WL_POSITIONAL)} positional "
-                f"arguments ({len(args)} given)"
-            )
-        warn_once(
-            f"{cls_name}.positional",
-            f"positional {cls_name}(...) arguments are deprecated; pass "
-            "hamiltonian=, proposal=, grid=, initial_config=, rng= and a "
-            "config=WLConfig(...) instead",
-            stacklevel=4,
+        raise TypeError(
+            f"{cls_name}() takes keyword arguments only; pass hamiltonian=, "
+            "proposal=, grid=, initial_config=, rng= and config=WLConfig(...)"
         )
-        for name, value in zip(_WL_POSITIONAL, args):
-            if name in kwargs:
-                raise TypeError(f"{cls_name}() got multiple values for {name!r}")
-            kwargs[name] = value
     cfg = kwargs.pop("config", None)
     if cfg is not None and not isinstance(cfg, WLConfig):
         # Pre-redesign name: ``config`` was the initial configuration array.
-        warn_once(
-            f"{cls_name}.config-array",
-            f"passing the initial configuration as {cls_name}(config=...) is "
-            "deprecated; use initial_config= (config= now takes a WLConfig)",
-            stacklevel=4,
+        raise TypeError(
+            f"{cls_name}(config=...) takes a WLConfig; pass the initial "
+            "configuration array as initial_config="
         )
-        if "initial_config" in kwargs:
-            raise TypeError(
-                f"{cls_name}() got both config=<array> and initial_config="
-            )
-        kwargs["initial_config"] = cfg
-        cfg = None
     cfg = cfg if cfg is not None else WLConfig()
     tuning = {k: kwargs.pop(k) for k in _WL_TUNING if k in kwargs}
     cfg = cfg.with_overrides(**tuning)
@@ -296,10 +270,9 @@ class WangLandauSampler:
         Schedule/flatness/step tuning; loose ``ln_f_init=...``-style
         keywords are still accepted and merged into it.
 
-    The pre-redesign positional signature keeps working for one release and
-    emits a ``DeprecationWarning`` once per process.  Note the attribute
-    ``self.config`` remains the *configuration array* (REWL exchange and
-    checkpoints rely on it); the tuning object is ``self.cfg``.
+    Construction is keyword-only.  Note the attribute ``self.config``
+    remains the *configuration array* (REWL exchange and checkpoints rely
+    on it); the tuning object is ``self.cfg``.
     """
 
     def __init__(self, *args, **kwargs):

@@ -1,8 +1,8 @@
 """API-deprecation lint: fail CI when the repo uses its own shims.
 
-Deprecation shims (``Hamiltonian.energy_batch``, positional sampler
-constructors, removed modules) exist for *downstream* callers; in-repo code
-must use the canonical spellings or the shims can never be retired.  This
+Retired spellings (``Hamiltonian.energy_batch``, ``repro.util.timers``)
+must not creep back in, and live shims exist for *downstream* callers only;
+in-repo code must use the canonical spellings or shims can never retire.  This
 lint is a plain line-grep — fast, zero imports of the checked code — over
 ``src/``, ``tests/``, ``benchmarks/`` and ``examples/``.
 
@@ -35,7 +35,7 @@ DEPRECATED_PATTERNS: list[tuple[re.Pattern[str], str, str, tuple[str, ...]]] = [
     ),
     (
         re.compile(r"\.energy_batch\("),
-        "Hamiltonian.energy_batch() is deprecated; call .energies()",
+        "Hamiltonian.energy_batch() was removed; call .energies()",
         "",
         (),
     ),

@@ -17,7 +17,7 @@ from repro.faults import (
 )
 from repro.hamiltonians import IsingHamiltonian
 from repro.lattice import square_lattice
-from repro.obs import Telemetry
+from repro.obs import Instrumentation, Telemetry
 from repro.parallel import REWLConfig, REWLDriver, SerialExecutor, ThreadExecutor
 from repro.proposals import FlipProposal
 from repro.sampling import EnergyGrid
@@ -256,7 +256,7 @@ class TestREWLUnderChaos:
             config=REWLConfig(n_windows=2, walkers_per_window=1,
                               exchange_interval=200, ln_f_final=5e-3, seed=3),
             executor=SerialExecutor(faults=inj, retry_backoff=0.0),
-            telemetry=tel,
+            instrumentation=Instrumentation(telemetry=tel),
         )
         driver.run(max_rounds=5)
         assert tel.metrics.as_dict()["task.retries"]["value"] > 0

@@ -6,8 +6,6 @@ corrupts batched Wang-Landau sampling, so the agreement is property-tested
 over random configurations and move sets.
 """
 
-import warnings
-
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -17,7 +15,6 @@ from repro.hamiltonians import IsingHamiltonian, PairHamiltonian, PottsHamiltoni
 from repro.hamiltonians.base import Hamiltonian
 from repro.kernels import PairTables, ops
 from repro.lattice import square_lattice
-from repro.util.deprecation import reset_deprecation_warnings
 
 
 def random_cfg(ham, seed):
@@ -211,13 +208,7 @@ class TestBaseClassDefaults:
         )
 
 
-class TestDeprecatedAlias:
-    def test_energy_batch_warns_exactly_once(self, ising_4x4):
-        reset_deprecation_warnings()
-        cfgs = np.stack([random_cfg(ising_4x4, s) for s in range(3)])
-        with pytest.warns(DeprecationWarning, match="energies"):
-            out = ising_4x4.energy_batch(cfgs)  # lint-api: allow
-        np.testing.assert_allclose(out, ising_4x4.energies(cfgs))
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            ising_4x4.energy_batch(cfgs)  # lint-api: allow — second call silent
+class TestRemovedAlias:
+    def test_energy_batch_is_gone(self, ising_4x4):
+        # The deprecated pre-kernel-layer alias completed its cycle.
+        assert not hasattr(ising_4x4, "energy_batch")

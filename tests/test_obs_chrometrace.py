@@ -9,7 +9,7 @@ import pytest
 import repro.obs.events as events_mod
 from repro.hamiltonians import IsingHamiltonian
 from repro.lattice import square_lattice
-from repro.obs import EventLog, JsonlSink, Telemetry
+from repro.obs import EventLog, Instrumentation, JsonlSink, Telemetry
 from repro.obs.chrometrace import main_export, merge_traces, to_chrome
 from repro.obs.events import TRACE_DIR_ENV_VAR, worker_log
 from repro.parallel import REWLConfig, REWLDriver
@@ -139,7 +139,7 @@ class TestWorkerTracesFromRewl:
             grid=grid, initial_config=np.zeros(16, dtype=np.int8),
             config=REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
                        exchange_interval=200, ln_f_final=5e-2, seed=11),
-            telemetry=telemetry,
+            instrumentation=Instrumentation(telemetry=telemetry),
         )
         driver.run(max_rounds=10)
         return driver

@@ -7,7 +7,7 @@ import pytest
 from repro.faults import FaultConfig, FaultInjector
 from repro.hamiltonians import IsingHamiltonian
 from repro.lattice import square_lattice
-from repro.obs import EventLog, MemorySink, Telemetry
+from repro.obs import EventLog, Instrumentation, MemorySink, Telemetry
 from repro.obs.health import (
     ALERT_KIND,
     HEARTBEAT_KIND,
@@ -27,12 +27,17 @@ from repro.sampling import EnergyGrid
 def _driver(telemetry=None, **kwargs):
     ham = IsingHamiltonian(square_lattice(4))
     grid = EnergyGrid.from_levels(ham.energy_levels())
+    inst = Instrumentation(telemetry=telemetry, **{
+        k: kwargs.pop(k)
+        for k in ("profiler", "health", "convergence", "timeseries")
+        if k in kwargs
+    })
     return REWLDriver(
         hamiltonian=ham, proposal_factory=lambda: FlipProposal(), grid=grid,
         initial_config=np.zeros(16, dtype=np.int8),
         config=REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
                    exchange_interval=200, ln_f_final=5e-2, seed=11),
-        telemetry=telemetry, **kwargs,
+        instrumentation=inst, **kwargs,
     )
 
 

@@ -7,7 +7,7 @@ import pytest
 
 from repro.hamiltonians import IsingHamiltonian
 from repro.lattice import square_lattice
-from repro.obs import JsonlSink, MemorySink, Telemetry
+from repro.obs import Instrumentation, JsonlSink, MemorySink, Telemetry
 from repro.obs.events import EventLog
 from repro.obs.report import main as report_main
 from repro.parallel import REWLConfig, REWLDriver
@@ -25,7 +25,7 @@ def _rewl_driver(telemetry=None, seed=3):
         initial_config=np.zeros(16, dtype=np.int8),
         config=REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
                    exchange_interval=500, ln_f_final=1e-2, seed=seed),
-        telemetry=telemetry,
+        instrumentation=Instrumentation(telemetry=telemetry),
     )
 
 

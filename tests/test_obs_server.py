@@ -10,7 +10,7 @@ import pytest
 
 from repro.hamiltonians import IsingHamiltonian
 from repro.lattice import square_lattice
-from repro.obs import Telemetry
+from repro.obs import Instrumentation, Telemetry
 from repro.obs.promexport import CONTENT_TYPE
 from repro.obs.server import (
     OBS_PORT_ENV_VAR,
@@ -34,7 +34,7 @@ def _driver(**kwargs):
         initial_config=np.zeros(16, dtype=np.int8),
         config=REWLConfig(n_windows=2, walkers_per_window=2, overlap=0.6,
                           exchange_interval=200, ln_f_final=5e-2, seed=11),
-        **kwargs,
+        instrumentation=Instrumentation(**kwargs),
     )
 
 

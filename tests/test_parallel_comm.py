@@ -3,7 +3,56 @@
 import numpy as np
 import pytest
 
-from repro.parallel import SerialCommunicator, run_spmd
+from repro.parallel import (
+    COMMUNICATORS,
+    SerialCommunicator,
+    SharedMemoryCommunicator,
+    get_communicator,
+    register_communicator,
+    run_spmd,
+)
+
+
+def _rank_allgather(comm):
+    """Module-level so the shm backend can pickle it into spawned ranks."""
+    return comm.allgather(comm.rank)
+
+
+def _ring_pass(comm):
+    comm.send(comm.rank * 10, dest=(comm.rank + 1) % comm.size, tag=3)
+    return comm.recv(source=(comm.rank - 1) % comm.size, tag=3)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert set(COMMUNICATORS) >= {"serial", "thread", "shm"}
+        assert get_communicator("shm") is SharedMemoryCommunicator
+        assert SharedMemoryCommunicator.backend_name == "shm"
+
+    def test_unknown_backend_is_an_error(self):
+        with pytest.raises(KeyError, match="serial"):
+            get_communicator("smoke-signals")
+
+    def test_conflicting_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_communicator("serial")(SharedMemoryCommunicator)
+
+    def test_reregistering_same_class_is_a_noop(self):
+        assert register_communicator("serial")(SerialCommunicator) \
+            is SerialCommunicator
+
+
+class TestShmSpmd:
+    def test_allgather_across_processes(self):
+        results = run_spmd(_rank_allgather, 2, backend="shm", timeout=60.0)
+        assert results == [[0, 1], [0, 1]]
+
+    def test_point_to_point_ring(self):
+        assert run_spmd(_ring_pass, 2, backend="shm", timeout=60.0) == [10, 0]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            run_spmd(_rank_allgather, 2, backend="carrier-pigeon")
 
 
 class TestSerialCommunicator:

@@ -3,10 +3,12 @@
 Covers the api_redesign migration contract:
 
 - :class:`WLConfig` validates its fields and merges overrides;
-- positional construction still works but emits a ``DeprecationWarning``
-  exactly once per process (per call shape);
-- ``config=<ndarray>`` (the pre-redesign name of ``initial_config``) keeps
-  working with a warning;
+- the retired positional and ``config=<ndarray>`` shims (one deprecation
+  release has elapsed) now raise ``TypeError`` with a pointer to the
+  keyword spelling;
+- the driver's retired per-field observability keywords still work for one
+  release behind a ``DeprecationWarning`` that routes them through
+  :class:`~repro.obs.Instrumentation`;
 - every sampler satisfies the structural :class:`Sampler` protocol and is
   reachable through the :data:`SAMPLERS` registry;
 - the repo itself is clean of deprecated-path uses (``repro tools
@@ -94,50 +96,18 @@ class TestWLConfig:
             WLConfig().flatness = 0.5
 
 
-class TestDeprecatedConstruction:
-    def test_positional_warns_exactly_once(self, ham, grid):
-        reset_deprecation_warnings()
-        with pytest.warns(DeprecationWarning, match="positional"):
-            WangLandauSampler(ham, FlipProposal(), grid,
-                              np.zeros(16, dtype=np.int8), 0)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
+class TestRetiredConstruction:
+    def test_positional_raises(self, ham, grid):
+        with pytest.raises(TypeError, match="keyword arguments only"):
             WangLandauSampler(ham, FlipProposal(), grid,
                               np.zeros(16, dtype=np.int8), 0)
 
-    def test_positional_matches_keyword_construction(self, ham, grid):
-        reset_deprecation_warnings()
-        with pytest.warns(DeprecationWarning):
-            old = WangLandauSampler(ham, FlipProposal(), grid,
-                                    np.zeros(16, dtype=np.int8), 3,
-                                    1.0, 1e-4, 0.75)
-        new = WangLandauSampler(**wl_kwargs(
-            ham, grid, rng=3,
-            config=WLConfig(ln_f_init=1.0, ln_f_final=1e-4, flatness=0.75),
-        ))
-        assert old.cfg == new.cfg
-        old.run(max_steps=2_000)
-        new.run(max_steps=2_000)
-        assert np.array_equal(old.ln_g, new.ln_g)
-
-    def test_config_array_kwarg_warns_and_maps(self, ham, grid):
-        reset_deprecation_warnings()
-        with pytest.warns(DeprecationWarning, match="initial_config"):
-            wl = WangLandauSampler(
+    def test_config_array_kwarg_raises(self, ham, grid):
+        with pytest.raises(TypeError, match="initial_config"):
+            WangLandauSampler(
                 hamiltonian=ham, proposal=FlipProposal(), grid=grid,
                 config=np.zeros(16, dtype=np.int8), rng=0,
             )
-        assert np.array_equal(wl.config, np.zeros(16))
-
-    def test_config_array_plus_initial_config_raises(self, ham, grid):
-        reset_deprecation_warnings()
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="both"):
-                WangLandauSampler(
-                    hamiltonian=ham, proposal=FlipProposal(), grid=grid,
-                    config=np.zeros(16, dtype=np.int8),
-                    initial_config=np.zeros(16, dtype=np.int8), rng=0,
-                )
 
     def test_unknown_kwarg_raises(self, ham, grid):
         with pytest.raises(TypeError, match="unexpected"):
@@ -147,14 +117,6 @@ class TestDeprecatedConstruction:
         with pytest.raises(TypeError, match="missing"):
             WangLandauSampler(hamiltonian=ham)
 
-    def test_duplicate_positional_and_keyword_raises(self, ham, grid):
-        reset_deprecation_warnings()
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="multiple values"):
-                WangLandauSampler(ham, FlipProposal(), grid,
-                                  np.zeros(16, dtype=np.int8),
-                                  hamiltonian=ham)
-
     def test_loose_tuning_kwargs_fold_into_config(self, ham, grid):
         wl = WangLandauSampler(**wl_kwargs(
             ham, grid, ln_f_final=1e-3, flatness=0.65, schedule="one_over_t",
@@ -163,17 +125,65 @@ class TestDeprecatedConstruction:
         assert wl.cfg.flatness == 0.65
         assert wl.cfg.schedule == "one_over_t"
 
-    def test_rewl_positional_warns_once(self, ham, grid):
+    def test_rewl_positional_raises(self, ham, grid):
+        cfg = REWLConfig(n_windows=2, walkers_per_window=1,
+                         exchange_interval=100, seed=0)
+        with pytest.raises(TypeError):
+            REWLDriver(ham, lambda: FlipProposal(), grid,
+                       np.zeros(16, dtype=np.int8), cfg)
+
+
+class TestInstrumentationBundle:
+    def test_legacy_keywords_warn_once_and_fold(self, ham, grid):
+        from repro.obs import Telemetry
+
         reset_deprecation_warnings()
         cfg = REWLConfig(n_windows=2, walkers_per_window=1,
                          exchange_interval=100, seed=0)
-        with pytest.warns(DeprecationWarning, match="positional"):
-            REWLDriver(ham, lambda: FlipProposal(), grid,
-                       np.zeros(16, dtype=np.int8), cfg)
+        obs = Telemetry()
+        with pytest.warns(DeprecationWarning, match="Instrumentation"):
+            drv = REWLDriver(
+                hamiltonian=ham, proposal_factory=FlipProposal, grid=grid,
+                initial_config=np.zeros(16, dtype=np.int8), config=cfg,
+                telemetry=obs,  # deprecated spelling under test
+            )
+        assert drv.obs is obs
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            REWLDriver(ham, lambda: FlipProposal(), grid,
-                       np.zeros(16, dtype=np.int8), cfg)
+            REWLDriver(
+                hamiltonian=ham, proposal_factory=FlipProposal, grid=grid,
+                initial_config=np.zeros(16, dtype=np.int8), config=cfg,
+                telemetry=obs,
+            )
+
+    def test_bundle_and_legacy_together_raise(self, ham, grid):
+        from repro.obs import Instrumentation, Telemetry
+
+        cfg = REWLConfig(n_windows=2, walkers_per_window=1,
+                         exchange_interval=100, seed=0)
+        with pytest.raises(TypeError, match="both"):
+            REWLDriver(
+                hamiltonian=ham, proposal_factory=FlipProposal, grid=grid,
+                initial_config=np.zeros(16, dtype=np.int8), config=cfg,
+                instrumentation=Instrumentation(telemetry=Telemetry()),
+                telemetry=Telemetry(),
+            )
+
+    def test_bundle_fields_reach_driver(self, ham, grid):
+        from repro.obs import Instrumentation, Telemetry
+        from repro.obs.profile import SectionProfiler
+
+        cfg = REWLConfig(n_windows=2, walkers_per_window=1,
+                         exchange_interval=100, seed=0)
+        obs = Telemetry()
+        prof = SectionProfiler(sample_every=4)
+        drv = REWLDriver(
+            hamiltonian=ham, proposal_factory=FlipProposal, grid=grid,
+            initial_config=np.zeros(16, dtype=np.int8), config=cfg,
+            instrumentation=Instrumentation(telemetry=obs, profiler=prof),
+        )
+        assert drv.obs is obs
+        assert drv.profiler is prof
 
 
 class TestSamplerProtocol:
