@@ -1,0 +1,109 @@
+"""E14 bench: the ultra-large-scale tier — SRO-targeted structure
+generation vs full-energy annealing, plus the 10⁶-site end-to-end row.
+
+Three rows, all RSS-gated via the ``rss_budget`` fixture:
+
+- ``bench_e14_sro_anneal_100k`` — steady-state candidate throughput of the
+  α-target anneal on a 10⁵-site BCC cell (the headline configs/s number);
+- ``bench_e14_energy_anneal_baseline_100k`` — the conventional full-energy
+  Metropolis anneal on the same lattice (the ≥10× comparison denominator);
+- ``bench_e14_ultra_tier_1m`` — the acceptance-criterion row: a 10⁶-site
+  BCC two-shell supercell runs PairTables build + one streaming
+  full-energy evaluation + one converging SRO anneal in a single round,
+  under the documented 2 GB peak-RSS budget (DESIGN.md §17).
+"""
+
+import numpy as np
+
+from repro.hamiltonians import NbMoTaWHamiltonian
+from repro.kernels import ChunkedPairTables, PairTables
+from repro.lattice import (
+    anneal_energy,
+    anneal_sro,
+    bcc,
+    equiatomic_counts,
+    random_configuration,
+)
+
+ALPHA_TARGET = -0.05
+N_SPECIES = 4
+
+
+def _targets():
+    t = np.full((N_SPECIES, N_SPECIES), np.nan)
+    t[1, 2] = t[2, 1] = ALPHA_TARGET  # Mo-Ta
+    return t
+
+
+def _prepared_lattice(length):
+    lat = bcc(length)
+    lat.neighbor_shells(1)  # table build is bench_e8's subject, not ours
+    return lat
+
+
+def bench_e14_sro_anneal_100k(benchmark, throughput, rss_budget):
+    """Steady-state α-target candidate pricing at 10⁵ sites."""
+    lat = _prepared_lattice(37)  # 101,306 sites
+    config = random_configuration(
+        lat.n_sites, equiatomic_counts(lat.n_sites, N_SPECIES), rng=0)
+    batch, iters = 1024, 100
+    throughput(batch * iters)
+
+    def run():
+        return anneal_sro(
+            lat, N_SPECIES, _targets(), config=config,
+            batch=batch, max_iters=iters, tol=0.0, rng=0)
+
+    result = benchmark(run)
+    assert result.candidates_priced == batch * iters
+    rss_budget(2048)
+
+
+def bench_e14_energy_anneal_baseline_100k(benchmark, throughput, rss_budget):
+    """Full-energy scalar Metropolis anneal on the same 10⁵-site lattice."""
+    lat = _prepared_lattice(37)
+    ham = NbMoTaWHamiltonian(lat, n_shells=2)
+    config = random_configuration(
+        lat.n_sites, equiatomic_counts(lat.n_sites, N_SPECIES), rng=0)
+    steps = 2000
+    throughput(steps)
+
+    def run():
+        return anneal_energy(ham, config, n_steps=steps, rng=0)
+
+    benchmark(run)
+    rss_budget(2048)
+
+
+def bench_e14_ultra_tier_1m(benchmark, throughput, rss_budget):
+    """10⁶-site acceptance row: tables + streaming energy + SRO anneal.
+
+    One round only — this is an end-to-end envelope measurement (and the
+    RSS gate), not a statistics-grade timing.
+    """
+    lat = bcc(79)  # 986,078 sites, two shells below
+    config = random_configuration(
+        lat.n_sites, equiatomic_counts(lat.n_sites, N_SPECIES), rng=0)
+    mats = NbMoTaWHamiltonian(bcc(3), n_shells=2).shell_matrices
+    batch, iters = 1024, 8000
+    results = {}
+
+    def tier():
+        shells = lat.neighbor_shells(2)
+        tables = PairTables(shells, mats)
+        chunked = ChunkedPairTables(lat, mats)
+        energy = chunked.energy(config)
+        res = anneal_sro(
+            lat, N_SPECIES, _targets(), config=config,
+            batch=batch, max_iters=iters, tol=0.01, rng=0)
+        results["res"] = res
+        results["energy"] = energy
+        results["table_mb"] = tables.table_nbytes() / 1e6
+        return res
+
+    benchmark.pedantic(tier, rounds=1, iterations=1, warmup_rounds=0)
+    res = results["res"]
+    assert res.converged, (res.max_abs_error, res.n_iters)
+    assert np.isfinite(results["energy"])
+    throughput(res.candidates_priced)  # actual work: converged early
+    rss_budget(2048)

@@ -1,9 +1,16 @@
 """E8 bench (Fig 8): weak scaling — machine-model curves plus a real fused
 campaign round at doubled window count (constant work *per window*, so the
 per-step cost against ``bench_campaign_fused`` is the measured weak-scaling
-efficiency of the fused super-step)."""
+efficiency of the fused super-step), plus the ultra-large-scale tier rows:
+neighbor-table build and streaming full-energy evaluation at ≥10⁵ BCC
+sites (paper-like system sizes), RSS-gated."""
+
+import numpy as np
 
 from bench_e7_strong_scaling import campaign_driver, _campaign_steps
+from repro.hamiltonians import NbMoTaWHamiltonian
+from repro.kernels import ChunkedPairTables, PairTables
+from repro.lattice import bcc, equiatomic_counts, random_configuration
 from repro.machine import WorkloadSpec, crusher_mi250x, summit_v100, weak_scaling
 
 GPU_COUNTS = [6, 12, 24, 48, 96, 192, 384, 768, 1536, 3000]
@@ -29,3 +36,30 @@ def bench_weak_scaling_both_machines(benchmark):
         assert effs[0] == 1.0
         assert all(a >= b for a, b in zip(effs, effs[1:]))
         assert effs[-1] > 0.85
+
+
+def bench_e8_ultra_tables_100k(benchmark, rss_budget):
+    """PairTables (int32) build for a 10⁵-site BCC two-shell supercell."""
+    mats = NbMoTaWHamiltonian(bcc(3), n_shells=2).shell_matrices
+
+    def build():
+        lat = bcc(37)  # fresh lattice: the shell cache must not help
+        return PairTables(lat.neighbor_shells(2), mats)
+
+    t = benchmark(build)
+    assert t.tables[0].dtype == np.int32
+    rss_budget(2048)
+
+
+def bench_e8_ultra_streaming_energy_100k(benchmark, throughput, rss_budget):
+    """Streaming (chunked) full-energy evaluation at 10⁵ sites."""
+    lat = bcc(37)  # 101,306 sites
+    mats = NbMoTaWHamiltonian(bcc(3), n_shells=2).shell_matrices
+    config = random_configuration(
+        lat.n_sites, equiatomic_counts(lat.n_sites, 4), rng=0)
+    chunked = ChunkedPairTables(lat, mats)
+    throughput(lat.n_sites)  # sites evaluated per round
+
+    energy = benchmark(chunked.energy, config)
+    assert np.isfinite(energy)
+    rss_budget(2048)

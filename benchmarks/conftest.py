@@ -71,3 +71,28 @@ def throughput(benchmark):
         benchmark.extra_info["steps_per_round"] = int(steps_per_round)
 
     return _record
+
+
+@pytest.fixture()
+def rss_budget(benchmark):
+    """Record a peak-RSS budget and the measured peak into the snapshot.
+
+    Call ``rss_budget(budget_mb)`` *after* the benchmarked work ran; the
+    fixture stamps ``rss_budget_kb`` and the process ``ru_maxrss`` into
+    ``extra_info`` so ``bench-compare`` can gate memory, not just time.
+    ``ru_maxrss`` is max-so-far for the whole child process (earlier
+    benches in the same run contribute), so budgets are sized as hard
+    ceilings for the whole tier, not tight per-bench envelopes.
+    """
+
+    def _record(budget_mb):
+        import resource
+
+        benchmark.extra_info["rss_budget_kb"] = int(budget_mb * 1024)
+        peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        import sys
+        if sys.platform == "darwin":  # bytes there, kB on Linux
+            peak_kb //= 1024
+        benchmark.extra_info["peak_rss_kb"] = int(peak_kb)
+
+    return _record

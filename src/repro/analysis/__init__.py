@@ -10,7 +10,12 @@
   (tunneling) counting (E6 time-to-solution metric).
 """
 
-from repro.analysis.sro import warren_cowley, pair_counts, sro_matrix_table
+from repro.analysis.sro import (
+    warren_cowley,
+    warren_cowley_from_counts,
+    pair_counts,
+    sro_matrix_table,
+)
 from repro.analysis.transition import (
     transition_temperature,
     peak_full_width_half_max,
@@ -24,6 +29,7 @@ from repro.analysis.flatness import histogram_flatness, count_round_trips
 
 __all__ = [
     "warren_cowley",
+    "warren_cowley_from_counts",
     "pair_counts",
     "sro_matrix_table",
     "transition_temperature",

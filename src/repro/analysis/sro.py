@@ -19,7 +19,8 @@ import numpy as np
 from repro.lattice.structures import Lattice
 from repro.util.tables import format_table
 
-__all__ = ["pair_counts", "warren_cowley", "sro_matrix_table"]
+__all__ = ["pair_counts", "warren_cowley", "warren_cowley_from_counts",
+           "sro_matrix_table"]
 
 
 def pair_counts(config: np.ndarray, table: np.ndarray, n_species: int) -> np.ndarray:
@@ -37,6 +38,35 @@ def pair_counts(config: np.ndarray, table: np.ndarray, n_species: int) -> np.nda
     return counts.reshape(n_species, n_species)
 
 
+def warren_cowley_from_counts(counts: np.ndarray,
+                              species_counts: np.ndarray) -> np.ndarray:
+    """Warren–Cowley α from directed pair counts alone.
+
+    ``counts[a, b]`` are the directed shell pair counts (one shell) and
+    ``species_counts[a]`` the per-species atom counts.  Being a pure
+    function of counts, this is what both the materialized path
+    (:func:`warren_cowley`), the streaming path
+    (:meth:`repro.kernels.chunked.ChunkedPairTables.pair_counts`), and the
+    SRO-targeted generator (:mod:`repro.lattice.generate`) share — the
+    generator anneals the affine form α = 1 − C·scale incrementally.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    species_counts = np.asarray(species_counts, dtype=np.float64)
+    n_species = counts.shape[0]
+    n_sites = species_counts.sum()
+    conc = species_counts / n_sites
+    row_tot = counts.sum(axis=1)  # z · (#atoms of species i)
+    alpha = np.full((n_species, n_species), np.nan)
+    for i in range(n_species):
+        if row_tot[i] == 0:
+            continue
+        p_j_given_i = counts[i] / row_tot[i]
+        for j in range(n_species):
+            if conc[j] > 0:
+                alpha[i, j] = 1.0 - p_j_given_i[j] / conc[j]
+    return alpha
+
+
 def warren_cowley(lattice: Lattice, config: np.ndarray, n_species: int,
                   shell: int = 0) -> np.ndarray:
     """Warren–Cowley α matrix for one shell, shape (n_species, n_species).
@@ -48,19 +78,9 @@ def warren_cowley(lattice: Lattice, config: np.ndarray, n_species: int,
     shells = lattice.neighbor_shells(shell + 1)
     table = shells[shell].table
     config = np.asarray(config, dtype=np.int64)
-    n_sites = lattice.n_sites
-    conc = np.bincount(config, minlength=n_species) / n_sites
-    counts = pair_counts(config, table, n_species).astype(np.float64)
-    row_tot = counts.sum(axis=1)  # z · (#atoms of species i)
-    alpha = np.full((n_species, n_species), np.nan)
-    for i in range(n_species):
-        if row_tot[i] == 0:
-            continue
-        p_j_given_i = counts[i] / row_tot[i]
-        for j in range(n_species):
-            if conc[j] > 0:
-                alpha[i, j] = 1.0 - p_j_given_i[j] / conc[j]
-    return alpha
+    counts = pair_counts(config, table, n_species)
+    species_counts = np.bincount(config, minlength=n_species)
+    return warren_cowley_from_counts(counts, species_counts)
 
 
 def sro_matrix_table(alpha: np.ndarray, species_names) -> str:

@@ -22,6 +22,7 @@ E10   Training-cost / estimator ablation (Tab 4)
 E11   REWL window-count ablation (Fig 9)
 E12   Workload characterization table (Tab 1)
 E13   Extension: WHAM cross-validation of the DoS
+E14   Extension: SRO-targeted fast structure generation (ultra tier)
 ====  ========================================================
 """
 

@@ -42,6 +42,7 @@ EXPERIMENTS = {
     "E12": "repro.experiments.e12_systems_table",
     # Extension experiments (DESIGN.md §4b) — not paper figures.
     "E13": "repro.experiments.e13_wham_cross_validation",
+    "E14": "repro.experiments.e14_sro_anneal",
 }
 
 

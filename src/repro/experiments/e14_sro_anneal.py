@@ -1,0 +1,152 @@
+"""E14 (extension): SRO-targeted fast structure generation at scale.
+
+The ultra-large-scale tier demonstrator (ROADMAP item 5; PyHEA-style).
+Two generators produce an NbMoTaW configuration with prescribed Mo–Ta
+first-shell Warren–Cowley order on the same BCC supercell:
+
+1. **SRO-targeted anneal** (:func:`repro.lattice.generate.anneal_sro`):
+   batched candidate swaps priced by O(z) integer pair-count deltas
+   against the α target directly — no Hamiltonian energies anywhere.
+2. **Full-energy anneal** (:func:`repro.lattice.generate.anneal_energy`):
+   the conventional baseline — scalar Metropolis swaps priced through the
+   NbMoTaW ΔE kernels with a β ramp (ordering emerges from the EPI signs
+   rather than being targeted).
+
+Shape expectations: the SRO-targeted route hits |α − target| ≤ 0.01 and
+prices candidates at ≥10× the baseline's moves/s; the streaming
+(:class:`~repro.kernels.chunked.ChunkedPairTables`) α measurement agrees
+with the materialized one exactly.  The final structure is exported as a
+LAMMPS ``.data`` file under ``results/``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.sro import warren_cowley_from_counts
+from repro.experiments.common import ExperimentResult, results_dir, timed
+from repro.hamiltonians import NbMoTaWHamiltonian
+from repro.kernels import ChunkedPairTables
+from repro.lattice import (
+    NBMOTAW,
+    anneal_energy,
+    anneal_sro,
+    bcc,
+    equiatomic_counts,
+    random_configuration,
+    write_lammps_data,
+)
+from repro.util.tables import format_table
+
+__all__ = ["run"]
+
+ALPHA_TARGET = -0.08  # Mo–Ta first shell (B2-type ordering direction)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    clock = timed()
+    length = 8 if quick else 24           # 1,024 vs 27,648 sites
+    lat = bcc(length)
+    n_species = 4
+    counts = equiatomic_counts(lat.n_sites, n_species)
+    rng = np.random.default_rng(seed)
+    i_mo, i_ta = NBMOTAW.index("Mo"), NBMOTAW.index("Ta")
+
+    targets = np.full((n_species, n_species), np.nan)
+    targets[i_mo, i_ta] = targets[i_ta, i_mo] = ALPHA_TARGET
+
+    # ---- route 1: SRO-targeted anneal (no energies) ---------------------
+    start = random_configuration(lat.n_sites, counts, rng=rng)
+    res = anneal_sro(
+        lat, n_species, targets, config=start,
+        batch=128, max_iters=4000 if quick else 20000, tol=0.01, rng=rng,
+    )
+    # Steady-state candidate throughput: convergence above is so fast that
+    # table-build startup dominates its wall clock, so rate is measured on
+    # a fixed-iteration probe (tol=0 never triggers the early exit).
+    probe_iters = 200 if quick else 500
+    t0 = time.perf_counter()
+    probe = anneal_sro(
+        lat, n_species, targets, config=start,
+        batch=256, max_iters=probe_iters, tol=0.0, rng=rng,
+    )
+    sro_seconds = time.perf_counter() - t0
+    sro_rate = probe.candidates_priced / max(sro_seconds, 1e-9)
+
+    # ---- route 2: full-energy anneal baseline ---------------------------
+    ham = NbMoTaWHamiltonian(lat, n_shells=2)
+    base_steps = min(probe.candidates_priced, 20_000 if quick else 100_000)
+    t0 = time.perf_counter()
+    _, base_accepted = anneal_energy(
+        ham, start, n_steps=base_steps, rng=rng,
+    )
+    base_seconds = time.perf_counter() - t0
+    base_rate = base_steps / max(base_seconds, 1e-9)
+    speedup = sro_rate / max(base_rate, 1e-9)
+
+    # ---- streaming cross-check + memory model ---------------------------
+    chunked = ChunkedPairTables(lat, [ham.shell_matrices[0], ham.shell_matrices[1]])
+    counts_stream = chunked.pair_counts(res.config)
+    alpha_stream = warren_cowley_from_counts(
+        counts_stream[0], np.bincount(res.config, minlength=n_species)
+    )
+    stream_gap = float(abs(alpha_stream[i_mo, i_ta] - res.alpha[0][i_mo, i_ta]))
+
+    out = results_dir() / "e14_sro_anneal.data"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    write_lammps_data(
+        out, lat, res.config,
+        species_names=list(NBMOTAW.names),
+        masses=[92.906, 95.95, 180.947, 183.84],
+        lattice_constant=3.24,
+    )
+
+    alpha_mo_ta = float(res.alpha[0][i_mo, i_ta])
+    rows = [
+        ["SRO-targeted", probe.candidates_priced, f"{sro_seconds:.3f}",
+         f"{sro_rate:,.0f}", f"{alpha_mo_ta:+.4f}"],
+        ["full-energy", base_steps, f"{base_seconds:.3f}",
+         f"{base_rate:,.0f}", "(untargeted)"],
+    ]
+    result = ExperimentResult(
+        experiment_id="E14",
+        title="SRO-targeted fast structure generation (ultra-large tier)",
+        paper_claim=(
+            "SRO-based structure generation reaches prescribed Warren-Cowley "
+            "order orders of magnitude faster than full-energy annealing "
+            "(PyHEA-style; DeepThermo's scale premise)"
+        ),
+        measured=(
+            f"bcc({length}) = {lat.n_sites} sites: |alpha - target| = "
+            f"{res.max_abs_error:.4f} (target {ALPHA_TARGET:+.2f}) in "
+            f"{res.n_iters} iters; {sro_rate:,.0f} cand/s vs "
+            f"{base_rate:,.0f} moves/s full-energy ({speedup:.1f}x)"
+        ),
+        tables={
+            "throughput": format_table(
+                ["route", "moves priced", "seconds", "moves/s", "alpha(Mo-Ta)"],
+                rows,
+                title="E14: SRO-targeted vs full-energy structure generation",
+            ),
+        },
+        data={
+            "n_sites": lat.n_sites,
+            "alpha_target": ALPHA_TARGET,
+            "alpha_mo_ta": alpha_mo_ta,
+            "max_abs_error": res.max_abs_error,
+            "converged": res.converged,
+            "candidates_per_s": sro_rate,
+            "baseline_moves_per_s": base_rate,
+            "speedup": speedup,
+            "streaming_alpha_gap": stream_gap,
+            "chunk_plan": str(chunked.plan),
+            "lammps_export": str(out),
+        },
+    )
+    return clock.stamp(result)
+
+
+if __name__ == "__main__":
+    run().print()

@@ -9,7 +9,10 @@ path.  This package centralizes that hot path:
 - :mod:`repro.kernels.ops` — scalar, ``*_alternatives`` (one config, many
   hypothetical moves) and ``*_many`` (many configs, one move each)
   energy/ΔE kernels, all O(z) numpy gathers with no Python per-neighbor
-  loop.
+  loop;
+- :class:`ChunkedPairTables` — the ultra-large-scale streaming evaluator:
+  full energies and SRO pair counts in O(chunk · z) memory via integer
+  count contraction, bit-identical across chunk sizes.
 
 The Hamiltonians in :mod:`repro.hamiltonians` delegate here; samplers never
 import this package directly — batched stepping reaches it through the
@@ -18,6 +21,7 @@ import this package directly — batched stepping reaches it through the
 """
 
 from repro.kernels import ops
+from repro.kernels.chunked import ChunkedPairTables
 from repro.kernels.tables import PairTables
 
-__all__ = ["PairTables", "ops"]
+__all__ = ["PairTables", "ChunkedPairTables", "ops"]

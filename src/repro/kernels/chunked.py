@@ -1,0 +1,166 @@
+"""Streaming (chunked) pair-model evaluation for ultra-large lattices.
+
+:class:`ChunkedPairTables` is the ultra-large-scale counterpart of
+:class:`repro.kernels.tables.PairTables`: instead of materializing the full
+``(N, z)`` neighbor tables, it rebuilds neighbor rows for fixed-size site
+blocks straight from the lattice offset catalog
+(:meth:`repro.lattice.structures.Lattice.neighbor_block`) and accumulates
+**integer directed pair counts** per shell.  Energies come from the count
+contraction::
+
+    E = 1/2 · Σ_s Σ_{a,b} C_s[a,b] · V_s[a,b]  +  Σ_a field[a] · n_a
+
+Because the per-shell counts ``C_s`` are exact int64 sums, they are
+independent of how the sites are split into blocks — chunked and unchunked
+evaluation are **bit-identical** for any chunk size (chunk = 1, chunk > N,
+anything between; property-tested).  Note the contraction is a different
+float summation *order* than the pair-gather in :func:`repro.kernels.ops.
+energy`, so the two agree to float tolerance, not bit-for-bit — within this
+class, results are chunk-invariant bits.
+
+Peak memory is O(chunk · z) regardless of ``n_sites``; the block size comes
+from the :mod:`repro.machine.memory` planner so peak RSS is bounded by the
+budget, not the lattice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.ops import _as_int_configs
+from repro.machine.memory import DEFAULT_CHUNK_BUDGET_BYTES, plan_chunk_sites
+
+__all__ = ["ChunkedPairTables"]
+
+
+class ChunkedPairTables:
+    """Streaming pair-model evaluator over site blocks.
+
+    Parameters
+    ----------
+    lattice : repro.lattice.structures.Lattice
+        Supplies the offset catalog; no (N, z) table is ever built.
+    shell_matrices : sequence of (n_species, n_species) symmetric arrays
+        One interaction matrix per shell, innermost first.
+    field : (n_species,) array or None
+        On-site energy per species.
+    chunk_sites : int, optional
+        Fixed block size; overrides the planner.
+    budget_bytes : int
+        Working-set budget handed to :func:`repro.machine.memory.
+        plan_chunk_sites` when ``chunk_sites`` is not given.
+    """
+
+    def __init__(self, lattice, shell_matrices, field=None, *,
+                 chunk_sites: int | None = None,
+                 budget_bytes: int = DEFAULT_CHUNK_BUDGET_BYTES):
+        mats = [np.asarray(m, dtype=np.float64) for m in shell_matrices]
+        self.lattice = lattice
+        self.shell_matrices = tuple(mats)
+        self.n_species = mats[0].shape[0]
+        self.n_shells = len(mats)
+        self.field = None if field is None else np.asarray(field, dtype=np.float64)
+        self.shell_info = lattice.shell_info(self.n_shells)
+        coordinations = [z for _d, z in self.shell_info]
+        self.plan = plan_chunk_sites(
+            lattice.n_sites, coordinations, self.n_species,
+            budget_bytes=budget_bytes,
+        )
+        if chunk_sites is not None:
+            chunk_sites = int(chunk_sites)
+            if chunk_sites < 1:
+                raise ValueError(f"chunk_sites must be >= 1, got {chunk_sites}")
+            self.chunk_sites = min(chunk_sites, lattice.n_sites)
+        else:
+            self.chunk_sites = self.plan.chunk_sites
+        self.n_sites = lattice.n_sites
+
+    def __repr__(self) -> str:
+        return (
+            f"ChunkedPairTables(n_sites={self.n_sites}, "
+            f"n_shells={self.n_shells}, n_species={self.n_species}, "
+            f"chunk_sites={self.chunk_sites})"
+        )
+
+    # ------------------------------------------------------------- streaming
+
+    def iter_blocks(self):
+        """Yield ``(start, stop, [per-shell (stop-start, z) int32 rows])``."""
+        for start in range(0, self.n_sites, self.chunk_sites):
+            stop = min(start + self.chunk_sites, self.n_sites)
+            yield start, stop, self.lattice.neighbor_block(self.n_shells, start, stop)
+
+    def pair_counts(self, config: np.ndarray) -> np.ndarray:
+        """Directed per-shell pair counts, shape ``(n_shells, S, S)`` int64.
+
+        ``counts[s, a, b]`` counts ordered (site of species *a*, shell-*s*
+        neighbor of species *b*) pairs — exactly what
+        :func:`repro.analysis.sro.pair_counts` computes from a materialized
+        table, accumulated here in O(chunk · z) memory.  Integer sums are
+        associative, so the result is identical for every chunk size.
+        """
+        config = _as_int_configs(config)
+        if config.shape != (self.n_sites,):
+            raise ValueError(
+                f"config must have shape ({self.n_sites},), got {config.shape}"
+            )
+        S = self.n_species
+        counts = np.zeros((self.n_shells, S, S), dtype=np.int64)  # lint-api: allow
+        for start, stop, tables in self.iter_blocks():
+            species_i = config[start:stop].astype(np.int64)
+            for s, tab in enumerate(tables):
+                flat = species_i[:, None] * S + config[tab]
+                counts[s] += np.bincount(
+                    flat.reshape(-1), minlength=S * S
+                ).reshape(S, S)
+        return counts
+
+    # --------------------------------------------------------------- energies
+
+    def _contract(self, counts: np.ndarray) -> float:
+        """Fixed-order count → energy contraction (chunk-invariant bits)."""
+        total = 0.0
+        for s, m in enumerate(self.shell_matrices):
+            # Directed counts double-count each undirected bond.
+            total += 0.5 * float(np.sum(counts[s] * m))
+        return total
+
+    def energy(self, config: np.ndarray) -> float:
+        """Total energy of one config via streaming count contraction."""
+        config = _as_int_configs(config)
+        total = self._contract(self.pair_counts(config))
+        if self.field is not None:
+            occ = np.bincount(config, minlength=self.n_species)
+            total += float(np.sum(occ * self.field))
+        return float(total)
+
+    def energies(self, configs: np.ndarray) -> np.ndarray:
+        """Energies of a config batch, ``(B, n_sites) -> (B,)``.
+
+        Streams the same site blocks once for the whole batch; the gathered
+        intermediates scale with B (see ``batch=`` in the chunk planner).
+        """
+        configs = np.atleast_2d(_as_int_configs(configs))
+        B = configs.shape[0]
+        if configs.shape[1] != self.n_sites:
+            raise ValueError(
+                f"configs must have {self.n_sites} columns, got {configs.shape[1]}"
+            )
+        S = self.n_species
+        counts = np.zeros((B, self.n_shells, S, S), dtype=np.int64)  # lint-api: allow
+        row_off = np.arange(B, dtype=np.int64)[:, None, None] * (S * S)  # lint-api: allow
+        for start, stop, tables in self.iter_blocks():
+            species_i = configs[:, start:stop].astype(np.int64)
+            for s, tab in enumerate(tables):
+                flat = row_off + species_i[:, :, None] * S + configs[:, tab]
+                counts[:, s] += np.bincount(
+                    flat.reshape(-1), minlength=B * S * S
+                ).reshape(B, S, S)
+        out = np.empty(B, dtype=np.float64)
+        for b in range(B):
+            out[b] = self._contract(counts[b])
+        if self.field is not None:
+            for b in range(B):
+                occ = np.bincount(configs[b], minlength=S)
+                out[b] += float(np.sum(occ * self.field))
+        return out

@@ -19,6 +19,14 @@ All batched kernels are pure numpy gathers with no Python per-neighbor or
 per-shell loop: species keys from the fused ``cat_table`` index one
 ``diff_rows`` row per move, and swap kernels price shared i–j bonds via the
 column-indexed ``corr_by_col`` stack.
+
+Dtype discipline (DESIGN.md §17): configurations are **int8 end to end**.
+The kernels never up-cast them — species gathered from an int8 config stay
+int8 (fancy indexing accepts any integer dtype), and adding the int16
+``shell_offsets`` promotes keys only to int16.  The old per-call
+``astype(int64)`` copies cost ``8 × B × n_sites`` bytes of traffic
+per super-step at campaign scale; a float-dtype config is a caller bug and
+raises instead of being silently truncated.
 """
 
 from __future__ import annotations
@@ -36,7 +44,21 @@ __all__ = [
     "delta_flip_alternatives",
     "delta_swap_many",
     "delta_flip_many",
+    "pair_count_deltas_swap",
+    "pair_count_deltas_swap_alternatives",
 ]
+
+
+def _as_int_configs(configs) -> np.ndarray:
+    """View ``configs`` as an array without copying; reject non-integer
+    dtypes (a float config would silently mis-index the lookup tables)."""
+    configs = np.asarray(configs)
+    if configs.dtype.kind not in "iu":
+        raise TypeError(
+            f"configurations must have an integer dtype (int8 preferred), "
+            f"got {configs.dtype}"
+        )
+    return configs
 
 
 # ------------------------------------------------------------------ energy
@@ -44,7 +66,7 @@ __all__ = [
 
 def energy(t: PairTables, config: np.ndarray) -> float:
     """Total energy: one fancy-indexing pass per shell, no Python loops."""
-    config = np.asarray(config)
+    config = _as_int_configs(config)
     total = 0.0
     for m, pi, pj in zip(t.shell_matrices, t.pair_i, t.pair_j):
         total += m[config[pi], config[pj]].sum()
@@ -55,7 +77,7 @@ def energy(t: PairTables, config: np.ndarray) -> float:
 
 def energies(t: PairTables, configs: np.ndarray) -> np.ndarray:
     """Energies of a config batch, shape ``(B, n_sites) -> (B,)``."""
-    configs = np.atleast_2d(np.asarray(configs))
+    configs = np.atleast_2d(_as_int_configs(configs))
     total = np.zeros(configs.shape[0], dtype=np.float64)
     for m, pi, pj in zip(t.shell_matrices, t.pair_i, t.pair_j):
         total += m[configs[:, pi], configs[:, pj]].sum(axis=1)
@@ -108,11 +130,11 @@ def delta_swap_alternatives(t: PairTables, config: np.ndarray, ii, jj) -> np.nda
     Every ΔE is relative to the same starting ``config``; shape
     ``(M,), (M,) -> (M,)``.
     """
-    config = np.asarray(config)
-    ii = np.asarray(ii, dtype=np.int64)
-    jj = np.asarray(jj, dtype=np.int64)
-    aa = config[ii].astype(np.int64)
-    bb = config[jj].astype(np.int64)
+    config = _as_int_configs(config)
+    ii = np.asarray(ii)
+    jj = np.asarray(jj)
+    aa = config[ii]
+    bb = config[jj]
     rows = t.diff_rows[aa, bb]                       # (M, S*n_shells)
     nbr_i = t.cat_table[ii]                          # (M, Z)
     keys_i = config[nbr_i] + t.shell_offsets
@@ -131,10 +153,10 @@ def delta_swap_alternatives(t: PairTables, config: np.ndarray, ii, jj) -> np.nda
 
 def delta_flip_alternatives(t: PairTables, config: np.ndarray, sites, new_species) -> np.ndarray:
     """ΔE for many independent *alternative* flips on one config."""
-    config = np.asarray(config)
-    sites = np.asarray(sites, dtype=np.int64)
-    new = np.asarray(new_species, dtype=np.int64)
-    old = config[sites].astype(np.int64)
+    config = _as_int_configs(config)
+    sites = np.asarray(sites)
+    new = np.asarray(new_species)
+    old = config[sites]
     rows = t.diff_rows[old, new]                     # (M, S*n_shells)
     keys = config[t.cat_table[sites]] + t.shell_offsets
     delta = np.take_along_axis(rows, keys, axis=1).sum(axis=1)
@@ -151,14 +173,15 @@ def delta_swap_many(t: PairTables, configs: np.ndarray, ii, jj) -> np.ndarray:
     """ΔE of one swap per config row: ``(B, n_sites), (B,), (B,) -> (B,)``.
 
     The multi-walker stepping kernel: row ``b`` prices the swap
-    ``(ii[b], jj[b])`` on walker ``b``'s configuration.
+    ``(ii[b], jj[b])`` on walker ``b``'s configuration.  Configs are
+    consumed at their native (int8) dtype — no up-cast copies.
     """
-    configs = np.atleast_2d(np.asarray(configs))
-    ii = np.asarray(ii, dtype=np.int64)
-    jj = np.asarray(jj, dtype=np.int64)
+    configs = np.atleast_2d(_as_int_configs(configs))
+    ii = np.asarray(ii)
+    jj = np.asarray(jj)
     rows_idx = np.arange(configs.shape[0])
-    aa = configs[rows_idx, ii].astype(np.int64)
-    bb = configs[rows_idx, jj].astype(np.int64)
+    aa = configs[rows_idx, ii]
+    bb = configs[rows_idx, jj]
     rows = t.diff_rows[aa, bb]                       # (B, S*n_shells)
     nbr_i = t.cat_table[ii]                          # (B, Z)
     keys_i = configs[rows_idx[:, None], nbr_i] + t.shell_offsets
@@ -177,11 +200,11 @@ def delta_swap_many(t: PairTables, configs: np.ndarray, ii, jj) -> np.ndarray:
 
 def delta_flip_many(t: PairTables, configs: np.ndarray, sites, new_species) -> np.ndarray:
     """ΔE of one flip per config row: ``(B, n_sites), (B,), (B,) -> (B,)``."""
-    configs = np.atleast_2d(np.asarray(configs))
-    sites = np.asarray(sites, dtype=np.int64)
-    new = np.asarray(new_species, dtype=np.int64)
+    configs = np.atleast_2d(_as_int_configs(configs))
+    sites = np.asarray(sites)
+    new = np.asarray(new_species)
     rows_idx = np.arange(configs.shape[0])
-    old = configs[rows_idx, sites].astype(np.int64)
+    old = configs[rows_idx, sites]
     rows = t.diff_rows[old, new]                     # (B, S*n_shells)
     keys = configs[rows_idx[:, None], t.cat_table[sites]] + t.shell_offsets
     delta = np.take_along_axis(rows, keys, axis=1).sum(axis=1)
@@ -189,3 +212,110 @@ def delta_flip_many(t: PairTables, configs: np.ndarray, sites, new_species) -> n
         delta += t.field[new] - t.field[old]
     delta[old == new] = 0.0
     return delta
+
+
+# -------------------------------------------------- SRO pair-count deltas
+
+
+def pair_count_deltas_swap(t: PairTables, config: np.ndarray,
+                           i: int, j: int) -> np.ndarray:
+    """O(z) change in per-shell directed pair counts for swapping ``i, j``.
+
+    Returns a ``(n_shells, n_species, n_species)`` int64 delta ``D`` such
+    that ``pair_counts(config_after, shell_table_s) ==
+    pair_counts(config_before, shell_table_s) + D[s]`` for every shell —
+    the incremental update the SRO-targeted structure generator
+    (:mod:`repro.lattice.generate`) anneals on instead of energies.
+    """
+    config = _as_int_configs(config)
+    a = int(config[i])
+    b = int(config[j])
+    S = t.n_species
+    n_shells = t.n_shells
+    D = np.zeros((n_shells, S, S), dtype=np.int64)  # lint-api: allow
+    if a == b or i == j:
+        return D
+    shell_of_col = t.shell_of_col
+    nbr_i = t.cat_table[i]
+    nbr_j = t.cat_table[j]
+    # Per-shell species histograms of each endpoint's neighbors (one
+    # bincount over the fused row, shell-resolved via the column offsets).
+    ni = np.bincount(shell_of_col * S + config[nbr_i],
+                     minlength=n_shells * S).reshape(n_shells, S)
+    nj = np.bincount(shell_of_col * S + config[nbr_j],
+                     minlength=n_shells * S).reshape(n_shells, S)
+    # Repaint i: a -> b against stale neighbor species (both directions).
+    D[:, a, :] -= ni
+    D[:, b, :] += ni
+    D[:, :, a] -= ni
+    D[:, :, b] += ni
+    # Repaint j: b -> a.
+    D[:, b, :] -= nj
+    D[:, a, :] += nj
+    D[:, :, b] -= nj
+    D[:, :, a] += nj
+    # Each direct i-j bond was double-handled with stale endpoint species;
+    # its true contribution is unchanged by the swap ((a,b)+(b,a) before
+    # and after), so back out the spurious terms per shell.
+    hits = nbr_i == j
+    if hits.any():
+        m = np.bincount(shell_of_col[hits], minlength=n_shells)
+        D[:, a, b] += 2 * m
+        D[:, b, a] += 2 * m
+        D[:, a, a] -= 2 * m
+        D[:, b, b] -= 2 * m
+    return D
+
+
+def pair_count_deltas_swap_alternatives(t: PairTables, config: np.ndarray,
+                                        ii, jj) -> np.ndarray:
+    """Pair-count deltas for many *alternative* swaps on one config.
+
+    Batched :func:`pair_count_deltas_swap`: ``(M,), (M,) ->
+    (M, n_shells, n_species, n_species)`` int64, every delta relative to
+    the same starting ``config`` (rows with ``a == b`` or ``i == j`` are
+    zero).  This is the candidate-pricing kernel of the SRO-targeted
+    generator — M hypothetical configurations priced per numpy pass.
+    """
+    config = _as_int_configs(config)
+    ii = np.asarray(ii)
+    jj = np.asarray(jj)
+    M = ii.shape[0]
+    S = t.n_species
+    n_shells = t.n_shells
+    aa = config[ii].astype(np.int64)
+    bb = config[jj].astype(np.int64)
+    shell_of_col = t.shell_of_col.astype(np.int64)
+    nbr_i = t.cat_table[ii]                          # (M, Z)
+    nbr_j = t.cat_table[jj]
+    rows = np.arange(M)
+    # Row-wise shell-resolved neighbor histograms via one flat bincount.
+    base = rows[:, None] * (n_shells * S)
+    ni = np.bincount((base + shell_of_col * S + config[nbr_i]).reshape(-1),
+                     minlength=M * n_shells * S).reshape(M, n_shells, S)
+    nj = np.bincount((base + shell_of_col * S + config[nbr_j]).reshape(-1),
+                     minlength=M * n_shells * S).reshape(M, n_shells, S)
+    D = np.zeros((M, n_shells, S, S), dtype=np.int64)  # lint-api: allow
+    # Per-statement indices (row, species) are unique per row, so the
+    # fancy-indexed in-place updates never collide within a statement.
+    D[rows, :, aa, :] -= ni
+    D[rows, :, bb, :] += ni
+    D[rows, :, :, aa] -= ni
+    D[rows, :, :, bb] += ni
+    D[rows, :, bb, :] -= nj
+    D[rows, :, aa, :] += nj
+    D[rows, :, :, bb] -= nj
+    D[rows, :, :, aa] += nj
+    hits = nbr_i == jj[:, None]                      # (M, Z)
+    if hits.any():
+        m = np.bincount(
+            (rows[:, None] * n_shells + shell_of_col[None, :])[hits],
+            minlength=M * n_shells,
+        ).reshape(M, n_shells)
+        D[rows, :, aa, bb] += 2 * m
+        D[rows, :, bb, aa] += 2 * m
+        D[rows, :, aa, aa] -= 2 * m
+        D[rows, :, bb, bb] -= 2 * m
+    same = (aa == bb) | (ii == jj)
+    D[same] = 0
+    return D

@@ -17,6 +17,9 @@ Public API
     Named species (e.g. Nb/Mo/Ta/W) with index mapping.
 :func:`random_configuration`, :func:`one_hot`, :func:`from_one_hot`, ...
     Configuration helpers (fixed-composition sampling, encodings).
+:func:`anneal_sro`, :func:`anneal_energy`, :func:`write_lammps_data`
+    SRO-targeted fast structure generation (α-target annealing on O(z)
+    pair-count deltas — no energies) and LAMMPS ``.data`` supercell export.
 """
 
 from repro.lattice.structures import (
@@ -39,6 +42,12 @@ from repro.lattice.configuration import (
     swap_sites,
     equiatomic_counts,
 )
+from repro.lattice.generate import (
+    SROAnnealResult,
+    anneal_sro,
+    anneal_energy,
+    write_lammps_data,
+)
 
 __all__ = [
     "Lattice",
@@ -57,4 +66,8 @@ __all__ = [
     "validate_configuration",
     "swap_sites",
     "equiatomic_counts",
+    "SROAnnealResult",
+    "anneal_sro",
+    "anneal_energy",
+    "write_lammps_data",
 ]

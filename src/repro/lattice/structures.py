@@ -26,6 +26,15 @@ __all__ = ["Lattice", "NeighborShell", "square_lattice", "simple_cubic", "bcc", 
 
 _DIST_DECIMALS = 8  # distances equal to within 1e-8 are the same shell
 
+#: Site indices in neighbor tables (int32 addresses 2·10⁹ sites at half
+#: the memory of int64 — the ultra-large tier caps out far below that).
+_TABLE_DTYPE = np.int32
+
+#: Above this site count the O(N²) brute-force shell builder materializes
+#: a multi-GB distance matrix; callers are pointed at the O(N·z)
+#: catalog-based :meth:`Lattice.neighbor_shells` instead.
+_BRUTEFORCE_MAX_SITES = 4096
+
 
 @dataclass(frozen=True)
 class NeighborShell:
@@ -35,7 +44,7 @@ class NeighborShell:
     ----------
     distance : float
         The shell radius (Cartesian, in units of the primitive vectors).
-    table : numpy.ndarray, shape (n_sites, z), dtype int64
+    table : numpy.ndarray, shape (n_sites, z), dtype int32
         ``table[i]`` lists the ``z`` neighbors of site ``i`` in this shell.
     """
 
@@ -54,7 +63,7 @@ class NeighborShell:
         Hamiltonians sum over.
         """
         n = self.table.shape[0]
-        i = np.repeat(np.arange(n, dtype=np.int64), self.table.shape[1])
+        i = np.repeat(np.arange(n, dtype=_TABLE_DTYPE), self.table.shape[1])
         j = self.table.reshape(-1)
         keep = i < j
         return np.stack([i[keep], j[keep]], axis=1)
@@ -93,6 +102,7 @@ class Lattice:
         self.n_cells = int(np.prod(self.size))
         self.n_sites = self.n_cells * self.n_basis
         self._shell_cache: dict[int, tuple[NeighborShell, ...]] = {}
+        self._catalog_cache: dict[int, list] = {}
 
     def __repr__(self) -> str:
         return (
@@ -149,8 +159,13 @@ class Lattice:
         Searches offsets in a cube of radius ``reach`` and keeps the
         ``n_shells`` smallest distinct distances.  ``reach`` is grown until
         the shells are stable (guards against missing a shell that lies
-        outside the initial cube).
+        outside the initial cube).  The catalog is O(basis² · reach^dim) —
+        independent of the supercell size — and cached, so streaming
+        consumers (:meth:`neighbor_block`, :meth:`shell_info`) never pay an
+        O(N) cost.
         """
+        if n_shells in self._catalog_cache:
+            return self._catalog_cache[n_shells]
         reach = 2
         prev_key = None
         while True:
@@ -186,57 +201,123 @@ class Lattice:
                     if dist in shells:
                         shells[dist].append((b_from, b_to, off))
                         exact[dist] = exact_dist
-                return [(exact[d], shells[d]) for d in dists]
+                catalog = [(exact[d], shells[d]) for d in dists]
+                self._catalog_cache[n_shells] = catalog
+                return catalog
             prev_key = key
             reach += 1
 
-    def _build_shells(self, n_shells: int) -> tuple[NeighborShell, ...]:
-        catalog = self._offset_catalog(n_shells)
-        size = np.asarray(self.size, dtype=np.int64)
-        grid = self.site_grid()
-        cells = grid[:, : self.dim]
-        basis = grid[:, self.dim]
-        # Strides to turn wrapped cell coords into flat cell index.
+    def _cell_strides(self) -> np.ndarray:
+        """Strides turning wrapped cell coords into the flat cell index."""
         strides = np.ones(self.dim, dtype=np.int64)
         for k in range(self.dim - 2, -1, -1):
             strides[k] = strides[k + 1] * self.size[k + 1]
+        return strides
+
+    def _check_shell_fits(self, distance: float, entries) -> None:
+        """Raise unless the supercell can host this shell without image
+        aliasing, and the shell coordination is basis-uniform.
+
+        Aliasing is decided from the catalog alone (no table needed): two
+        distinct offsets that wrap to the same cell, or an offset wrapping
+        to a site's own cell/basis, mean the supercell folds images onto
+        each other.  This makes :meth:`shell_info` and
+        :meth:`neighbor_block` exactly as strict as the materialized
+        builder at O(catalog) cost.
+        """
+        seen = set()
+        for b_from, b_to, off in entries:
+            for k in range(self.dim):
+                if abs(off[k]) * 2 > self.size[k]:
+                    raise ValueError(
+                        f"supercell {self.size} too small for shell at distance "
+                        f"{distance:.4f} (offset {off}); enlarge the lattice"
+                    )
+            wrapped = tuple(int(o) % s for o, s in zip(off, self.size))
+            key = (b_from, b_to, wrapped)
+            if key in seen or (b_to == b_from and not any(wrapped)):
+                raise ValueError(
+                    f"supercell {self.size} aliases images in shell at "
+                    f"distance {distance:.4f}; enlarge the lattice"
+                )
+            seen.add(key)
+        if len(entries) % self.n_basis:
+            # Coordination differs between basis slots (possible for
+            # exotic bases); ragged handling via -1 padding is not
+            # supported — the standard builders never hit this.
+            raise ValueError(
+                f"shell at distance {distance:.4f} has basis-dependent "
+                "coordination; unsupported"
+            )
+
+    def shell_info(self, n_shells: int = 1) -> tuple[tuple[float, int], ...]:
+        """``(distance, coordination)`` per shell — O(1) in the supercell.
+
+        Built from the offset catalog alone, so streaming consumers (the
+        chunk planner, :class:`~repro.kernels.chunked.ChunkedPairTables`)
+        can size their working sets without materializing any (N, z) table.
+        """
+        n_shells = check_integer("n_shells", n_shells, minimum=1)
+        out = []
+        for distance, entries in self._offset_catalog(n_shells):
+            self._check_shell_fits(distance, entries)
+            out.append((float(distance), len(entries) // self.n_basis))
+        return tuple(out)
+
+    def neighbor_block(self, n_shells: int, start: int, stop: int) -> list[np.ndarray]:
+        """Neighbor-table rows for sites ``[start, stop)``, one array per
+        shell, computed from the offset catalog without touching any other
+        site — the streaming building block of the ultra-large-scale tier.
+
+        Returns ``[(stop - start, z_s) int32, ...]``; row ``r`` equals
+        ``neighbor_shells(n_shells)[s].table[start + r]`` exactly (tested),
+        but peak memory is O(block · z), independent of ``n_sites``.
+        """
+        n_shells = check_integer("n_shells", n_shells, minimum=1)
+        start = int(start)
+        stop = int(stop)
+        if not (0 <= start <= stop <= self.n_sites):
+            raise ValueError(
+                f"block [{start}, {stop}) out of range for {self.n_sites} sites"
+            )
+        catalog = self._offset_catalog(n_shells)
+        size = np.asarray(self.size, dtype=np.int64)
+        strides = self._cell_strides()
+        sites = np.arange(start, stop, dtype=np.int64)
+        basis = sites % self.n_basis
+        flat_cell = sites // self.n_basis
+        # Unravel the flat cell index (row-major over the grid).
+        coords = np.empty((stop - start, self.dim), dtype=np.int64)
+        for k in range(self.dim):
+            coords[:, k] = (flat_cell // strides[k]) % size[k]
 
         out = []
         for distance, entries in catalog:
-            # Check the supercell can host this shell without image aliasing.
-            for b_from, _b_to, off in entries:
-                for k in range(self.dim):
-                    if abs(off[k]) * 2 > self.size[k]:
-                        raise ValueError(
-                            f"supercell {self.size} too small for shell at distance "
-                            f"{distance:.4f} (offset {off}); enlarge the lattice"
-                        )
-            columns = []
-            for b_from in range(self.n_basis):
-                mask = basis == b_from
-                from_cells = cells[mask]
-                for b_to, off in [(bt, o) for bf, bt, o in entries if bf == b_from]:
-                    wrapped = (from_cells + np.asarray(off, dtype=np.int64)) % size
-                    flat = wrapped @ strides * self.n_basis + b_to
-                    columns.append((mask, flat))
+            self._check_shell_fits(distance, entries)
             z = len(entries) // self.n_basis
-            if len(entries) % self.n_basis:
-                # Coordination differs between basis slots (possible for
-                # exotic bases); fall back to ragged handling via -1 padding
-                # is not supported — the standard builders never hit this.
-                raise ValueError(
-                    f"shell at distance {distance:.4f} has basis-dependent "
-                    "coordination; unsupported"
-                )
-            table = np.empty((self.n_sites, z), dtype=np.int64)
-            fill = np.zeros(self.n_sites, dtype=np.int64)
-            for mask, flat in columns:
-                idx = np.nonzero(mask)[0]
-                col = fill[idx]
-                table[idx, col] = flat
-                fill[idx] = col + 1
+            table = np.empty((stop - start, z), dtype=_TABLE_DTYPE)
+            fill = np.zeros(stop - start, dtype=np.int64)
+            for b_from in range(self.n_basis):
+                idx = np.nonzero(basis == b_from)[0]
+                if not len(idx):
+                    continue
+                cells_b = coords[idx]
+                for b_to, off in [(bt, o) for bf, bt, o in entries if bf == b_from]:
+                    wrapped = (cells_b + np.asarray(off, dtype=np.int64)) % size
+                    col = fill[idx]
+                    table[idx, col] = wrapped @ strides * self.n_basis + b_to
+                    fill[idx] = col + 1
             if not np.all(fill == z):
                 raise AssertionError("neighbor table construction is inconsistent")
+            out.append(table)
+        return out
+
+    def _build_shells(self, n_shells: int) -> tuple[NeighborShell, ...]:
+        catalog = self._offset_catalog(n_shells)
+        tables = self.neighbor_block(n_shells, 0, self.n_sites)
+        out = []
+        for (distance, _entries), table in zip(catalog, tables):
+            z = table.shape[1]
             # Duplicate neighbors mean the supercell aliases images.
             sample = table[: min(64, self.n_sites)]
             for row_i, row in enumerate(sample):
@@ -250,8 +331,22 @@ class Lattice:
 
     # ---------------------------------------------------- brute-force checker
 
-    def neighbor_shells_bruteforce(self, n_shells: int = 1) -> tuple[NeighborShell, ...]:
-        """O(N²) minimum-image construction — slow, for cross-checking only."""
+    def neighbor_shells_bruteforce(
+        self, n_shells: int = 1, *, force: bool = False
+    ) -> tuple[NeighborShell, ...]:
+        """O(N²) minimum-image construction — slow, for cross-checking only.
+
+        Refuses to run above ``_BRUTEFORCE_MAX_SITES`` sites (the pairwise
+        distance matrix alone is ``8·N²`` bytes) unless ``force=True``;
+        production callers want the O(N·z) :meth:`neighbor_shells`.
+        """
+        if self.n_sites > _BRUTEFORCE_MAX_SITES and not force:
+            raise ValueError(
+                f"neighbor_shells_bruteforce is O(N²) and {self.n_sites} sites "
+                f"exceeds the {_BRUTEFORCE_MAX_SITES}-site guard; use the "
+                "catalog-based neighbor_shells() (exact and O(N·z)), or pass "
+                "force=True if you really want the cross-check"
+            )
         pos_frac = self.site_grid()[:, : self.dim].astype(np.float64)
         pos_frac += self.basis_frac[self.site_grid()[:, self.dim]]
         size = np.asarray(self.size, dtype=np.float64)

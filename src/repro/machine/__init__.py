@@ -28,6 +28,12 @@ from repro.machine.specs import (
     crusher_mi250x,
 )
 from repro.machine.autotune import CampaignPlan, plan_campaign
+from repro.machine.memory import (
+    ChunkPlan,
+    plan_chunk_sites,
+    streaming_bytes_per_site,
+    materialized_bytes_per_site,
+)
 from repro.machine.perf_model import WorkloadSpec, RoundCostModel
 from repro.machine.scaling import (
     ScalingPoint,
@@ -39,6 +45,10 @@ from repro.machine.scaling import (
 __all__ = [
     "CampaignPlan",
     "plan_campaign",
+    "ChunkPlan",
+    "plan_chunk_sites",
+    "streaming_bytes_per_site",
+    "materialized_bytes_per_site",
     "DeviceSpec",
     "InterconnectSpec",
     "MachineSpec",

@@ -1,0 +1,123 @@
+"""Memory budgets and auto-chunk planning for the ultra-large-scale tier.
+
+The streaming kernels (:class:`repro.kernels.chunked.ChunkedPairTables`)
+never materialize an ``(N, z)`` neighbor table; instead they rebuild
+neighbor rows for fixed-size site blocks from the lattice offset catalog.
+This module decides the block size: given the per-site working-set bytes of
+one streamed block and a peak-memory budget, :func:`plan_chunk_sites`
+returns the largest chunk that stays inside the budget (bigger chunks
+amortize per-block Python overhead; the budget caps peak RSS regardless of
+``n_sites``).
+
+The byte model is deliberately simple and *conservative* — it prices every
+intermediate a streamed block allocates (the int32 neighbor rows, the
+gathered int8 neighbor species, and the int64 flattened keys fed to
+``bincount``) rather than assuming the allocator reuses buffers.  Measured
+per-site budgets are recorded in DESIGN.md §17.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ChunkPlan",
+    "DEFAULT_CHUNK_BUDGET_BYTES",
+    "MIN_CHUNK_SITES",
+    "streaming_bytes_per_site",
+    "materialized_bytes_per_site",
+    "plan_chunk_sites",
+]
+
+#: Default working-set budget for one streamed block (not the whole
+#: process): 256 MiB keeps a 10⁶-site two-shell BCC evaluation far under
+#: the ~2 GB tier budget while leaving blocks large enough (~10⁵ sites)
+#: that numpy dominates the per-block cost.
+DEFAULT_CHUNK_BUDGET_BYTES = 256 * 1024 * 1024
+
+#: Never plan blocks smaller than this — below it per-block Python
+#: overhead dwarfs the vectorized work and throughput collapses.
+MIN_CHUNK_SITES = 1024
+
+
+def streaming_bytes_per_site(coordinations, n_species: int, batch: int = 1) -> int:
+    """Working-set bytes one site contributes to a streamed block.
+
+    Per shell of coordination ``z`` the block holds the int32 neighbor rows
+    (``4z``), the gathered int8 neighbor species (``1z·batch``), and the
+    int64 flattened pair keys for ``bincount`` (``8z·batch``); plus the
+    int64 site coordinates used to build the rows (``8·(dim+1)`` ≈ 32,
+    priced as a flat 48-byte per-site overhead to stay conservative).
+    """
+    z_total = int(sum(coordinations))
+    per_site = 4 * z_total + (1 + 8) * z_total * max(1, int(batch)) + 48
+    return int(per_site)
+
+
+def materialized_bytes_per_site(coordinations, n_species: int) -> int:
+    """Bytes per site of the *materialized* :class:`PairTables` structures
+    (int32 shell tables + fused ``cat_table`` + int32 pair arrays) — what a
+    non-streaming run pays, for comparison in DESIGN.md §17."""
+    z_total = int(sum(coordinations))
+    # shell tables (4z) + cat_table (4z) + pair_i/pair_j (z/2 bonds × 8 B).
+    return int(4 * z_total + 4 * z_total + 4 * z_total)
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """Resolved streaming plan for one lattice/Hamiltonian pairing."""
+
+    chunk_sites: int
+    n_chunks: int
+    bytes_per_site: int
+    est_block_bytes: int
+    budget_bytes: int
+
+    def __str__(self) -> str:
+        return (
+            f"ChunkPlan(chunk_sites={self.chunk_sites}, n_chunks={self.n_chunks}, "
+            f"block≈{self.est_block_bytes / 1e6:.1f} MB "
+            f"of {self.budget_bytes / 1e6:.0f} MB budget)"
+        )
+
+
+def plan_chunk_sites(
+    n_sites: int,
+    coordinations,
+    n_species: int,
+    *,
+    budget_bytes: int = DEFAULT_CHUNK_BUDGET_BYTES,
+    batch: int = 1,
+) -> ChunkPlan:
+    """Pick the largest site-block size whose working set fits ``budget_bytes``.
+
+    Parameters
+    ----------
+    n_sites : int
+        Lattice size; the chunk is clamped to it (chunk > N degenerates to
+        one unchunked block, which is exactly the bit-identity baseline).
+    coordinations : sequence of int
+        Shell coordination numbers (``lattice.shell_info`` second column).
+    n_species : int
+        Species count (enters only via the fixed bincount output, which is
+        negligible and not per-site).
+    budget_bytes : int
+        Peak working-set budget for one block.
+    batch : int
+        Config-batch rows evaluated together (``energies``); scales the
+        gathered-species and key intermediates.
+    """
+    n_sites = int(n_sites)
+    if n_sites < 1:
+        raise ValueError(f"n_sites must be >= 1, got {n_sites}")
+    per_site = streaming_bytes_per_site(coordinations, n_species, batch=batch)
+    chunk = max(MIN_CHUNK_SITES, int(budget_bytes) // per_site)
+    chunk = min(chunk, n_sites)
+    n_chunks = -(-n_sites // chunk)
+    return ChunkPlan(
+        chunk_sites=chunk,
+        n_chunks=n_chunks,
+        bytes_per_site=per_site,
+        est_block_bytes=chunk * per_site,
+        budget_bytes=int(budget_bytes),
+    )

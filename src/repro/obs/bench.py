@@ -72,6 +72,7 @@ QUICK_BENCHES = (
     "bench_e8_weak_scaling.py",
     "bench_e9_throughput.py",
     "bench_e12_systems_table.py",
+    "bench_e14_sro_anneal.py",
     "bench_obs_overhead.py",
     "bench_resilience_overhead.py",
 )
@@ -137,6 +138,12 @@ def _extract_benchmarks(pytest_json: dict) -> dict[str, dict]:
         steps = extra.get("steps_per_round")
         if steps and stats.get("mean"):
             entry["steps_per_s"] = float(steps) / float(stats["mean"])
+        # Ultra-tier rows carry a memory envelope (see the ``rss_budget``
+        # bench fixture): the measured process peak plus the budget it must
+        # stay under, both gated by compare_snapshots.
+        for key in ("peak_rss_kb", "rss_budget_kb"):
+            if extra.get(key) is not None:
+                entry[key] = int(extra[key])
         out[bench.get("fullname", bench.get("name", "?"))] = entry
     return out
 
@@ -268,6 +275,13 @@ def compare_snapshots(old: dict, new: dict,
     Returns ``{"threshold", "entries": [...], "regressions": [names]}``;
     each entry has ``name/old_mean_s/new_mean_s/ratio/status`` with status
     one of ``ok | regression | improvement | added | removed``.
+
+    Memory gating: a benchmark that recorded both ``peak_rss_kb`` and
+    ``rss_budget_kb`` (the ultra-tier rows) also regresses when the new
+    peak exceeds its budget — staying fast by spending memory is exactly
+    the trade the ultra-large-scale tier forbids.  ``added`` rows are
+    budget-checked too (a brand-new over-budget row must not slip in
+    ungated).
     """
     if threshold < 0:
         raise ValueError(f"threshold must be >= 0, got {threshold!r}")
@@ -278,15 +292,28 @@ def compare_snapshots(old: dict, new: dict,
     for name in sorted(set(old_b) | set(new_b)):
         o = old_b.get(name, {}).get("mean_s")
         n = new_b.get(name, {}).get("mean_s")
+        new_entry = new_b.get(name, {})
+        peak = new_entry.get("peak_rss_kb")
+        budget = new_entry.get("rss_budget_kb")
+        over_budget = (peak is not None and budget is not None
+                       and peak > budget)
         if o is None or n is None:
+            status = "removed" if n is None else "added"
+            if n is not None and over_budget:
+                status = "rss-over-budget"
+                regressions.append(name)
             entries.append({
                 "name": name, "old_mean_s": o, "new_mean_s": n,
-                "ratio": None, "status": "removed" if n is None else "added",
+                "ratio": None, "status": status,
+                "peak_rss_kb": peak, "rss_budget_kb": budget,
             })
             continue
         ratio = n / o if o > 0 else None
         if ratio is not None and ratio > 1.0 + threshold:
             status = "regression"
+            regressions.append(name)
+        elif over_budget:
+            status = "rss-over-budget"
             regressions.append(name)
         elif ratio is not None and ratio < 1.0 / (1.0 + threshold):
             status = "improvement"
@@ -295,6 +322,7 @@ def compare_snapshots(old: dict, new: dict,
         entries.append({
             "name": name, "old_mean_s": o, "new_mean_s": n,
             "ratio": ratio, "status": status,
+            "peak_rss_kb": peak, "rss_budget_kb": budget,
         })
     return {"threshold": threshold, "entries": entries,
             "regressions": regressions}
@@ -306,15 +334,25 @@ def render_compare(diff: dict) -> str:
     rows = []
     for entry in diff["entries"]:
         o, n, ratio = entry["old_mean_s"], entry["new_mean_s"], entry["ratio"]
+        peak = entry.get("peak_rss_kb")
+        budget = entry.get("rss_budget_kb")
+        if peak is not None and budget is not None:
+            rss = f"{peak / 1024:.0f}/{budget / 1024:.0f}MB"
+        elif peak is not None:
+            rss = f"{peak / 1024:.0f}MB"
+        else:
+            rss = "-"
         rows.append([
             entry["name"],
             "-" if o is None else f"{o * 1e3:.3f}",
             "-" if n is None else f"{n * 1e3:.3f}",
             "-" if ratio is None else f"{ratio:.2f}x",
+            rss,
             entry["status"],
         ])
     table = format_table(
-        ["benchmark", "old mean_ms", "new mean_ms", "ratio", "status"],
+        ["benchmark", "old mean_ms", "new mean_ms", "ratio", "peak_rss",
+         "status"],
         rows, title=f"bench-compare (threshold {diff['threshold']:.0%})",
     )
     regressions = diff["regressions"]

@@ -44,6 +44,7 @@ from dataclasses import fields as dataclass_fields, replace
 import numpy as np
 
 from repro.faults import faults_from_env
+from repro.lattice.configuration import CONFIG_DTYPE
 from repro.obs.events import worker_log
 from repro.parallel.comm import SharedMemoryCommunicator, ShmWorld
 from repro.proposals.base import assemble_move
@@ -109,7 +110,7 @@ class FusedCampaignState:
 
     @classmethod
     def specs(cls, n_windows: int, walkers_per_window: int, n_sites: int,
-              width: int, config_dtype) -> dict:
+              width: int, config_dtype=CONFIG_DTYPE) -> dict:
         """``{name: (shape, dtype)}`` for every campaign array."""
         w, k = int(n_windows), int(walkers_per_window)
         rows = w * k
@@ -128,7 +129,7 @@ class FusedCampaignState:
 
     @classmethod
     def allocate(cls, *, n_windows: int, walkers_per_window: int,
-                 n_sites: int, width: int, config_dtype,
+                 n_sites: int, width: int, config_dtype=CONFIG_DTYPE,
                  alloc=None) -> "FusedCampaignState":
         """Allocate fresh campaign arrays (``alloc=None`` → host memory)."""
         if alloc is None:

@@ -48,6 +48,20 @@ DEPRECATED_PATTERNS: list[tuple[re.Pattern[str], str, str, tuple[str, ...]]] = [
         (),
     ),
     (
+        # The memory-lean tier (DESIGN.md §17) stores neighbor/pair index
+        # tables as int32 and configurations as int8; an int64 allocation
+        # in the kernel layer silently doubles the dominant footprint at
+        # ultra-large N.  Accumulators (pair counts, bincounts) are exempt
+        # via the allow marker — they are O(S²), not O(N·z).
+        re.compile(r"dtype\s*=\s*(np\.)?int64"),
+        "int64 allocation under src/repro/kernels/: index tables are "
+        "INDEX_DTYPE (int32) and configs CONFIG_DTYPE (int8) per DESIGN "
+        "§17; use the named dtype, or mark '# lint-api: allow' for an "
+        "O(S²) accumulator",
+        "src/repro/kernels/",
+        (),
+    ),
+    (
         # Bare print() — not def print(...), not obj.print(...).  Library
         # code must narrate through structured events (repro.obs) so output
         # reaches traces/dashboards; stdout rendering is the job of the obs

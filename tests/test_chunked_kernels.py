@@ -1,0 +1,135 @@
+"""Property tests for the streaming (chunked) pair-model evaluator.
+
+The ultra-large-scale tier claim is that chunked evaluation changes peak
+memory, never results: ``ChunkedPairTables`` must be **bit-identical**
+across every chunk size (chunk = 1, chunk > N, anything between) and must
+agree with the materialized :mod:`repro.kernels.ops` path and the SRO
+pair-count reference to float/integer exactness respectively.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sro import pair_counts
+from repro.kernels import ChunkedPairTables, PairTables, ops
+from repro.lattice import bcc, fcc, square_lattice
+from repro.machine.memory import MIN_CHUNK_SITES, plan_chunk_sites
+
+CHUNKS = [1, 3, 17, 100, 10**9, None]  # None -> planner default
+
+
+def _system(kind):
+    rng = np.random.default_rng(11)
+    lat = {"square": square_lattice(6), "bcc": bcc(3), "fcc": fcc(3)}[kind]
+    S = 4
+    mats = []
+    for _ in range(2):
+        m = rng.normal(size=(S, S))
+        mats.append((m + m.T) / 2.0)
+    field = rng.normal(size=S)
+    config = rng.integers(0, S, lat.n_sites).astype(np.int8)
+    return lat, mats, field, config
+
+
+@pytest.fixture(params=["square", "bcc", "fcc"])
+def system(request):
+    return _system(request.param)
+
+
+class TestChunkInvariance:
+    def test_energy_bit_identical_across_chunk_sizes(self, system):
+        lat, mats, field, config = system
+        energies = {
+            cs: ChunkedPairTables(lat, mats, field, chunk_sites=cs).energy(config)
+            for cs in CHUNKS
+        }
+        values = set(energies.values())
+        assert len(values) == 1, energies
+
+    def test_pair_counts_bit_identical_across_chunk_sizes(self, system):
+        lat, mats, field, config = system
+        ref = ChunkedPairTables(lat, mats, chunk_sites=10**9).pair_counts(config)
+        for cs in CHUNKS:
+            got = ChunkedPairTables(lat, mats, chunk_sites=cs).pair_counts(config)
+            assert np.array_equal(got, ref), cs
+
+    def test_energies_batch_bit_identical_across_chunk_sizes(self, system):
+        lat, mats, field, config = system
+        rng = np.random.default_rng(5)
+        configs = rng.integers(0, 4, (4, lat.n_sites)).astype(np.int8)
+        ref = ChunkedPairTables(lat, mats, field, chunk_sites=10**9).energies(configs)
+        for cs in CHUNKS:
+            got = ChunkedPairTables(lat, mats, field, chunk_sites=cs).energies(configs)
+            assert np.array_equal(got, ref), cs
+
+
+class TestAgainstMaterialized:
+    def test_energy_matches_ops(self, system):
+        lat, mats, field, config = system
+        t = PairTables(lat.neighbor_shells(2), mats, field)
+        e_ref = ops.energy(t, config)
+        e_chunked = ChunkedPairTables(lat, mats, field, chunk_sites=7).energy(config)
+        assert e_chunked == pytest.approx(e_ref, rel=1e-12, abs=1e-9)
+
+    def test_energies_match_ops(self, system):
+        lat, mats, field, config = system
+        rng = np.random.default_rng(5)
+        configs = rng.integers(0, 4, (5, lat.n_sites)).astype(np.int8)
+        t = PairTables(lat.neighbor_shells(2), mats, field)
+        ref = ops.energies(t, configs)
+        got = ChunkedPairTables(lat, mats, field, chunk_sites=13).energies(configs)
+        np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-9)
+
+    def test_pair_counts_match_sro_reference(self, system):
+        lat, mats, field, config = system
+        shells = lat.neighbor_shells(2)
+        got = ChunkedPairTables(lat, mats, chunk_sites=9).pair_counts(config)
+        for s, shell in enumerate(shells):
+            ref = pair_counts(config, shell.table, 4)
+            assert np.array_equal(got[s], ref), s
+
+
+class TestValidation:
+    def test_float_config_raises(self, system):
+        lat, mats, field, config = system
+        ct = ChunkedPairTables(lat, mats)
+        with pytest.raises(TypeError):
+            ct.energy(config.astype(np.float64))
+
+    def test_wrong_shape_raises(self, system):
+        lat, mats, field, config = system
+        ct = ChunkedPairTables(lat, mats)
+        with pytest.raises(ValueError):
+            ct.pair_counts(config[:-1])
+
+    def test_bad_chunk_sites_raises(self, system):
+        lat, mats, field, config = system
+        with pytest.raises(ValueError):
+            ChunkedPairTables(lat, mats, chunk_sites=0)
+
+
+class TestChunkPlanner:
+    def test_chunk_clamped_to_n_sites(self):
+        plan = plan_chunk_sites(100, [8, 6], 4)
+        assert plan.chunk_sites == 100
+        assert plan.n_chunks == 1
+
+    def test_budget_bounds_block_bytes(self):
+        budget = 64 * 1024 * 1024
+        plan = plan_chunk_sites(10**8, [8, 6], 4, budget_bytes=budget)
+        assert plan.est_block_bytes <= budget
+        assert plan.chunk_sites >= MIN_CHUNK_SITES
+        assert plan.n_chunks == -(-10**8 // plan.chunk_sites)
+
+    def test_min_chunk_floor(self):
+        plan = plan_chunk_sites(10**8, [8, 6], 4, budget_bytes=1)
+        assert plan.chunk_sites == MIN_CHUNK_SITES
+
+    def test_batch_shrinks_chunk(self):
+        lone = plan_chunk_sites(10**8, [8, 6], 4)
+        wide = plan_chunk_sites(10**8, [8, 6], 4, batch=32)
+        assert wide.chunk_sites < lone.chunk_sites
+
+    def test_invalid_n_sites(self):
+        with pytest.raises(ValueError):
+            plan_chunk_sites(0, [8], 4)

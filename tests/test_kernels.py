@@ -212,3 +212,83 @@ class TestRemovedAlias:
     def test_energy_batch_is_gone(self, ising_4x4):
         # The deprecated pre-kernel-layer alias completed its cycle.
         assert not hasattr(ising_4x4, "energy_batch")
+
+
+class TestDtypeDiscipline:
+    """DESIGN.md §17: configs stay int8, tables int32, no silent up-casts."""
+
+    def test_tables_are_int32(self, any_ham):
+        t = any_ham.tables
+        for tab in t.tables:
+            assert tab.dtype == np.int32
+        assert t.cat_table.dtype == np.int32
+        for pi, pj in zip(t.pair_i, t.pair_j):
+            assert pi.dtype == np.int32 and pj.dtype == np.int32
+        assert t.shell_offsets.dtype == np.int16
+        assert t.shell_of_col.dtype == np.int16
+
+    def test_int8_configs_match_int64_configs(self, any_ham):
+        """The lean int8 path prices moves identically to an int64 copy of
+        the same configs (the old hot path up-cast everything to int64)."""
+        rng = np.random.default_rng(21)
+        ham = any_ham
+        t = ham.tables
+        B = 6
+        cfgs8 = np.stack([random_cfg(ham, 100 + b) for b in range(B)])
+        cfgs64 = cfgs8.astype(np.int64)
+        ii = rng.integers(0, ham.n_sites, B)
+        jj = rng.integers(0, ham.n_sites, B)
+        sites = rng.integers(0, ham.n_sites, B)
+        news = rng.integers(0, ham.n_species, B)
+        np.testing.assert_array_equal(
+            ops.delta_swap_many(t, cfgs8, ii, jj),
+            ops.delta_swap_many(t, cfgs64, ii, jj))
+        np.testing.assert_array_equal(
+            ops.delta_flip_many(t, cfgs8, sites, news),
+            ops.delta_flip_many(t, cfgs64, sites, news))
+        np.testing.assert_array_equal(
+            ops.energies(t, cfgs8), ops.energies(t, cfgs64))
+        assert ops.energy(t, cfgs8[0]) == ops.energy(t, cfgs64[0])
+
+    def test_no_upcast_copy_on_many_path(self, hea_small):
+        """`_as_int_configs` must pass int8 batches through untouched —
+        the whole point of the memory-lean tier is killing the 8x copy."""
+        cfgs = np.stack([random_cfg(hea_small, b) for b in range(4)])
+        out = ops._as_int_configs(cfgs)
+        assert out is cfgs  # same object: no copy, no up-cast
+
+    def test_float_configs_raise(self, hea_small):
+        t = hea_small.tables
+        cfg = random_cfg(hea_small, 0).astype(np.float64)
+        with pytest.raises(TypeError):
+            ops.energy(t, cfg)
+        with pytest.raises(TypeError):
+            ops.delta_swap_many(t, cfg[None], [0], [1])
+
+    def test_lazy_tables_not_built_on_scalar_path(self, hea_small):
+        """A scalar-only workload must not materialize the batched
+        structures (corr_by_col is the big one)."""
+        from repro.kernels.tables import PairTables
+        t = PairTables(hea_small.lattice.neighbor_shells(2),
+                       hea_small.shell_matrices, hea_small.field)
+        before = t.table_nbytes()
+        cfg = random_cfg(hea_small, 3)
+        i = 0
+        j = int(np.nonzero(cfg != cfg[i])[0][0])  # distinct species: no early-out
+        ops.delta_swap(t, cfg, i, j)
+        ops.delta_flip(t, cfg, i, int(cfg[j]))
+        assert "corr_by_col" not in t._cache
+        assert "pair_arrays" not in t._cache
+        # The scalar path does build the fused cat_table + diff_rows.
+        assert t.table_nbytes() > before
+
+    def test_pickle_roundtrip_preserves_lazy_cache(self, hea_small):
+        import pickle
+        from repro.kernels.tables import PairTables
+        t = PairTables(hea_small.lattice.neighbor_shells(2),
+                       hea_small.shell_matrices, hea_small.field)
+        _ = t.cat_table
+        clone = pickle.loads(pickle.dumps(t))
+        np.testing.assert_array_equal(clone.cat_table, t.cat_table)
+        cfg = random_cfg(hea_small, 5)
+        assert ops.energy(clone, cfg) == ops.energy(t, cfg)

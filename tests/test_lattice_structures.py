@@ -139,3 +139,71 @@ class TestLatticeValidation:
     def test_shell_cache_returns_same(self):
         lat = square_lattice(4)
         assert lat.neighbor_shells(1) is lat.neighbor_shells(1)
+
+
+class TestStreamingBlocks:
+    """The ultra-large-scale tier: block construction must reproduce the
+    materialized tables row-for-row, and shell metadata must come without
+    O(N) work."""
+
+    @pytest.mark.parametrize("builder,arg", [
+        (square_lattice, 5), (simple_cubic, 4), (bcc, 4), (fcc, 3),
+    ])
+    def test_neighbor_block_equals_table_slices(self, builder, arg):
+        lat = builder(arg)
+        shells = lat.neighbor_shells(2)
+        for start, stop in [(0, lat.n_sites), (0, 1), (7, 23),
+                            (lat.n_sites - 3, lat.n_sites)]:
+            blocks = lat.neighbor_block(2, start, stop)
+            for s, shell in enumerate(shells):
+                np.testing.assert_array_equal(blocks[s], shell.table[start:stop])
+
+    def test_neighbor_block_dtype_is_int32(self):
+        lat = bcc(3)
+        for tab in lat.neighbor_block(2, 0, 5):
+            assert tab.dtype == np.int32
+
+    def test_table_dtype_is_int32(self):
+        lat = bcc(3)
+        for shell in lat.neighbor_shells(2):
+            assert shell.table.dtype == np.int32
+
+    def test_neighbor_block_out_of_range(self):
+        lat = bcc(3)
+        with pytest.raises(ValueError):
+            lat.neighbor_block(1, -1, 4)
+        with pytest.raises(ValueError):
+            lat.neighbor_block(1, 0, lat.n_sites + 1)
+
+    def test_empty_block(self):
+        lat = bcc(3)
+        blocks = lat.neighbor_block(2, 4, 4)
+        assert all(tab.shape[0] == 0 for tab in blocks)
+
+    def test_shell_info_matches_tables(self):
+        lat = bcc(4)
+        info = lat.shell_info(2)
+        shells = lat.neighbor_shells(2)
+        assert len(info) == 2
+        for (dist, z), shell in zip(info, shells):
+            assert dist == pytest.approx(shell.distance)
+            assert z == shell.coordination
+
+    def test_shell_info_small_supercell_raises(self):
+        with pytest.raises(ValueError):
+            square_lattice(2).shell_info(1)
+
+
+class TestBruteforceGuard:
+    def test_large_lattice_raises_without_force(self):
+        lat = bcc(13)  # 4394 sites > guard
+        with pytest.raises(ValueError, match="neighbor_shells"):
+            lat.neighbor_shells_bruteforce(1)
+
+    def test_small_lattice_still_works(self):
+        lat = square_lattice(4)
+        shells = lat.neighbor_shells_bruteforce(1)
+        # Column order differs between the builders; rows hold the same sets.
+        np.testing.assert_array_equal(
+            np.sort(shells[0].table, axis=1),
+            np.sort(lat.neighbor_shells(1)[0].table, axis=1))

@@ -171,3 +171,58 @@ class TestRunner:
         assert snapshot["profile"].get("proposal.flip", {}).get("calls", 0) > 0
         # And the on-disk snapshot round-trips through load_snapshot.
         assert load_snapshot(out) == snapshot
+
+
+class TestRssGating:
+    """Ultra-tier rows carry a peak-RSS budget; exceeding it is a
+    regression even when the timing is fine."""
+
+    def _with_rss(self, mean, peak_kb, budget_kb):
+        return {"mean_s": mean, "peak_rss_kb": peak_kb,
+                "rss_budget_kb": budget_kb}
+
+    def test_over_budget_is_a_regression(self):
+        old = _snapshot({"a": 1.0})
+        new = _snapshot({})
+        new["benchmarks"]["a"] = self._with_rss(1.0, 3_000_000, 2_097_152)
+        diff = compare_snapshots(old, new)
+        assert diff["regressions"] == ["a"]
+        assert diff["entries"][0]["status"] == "rss-over-budget"
+
+    def test_within_budget_is_ok(self):
+        old = _snapshot({"a": 1.0})
+        new = _snapshot({})
+        new["benchmarks"]["a"] = self._with_rss(1.0, 500_000, 2_097_152)
+        diff = compare_snapshots(old, new)
+        assert diff["regressions"] == []
+        assert diff["entries"][0]["status"] == "ok"
+
+    def test_added_row_is_budget_checked(self):
+        old = _snapshot({})
+        new = _snapshot({})
+        new["benchmarks"]["fresh"] = self._with_rss(1.0, 3_000_000, 2_097_152)
+        diff = compare_snapshots(old, new)
+        assert diff["regressions"] == ["fresh"]
+
+    def test_time_regression_takes_precedence(self):
+        old = _snapshot({"a": 1.0})
+        new = _snapshot({})
+        new["benchmarks"]["a"] = self._with_rss(2.0, 3_000_000, 2_097_152)
+        diff = compare_snapshots(old, new)
+        assert diff["entries"][0]["status"] == "regression"
+        assert diff["regressions"] == ["a"]
+
+    def test_render_shows_rss_column(self):
+        old = _snapshot({"a": 1.0})
+        new = _snapshot({})
+        new["benchmarks"]["a"] = self._with_rss(1.0, 1024 * 512, 1024 * 2048)
+        text = render_compare(compare_snapshots(old, new))
+        assert "512/2048MB" in text
+        assert "peak_rss" in text
+
+    def test_rows_without_rss_are_untouched(self):
+        old = _snapshot({"a": 1.0})
+        new = _snapshot({"a": 1.0})
+        diff = compare_snapshots(old, new)
+        assert diff["entries"][0]["peak_rss_kb"] is None
+        assert "-" in render_compare(diff)
